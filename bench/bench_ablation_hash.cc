@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Ablation: ECC hash key construction — number of sampled minikeys
+ * (key width) and offset placement vs. false-positive rate and bytes
+ * read per key.
+ *
+ * Exercises the design choice of Section 3.3.1 (4 sections, one line
+ * each, 32-bit key) and the update_ECC_offset tuning knob (Table 1:
+ * "set after profiling the workloads ... to attain a good hash key").
+ */
+
+#include <array>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hh"
+#include "ecc/ecc_hash_key.hh"
+#include "ecc/jhash.hh"
+#include "sim/rng.hh"
+
+using namespace pageforge;
+
+namespace
+{
+
+/** A synthetic "pass": pages, some rewritten between snapshots. */
+struct ChurnSample
+{
+    std::vector<std::array<std::uint8_t, pageSize>> before;
+    std::vector<std::array<std::uint8_t, pageSize>> after;
+    std::vector<bool> changed;
+};
+
+ChurnSample
+makeSample(unsigned pages, double change_prob, Rng &rng)
+{
+    ChurnSample sample;
+    sample.before.resize(pages);
+    sample.after.resize(pages);
+    sample.changed.resize(pages);
+    for (unsigned p = 0; p < pages; ++p) {
+        for (auto &byte : sample.before[p])
+            byte = static_cast<std::uint8_t>(rng.next());
+        sample.after[p] = sample.before[p];
+        if (rng.chance(change_prob)) {
+            sample.changed[p] = true;
+            // Dirty a single random line, like a guest store.
+            std::uint32_t line =
+                static_cast<std::uint32_t>(rng.nextBounded(linesPerPage));
+            for (unsigned b = 0; b < lineSize; ++b) {
+                sample.after[p][line * lineSize + b] =
+                    static_cast<std::uint8_t>(rng.next());
+            }
+        }
+    }
+    return sample;
+}
+
+/** Generalized ECC key: sample the first @p keys sections. */
+std::uint64_t
+eccKeyN(const std::uint8_t *page, unsigned keys, const EccOffsets &off)
+{
+    std::uint64_t key = 0;
+    for (unsigned s = 0; s < keys; ++s) {
+        std::uint32_t line = off.lineIndex(s % eccHashSections) +
+            (s / eccHashSections); // reuse sections beyond 4
+        LineEccCode code = LineEcc::encode(page + line * lineSize);
+        key |= static_cast<std::uint64_t>(LineEcc::minikey(code))
+            << (8 * s);
+    }
+    return key;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions opts = parseBenchOptions(argc, argv);
+    unsigned pages = opts.quick ? 2000 : 8000;
+    Rng rng(opts.seed);
+    ChurnSample sample = makeSample(pages, 0.30, rng);
+    EccOffsets offsets = EccOffsets::defaults();
+
+    TablePrinter table("Ablation: hash key scheme vs false positives "
+                       "(single-line writes between passes)");
+    table.setHeader({"Scheme", "Bytes read", "Match", "False match",
+                     "Missed-change rate"});
+
+    auto report = [&](const std::string &name, unsigned bytes_read,
+                      auto &&key_fn) {
+        std::uint64_t matches = 0;
+        std::uint64_t false_matches = 0;
+        std::uint64_t changed_total = 0;
+        for (unsigned p = 0; p < pages; ++p) {
+            bool match = key_fn(sample.before[p].data()) ==
+                key_fn(sample.after[p].data());
+            if (match)
+                ++matches;
+            if (sample.changed[p]) {
+                ++changed_total;
+                if (match)
+                    ++false_matches;
+            }
+        }
+        table.addRow({name, std::to_string(bytes_read),
+                      TablePrinter::pct(static_cast<double>(matches) /
+                                        pages),
+                      TablePrinter::pct(
+                          static_cast<double>(false_matches) / pages),
+                      TablePrinter::pct(
+                          changed_total
+                              ? static_cast<double>(false_matches) /
+                                  static_cast<double>(changed_total)
+                              : 0.0)});
+    };
+
+    report("jhash 1KB (KSM)", 1024, [](const std::uint8_t *page) {
+        return static_cast<std::uint64_t>(ksmPageHash(page));
+    });
+    for (unsigned keys : {2u, 4u, 8u}) {
+        report("ECC " + std::to_string(keys) + " minikeys (" +
+                   std::to_string(8 * keys) + "b)",
+               keys * lineSize, [&](const std::uint8_t *page) {
+                   return eccKeyN(page, keys, offsets);
+               });
+    }
+    // Offset placement: clustered offsets all in section 0.
+    report("ECC 4 minikeys, clustered", 4 * lineSize,
+           [&](const std::uint8_t *page) {
+               std::uint64_t key = 0;
+               for (unsigned s = 0; s < 4; ++s) {
+                   LineEccCode code =
+                       LineEcc::encode(page + (s + 1) * lineSize);
+                   key |= static_cast<std::uint64_t>(
+                              LineEcc::minikey(code)) << (8 * s);
+               }
+               return key;
+           });
+
+    table.print(std::cout);
+    std::cout << "\nExpected shape: all ECC variants read far less "
+                 "data than jhash; more minikeys and spread offsets "
+                 "lower the missed-change rate; clustering wastes "
+                 "coverage. Single-line writes evade jhash whenever "
+                 "they land beyond its first 1KB (75% of lines).\n";
+    return 0;
+}

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Shared plumbing for the per-table/per-figure bench harnesses.
+ *
+ * Every harness accepts:
+ *   --quick        small memory images and short windows (CI-sized)
+ *   --scale=X      memory-image scale factor (default 0.25)
+ *   --queries=N    target queries per measurement window
+ *   --seed=S       experiment seed
+ *
+ * Absolute numbers depend on the synthetic substrate; the harnesses
+ * reproduce the *shape* of the paper's results (who wins, by roughly
+ * what factor). EXPERIMENTS.md records paper-vs-measured values.
+ */
+
+#ifndef PF_BENCH_BENCH_COMMON_HH
+#define PF_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "stats/table.hh"
+#include "system/experiment.hh"
+
+namespace pageforge
+{
+
+/** Parsed command-line options of a bench harness. */
+struct BenchOptions
+{
+    double memScale = 0.2;
+    std::uint64_t targetQueries = 1500;
+    unsigned warmupPasses = 6;
+    std::uint64_t seed = 42;
+    bool quick = false;
+
+    ExperimentConfig
+    experimentConfig() const
+    {
+        ExperimentConfig cfg;
+        cfg.memScale = memScale;
+        cfg.warmupPasses = warmupPasses;
+        cfg.targetQueries = targetQueries;
+        cfg.seed = seed;
+        if (quick) {
+            cfg.settleTime = msToTicks(10);
+            cfg.minMeasure = msToTicks(60);
+            cfg.maxMeasure = msToTicks(400);
+        } else {
+            // Cap the window (sphinx at 1 QPS would otherwise ask for
+            // minutes of virtual time).
+            cfg.maxMeasure = msToTicks(8000);
+        }
+        return cfg;
+    }
+};
+
+inline BenchOptions
+parseBenchOptions(int argc, char **argv)
+{
+    BenchOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--quick") {
+            opts.quick = true;
+            opts.memScale = 0.08;
+            opts.targetQueries = 600;
+        } else if (arg.rfind("--scale=", 0) == 0) {
+            opts.memScale = std::atof(arg.c_str() + 8);
+        } else if (arg.rfind("--queries=", 0) == 0) {
+            opts.targetQueries = std::strtoull(arg.c_str() + 10,
+                                               nullptr, 10);
+        } else if (arg.rfind("--seed=", 0) == 0) {
+            opts.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+        } else if (arg == "--help" || arg == "-h") {
+            std::fprintf(stderr,
+                         "usage: %s [--quick] [--scale=X] "
+                         "[--queries=N] [--seed=S]\n",
+                         argv[0]);
+            std::exit(0);
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+            std::exit(1);
+        }
+    }
+    return opts;
+}
+
+/** Progress note on stderr so long runs show life. */
+inline void
+progress(const std::string &what)
+{
+    std::fprintf(stderr, "[bench] %s\n", what.c_str());
+}
+
+/** Run one experiment with a progress note. */
+inline ExperimentResult
+runOne(const AppProfile &app, DedupMode mode, const BenchOptions &opts)
+{
+    progress(app.name + " / " + dedupModeName(mode));
+    return runExperiment(app, mode, opts.experimentConfig());
+}
+
+} // namespace pageforge
+
+#endif // PF_BENCH_BENCH_COMMON_HH

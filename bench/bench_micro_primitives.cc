@@ -1,0 +1,153 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the hot primitives of the
+ * simulator: (72,64) SECDED encode/decode, line ECC, jhash2, the
+ * ECC page key, page comparison, and red-black tree search.
+ */
+
+#include <array>
+#include <memory>
+
+#include <benchmark/benchmark.h>
+
+#include "ecc/ecc_hash_key.hh"
+#include "ecc/jhash.hh"
+#include "ksm/content_tree.hh"
+#include "sim/rng.hh"
+
+namespace pageforge
+{
+namespace
+{
+
+std::array<std::uint8_t, pageSize>
+randomPage(std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::array<std::uint8_t, pageSize> page;
+    for (auto &byte : page)
+        byte = static_cast<std::uint8_t>(rng.next());
+    return page;
+}
+
+void
+BM_Hamming7264Encode(benchmark::State &state)
+{
+    Rng rng(1);
+    std::uint64_t word = rng.next();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(Hamming7264::encode(word));
+        word += 0x9e3779b97f4a7c15ULL;
+    }
+}
+BENCHMARK(BM_Hamming7264Encode);
+
+void
+BM_Hamming7264Decode(benchmark::State &state)
+{
+    Rng rng(2);
+    std::uint64_t word = rng.next();
+    std::uint8_t check = Hamming7264::encode(word);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(Hamming7264::decode(word, check));
+}
+BENCHMARK(BM_Hamming7264Decode);
+
+void
+BM_LineEccEncode(benchmark::State &state)
+{
+    auto page = randomPage(3);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(LineEcc::encode(page.data()));
+}
+BENCHMARK(BM_LineEccEncode);
+
+void
+BM_Jhash1KB(benchmark::State &state)
+{
+    auto page = randomPage(4);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ksmPageHash(page.data()));
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_Jhash1KB);
+
+void
+BM_EccPageHash(benchmark::State &state)
+{
+    auto page = randomPage(5);
+    EccOffsets offsets = EccOffsets::defaults();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(eccPageHash(page.data(), offsets));
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 256);
+}
+BENCHMARK(BM_EccPageHash);
+
+void
+BM_ComparePagesEqual(benchmark::State &state)
+{
+    auto a = randomPage(6);
+    auto b = a;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(comparePages(a.data(), b.data()));
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * pageSize);
+}
+BENCHMARK(BM_ComparePagesEqual);
+
+void
+BM_ComparePagesEarlyDivergence(benchmark::State &state)
+{
+    auto a = randomPage(7);
+    auto b = randomPage(8);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(comparePages(a.data(), b.data()));
+}
+BENCHMARK(BM_ComparePagesEarlyDivergence);
+
+/** Accessor over a preallocated pool for the tree benchmark. */
+class PoolAccessor : public PageAccessor
+{
+  public:
+    PageHandle
+    add(std::uint64_t seed)
+    {
+        _pages.push_back(
+            std::make_unique<std::array<std::uint8_t, pageSize>>(
+                randomPage(seed)));
+        return _pages.size() - 1;
+    }
+
+    const std::uint8_t *
+    resolve(PageHandle handle) override
+    {
+        return _pages[handle]->data();
+    }
+
+  private:
+    std::vector<std::unique_ptr<std::array<std::uint8_t, pageSize>>>
+        _pages;
+};
+
+void
+BM_ContentTreeSearch(benchmark::State &state)
+{
+    PoolAccessor pool;
+    ContentTree tree(pool);
+    const std::int64_t n = state.range(0);
+    for (std::int64_t i = 0; i < n; ++i)
+        tree.insert(pool.add(1000 + static_cast<std::uint64_t>(i)));
+
+    PageHandle probe = pool.add(500);
+    const std::uint8_t *probe_data = pool.resolve(probe);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(tree.search(probe_data));
+}
+BENCHMARK(BM_ContentTreeSearch)->Arg(64)->Arg(1024)->Arg(8192);
+
+} // namespace
+} // namespace pageforge
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Tail-latency study: why hardware page merging matters for
+ * latency-critical services.
+ *
+ * Runs one application under the three configurations (Baseline, KSM,
+ * PageForge) and prints the sojourn-latency distribution: mean, p50,
+ * p95, p99 and max — the paper's Figures 9/10 in miniature, plus the
+ * mechanism behind them (core cycles stolen and caches polluted by
+ * ksmd vs near-memory scanning).
+ *
+ *   $ ./tail_latency_study [app] [--scale=X]
+ */
+
+#include <iostream>
+#include <string>
+
+#include "stats/table.hh"
+#include "system/experiment.hh"
+
+using namespace pageforge;
+
+int
+main(int argc, char **argv)
+{
+    std::string app_name = "silo";
+    double scale = 0.15;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--scale=", 0) == 0)
+            scale = std::atof(arg.c_str() + 8);
+        else
+            app_name = arg;
+    }
+    const AppProfile &app = appByName(app_name);
+
+    SystemConfig sys_cfg;
+    TablePrinter table("Sojourn latency under same-page merging ('" +
+                       app_name + "', ms)");
+    table.setHeader({"Config", "mean", "p50", "p95", "p99", "max",
+                     "queries", "L3 miss", "ksmd cycles"});
+
+    for (DedupMode mode :
+         {DedupMode::None, DedupMode::Ksm, DedupMode::PageForge}) {
+        std::cerr << "running " << dedupModeName(mode) << "...\n";
+
+        SystemConfig config = sys_cfg;
+        config.mode = mode;
+        config.memScale = scale;
+        System system(config, app);
+        system.deploy();
+        system.warmupDedup(6);
+        system.startLoad();
+        system.run(msToTicks(20));
+        system.resetMeasurement();
+        system.run(msToTicks(250));
+
+        const Sampler &lat = system.latency().aggregate();
+        double ksm_frac = 0.0;
+        for (unsigned c = 0; c < system.numCores(); ++c) {
+            ksm_frac += static_cast<double>(
+                system.core(c).busyTicks(Requester::Ksm));
+        }
+        ksm_frac /= static_cast<double>(system.numCores()) *
+            static_cast<double>(msToTicks(250));
+
+        auto ms = [](double ticks) {
+            return TablePrinter::fmt(
+                ticksToMs(static_cast<Tick>(ticks)), 3);
+        };
+        table.addRow({dedupModeName(mode), ms(lat.mean()),
+                      ms(lat.quantile(0.50)), ms(lat.quantile(0.95)),
+                      ms(lat.quantile(0.99)), ms(lat.maxSample()),
+                      std::to_string(lat.count()),
+                      TablePrinter::pct(system.hierarchy().l3MissRate()),
+                      TablePrinter::pct(ksm_frac)});
+    }
+
+    table.print(std::cout);
+    std::cout << "\nReading the table: KSM inflates the tail (p95/p99) "
+                 "far more than the mean — whole work intervals of a "
+                 "core vanish into scanning while queries queue. "
+                 "PageForge keeps both near Baseline: scanning runs in "
+                 "the memory controller, off the cores and out of the "
+                 "caches.\n";
+    return 0;
+}

@@ -1,0 +1,40 @@
+#include "cache/bus.hh"
+
+#include <algorithm>
+
+namespace pageforge
+{
+
+Bus::Bus(std::string name, EventQueue &eq, const BusConfig &config)
+    : SimObject(std::move(name), eq), _config(config),
+      _stats(this->name())
+{
+    _stats.addCounter("transactions", "bus transactions", _transactions);
+    _stats.addCounter("data_transfers", "transactions carrying data",
+                      _dataTransfers);
+    _stats.addCounter("stall_ticks", "ticks spent waiting for the bus",
+                      _stallTicks);
+}
+
+Tick
+Bus::transact(Tick now, bool with_data)
+{
+    // Occupancy beyond the queue horizon is invisible (see
+    // BusConfig::queueHorizon).
+    Tick visible_free = std::min(_busFreeAt,
+                                 now + _config.queueHorizon);
+    Tick start = std::max(now, visible_free);
+    _stallTicks += start - now;
+
+    Tick occupancy = _config.probeOccupancy;
+    if (with_data) {
+        occupancy += _config.dataOccupancy;
+        ++_dataTransfers;
+    }
+    ++_transactions;
+
+    _busFreeAt = std::max(_busFreeAt, start + occupancy);
+    return start + _config.arbitration + occupancy;
+}
+
+} // namespace pageforge

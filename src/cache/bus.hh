@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Snoopy coherence bus (Table 2: 512-bit bus, snoopy MESI at L3).
+ *
+ * A single shared medium carries address probes and data transfers.
+ * Transactions serialize on the bus; the model tracks occupancy so
+ * that heavy deduplication traffic (ksmd streaming pages, or
+ * PageForge's snoop probes) contends with demand misses.
+ */
+
+#ifndef PF_CACHE_BUS_HH
+#define PF_CACHE_BUS_HH
+
+#include "sim/sim_object.hh"
+#include "stats/stat_group.hh"
+
+namespace pageforge
+{
+
+/** Timing parameters of the bus. */
+struct BusConfig
+{
+    Tick arbitration = 4;   //!< request-to-grant latency
+    Tick probeOccupancy = 2; //!< address/snoop phase occupancy
+    Tick dataOccupancy = 2;  //!< 64 B on a 512 b bus: 1 beat + turnaround
+
+    /**
+     * Contention horizon, as in DramConfig: occupancy further than
+     * this beyond a request's issue tick is invisible to it, bounding
+     * cross-walker leapfrog (see DramConfig::queueHorizon).
+     */
+    Tick queueHorizon = 64;
+};
+
+/** The shared snoopy bus. */
+class Bus : public SimObject
+{
+  public:
+    Bus(std::string name, EventQueue &eq, const BusConfig &config);
+
+    /**
+     * Perform a bus transaction starting no earlier than @p now.
+     *
+     * @param now requester's ready tick
+     * @param with_data true when a 64 B data transfer rides along
+     * @return tick at which the transaction completes for the requester
+     */
+    Tick transact(Tick now, bool with_data);
+
+    /** Address-only probe (e.g. PageForge checking the caches). */
+    Tick probe(Tick now) { return transact(now, false); }
+
+    const BusConfig &config() const { return _config; }
+
+    std::uint64_t transactions() const { return _transactions.value(); }
+    std::uint64_t dataTransfers() const { return _dataTransfers.value(); }
+
+    /** Clear occupancy (after a synchronous warm-up fast-forward). */
+    void resetTiming() { _busFreeAt = 0; }
+
+    StatGroup &stats() { return _stats; }
+
+  private:
+    BusConfig _config;
+    Tick _busFreeAt = 0;
+
+    Counter _transactions;
+    Counter _dataTransfers;
+    Counter _stallTicks;
+    StatGroup _stats;
+};
+
+} // namespace pageforge
+
+#endif // PF_CACHE_BUS_HH

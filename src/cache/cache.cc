@@ -1,0 +1,184 @@
+#include "cache/cache.hh"
+
+#include "sim/logging.hh"
+
+namespace pageforge
+{
+
+const char *
+mesiName(MesiState state)
+{
+    switch (state) {
+      case MesiState::Invalid:
+        return "I";
+      case MesiState::Shared:
+        return "S";
+      case MesiState::Exclusive:
+        return "E";
+      case MesiState::Modified:
+        return "M";
+    }
+    return "?";
+}
+
+Cache::Cache(const CacheConfig &config)
+    : _config(config), _numSets(config.numSets()),
+      _lines(static_cast<std::size_t>(_numSets) * config.ways),
+      _stats(config.name)
+{
+    pf_assert(_numSets > 0, "cache '%s' has no sets",
+              config.name.c_str());
+    _setsPow2 = (_numSets & (_numSets - 1)) == 0;
+    _stats.addCounter("hits", "demand hits", _hits);
+    _stats.addCounter("misses", "demand misses", _misses);
+    _stats.addCounter("evictions", "lines evicted", _evictions);
+    _stats.addStat("miss_rate", "misses / accesses",
+                   [this] { return 1.0 - hitRate(); });
+}
+
+std::uint32_t
+Cache::setIndex(Addr line_addr) const
+{
+    std::uint64_t line = line_addr / lineSize;
+    // Power-of-two set counts index with a mask; others (e.g. the
+    // 20-way L3 of Table 2) fall back to modulo.
+    if (_setsPow2)
+        return static_cast<std::uint32_t>(line & (_numSets - 1));
+    return static_cast<std::uint32_t>(line % _numSets);
+}
+
+Cache::Line *
+Cache::findLine(Addr line_addr)
+{
+    std::size_t base =
+        static_cast<std::size_t>(setIndex(line_addr)) * _config.ways;
+    for (std::uint32_t w = 0; w < _config.ways; ++w) {
+        Line &line = _lines[base + w];
+        if (line.state != MesiState::Invalid && line.addr == line_addr)
+            return &line;
+    }
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::findLine(Addr line_addr) const
+{
+    return const_cast<Cache *>(this)->findLine(line_addr);
+}
+
+MesiState
+Cache::access(Addr line_addr)
+{
+    Line *line = findLine(line_addr);
+    if (line) {
+        line->lastUsed = ++_useClock;
+        ++_hits;
+        return line->state;
+    }
+    ++_misses;
+    return MesiState::Invalid;
+}
+
+MesiState
+Cache::probe(Addr line_addr) const
+{
+    const Line *line = findLine(line_addr);
+    return line ? line->state : MesiState::Invalid;
+}
+
+bool
+Cache::contains(Addr line_addr) const
+{
+    return findLine(line_addr) != nullptr;
+}
+
+Victim
+Cache::insert(Addr line_addr, MesiState state)
+{
+    pf_assert(state != MesiState::Invalid, "inserting an invalid line");
+
+    if (Line *line = findLine(line_addr)) {
+        // Refill of a resident line: just update state and recency.
+        line->state = state;
+        line->lastUsed = ++_useClock;
+        return {};
+    }
+
+    std::size_t base =
+        static_cast<std::size_t>(setIndex(line_addr)) * _config.ways;
+    Line *victim_line = nullptr;
+    for (std::uint32_t w = 0; w < _config.ways; ++w) {
+        Line &line = _lines[base + w];
+        if (line.state == MesiState::Invalid) {
+            victim_line = &line;
+            break;
+        }
+        if (!victim_line || line.lastUsed < victim_line->lastUsed)
+            victim_line = &line;
+    }
+
+    Victim victim;
+    if (victim_line->state != MesiState::Invalid) {
+        victim.valid = true;
+        victim.addr = victim_line->addr;
+        victim.dirty = victim_line->state == MesiState::Modified;
+        ++_evictions;
+    }
+
+    victim_line->addr = line_addr;
+    victim_line->state = state;
+    victim_line->lastUsed = ++_useClock;
+    return victim;
+}
+
+void
+Cache::setState(Addr line_addr, MesiState state)
+{
+    Line *line = findLine(line_addr);
+    pf_assert(line, "setState on absent line %llx in %s",
+              static_cast<unsigned long long>(line_addr),
+              _config.name.c_str());
+    if (state == MesiState::Invalid)
+        line->state = MesiState::Invalid;
+    else
+        line->state = state;
+}
+
+bool
+Cache::invalidate(Addr line_addr)
+{
+    Line *line = findLine(line_addr);
+    if (!line)
+        return false;
+    bool dirty = line->state == MesiState::Modified;
+    line->state = MesiState::Invalid;
+    return dirty;
+}
+
+std::size_t
+Cache::residentLines() const
+{
+    std::size_t n = 0;
+    for (const auto &line : _lines) {
+        if (line.state != MesiState::Invalid)
+            ++n;
+    }
+    return n;
+}
+
+double
+Cache::hitRate() const
+{
+    std::uint64_t total = _hits.value() + _misses.value();
+    return total ? static_cast<double>(_hits.value()) / total : 0.0;
+}
+
+void
+Cache::resetStats()
+{
+    _hits.reset();
+    _misses.reset();
+    _evictions.reset();
+}
+
+} // namespace pageforge

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Set-associative write-back cache tag array with MESI states.
+ *
+ * Caches in this simulator are tag-only: functional data always lives
+ * in PhysicalMemory (writes update it immediately), so the arrays track
+ * presence, coherence state, and dirtiness for timing and pollution
+ * modelling. This matches what same-page merging stresses: KSM evicts
+ * application working sets by streaming pages through the hierarchy,
+ * while PageForge bypasses it entirely.
+ */
+
+#ifndef PF_CACHE_CACHE_HH
+#define PF_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+#include "stats/stat_group.hh"
+
+namespace pageforge
+{
+
+/** MESI coherence states. */
+enum class MesiState : std::uint8_t
+{
+    Invalid,
+    Shared,
+    Exclusive,
+    Modified,
+};
+
+/** Short label for a MESI state. */
+const char *mesiName(MesiState state);
+
+/** Geometry and latency of one cache level. */
+struct CacheConfig
+{
+    std::string name;
+    std::uint32_t sizeBytes;
+    std::uint32_t ways;
+    Tick hitLatency; //!< round-trip access latency in ticks
+    std::uint32_t mshrs;
+
+    std::uint32_t
+    numSets() const
+    {
+        return sizeBytes / (lineSize * ways);
+    }
+};
+
+/** A line evicted to make room for a fill. */
+struct Victim
+{
+    bool valid = false;
+    Addr addr = 0;
+    bool dirty = false;
+};
+
+/** The tag array of one cache. */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &config);
+
+    const CacheConfig &config() const { return _config; }
+
+    /**
+     * Look up a line and update LRU on hit.
+     * @return the line's state, Invalid on miss
+     */
+    MesiState access(Addr line_addr);
+
+    /** Look up without disturbing LRU (snoops, invariants, tests). */
+    MesiState probe(Addr line_addr) const;
+
+    /** True when the line is present in any valid state. */
+    bool contains(Addr line_addr) const;
+
+    /**
+     * Fill a line, evicting the set's LRU victim if needed.
+     * @return the victim (valid=false when an empty way was used)
+     */
+    Victim insert(Addr line_addr, MesiState state);
+
+    /**
+     * Change the state of a resident line.
+     * @pre the line is present
+     */
+    void setState(Addr line_addr, MesiState state);
+
+    /**
+     * Drop a line if present.
+     * @return true when the line was present and dirty (M)
+     */
+    bool invalidate(Addr line_addr);
+
+    /** Number of resident lines (for tests). */
+    std::size_t residentLines() const;
+
+    std::uint64_t hits() const { return _hits.value(); }
+    std::uint64_t misses() const { return _misses.value(); }
+    std::uint64_t evictions() const { return _evictions.value(); }
+
+    /** Hit fraction of all accesses so far. */
+    double hitRate() const;
+
+    StatGroup &stats() { return _stats; }
+
+    /** Reset hit/miss/eviction counters (start of measurement). */
+    void resetStats();
+
+  private:
+    struct Line
+    {
+        Addr addr = 0;
+        MesiState state = MesiState::Invalid;
+        std::uint64_t lastUsed = 0;
+    };
+
+    CacheConfig _config;
+    std::uint32_t _numSets;
+    bool _setsPow2 = true;
+    std::vector<Line> _lines; // numSets x ways
+    std::uint64_t _useClock = 0;
+
+    Counter _hits;
+    Counter _misses;
+    Counter _evictions;
+    StatGroup _stats;
+
+    std::uint32_t setIndex(Addr line_addr) const;
+    Line *findLine(Addr line_addr);
+    const Line *findLine(Addr line_addr) const;
+};
+
+} // namespace pageforge
+
+#endif // PF_CACHE_CACHE_HH

@@ -1,0 +1,82 @@
+#include "cache/mshr.hh"
+
+#include "sim/logging.hh"
+
+namespace pageforge
+{
+
+Mshr::Mshr(std::string name, std::uint32_t capacity)
+    : _capacity(capacity), _stats(std::move(name))
+{
+    pf_assert(capacity > 0, "zero-entry MSHR file");
+    _stats.addCounter("allocs", "misses tracked", _allocs);
+    _stats.addCounter("coalesced", "misses merged onto pending fills",
+                      _coalesced);
+    _stats.addCounter("full_stalls", "misses stalled on a full file",
+                      _fullStalls);
+}
+
+void
+Mshr::prune(Tick now)
+{
+    for (auto it = _entries.begin(); it != _entries.end();) {
+        if (it->second <= now)
+            it = _entries.erase(it);
+        else
+            ++it;
+    }
+}
+
+Tick
+Mshr::earliestRetire() const
+{
+    Tick earliest = maxTick;
+    for (const auto &[addr, ready] : _entries)
+        earliest = std::min(earliest, ready);
+    return earliest;
+}
+
+std::optional<Tick>
+Mshr::pendingFill(Addr line_addr, Tick now)
+{
+    auto it = _entries.find(line_addr);
+    if (it == _entries.end())
+        return std::nullopt;
+    if (it->second <= now) {
+        _entries.erase(it);
+        return std::nullopt;
+    }
+    ++_coalesced;
+    return it->second;
+}
+
+Tick
+Mshr::reserve(Tick now)
+{
+    prune(now);
+    if (_entries.size() < _capacity)
+        return 0;
+
+    Tick retire = earliestRetire();
+    pf_assert(retire != maxTick, "full MSHR file with no entries");
+    ++_fullStalls;
+    Tick stall = retire > now ? retire - now : 0;
+    prune(retire);
+    return stall;
+}
+
+void
+Mshr::insertFill(Addr line_addr, Tick ready)
+{
+    ++_allocs;
+    _entries[line_addr] = ready;
+}
+
+std::size_t
+Mshr::occupancy(Tick now)
+{
+    prune(now);
+    return _entries.size();
+}
+
+} // namespace pageforge

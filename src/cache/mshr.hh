@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Miss Status Holding Registers.
+ *
+ * Tracks misses in flight at a cache so that a second miss to the same
+ * line coalesces onto the pending fill rather than issuing again, and
+ * so that a full MSHR file stalls further misses — the resource
+ * pressure Section 4.3 cites against software cache-bypassing schemes.
+ */
+
+#ifndef PF_CACHE_MSHR_HH
+#define PF_CACHE_MSHR_HH
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "sim/types.hh"
+#include "stats/stat_group.hh"
+
+namespace pageforge
+{
+
+/**
+ * The MSHR file of one cache.
+ *
+ * Usage per miss: check pendingFill() for coalescing; otherwise
+ * reserve() a slot (paying a stall if the file is full), compute the
+ * miss latency, then insertFill() with the fill completion tick.
+ */
+class Mshr
+{
+  public:
+    Mshr(std::string name, std::uint32_t capacity);
+
+    /**
+     * Is a fill of this line already pending at @p now?
+     * @return the pending fill's completion tick, if any
+     */
+    std::optional<Tick> pendingFill(Addr line_addr, Tick now);
+
+    /**
+     * Reserve a slot for a new miss. If the file is full the miss
+     * waits for the earliest outstanding entry to retire.
+     *
+     * @return extra stall ticks before the miss can be issued
+     */
+    Tick reserve(Tick now);
+
+    /** Record the fill completion tick of a reserved miss. */
+    void insertFill(Addr line_addr, Tick ready);
+
+    /** Entries live at @p now (prunes retired ones). */
+    std::size_t occupancy(Tick now);
+
+    /** Drop every outstanding entry (warm-up boundary). */
+    void reset() { _entries.clear(); }
+
+    std::uint32_t capacity() const { return _capacity; }
+    std::uint64_t coalesced() const { return _coalesced.value(); }
+    std::uint64_t fullStalls() const { return _fullStalls.value(); }
+
+    StatGroup &stats() { return _stats; }
+
+  private:
+    std::uint32_t _capacity;
+    std::unordered_map<Addr, Tick> _entries;
+
+    Counter _allocs;
+    Counter _coalesced;
+    Counter _fullStalls;
+    StatGroup _stats;
+
+    void prune(Tick now);
+    Tick earliestRetire() const;
+};
+
+} // namespace pageforge
+
+#endif // PF_CACHE_MSHR_HH

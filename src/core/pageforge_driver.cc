@@ -1,0 +1,586 @@
+#include "core/pageforge_driver.hh"
+
+#include <unordered_map>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace pageforge
+{
+
+PageForgeDriver::PageForgeDriver(std::string name, EventQueue &eq,
+                                 Hypervisor &hyper, PageForgeApi &api,
+                                 std::vector<Core *> cores,
+                                 const PageForgeDriverConfig &config)
+    : SimObject(std::move(name), eq), _hyper(hyper), _api(api),
+      _cores(std::move(cores)), _config(config),
+      _stableAcc(hyper.memory()), _guestAcc(hyper),
+      _stable(_stableAcc), _unstable(_guestAcc)
+{
+    pf_assert(!_cores.empty(), "driver with no cores");
+    _api.module().setEccOffsets(config.eccOffsets);
+}
+
+PageForgeDriver::~PageForgeDriver()
+{
+    _stable.clear([this](PageHandle handle) { onStablePrune(handle); });
+}
+
+void
+PageForgeDriver::onStablePrune(PageHandle handle)
+{
+    _hyper.memory().decRef(handleFrame(handle));
+}
+
+ContentTree *
+PageForgeDriver::currentTree()
+{
+    return _phase == Phase::Stable ? &_stable : &_unstable;
+}
+
+PageAccessor &
+PageForgeDriver::currentAccessor()
+{
+    if (_phase == Phase::Stable)
+        return _stableAcc;
+    return _guestAcc;
+}
+
+// ---------------------------------------------------------------------
+// Pass and candidate selection
+// ---------------------------------------------------------------------
+
+void
+PageForgeDriver::startPass()
+{
+    _unstable.clear();
+    _scanList = _hyper.mergeablePages();
+    _cursor = 0;
+    ++_mergeStats.fullPasses;
+}
+
+bool
+PageForgeDriver::pickNextCandidate()
+{
+    PhysicalMemory &mem = _hyper.memory();
+    while (_remaining > 0) {
+        if (_cursor >= _scanList.size())
+            startPass();
+        if (_scanList.empty())
+            return false;
+
+        PageKey key = _scanList[_cursor++];
+        --_remaining;
+        ++_mergeStats.pagesScanned;
+
+        const VirtualMachine &machine = _hyper.vm(key.vm);
+        const PageState &page = machine.page(key.gpn);
+        if (!page.mapped || !page.mergeable)
+            continue;
+        if (mem.refCount(page.frame) > 1)
+            continue; // already merged, lives in the stable tree
+
+        _candidate = key;
+        _candidateFrame = page.frame;
+        return true;
+    }
+    return false;
+}
+
+// ---------------------------------------------------------------------
+// Pinning: keep frames alive while the hardware may still read them
+// ---------------------------------------------------------------------
+
+void
+PageForgeDriver::pinCandidate()
+{
+    _hyper.memory().addRef(_candidateFrame);
+}
+
+void
+PageForgeDriver::unpinCandidate()
+{
+    if (_candidateFrame != invalidFrame) {
+        _hyper.memory().decRef(_candidateFrame);
+        _candidateFrame = invalidFrame;
+    }
+}
+
+void
+PageForgeDriver::unpinBatch()
+{
+    for (FrameId frame : _pinnedFrames)
+        _hyper.memory().decRef(frame);
+    _pinnedFrames.clear();
+}
+
+// ---------------------------------------------------------------------
+// Batch construction
+// ---------------------------------------------------------------------
+
+void
+PageForgeDriver::buildBatch(ContentTree::Node *subtree_root)
+{
+    ContentTree &tree = *currentTree();
+    PageAccessor &acc = currentAccessor();
+    unsigned capacity = _api.tableEntries();
+
+restart:
+    pf_assert(subtree_root, "building a batch with no subtree");
+
+    // The subtree root itself may have gone stale.
+    if (!acc.resolve(tree.handle(subtree_root))) {
+        PageHandle stale = tree.handle(subtree_root);
+        tree.erase(subtree_root);
+        if (_phase == Phase::Stable)
+            onStablePrune(stale);
+        subtree_root = tree.root();
+        if (!subtree_root) {
+            // Tree emptied: program a batch with no entries; the
+            // search trivially ends without a match.
+            buildForcedHashBatch();
+            return;
+        }
+        goto restart;
+    }
+
+    // Breadth-first collection of up to `capacity` live nodes.
+    std::vector<ContentTree::Node *> nodes;
+    nodes.push_back(subtree_root);
+    for (std::size_t i = 0; i < nodes.size() && nodes.size() < capacity;
+         ++i) {
+        for (ContentTree::Node *child :
+             {tree.left(nodes[i]), tree.right(nodes[i])}) {
+            if (!child || nodes.size() >= capacity)
+                continue;
+            if (!acc.resolve(tree.handle(child))) {
+                PageHandle stale = tree.handle(child);
+                tree.erase(child);
+                if (_phase == Phase::Stable)
+                    onStablePrune(stale);
+                goto restart;
+            }
+            nodes.push_back(child);
+        }
+    }
+
+    std::unordered_map<const ContentTree::Node *, unsigned> index;
+    for (unsigned i = 0; i < nodes.size(); ++i)
+        index[nodes[i]] = i;
+
+    _batch = PendingBatch{};
+    _batch.nodes = nodes;
+    _batch.startPtr = 0;
+    bool has_continuation = false;
+
+    for (unsigned i = 0; i < nodes.size(); ++i) {
+        FrameId ppn;
+        PageHandle handle = tree.handle(nodes[i]);
+        if (isGuestHandle(handle)) {
+            PageKey key = handleGuest(handle);
+            ppn = _hyper.frameOf(key.vm, key.gpn);
+        } else {
+            ppn = handleFrame(handle);
+        }
+        pf_assert(ppn != invalidFrame, "live node resolves to no frame");
+
+        auto encode = [&](ContentTree::Node *child,
+                          bool more) -> ScanIndex {
+            if (!child)
+                return makeAbsentToken(i, more);
+            auto it = index.find(child);
+            if (it != index.end())
+                return static_cast<ScanIndex>(it->second);
+            has_continuation = true;
+            return makeContinueToken(i, more);
+        };
+
+        ScanIndex less = encode(tree.left(nodes[i]), false);
+        ScanIndex more = encode(tree.right(nodes[i]), true);
+        _batch.entries.push_back(PendingBatch::Entry{ppn, less, more});
+    }
+
+    // When the whole remaining subtree fits, no further refill can
+    // follow: set Last Refill so the hash key completes (Section 3.3.1).
+    _batch.lastRefill = !has_continuation;
+}
+
+void
+PageForgeDriver::buildForcedHashBatch()
+{
+    _batch = PendingBatch{};
+    _batch.lastRefill = true;
+    _batch.startPtr = scanIndexNone;
+}
+
+void
+PageForgeDriver::programBatch()
+{
+    unpinBatch();
+    PhysicalMemory &mem = _hyper.memory();
+
+    for (unsigned i = 0; i < _batch.entries.size(); ++i) {
+        const auto &entry = _batch.entries[i];
+        _api.insertPpn(i, entry.ppn, entry.less, entry.more);
+        mem.addRef(entry.ppn);
+        _pinnedFrames.push_back(entry.ppn);
+    }
+    if (_firstBatch) {
+        _api.insertPfe(_candidateFrame, _batch.lastRefill,
+                       _batch.startPtr);
+        _firstBatch = false;
+    } else {
+        _api.updatePfe(_batch.lastRefill, _batch.startPtr);
+    }
+    ++_refills;
+}
+
+// ---------------------------------------------------------------------
+// State machine
+// ---------------------------------------------------------------------
+
+PageForgeDriver::Action
+PageForgeDriver::setupCandidate()
+{
+    _phase = Phase::Stable;
+    _firstBatch = true;
+    _stableInsertValid = false;
+    pinCandidate();
+    return beginPhase();
+}
+
+PageForgeDriver::Action
+PageForgeDriver::beginPhase()
+{
+    if (_phase == Phase::Stable) {
+        ++_mergeStats.stableSearches;
+        ContentTree::Node *root = _stable.root();
+        if (!root) {
+            // Empty stable tree: no match possible; the insertion
+            // point for a later stable insert is the root. Run a
+            // hash-completion-only batch so the ECC key still comes
+            // from the hardware.
+            _stableInsertParent = nullptr;
+            _stableInsertLeft = false;
+            _stableInsertValid = true;
+            buildForcedHashBatch();
+            return Action::RunBatch;
+        }
+        buildBatch(root);
+        return Action::RunBatch;
+    }
+
+    ++_mergeStats.unstableSearches;
+    ContentTree::Node *root = _unstable.root();
+    if (!root) {
+        // First unstable page this pass: becomes the tree root.
+        _unstable.insertChild(nullptr, false, guestHandle(_candidate));
+        chargeDriver(_config.treeUpdateCycles);
+        return Action::CandidateDone;
+    }
+    buildBatch(root);
+    return Action::RunBatch;
+}
+
+PageForgeDriver::Action
+PageForgeDriver::onBatchComplete(const PfeInfo &info)
+{
+    pf_assert(info.scanned, "batch completion without Scanned set");
+    ContentTree &tree = *currentTree();
+
+    if (info.duplicate) {
+        pf_assert(info.ptr < _batch.nodes.size(),
+                  "Duplicate with Ptr outside the batch");
+        ContentTree::Node *node = _batch.nodes[info.ptr];
+        return _phase == Phase::Stable ? handleStableMatch(node)
+                                       : handleUnstableMatch(node);
+    }
+
+    if (isContinueToken(info.ptr)) {
+        // Descend into a subtree that did not fit in the batch.
+        unsigned entry = tokenEntry(info.ptr);
+        pf_assert(entry < _batch.nodes.size(), "bad continuation token");
+        ContentTree::Node *node = _batch.nodes[entry];
+        ContentTree::Node *child = tokenMoreSide(info.ptr)
+            ? tree.right(node)
+            : tree.left(node);
+        pf_assert(child, "continuation into absent child");
+        buildBatch(child);
+        return Action::RunBatch;
+    }
+
+    return _phase == Phase::Stable ? stableSearchEnded(info)
+                                   : unstableSearchEnded(info);
+}
+
+PageForgeDriver::Action
+PageForgeDriver::handleStableMatch(ContentTree::Node *node)
+{
+    FrameId target = handleFrame(_stable.handle(node));
+    if (_hyper.tryMergeIntoFrame(_candidate, target)) {
+        ++_mergeStats.stableMerges;
+        chargeDriver(_config.mergeCycles);
+    } else {
+        // The candidate changed under the scan; drop it for this pass.
+        ++_mergeStats.pagesDropped;
+    }
+    return Action::CandidateDone;
+}
+
+PageForgeDriver::Action
+PageForgeDriver::stableSearchEnded(const PfeInfo &info)
+{
+    if (isAbsentToken(info.ptr)) {
+        unsigned entry = tokenEntry(info.ptr);
+        pf_assert(entry < _batch.nodes.size(), "bad absent token");
+        _stableInsertParent = _batch.nodes[entry];
+        _stableInsertLeft = !tokenMoreSide(info.ptr);
+        _stableInsertValid = true;
+    }
+
+    if (!info.hashReady) {
+        // Section 3.3.1: the OS forces hash completion by reloading
+        // with Last Refill set.
+        buildForcedHashBatch();
+        return Action::RunBatch;
+    }
+
+    // Hash check against the previous pass (the PageForge analogue of
+    // Algorithm 1 lines 11-12), using the ECC key.
+    PhysicalMemory &mem = _hyper.memory();
+    FrameId current = _hyper.frameOf(_candidate.vm, _candidate.gpn);
+    if (current == invalidFrame) {
+        ++_mergeStats.pagesDropped;
+        return Action::CandidateDone;
+    }
+    PageState &page = _hyper.vm(_candidate.vm).page(_candidate.gpn);
+    HashCheckOutcome outcome = checkPageHashes(
+        mem.data(current), page, _config.eccOffsets, _hashStats);
+
+    // Cross-check the hardware-assembled key against the functional
+    // one; they differ only when the page was written mid-scan.
+    if (info.hash != outcome.eccKey)
+        ++_hwHashRaces;
+
+    if (outcome.firstScan || !outcome.unchangedByEcc) {
+        ++_mergeStats.pagesDropped;
+        return Action::CandidateDone;
+    }
+
+    _phase = Phase::Unstable;
+    return beginPhase();
+}
+
+PageForgeDriver::Action
+PageForgeDriver::handleUnstableMatch(ContentTree::Node *node)
+{
+    PhysicalMemory &mem = _hyper.memory();
+    PageKey other = handleGuest(_unstable.handle(node));
+    FrameId other_frame = _hyper.frameOf(other.vm, other.gpn);
+    FrameId cand_frame = _hyper.frameOf(_candidate.vm, _candidate.gpn);
+
+    if (other_frame == invalidFrame || cand_frame == invalidFrame ||
+        other_frame == cand_frame ||
+        !mem.framesEqual(cand_frame, other_frame)) {
+        ++_mergeStats.pagesDropped;
+        return Action::CandidateDone;
+    }
+
+    FrameId merged = _hyper.mergePair(_candidate, other);
+    chargeDriver(_config.mergeCycles + 2 * _config.cowProtectCycles +
+                 2 * _config.treeUpdateCycles);
+    ++_mergeStats.unstableMerges;
+
+    _unstable.erase(node);
+
+    // Insert the merged page into the stable tree at the position the
+    // hardware's stable search discovered for this very content.
+    ContentTree::Node *stable_node = nullptr;
+    if (_stableInsertValid) {
+        stable_node = _stable.insertChild(
+            _stableInsertParent, _stableInsertLeft, frameHandle(merged));
+    } else {
+        stable_node = _stable.insert(frameHandle(merged));
+    }
+    if (stable_node)
+        mem.addRef(merged); // the tree pins the frame
+
+    return Action::CandidateDone;
+}
+
+PageForgeDriver::Action
+PageForgeDriver::unstableSearchEnded(const PfeInfo &info)
+{
+    if (isAbsentToken(info.ptr)) {
+        unsigned entry = tokenEntry(info.ptr);
+        pf_assert(entry < _batch.nodes.size(), "bad absent token");
+        _unstable.insertChild(_batch.nodes[entry],
+                              !tokenMoreSide(info.ptr),
+                              guestHandle(_candidate));
+    } else {
+        // Degenerate: the subtree vanished mid-phase. Fall back to a
+        // software insert (rare; the compares are not charged).
+        _unstable.insert(guestHandle(_candidate));
+    }
+    chargeDriver(_config.treeUpdateCycles);
+    return Action::CandidateDone;
+}
+
+// ---------------------------------------------------------------------
+// Event-mode plumbing
+// ---------------------------------------------------------------------
+
+void
+PageForgeDriver::start()
+{
+    pf_assert(!_running, "driver started twice");
+    _running = true;
+    startPass();
+    scheduleInterval(curTick() + _config.sleepInterval);
+}
+
+void
+PageForgeDriver::scheduleInterval(Tick when)
+{
+    eventq().schedule(when, [this] { startInterval(); });
+}
+
+void
+PageForgeDriver::startInterval()
+{
+    if (!_running)
+        return;
+    _remaining = _config.pagesToScan;
+    advance();
+}
+
+Core &
+PageForgeDriver::nextCheckCore()
+{
+    Core &core = *_cores[_checkCore];
+    _checkCore = (_checkCore + 1) % _cores.size();
+    return core;
+}
+
+void
+PageForgeDriver::advance()
+{
+    unpinBatch();
+    unpinCandidate();
+
+    for (;;) {
+        if (!pickNextCandidate()) {
+            if (_running)
+                scheduleInterval(curTick() + _config.sleepInterval);
+            return;
+        }
+        Action action = setupCandidate();
+        if (action == Action::RunBatch) {
+            dispatchProgramTask();
+            return;
+        }
+        // CandidateDone straight from setup.
+        unpinBatch();
+        unpinCandidate();
+    }
+}
+
+void
+PageForgeDriver::chargeCore(Tick cycles)
+{
+    // Driver work runs in interrupt/timer context: the logic happens
+    // now, and the stolen cycles are billed to a rotating core as a
+    // short front-of-queue task (briefly delaying whatever runs
+    // there — the "modest hypervisor involvement" cost).
+    if (cycles == 0)
+        return;
+    nextCheckCore().submitFront(CoreTask{
+        [cycles](Tick) { return cycles; }, nullptr, Requester::Os});
+}
+
+void
+PageForgeDriver::dispatchProgramTask()
+{
+    Tick cost = _pendingDriverCycles + _config.batchBuildCycles +
+        (_batch.entries.size() + 1) * PageForgeApi::callCycles;
+    _pendingDriverCycles = 0;
+    chargeCore(cost);
+
+    programBatch();
+    scheduleCheck();
+}
+
+void
+PageForgeDriver::scheduleCheck()
+{
+    eventq().schedule(curTick() + _config.osCheckInterval, [this] {
+        Tick cost = _pendingDriverCycles + _config.checkOverheadCycles;
+        _pendingDriverCycles = 0;
+        chargeCore(cost);
+        onCheckTaskDone();
+    });
+}
+
+void
+PageForgeDriver::onCheckTaskDone()
+{
+    ++_osChecks;
+    PfeInfo info = _api.getPfeInfo();
+    if (!info.scanned || _api.module().busy()) {
+        scheduleCheck();
+        return;
+    }
+
+    Action action = onBatchComplete(info);
+    if (action == Action::RunBatch) {
+        dispatchProgramTask();
+        return;
+    }
+    advance();
+}
+
+// ---------------------------------------------------------------------
+// Synchronous mode
+// ---------------------------------------------------------------------
+
+std::uint64_t
+PageForgeDriver::runOnePassNow()
+{
+    pf_assert(!_api.module().busy(), "synchronous pass while hw is busy");
+    bool was_sync = _api.synchronous();
+    _api.setSynchronous(true);
+    _synchronous = true;
+
+    startPass();
+    _remaining = static_cast<unsigned>(_scanList.size());
+
+    std::uint64_t processed = 0;
+    while (pickNextCandidate()) {
+        Action action = setupCandidate();
+        while (action == Action::RunBatch) {
+            programBatch();
+            _api.module().processNow();
+            ++_osChecks;
+            action = onBatchComplete(_api.getPfeInfo());
+        }
+        unpinBatch();
+        unpinCandidate();
+        ++processed;
+    }
+
+    _synchronous = false;
+    _api.setSynchronous(was_sync);
+    return processed;
+}
+
+void
+PageForgeDriver::resetStats()
+{
+    _mergeStats.reset();
+    _hashStats.reset();
+    _refills.reset();
+    _osChecks.reset();
+    _hwHashRaces.reset();
+}
+
+} // namespace pageforge

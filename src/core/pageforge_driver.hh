@@ -1,0 +1,211 @@
+/**
+ * @file
+ * The OS-side driver implementing the KSM algorithm on PageForge
+ * (Section 3.4).
+ *
+ * The driver keeps the same stable/unstable red-black trees as ksmd,
+ * but performs every page comparison in hardware: it loads the Scan
+ * Table with the candidate and a breadth-first batch of tree nodes,
+ * encodes the tree topology in the Less/More indices, triggers the
+ * module, and polls get_PFE_info every osCheckInterval cycles
+ * (Table 5: 12,000). Continuation tokens left in Ptr tell it which
+ * subtree to load next; the ECC hash key generated in the background
+ * replaces the jhash check.
+ *
+ * CPU cost is limited to the API calls and tree bookkeeping, charged
+ * to a rotating core — the "modest hypervisor involvement" of the
+ * paper. No page data ever flows through a core or its caches.
+ */
+
+#ifndef PF_CORE_PAGEFORGE_DRIVER_HH
+#define PF_CORE_PAGEFORGE_DRIVER_HH
+
+#include <vector>
+
+#include "core/pageforge_api.hh"
+#include "cpu/core.hh"
+#include "hyper/hypervisor.hh"
+#include "ksm/accessors.hh"
+#include "ksm/content_tree.hh"
+#include "ksm/cost_model.hh"
+
+namespace pageforge
+{
+
+/** Tunables of the PageForge driver. */
+struct PageForgeDriverConfig
+{
+    Tick sleepInterval = msToTicks(5); //!< same pacing as KSM (Table 2)
+    unsigned pagesToScan = 400;
+    Tick osCheckInterval = 12000;      //!< Table 5: OS checking period
+
+    EccOffsets eccOffsets = EccOffsets::defaults();
+
+    // OS-work costs, charged to a core.
+    Tick mergeCycles = 2500;
+    Tick cowProtectCycles = 1200;
+    Tick treeUpdateCycles = 200;
+    Tick checkOverheadCycles = 80;
+    Tick batchBuildCycles = 120;
+};
+
+/** The driver. */
+class PageForgeDriver : public SimObject
+{
+  public:
+    PageForgeDriver(std::string name, EventQueue &eq, Hypervisor &hyper,
+                    PageForgeApi &api, std::vector<Core *> cores,
+                    const PageForgeDriverConfig &config);
+    ~PageForgeDriver() override;
+
+    /** Begin periodic scanning (event mode). */
+    void start();
+
+    /** Stop after the current candidate completes. */
+    void stop() { _running = false; }
+
+    bool running() const { return _running; }
+
+    /**
+     * Run one full scan pass synchronously at the current tick,
+     * without pacing or core occupancy (hardware traffic is still
+     * charged). For warm-up fast-forward and tests.
+     * @return number of candidates processed
+     */
+    std::uint64_t runOnePassNow();
+
+    const MergeStats &mergeStats() const { return _mergeStats; }
+    const HashKeyStats &hashStats() const { return _hashStats; }
+
+    /** Batches programmed into the hardware. */
+    std::uint64_t refills() const { return _refills.value(); }
+
+    /** get_PFE_info polls performed. */
+    std::uint64_t osChecks() const { return _osChecks.value(); }
+
+    /**
+     * Times the hardware hash key disagreed with the functional key
+     * (the candidate was written mid-scan).
+     */
+    std::uint64_t hwHashRaces() const { return _hwHashRaces.value(); }
+
+    ContentTree &stableTree() { return _stable; }
+    ContentTree &unstableTree() { return _unstable; }
+
+    const PageForgeDriverConfig &config() const { return _config; }
+
+    void resetStats();
+
+  private:
+    enum class Phase { Stable, Unstable };
+
+    /** What the state machine must do next. */
+    enum class Action { RunBatch, CandidateDone };
+
+    /** A batch prepared for the hardware. */
+    struct PendingBatch
+    {
+        struct Entry
+        {
+            FrameId ppn;
+            ScanIndex less;
+            ScanIndex more;
+        };
+
+        std::vector<Entry> entries;
+        std::vector<ContentTree::Node *> nodes;
+        bool lastRefill = false;
+        ScanIndex startPtr = scanIndexNone;
+    };
+
+    Hypervisor &_hyper;
+    PageForgeApi &_api;
+    std::vector<Core *> _cores;
+    PageForgeDriverConfig _config;
+
+    StableAccessor _stableAcc;
+    GuestAccessor _guestAcc;
+    ContentTree _stable;
+    ContentTree _unstable;
+
+    std::vector<PageKey> _scanList;
+    std::size_t _cursor = 0;
+    bool _running = false;
+    bool _synchronous = false;
+
+    // Per-interval budget.
+    unsigned _remaining = 0;
+
+    // Current candidate.
+    PageKey _candidate{};
+    FrameId _candidateFrame = invalidFrame;
+    bool _firstBatch = true;
+    Phase _phase = Phase::Stable;
+
+    // Saved stable-tree insertion point for the candidate.
+    ContentTree::Node *_stableInsertParent = nullptr;
+    bool _stableInsertLeft = false;
+    bool _stableInsertValid = false;
+
+    PendingBatch _batch;
+    std::vector<FrameId> _pinnedFrames;
+    Tick _pendingDriverCycles = 0;
+    unsigned _checkCore = 0;
+
+    MergeStats _mergeStats;
+    HashKeyStats _hashStats;
+    Counter _refills;
+    Counter _osChecks;
+    Counter _hwHashRaces;
+
+    // ---- pass / candidate selection ----
+    void startPass();
+    bool pickNextCandidate();
+
+    // ---- pure state-machine steps ----
+    Action setupCandidate();
+    Action beginPhase();
+    Action onBatchComplete(const PfeInfo &info);
+    Action stableSearchEnded(const PfeInfo &info);
+    Action handleStableMatch(ContentTree::Node *node);
+    Action handleUnstableMatch(ContentTree::Node *node);
+    Action unstableSearchEnded(const PfeInfo &info);
+
+    /** Build a BFS batch under @p subtree_root into _batch. */
+    void buildBatch(ContentTree::Node *subtree_root);
+
+    /** Build the zero-entry batch that forces hash completion. */
+    void buildForcedHashBatch();
+
+    /** Program _batch through the API (and pin the frames). */
+    void programBatch();
+
+    /** Release the batch pins. */
+    void unpinBatch();
+
+    void pinCandidate();
+    void unpinCandidate();
+
+    /** Resolve a tree node to its frame, pruning stale nodes. */
+    ContentTree *currentTree();
+    PageAccessor &currentAccessor();
+
+    // ---- event-mode plumbing ----
+    void scheduleInterval(Tick when);
+    void startInterval();
+    void advance();
+    void dispatchProgramTask();
+    void scheduleCheck();
+    void onCheckTaskDone();
+    Core &nextCheckCore();
+    void chargeDriver(Tick cycles) { _pendingDriverCycles += cycles; }
+
+    /** Bill accumulated driver cycles to a core (interrupt context). */
+    void chargeCore(Tick cycles);
+
+    void onStablePrune(PageHandle handle);
+};
+
+} // namespace pageforge
+
+#endif // PF_CORE_PAGEFORGE_DRIVER_HH

@@ -1,0 +1,199 @@
+#include "core/pageforge_module.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace pageforge
+{
+
+PageForgeModule::PageForgeModule(std::string name, EventQueue &eq,
+                                 MemController &mc, Hierarchy &hierarchy,
+                                 const PageForgeConfig &config)
+    : SimObject(std::move(name), eq), _mc(mc), _hierarchy(hierarchy),
+      _config(config), _table(config.scanTableEntries),
+      _hashAcc(config.eccOffsets), _stats(this->name())
+{
+    _stats.addCounter("comparisons", "page comparisons performed",
+                      _comparisons);
+    _stats.addCounter("lines_fetched", "line requests issued",
+                      _linesFetched);
+    _stats.addCounter("snoop_hits", "lines supplied by the caches",
+                      _snoopHits);
+    _stats.addCounter("dram_reads", "lines read from DRAM", _dramReads);
+    _stats.addCounter("duplicates", "duplicate pages found", _duplicates);
+    _stats.addCounter("batches", "scan table batches processed",
+                      _batches);
+    _stats.addStat("avg_batch_cycles", "mean table processing time",
+                   [this] { return _processCycles.mean(); });
+}
+
+void
+PageForgeModule::beginCandidate()
+{
+    _hashAcc.reset();
+}
+
+void
+PageForgeModule::setEccOffsets(const EccOffsets &offsets)
+{
+    _config.eccOffsets = offsets;
+    _hashAcc = EccHashAccumulator(offsets);
+}
+
+Tick
+PageForgeModule::fetchLine(FrameId frame, std::uint32_t line_idx,
+                           Tick now, bool snatch_ecc)
+{
+    ++_linesFetched;
+    Addr addr = lineAddr(frame, line_idx);
+
+    // Issue to the on-chip network first (Section 3.2.2).
+    SnoopResult snoop = _hierarchy.snoopForMc(addr, now);
+    Tick done;
+    LineEccCode ecc;
+    if (snoop.hit) {
+        ++_snoopHits;
+        // The response passes through the memory controller, whose
+        // ECC circuitry generates the line's code (Section 3.3.2).
+        ecc = _mc.encodeLine(addr);
+        done = snoop.done;
+    } else {
+        McReadResult rr =
+            _mc.readLine(addr, snoop.done, Requester::PageForge);
+        ++_dramReads;
+        ecc = rr.ecc;
+        done = rr.done;
+    }
+
+    if (snatch_ecc)
+        _hashAcc.offer(line_idx, ecc);
+    return done;
+}
+
+Tick
+PageForgeModule::process(Tick start, BatchResult &result)
+{
+    const PfeEntry &pfe = _table.pfe();
+    pf_assert(pfe.valid, "processing with no candidate loaded");
+
+    PhysicalMemory &mem = _mc.memory();
+    Tick now = start + _config.triggerCycles;
+    ScanIndex cur = pfe.ptr;
+    result.ptr = cur;
+    ++_batches;
+
+    unsigned steps = 0;
+    while (_table.isValidTarget(cur)) {
+        // Defensive step counter: a well-formed batch never compares
+        // more entries than the table holds (Less/More form a DAG).
+        // Malformed software-provided indices must not hang the FSM.
+        if (++steps > _table.numOtherPages()) {
+            warn("scan table walk exceeded %u steps; stopping",
+                 _table.numOtherPages());
+            break;
+        }
+        const OtherPageEntry &entry = _table.other(cur);
+        ++_comparisons;
+
+        // Lockstep line-by-line comparison: both lines are requested
+        // together; the comparator consumes them when both arrived.
+        int sign = 0;
+        for (std::uint32_t line = 0; line < linesPerPage; ++line) {
+            Tick cand_done = fetchLine(pfe.ppn, line, now, true);
+            Tick other_done = fetchLine(entry.ppn, line, now, false);
+            now = std::max(cand_done, other_done) +
+                _config.compareLineCycles;
+
+            const std::uint8_t *a = mem.lineData(pfe.ppn, line);
+            const std::uint8_t *b = mem.lineData(entry.ppn, line);
+            int cmp = std::memcmp(a, b, lineSize);
+            if (cmp != 0) {
+                sign = cmp;
+                break;
+            }
+        }
+        now += _config.fsmStepCycles;
+
+        if (sign == 0) {
+            result.duplicate = true;
+            result.ptr = cur;
+            ++_duplicates;
+            break;
+        }
+        cur = sign < 0 ? entry.less : entry.more;
+        result.ptr = cur;
+    }
+
+    result.scanned = true;
+
+    // Complete the hash key if this was the last refill or a
+    // duplicate ended the search (Section 3.3.1).
+    if ((pfe.lastRefill || result.duplicate) && !_hashAcc.ready()) {
+        for (std::uint32_t line : _hashAcc.missingLines()) {
+            if (line == ~std::uint32_t(0))
+                break;
+            now = fetchLine(pfe.ppn, line, now, true);
+        }
+    }
+    if (_hashAcc.ready()) {
+        result.hashReady = true;
+        result.hash = _hashAcc.key();
+    }
+
+    Tick duration = now - start;
+    _processCycles.sample(static_cast<double>(duration));
+    return now;
+}
+
+void
+PageForgeModule::applyResult(const BatchResult &result)
+{
+    PfeEntry &pfe = _table.pfe();
+    pfe.scanned = result.scanned;
+    pfe.duplicate = result.duplicate;
+    pfe.ptr = result.ptr;
+    if (result.hashReady) {
+        pfe.hashReady = true;
+        pfe.hash = result.hash;
+    }
+}
+
+void
+PageForgeModule::trigger()
+{
+    pf_assert(!_busy, "trigger while busy");
+    _busy = true;
+
+    BatchResult result;
+    Tick done = process(curTick(), result);
+    eventq().schedule(done, [this, result] {
+        applyResult(result);
+        _busy = false;
+    });
+}
+
+Tick
+PageForgeModule::processNow()
+{
+    pf_assert(!_busy, "processNow while busy");
+    BatchResult result;
+    Tick done = process(curTick(), result);
+    applyResult(result);
+    return done - curTick();
+}
+
+void
+PageForgeModule::resetStats()
+{
+    _processCycles.reset();
+    _comparisons.reset();
+    _linesFetched.reset();
+    _snoopHits.reset();
+    _dramReads.reset();
+    _duplicates.reset();
+    _batches.reset();
+}
+
+} // namespace pageforge

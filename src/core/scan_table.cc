@@ -1,0 +1,77 @@
+#include "core/scan_table.hh"
+
+#include "sim/logging.hh"
+
+namespace pageforge
+{
+
+ScanTable::ScanTable(unsigned num_other_pages) : _others(num_other_pages)
+{
+    pf_assert(num_other_pages > 0 && num_other_pages < scanAbsentBase,
+              "unsupported scan table size %u", num_other_pages);
+}
+
+void
+ScanTable::setOther(unsigned index, FrameId ppn, ScanIndex less,
+                    ScanIndex more)
+{
+    pf_assert(index < _others.size(), "insert_PPN index %u out of range",
+              index);
+    _others[index] = OtherPageEntry{true, ppn, less, more};
+}
+
+void
+ScanTable::setPfe(FrameId ppn, bool last_refill, ScanIndex ptr)
+{
+    _pfe = PfeEntry{};
+    _pfe.valid = true;
+    _pfe.ppn = ppn;
+    _pfe.lastRefill = last_refill;
+    _pfe.ptr = ptr;
+}
+
+void
+ScanTable::updatePfe(bool last_refill, ScanIndex ptr)
+{
+    pf_assert(_pfe.valid, "update_PFE with no candidate loaded");
+    _pfe.lastRefill = last_refill;
+    _pfe.ptr = ptr;
+    _pfe.scanned = false;
+    _pfe.duplicate = false;
+}
+
+void
+ScanTable::clearOthers()
+{
+    for (auto &entry : _others)
+        entry = OtherPageEntry{};
+}
+
+const OtherPageEntry &
+ScanTable::other(unsigned index) const
+{
+    pf_assert(index < _others.size(), "entry index %u out of range",
+              index);
+    return _others[index];
+}
+
+bool
+ScanTable::isValidTarget(ScanIndex ptr) const
+{
+    return ptr < _others.size() && _others[ptr].valid;
+}
+
+std::size_t
+ScanTable::sizeBytes() const
+{
+    // Other Pages entry: V (1) + PPN (36) + Less (16) + More (16)
+    // bits; PFE: V/S/D/H/L (5) + PPN (36) + hash (32) + Ptr (16)
+    // bits. The 16-bit index fields carry the OS continuation tokens.
+    // For the default 31 entries this is ~270 B, matching Table 2's
+    // "Scan table size ~= 260B".
+    std::size_t other_bits = _others.size() * (1 + 36 + 16 + 16);
+    std::size_t pfe_bits = 5 + 36 + 32 + 16;
+    return (other_bits + pfe_bits + 7) / 8;
+}
+
+} // namespace pageforge

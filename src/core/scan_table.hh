@@ -1,0 +1,157 @@
+/**
+ * @file
+ * The PageForge Scan Table (Figure 2(b), Section 3.2).
+ *
+ * One PFE entry describes the candidate page: Valid, Scanned,
+ * Duplicate, Hash-Key-Ready and Last-Refill bits, the candidate's PPN,
+ * the (in-progress) ECC hash key, and Ptr — the index of the Other
+ * Pages entry currently being compared. Each of the Other Pages
+ * entries holds a page's PPN plus Less/More successor indices: after
+ * a comparison, the hardware follows Less when the candidate compared
+ * smaller and More when it compared larger.
+ *
+ * Index encoding: the hardware treats any index that does not name a
+ * valid Other Pages entry as "invalid" — it stops and sets Scanned.
+ * The OS exploits this by storing *encoded continuation tokens* in
+ * Less/More slots that leave the current batch: when the hardware
+ * stops, Ptr holds the token, telling the OS exactly which subtree to
+ * load on the next refill (or that the search ended at a leaf).
+ */
+
+#ifndef PF_CORE_SCAN_TABLE_HH
+#define PF_CORE_SCAN_TABLE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace pageforge
+{
+
+/** Index/token type for Ptr/Less/More fields. */
+using ScanIndex = std::uint16_t;
+
+/** An index slot with no successor at all. */
+constexpr ScanIndex scanIndexNone = 0xffff;
+
+/**
+ * Token ranges for OS-encoded continuations. Both are >= any real
+ * entry index, so the hardware treats them as "invalid" uniformly.
+ */
+constexpr ScanIndex scanAbsentBase = 0x1000;   //!< leaf: no child there
+constexpr ScanIndex scanContinueBase = 0x4000; //!< child outside batch
+
+/** Make a leaf token: search fell off entry @p idx on @p more side. */
+constexpr ScanIndex
+makeAbsentToken(unsigned idx, bool more)
+{
+    return static_cast<ScanIndex>(scanAbsentBase + idx * 2 + (more ? 1 : 0));
+}
+
+/** Make a refill token: descend from entry @p idx on @p more side. */
+constexpr ScanIndex
+makeContinueToken(unsigned idx, bool more)
+{
+    return static_cast<ScanIndex>(scanContinueBase + idx * 2 +
+                                  (more ? 1 : 0));
+}
+
+/** Token classification and decoding. */
+constexpr bool
+isAbsentToken(ScanIndex token)
+{
+    return token >= scanAbsentBase && token < scanContinueBase;
+}
+
+constexpr bool
+isContinueToken(ScanIndex token)
+{
+    return token >= scanContinueBase && token != scanIndexNone;
+}
+
+constexpr unsigned
+tokenEntry(ScanIndex token)
+{
+    unsigned base = isContinueToken(token) ? scanContinueBase
+                                           : scanAbsentBase;
+    return (token - base) / 2;
+}
+
+constexpr bool
+tokenMoreSide(ScanIndex token)
+{
+    unsigned base = isContinueToken(token) ? scanContinueBase
+                                           : scanAbsentBase;
+    return ((token - base) & 1) != 0;
+}
+
+/** One Other Pages entry. */
+struct OtherPageEntry
+{
+    bool valid = false;
+    FrameId ppn = invalidFrame;
+    ScanIndex less = scanIndexNone;
+    ScanIndex more = scanIndexNone;
+};
+
+/** The PFE (PageForge Entry). */
+struct PfeEntry
+{
+    bool valid = false;
+    bool scanned = false;    //!< S: batch fully processed
+    bool duplicate = false;  //!< D: a matching page was found
+    bool hashReady = false;  //!< H: ECC hash key complete
+    bool lastRefill = false; //!< L: force hash completion this batch
+    FrameId ppn = invalidFrame;
+    std::uint32_t hash = 0;
+    ScanIndex ptr = scanIndexNone;
+};
+
+/** The Scan Table storage. */
+class ScanTable
+{
+  public:
+    /** @param num_other_pages Table 2 default: 31 entries + 1 PFE */
+    explicit ScanTable(unsigned num_other_pages = 31);
+
+    unsigned numOtherPages() const {
+        return static_cast<unsigned>(_others.size());
+    }
+
+    /** Fill an Other Pages entry (the insert_PPN operation). */
+    void setOther(unsigned index, FrameId ppn, ScanIndex less,
+                  ScanIndex more);
+
+    /** Fill the PFE entry (insert_PFE). */
+    void setPfe(FrameId ppn, bool last_refill, ScanIndex ptr);
+
+    /** Update L and Ptr only (update_PFE). */
+    void updatePfe(bool last_refill, ScanIndex ptr);
+
+    /** Invalidate every Other Pages entry (between refills). */
+    void clearOthers();
+
+    PfeEntry &pfe() { return _pfe; }
+    const PfeEntry &pfe() const { return _pfe; }
+
+    const OtherPageEntry &other(unsigned index) const;
+
+    /** Does this Ptr value name a valid Other Pages entry? */
+    bool isValidTarget(ScanIndex ptr) const;
+
+    /**
+     * Hardware storage footprint in bytes: per Other Pages entry a
+     * valid bit, a 36-bit PPN and two index fields; plus the PFE.
+     * Matches Table 2's ~260 B for 31 entries.
+     */
+    std::size_t sizeBytes() const;
+
+  private:
+    PfeEntry _pfe;
+    std::vector<OtherPageEntry> _others;
+};
+
+} // namespace pageforge
+
+#endif // PF_CORE_SCAN_TABLE_HH

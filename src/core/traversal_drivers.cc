@@ -1,0 +1,165 @@
+#include "core/traversal_drivers.hh"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "sim/logging.hh"
+
+namespace pageforge
+{
+
+ArbitrarySetScanner::ArbitrarySetScanner(PageForgeApi &api) : _api(api)
+{
+}
+
+ArbitrarySetScanner::Result
+ArbitrarySetScanner::findDuplicate(FrameId candidate,
+                                   const std::vector<FrameId> &set)
+{
+    Result result;
+    bool was_sync = _api.synchronous();
+    _api.setSynchronous(true);
+
+    unsigned capacity = _api.tableEntries();
+    bool first = true;
+
+    for (std::size_t base = 0; base < set.size(); base += capacity) {
+        std::size_t count = std::min<std::size_t>(capacity,
+                                                  set.size() - base);
+
+        for (unsigned i = 0; i < count; ++i) {
+            // Less == More == next entry: every page is compared
+            // regardless of ordering (Section 4.2).
+            ScanIndex next = (i + 1 < count)
+                ? static_cast<ScanIndex>(i + 1)
+                : scanIndexNone;
+            _api.insertPpn(i, set[base + i], next, next);
+        }
+
+        bool last_batch = base + count >= set.size();
+        if (first) {
+            _api.insertPfe(candidate, last_batch, 0);
+            first = false;
+        } else {
+            _api.updatePfe(last_batch, 0);
+        }
+
+        result.hwCycles += _api.module().processNow();
+        ++result.batches;
+
+        PfeInfo info = _api.getPfeInfo();
+        if (info.hashReady) {
+            result.hashReady = true;
+            result.eccHash = info.hash;
+        }
+        if (info.duplicate) {
+            result.matchIndex = static_cast<int>(base + info.ptr);
+            break;
+        }
+    }
+
+    _api.setSynchronous(was_sync);
+    return result;
+}
+
+GraphScanner::GraphScanner(PageForgeApi &api) : _api(api)
+{
+}
+
+GraphScanner::Result
+GraphScanner::traverse(FrameId candidate,
+                       const std::vector<GraphNode> &graph, int start)
+{
+    Result result;
+    if (start < 0 || static_cast<std::size_t>(start) >= graph.size())
+        return result;
+
+    bool was_sync = _api.synchronous();
+    _api.setSynchronous(true);
+
+    unsigned capacity = _api.tableEntries();
+    std::unordered_set<int> visited;
+    bool first = true;
+    int current = start;
+
+    while (current >= 0) {
+        // Collect up to `capacity` reachable, unvisited nodes by BFS
+        // over the graph edges, then encode the edges as indices or
+        // continuation tokens.
+        std::vector<int> batch_nodes;
+        std::unordered_map<int, unsigned> index;
+        batch_nodes.push_back(current);
+        index[current] = 0;
+        for (std::size_t i = 0;
+             i < batch_nodes.size() && batch_nodes.size() < capacity;
+             ++i) {
+            const GraphNode &node = graph[batch_nodes[i]];
+            for (int succ : {node.less, node.more}) {
+                if (succ < 0 || index.count(succ) ||
+                    visited.count(succ) ||
+                    batch_nodes.size() >= capacity) {
+                    continue;
+                }
+                index[succ] = static_cast<unsigned>(batch_nodes.size());
+                batch_nodes.push_back(succ);
+            }
+        }
+
+        for (unsigned i = 0; i < batch_nodes.size(); ++i) {
+            const GraphNode &node = graph[batch_nodes[i]];
+            auto encode = [&](int succ, bool more) -> ScanIndex {
+                if (succ < 0 || visited.count(succ))
+                    return makeAbsentToken(i, more);
+                auto it = index.find(succ);
+                if (it != index.end()) {
+                    // Only forward (BFS-order) edges are encoded as
+                    // in-batch indices: a back edge would let the
+                    // hardware walk a cycle inside the table forever.
+                    if (it->second > i)
+                        return static_cast<ScanIndex>(it->second);
+                    return makeAbsentToken(i, more);
+                }
+                return makeContinueToken(i, more);
+            };
+            _api.insertPpn(i, node.ppn, encode(node.less, false),
+                           encode(node.more, true));
+        }
+
+        if (first) {
+            _api.insertPfe(candidate, true, 0);
+            first = false;
+        } else {
+            _api.updatePfe(true, 0);
+        }
+
+        _api.module().processNow();
+        ++result.batches;
+
+        PfeInfo info = _api.getPfeInfo();
+        if (info.duplicate) {
+            result.matchNode = batch_nodes[info.ptr];
+            break;
+        }
+
+        // All nodes the hardware compared along the walk count as
+        // visited; conservatively mark the whole batch.
+        for (int node : batch_nodes)
+            visited.insert(node);
+
+        if (isContinueToken(info.ptr)) {
+            const GraphNode &from = graph[batch_nodes[tokenEntry(info.ptr)]];
+            current = tokenMoreSide(info.ptr) ? from.more : from.less;
+            if (current >= 0 && visited.count(current))
+                current = -1;
+        } else {
+            current = -1;
+        }
+    }
+
+    result.comparisons = static_cast<unsigned>(
+        _api.module().comparisons());
+    _api.setSynchronous(was_sync);
+    return result;
+}
+
+} // namespace pageforge

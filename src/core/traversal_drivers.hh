@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Alternative software policies on top of the PageForge hardware
+ * (Section 4.2, "Generality of PageForge").
+ *
+ * The Scan Table's Less/More indices encode an arbitrary successor
+ * relation, not just binary-tree search: by pointing both fields at
+ * the same next entry the OS makes the hardware compare the candidate
+ * against an arbitrary set; by encoding graph edges it traverses a
+ * page graph. These drivers demonstrate both, batching through the
+ * table with continuation tokens when the structure does not fit.
+ */
+
+#ifndef PF_CORE_TRAVERSAL_DRIVERS_HH
+#define PF_CORE_TRAVERSAL_DRIVERS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/pageforge_api.hh"
+
+namespace pageforge
+{
+
+/**
+ * Compares a candidate page against an arbitrary list of pages by
+ * chaining every Scan Table entry to the next (Less == More).
+ */
+class ArbitrarySetScanner
+{
+  public:
+    explicit ArbitrarySetScanner(PageForgeApi &api);
+
+    /** Outcome of a set scan. */
+    struct Result
+    {
+        int matchIndex = -1;     //!< index into the set, -1 if none
+        unsigned batches = 0;    //!< table refills used
+        Tick hwCycles = 0;       //!< hardware processing time
+        std::uint32_t eccHash = 0; //!< candidate's ECC hash key
+        bool hashReady = false;
+    };
+
+    /**
+     * Find the first page in @p set identical to @p candidate.
+     * Runs the hardware synchronously.
+     */
+    Result findDuplicate(FrameId candidate,
+                         const std::vector<FrameId> &set);
+
+  private:
+    PageForgeApi &_api;
+};
+
+/**
+ * Traverses a directed graph of pages: each node names a page and two
+ * successor edges, taken according to the hardware's compare outcome
+ * (smaller -> less edge, larger -> more edge). Cycles are cut by
+ * visiting each node at most once.
+ */
+class GraphScanner
+{
+  public:
+    /** One graph node. Successor -1 means no edge. */
+    struct GraphNode
+    {
+        FrameId ppn = invalidFrame;
+        int less = -1;
+        int more = -1;
+    };
+
+    explicit GraphScanner(PageForgeApi &api);
+
+    /** Outcome of a graph traversal. */
+    struct Result
+    {
+        int matchNode = -1;   //!< graph node index, -1 if none
+        unsigned comparisons = 0;
+        unsigned batches = 0;
+    };
+
+    /**
+     * Traverse @p graph from node @p start comparing against
+     * @p candidate. Runs the hardware synchronously.
+     */
+    Result traverse(FrameId candidate,
+                    const std::vector<GraphNode> &graph, int start);
+
+  private:
+    PageForgeApi &_api;
+};
+
+} // namespace pageforge
+
+#endif // PF_CORE_TRAVERSAL_DRIVERS_HH

@@ -1,0 +1,97 @@
+#include "cpu/core.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace pageforge
+{
+
+Core::Core(std::string name, EventQueue &eq, CoreId id)
+    : SimObject(std::move(name), eq), _id(id), _stats(this->name())
+{
+    _stats.addCounter("tasks_run", "work items executed", _tasksRun);
+    _stats.addStat("busy_app", "ticks running application work",
+                   [this] { return static_cast<double>(
+                       busyTicks(Requester::App)); });
+    _stats.addStat("busy_ksm", "ticks running the ksmd thread",
+                   [this] { return static_cast<double>(
+                       busyTicks(Requester::Ksm)); });
+    _stats.addStat("busy_os", "ticks running OS/hypervisor work",
+                   [this] { return static_cast<double>(
+                       busyTicks(Requester::Os)); });
+}
+
+void
+Core::submit(CoreTask task)
+{
+    _queue.push_back(std::move(task));
+    kick();
+}
+
+void
+Core::submitFront(CoreTask task)
+{
+    _queue.push_front(std::move(task));
+    kick();
+}
+
+void
+Core::kick()
+{
+    if (_running || _queue.empty())
+        return;
+
+    CoreTask task = std::move(_queue.front());
+    _queue.pop_front();
+    _running = true;
+    _runningCls = task.cls;
+
+    Tick start = curTick();
+    Tick duration = task.run(start);
+    Tick done = start + duration;
+    _busyUntil = done;
+    _busyBy[static_cast<unsigned>(task.cls)] += duration;
+    ++_tasksRun;
+
+    eventq().schedule(done,
+                      [this, onDone = std::move(task.onDone), done] {
+        _running = false;
+        if (onDone)
+            onDone(done);
+        kick();
+    });
+}
+
+Tick
+Core::busyTicks(Requester cls) const
+{
+    return _busyBy[static_cast<unsigned>(cls)];
+}
+
+Tick
+Core::totalBusyTicks() const
+{
+    Tick total = 0;
+    for (auto ticks : _busyBy)
+        total += ticks;
+    return total;
+}
+
+void
+Core::resetStats()
+{
+    for (auto &ticks : _busyBy)
+        ticks = 0;
+    _tasksRun.reset();
+
+    // Busy time is credited when a task starts; prorate a task that
+    // straddles the reset so the new window sees its remaining part
+    // (long ksmd chunks would otherwise vanish from measurements).
+    if (_running && _busyUntil > curTick()) {
+        _busyBy[static_cast<unsigned>(_runningCls)] +=
+            _busyUntil - curTick();
+    }
+}
+
+} // namespace pageforge

@@ -1,0 +1,72 @@
+#include "ecc/ecc_hash_key.hh"
+
+#include "sim/logging.hh"
+
+namespace pageforge
+{
+
+std::uint32_t
+eccPageHash(const std::uint8_t *page, const EccOffsets &offsets)
+{
+    std::uint32_t key = 0;
+    for (unsigned s = 0; s < eccHashSections; ++s) {
+        std::uint32_t line_idx = offsets.lineIndex(s);
+        LineEccCode code = LineEcc::encode(page + line_idx * lineSize);
+        key |= static_cast<std::uint32_t>(LineEcc::minikey(code))
+            << (8 * s);
+    }
+    return key;
+}
+
+EccHashAccumulator::EccHashAccumulator(const EccOffsets &offsets)
+    : _offsets(offsets)
+{
+}
+
+bool
+EccHashAccumulator::offer(std::uint32_t line_idx, const LineEccCode &code)
+{
+    for (unsigned s = 0; s < eccHashSections; ++s) {
+        if (!_have[s] && _offsets.lineIndex(s) == line_idx) {
+            _minikeys[s] = LineEcc::minikey(code);
+            _have[s] = true;
+            ++_captured;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::array<std::uint32_t, eccHashSections>
+EccHashAccumulator::missingLines() const
+{
+    std::array<std::uint32_t, eccHashSections> lines{};
+    unsigned n = 0;
+    for (unsigned s = 0; s < eccHashSections; ++s) {
+        if (!_have[s])
+            lines[n++] = _offsets.lineIndex(s);
+    }
+    for (; n < eccHashSections; ++n)
+        lines[n] = ~std::uint32_t(0);
+    return lines;
+}
+
+std::uint32_t
+EccHashAccumulator::key() const
+{
+    pf_assert(ready(), "reading an incomplete ECC hash key");
+    std::uint32_t key = 0;
+    for (unsigned s = 0; s < eccHashSections; ++s)
+        key |= static_cast<std::uint32_t>(_minikeys[s]) << (8 * s);
+    return key;
+}
+
+void
+EccHashAccumulator::reset()
+{
+    _minikeys.fill(0);
+    _have.fill(false);
+    _captured = 0;
+}
+
+} // namespace pageforge

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * ECC-based page hash keys (Section 3.3).
+ *
+ * PageForge logically divides a 4 KB page into four 1 KB sections and
+ * picks one fixed line offset inside each section. The least
+ * significant 8 bits of each chosen line's ECC code form a "minikey";
+ * the four minikeys concatenate into a 32-bit page hash key. Only
+ * 4 x 64 B = 256 B of the page are touched, a 75% reduction versus
+ * KSM's 1 KB jhash input.
+ */
+
+#ifndef PF_ECC_ECC_HASH_KEY_HH
+#define PF_ECC_ECC_HASH_KEY_HH
+
+#include <array>
+#include <cstdint>
+
+#include "ecc/line_ecc.hh"
+#include "sim/types.hh"
+
+namespace pageforge
+{
+
+/** Number of 1 KB sections (and minikeys) per page. */
+constexpr unsigned eccHashSections = 4;
+
+/** Lines per 1 KB section. */
+constexpr unsigned linesPerSection =
+    (pageSize / eccHashSections) / lineSize;
+
+/**
+ * The per-section line offsets used for key generation; configurable
+ * through the update_ECC_offset API call (Table 1).
+ */
+struct EccOffsets
+{
+    /**
+     * offset[s] is a line index in [0, linesPerSection) within section
+     * s; the sampled global line index is s * linesPerSection +
+     * offset[s].
+     */
+    std::array<std::uint8_t, eccHashSections> offset;
+
+    /** Default offsets: spread mid-section to dodge common headers. */
+    static EccOffsets defaults() { return EccOffsets{{3, 7, 11, 13}}; }
+
+    /** Global line index within the page sampled for section @p s. */
+    std::uint32_t
+    lineIndex(unsigned s) const
+    {
+        return s * linesPerSection + offset[s];
+    }
+};
+
+/**
+ * Compute the 32-bit ECC hash key of a full page in one shot.
+ * This is the functional model; the PageForge hardware assembles the
+ * same key incrementally as lines stream through the memory
+ * controller (see EccHashAccumulator).
+ */
+std::uint32_t eccPageHash(const std::uint8_t *page,
+                          const EccOffsets &offsets);
+
+/**
+ * Incremental key assembly, mirroring the hardware: the control logic
+ * snatches ECC codes of lines passing through the memory controller
+ * and fills in the minikeys one at a time. ready() becomes true once
+ * all four sections have been observed.
+ */
+class EccHashAccumulator
+{
+  public:
+    explicit EccHashAccumulator(const EccOffsets &offsets);
+
+    /**
+     * Offer a line's ECC code to the accumulator.
+     * @param line_idx the line index within the candidate page
+     * @param code the line's 8-byte ECC code
+     * @return true if the line was one of the sampled offsets
+     */
+    bool offer(std::uint32_t line_idx, const LineEccCode &code);
+
+    /** True once all minikeys have been captured. */
+    bool ready() const { return _captured == eccHashSections; }
+
+    /** Number of minikeys still missing. */
+    unsigned missing() const { return eccHashSections - _captured; }
+
+    /**
+     * The list of line indices still needed; used when the Last Refill
+     * flag forces the hardware to fetch the remaining lines explicitly.
+     */
+    std::array<std::uint32_t, eccHashSections> missingLines() const;
+
+    /**
+     * The assembled 32-bit key.
+     * @pre ready()
+     */
+    std::uint32_t key() const;
+
+    /** Restart accumulation for a new candidate page. */
+    void reset();
+
+  private:
+    EccOffsets _offsets;
+    std::array<std::uint8_t, eccHashSections> _minikeys{};
+    std::array<bool, eccHashSections> _have{};
+    unsigned _captured = 0;
+};
+
+} // namespace pageforge
+
+#endif // PF_ECC_ECC_HASH_KEY_HH

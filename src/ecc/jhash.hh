@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Linux kernel jhash2 (Bob Jenkins' lookup3 hash over u32 words).
+ *
+ * KSM generates its per-page hash key with jhash2 over the first 1 KB
+ * of the page (Section 2.1 and include/linux/jhash.h). This is a
+ * faithful re-implementation so the software baseline hashes exactly
+ * like the kernel's.
+ */
+
+#ifndef PF_ECC_JHASH_HH
+#define PF_ECC_JHASH_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace pageforge
+{
+
+/** Initial value used by the kernel (JHASH_INITVAL = golden ratio). */
+constexpr std::uint32_t jhashInitval = 0xdeadbeef;
+
+/**
+ * Hash an array of 32-bit words, as the Linux kernel's jhash2().
+ *
+ * @param key pointer to @p length 32-bit words
+ * @param length number of 32-bit words
+ * @param initval previous hash or an arbitrary value
+ */
+std::uint32_t jhash2(const std::uint32_t *key, std::uint32_t length,
+                     std::uint32_t initval);
+
+/**
+ * KSM-style page hash: jhash2 over the first @p bytes of the page
+ * (KSM uses 1 KB, i.e. 256 words).
+ *
+ * @param page pointer to page data (at least @p bytes long)
+ * @param bytes number of bytes to hash; must be a multiple of 4
+ */
+std::uint32_t ksmPageHash(const std::uint8_t *page,
+                          std::uint32_t bytes = 1024);
+
+/**
+ * FNV-1a 64-bit hash over a byte buffer. Used as a "strong" whole-page
+ * fingerprint for duplication analysis and for ground-truth change
+ * detection when characterizing hash-key false positives (Figure 8).
+ * Not part of the modelled hardware.
+ */
+std::uint64_t fnv1a64(const std::uint8_t *data, std::size_t len);
+
+} // namespace pageforge
+
+#endif // PF_ECC_JHASH_HH

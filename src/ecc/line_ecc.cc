@@ -1,0 +1,60 @@
+#include "ecc/line_ecc.hh"
+
+#include <cstring>
+
+namespace pageforge
+{
+
+namespace
+{
+
+std::uint64_t
+loadWord(const std::uint8_t *p)
+{
+    std::uint64_t w;
+    std::memcpy(&w, p, sizeof(w));
+    return w;
+}
+
+void
+storeWord(std::uint8_t *p, std::uint64_t w)
+{
+    std::memcpy(p, &w, sizeof(w));
+}
+
+} // namespace
+
+LineEccCode
+LineEcc::encode(const std::uint8_t *line)
+{
+    LineEccCode code;
+    for (unsigned i = 0; i < 8; ++i)
+        code[i] = Hamming7264::encode(loadWord(line + i * 8));
+    return code;
+}
+
+LineEcc::LineDecodeResult
+LineEcc::decode(std::uint8_t *line, const LineEccCode &code)
+{
+    LineDecodeResult result{true, 0};
+    for (unsigned i = 0; i < 8; ++i) {
+        auto dec = Hamming7264::decode(loadWord(line + i * 8), code[i]);
+        switch (dec.status) {
+          case EccDecodeResult::Status::Ok:
+            break;
+          case EccDecodeResult::Status::CorrectedData:
+            storeWord(line + i * 8, dec.data);
+            ++result.corrected;
+            break;
+          case EccDecodeResult::Status::CorrectedCheck:
+            ++result.corrected;
+            break;
+          case EccDecodeResult::Status::DoubleError:
+            result.ok = false;
+            break;
+        }
+    }
+    return result;
+}
+
+} // namespace pageforge

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * ECC over 64-byte memory lines.
+ *
+ * DRAM is protected with 8 bits of ECC per 64 data bits (Section 2.2),
+ * so a 64 B line carries 8 bytes of ECC: one (72,64) check byte per
+ * 64-bit word, stored in the spare chip of the DIMM. The memory
+ * controller's ECC engine encodes lines on writes and decodes them on
+ * reads; PageForge snatches these per-line codes to build hash keys.
+ */
+
+#ifndef PF_ECC_LINE_ECC_HH
+#define PF_ECC_LINE_ECC_HH
+
+#include <array>
+#include <cstdint>
+
+#include "ecc/hamming7264.hh"
+#include "sim/types.hh"
+
+namespace pageforge
+{
+
+/** The 8-byte ECC code of a 64-byte line. */
+using LineEccCode = std::array<std::uint8_t, 8>;
+
+/** Encoder/decoder for whole 64 B lines. */
+class LineEcc
+{
+  public:
+    /**
+     * Encode a 64 B line (8 little-endian 64-bit words) into its
+     * 8-byte ECC code.
+     * @param line pointer to lineSize bytes
+     */
+    static LineEccCode encode(const std::uint8_t *line);
+
+    /** Outcome of decoding a whole line. */
+    struct LineDecodeResult
+    {
+        bool ok;            //!< no uncorrectable error
+        unsigned corrected; //!< number of single-bit corrections applied
+    };
+
+    /**
+     * Check (and correct in place) a 64 B line against its ECC code.
+     * @param line pointer to lineSize mutable bytes
+     */
+    static LineDecodeResult decode(std::uint8_t *line,
+                                   const LineEccCode &code);
+
+    /**
+     * The "minikey" of a line: the least-significant 8 bits of its ECC
+     * code (Section 3.3.1). Four minikeys concatenate into the 32-bit
+     * ECC-based page hash key.
+     */
+    static std::uint8_t minikey(const LineEccCode &code) { return code[0]; }
+};
+
+} // namespace pageforge
+
+#endif // PF_ECC_LINE_ECC_HH

@@ -1,0 +1,239 @@
+#include "hyper/hypervisor.hh"
+
+#include <cstring>
+#include <unordered_map>
+
+#include "ecc/jhash.hh"
+#include "sim/logging.hh"
+
+namespace pageforge
+{
+
+Hypervisor::Hypervisor(std::string name, EventQueue &eq,
+                       PhysicalMemory &mem)
+    : SimObject(std::move(name), eq), _mem(mem), _stats(this->name())
+{
+    _stats.addCounter("soft_faults", "zero-fill first-touch faults",
+                      _softFaults);
+    _stats.addCounter("cow_breaks", "copy-on-write un-merges", _cowBreaks);
+    _stats.addCounter("merges", "page merge operations", _merges);
+}
+
+VmId
+Hypervisor::createVm(std::string vm_name, std::size_t num_pages)
+{
+    VmId id = static_cast<VmId>(_vms.size());
+    _vms.push_back(std::make_unique<VirtualMachine>(
+        id, std::move(vm_name), num_pages));
+    return id;
+}
+
+VirtualMachine &
+Hypervisor::vm(VmId id)
+{
+    pf_assert(id < _vms.size(), "unknown VM %u", id);
+    return *_vms[id];
+}
+
+const VirtualMachine &
+Hypervisor::vm(VmId id) const
+{
+    pf_assert(id < _vms.size(), "unknown VM %u", id);
+    return *_vms[id];
+}
+
+PageState &
+Hypervisor::stateOf(VmId vm_id, GuestPageNum gpn)
+{
+    return vm(vm_id).page(gpn);
+}
+
+FrameId
+Hypervisor::touchPage(VmId vm_id, GuestPageNum gpn)
+{
+    PageState &page = stateOf(vm_id, gpn);
+    if (!page.mapped) {
+        // The hypervisor zeroes pages before handing them to a guest
+        // to avoid information leakage (Section 6.1).
+        page.frame = _mem.allocFrame(true);
+        page.mapped = true;
+        page.cow = false;
+        ++_softFaults;
+    }
+    return page.frame;
+}
+
+WriteOutcome
+Hypervisor::writeToPage(VmId vm_id, GuestPageNum gpn,
+                        std::uint32_t offset, const void *src,
+                        std::uint32_t len)
+{
+    pf_assert(offset + len <= pageSize, "write past page end");
+
+    WriteOutcome outcome;
+    PageState &page = stateOf(vm_id, gpn);
+
+    if (!page.mapped) {
+        touchPage(vm_id, gpn);
+        outcome.faulted = true;
+    }
+
+    if (page.cow || _mem.refCount(page.frame) > 1) {
+        // Copy-on-write: give the writer a private copy and leave the
+        // shared frame (and the other mappings) intact.
+        FrameId copy = _mem.allocFrame(false);
+        std::memcpy(_mem.data(copy), _mem.data(page.frame), pageSize);
+        _mem.decRef(page.frame);
+        page.frame = copy;
+        page.cow = false;
+        outcome.cowBroken = true;
+        ++_cowBreaks;
+    }
+
+    std::memcpy(_mem.data(page.frame) + offset, src, len);
+    outcome.frame = page.frame;
+    return outcome;
+}
+
+const std::uint8_t *
+Hypervisor::pageData(VmId vm_id, GuestPageNum gpn)
+{
+    FrameId frame = touchPage(vm_id, gpn);
+    return _mem.data(frame);
+}
+
+FrameId
+Hypervisor::frameOf(VmId vm_id, GuestPageNum gpn) const
+{
+    const PageState &page = vm(vm_id).page(gpn);
+    return page.mapped ? page.frame : invalidFrame;
+}
+
+void
+Hypervisor::markMergeable(VmId vm_id, GuestPageNum first,
+                          std::size_t count)
+{
+    VirtualMachine &machine = vm(vm_id);
+    pf_assert(first + count <= machine.numPages(),
+              "madvise range past end of VM");
+    for (std::size_t i = 0; i < count; ++i)
+        machine.page(first + static_cast<GuestPageNum>(i)).mergeable =
+            true;
+}
+
+std::vector<PageKey>
+Hypervisor::mergeablePages() const
+{
+    std::vector<PageKey> keys;
+    for (const auto &machine : _vms) {
+        for (GuestPageNum gpn = 0; gpn < machine->numPages(); ++gpn) {
+            const PageState &page = machine->page(gpn);
+            if (page.mapped && page.mergeable)
+                keys.push_back(PageKey{machine->id(), gpn});
+        }
+    }
+    return keys;
+}
+
+bool
+Hypervisor::mergeIntoFrame(const PageKey &candidate, FrameId target)
+{
+    PageState &page = stateOf(candidate.vm, candidate.gpn);
+    pf_assert(page.mapped, "merging an unmapped page");
+    pf_assert(_mem.isAllocated(target), "merging into a free frame");
+
+    if (page.frame == target)
+        return false;
+
+    // Merging unequal pages would corrupt guest memory; the final
+    // compare under write protection (Section 3.5) guarantees this.
+    pf_assert(_mem.framesEqual(page.frame, target),
+              "merge of non-identical pages (vm %u gpn %u -> frame %u)",
+              candidate.vm, candidate.gpn, target);
+
+    _mem.setWriteProtected(target, true);
+    _mem.addRef(target);
+    _mem.decRef(page.frame);
+    page.frame = target;
+    page.cow = true;
+    ++_merges;
+    return true;
+}
+
+bool
+Hypervisor::tryMergeIntoFrame(const PageKey &candidate, FrameId target)
+{
+    const PageState &page = vm(candidate.vm).page(candidate.gpn);
+    if (!page.mapped || !_mem.isAllocated(target))
+        return false;
+    if (page.frame == target)
+        return false;
+    if (!_mem.framesEqual(page.frame, target))
+        return false;
+    return mergeIntoFrame(candidate, target);
+}
+
+FrameId
+Hypervisor::mergePair(const PageKey &candidate, const PageKey &keeper)
+{
+    PageState &keep = stateOf(keeper.vm, keeper.gpn);
+    pf_assert(keep.mapped, "merge keeper is unmapped");
+    _mem.setWriteProtected(keep.frame, true);
+    keep.cow = true;
+
+    bool merged = mergeIntoFrame(candidate, keep.frame);
+    pf_assert(merged || frameOf(candidate.vm, candidate.gpn) == keep.frame,
+              "mergePair failed to share the keeper frame");
+    return keep.frame;
+}
+
+DupAnalysis
+Hypervisor::analyzeDuplication() const
+{
+    DupAnalysis analysis;
+
+    // Group every mapped guest page by content fingerprint. A 64-bit
+    // FNV over the full page makes accidental collisions negligible
+    // for analysis purposes (merging itself always compares bytes).
+    struct Group
+    {
+        std::uint64_t pages = 0;
+        bool zero = false;
+    };
+    std::unordered_map<std::uint64_t, Group> groups;
+    std::unordered_map<FrameId, bool> frames;
+
+    for (const auto &machine : _vms) {
+        for (GuestPageNum gpn = 0; gpn < machine->numPages(); ++gpn) {
+            const PageState &page = machine->page(gpn);
+            if (!page.mapped)
+                continue;
+            ++analysis.mappedPages;
+            frames[page.frame] = true;
+
+            const std::uint8_t *data = _mem.data(page.frame);
+            std::uint64_t fp = fnv1a64(data, pageSize);
+            Group &group = groups[fp];
+            if (group.pages == 0)
+                group.zero = _mem.isZeroFrame(page.frame);
+            ++group.pages;
+        }
+    }
+
+    analysis.framesUsed = frames.size();
+    for (const auto &[fp, group] : groups) {
+        if (group.zero) {
+            analysis.mergeableZero += group.pages;
+            ++analysis.framesIfFullyMerged;
+        } else if (group.pages > 1) {
+            analysis.mergeableNonZero += group.pages;
+            ++analysis.framesIfFullyMerged;
+        } else {
+            ++analysis.unmergeable;
+            ++analysis.framesIfFullyMerged;
+        }
+    }
+    return analysis;
+}
+
+} // namespace pageforge

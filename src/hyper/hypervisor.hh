@@ -1,0 +1,158 @@
+/**
+ * @file
+ * The hypervisor: guest memory management and merge/CoW mechanics.
+ *
+ * Implements the functional half of Figure 1: zero-filled allocation
+ * on first touch, guest-physical to host-physical remapping when pages
+ * merge, copy-on-write un-merging when a shared page is written, and
+ * the madvise(MADV_MERGEABLE) bookkeeping the merging daemons consume.
+ *
+ * Timing costs (fault overhead, copy traffic) are charged by the
+ * callers — the workload model and the merging daemons — using the
+ * outcome flags returned here.
+ */
+
+#ifndef PF_HYPER_HYPERVISOR_HH
+#define PF_HYPER_HYPERVISOR_HH
+
+#include <memory>
+#include <vector>
+
+#include "hyper/vm.hh"
+#include "mem/phys_memory.hh"
+#include "sim/sim_object.hh"
+
+namespace pageforge
+{
+
+/** Result of a guest write. */
+struct WriteOutcome
+{
+    FrameId frame = invalidFrame; //!< frame holding the page afterwards
+    bool faulted = false;         //!< first-touch zero-fill fault taken
+    bool cowBroken = false;       //!< a CoW copy was made (un-merge)
+};
+
+/** Breakdown of guest pages by mergeability (Figure 7). */
+struct DupAnalysis
+{
+    std::uint64_t mappedPages = 0;     //!< frames if nothing merged
+    std::uint64_t unmergeable = 0;     //!< unique non-zero pages
+    std::uint64_t mergeableZero = 0;   //!< all-zero pages
+    std::uint64_t mergeableNonZero = 0;//!< non-zero pages with a twin
+    std::uint64_t framesUsed = 0;      //!< distinct frames backing guests
+    std::uint64_t framesIfFullyMerged = 0; //!< lower bound on frames
+
+    /** Fraction of the unmerged footprint still allocated. */
+    double
+    footprintRatio() const
+    {
+        return mappedPages
+            ? static_cast<double>(framesUsed) /
+                static_cast<double>(mappedPages)
+            : 0.0;
+    }
+};
+
+/** The hypervisor. */
+class Hypervisor : public SimObject
+{
+  public:
+    Hypervisor(std::string name, EventQueue &eq, PhysicalMemory &mem);
+
+    /** Deploy a VM with @p num_pages of guest-physical memory. */
+    VmId createVm(std::string vm_name, std::size_t num_pages);
+
+    unsigned numVms() const { return static_cast<unsigned>(_vms.size()); }
+    VirtualMachine &vm(VmId id);
+    const VirtualMachine &vm(VmId id) const;
+
+    PhysicalMemory &memory() { return _mem; }
+
+    /**
+     * Ensure a guest page is backed by a frame, zero-filling on first
+     * touch (the soft page fault of Section 6.1).
+     * @return the backing frame
+     */
+    FrameId touchPage(VmId vm_id, GuestPageNum gpn);
+
+    /**
+     * Guest write of @p len bytes at @p offset within a page. Applies
+     * CoW: writing a shared or protected page allocates a private copy
+     * first, reverting the mapping as in Figure 1(a).
+     */
+    WriteOutcome writeToPage(VmId vm_id, GuestPageNum gpn,
+                             std::uint32_t offset, const void *src,
+                             std::uint32_t len);
+
+    /** Read-only view of a guest page's current data (touches it). */
+    const std::uint8_t *pageData(VmId vm_id, GuestPageNum gpn);
+
+    /** Current backing frame of a guest page (invalidFrame if none). */
+    FrameId frameOf(VmId vm_id, GuestPageNum gpn) const;
+
+    /** madvise(MADV_MERGEABLE) over a range of guest pages. */
+    void markMergeable(VmId vm_id, GuestPageNum first,
+                       std::size_t count);
+
+    /** All currently mergeable, mapped pages, in scan order. */
+    std::vector<PageKey> mergeablePages() const;
+
+    /**
+     * Merge a candidate guest page into an existing (write-protected)
+     * stable frame. The caller must have verified byte equality; this
+     * re-verifies and panics on mismatch, since merging unequal pages
+     * would corrupt guest memory.
+     *
+     * @return false when the candidate already maps that frame
+     */
+    bool mergeIntoFrame(const PageKey &candidate, FrameId target);
+
+    /**
+     * Race-safe variant for asynchronous drivers: re-verifies content
+     * equality (the paper's final comparison before merging) and
+     * declines instead of panicking when the pages diverged since the
+     * hardware comparison.
+     *
+     * @return true when the merge was performed
+     */
+    bool tryMergeIntoFrame(const PageKey &candidate, FrameId target);
+
+    /**
+     * Merge two unshared guest pages with equal contents: @p keeper 's
+     * frame becomes the shared, write-protected frame and @p candidate
+     * is remapped onto it.
+     *
+     * @return the shared frame
+     */
+    FrameId mergePair(const PageKey &candidate, const PageKey &keeper);
+
+    /** Total merge operations performed. */
+    std::uint64_t merges() const { return _merges.value(); }
+
+    /** Total CoW breaks (un-merges) performed. */
+    std::uint64_t cowBreaks() const { return _cowBreaks.value(); }
+
+    /** Total first-touch zero-fill faults. */
+    std::uint64_t softFaults() const { return _softFaults.value(); }
+
+    /** Classify every guest page for the Figure 7 breakdown. */
+    DupAnalysis analyzeDuplication() const;
+
+    StatGroup &stats() { return _stats; }
+
+  private:
+    PhysicalMemory &_mem;
+    std::vector<std::unique_ptr<VirtualMachine>> _vms;
+
+    Counter _softFaults;
+    Counter _cowBreaks;
+    Counter _merges;
+    StatGroup _stats;
+
+    PageState &stateOf(VmId vm_id, GuestPageNum gpn);
+};
+
+} // namespace pageforge
+
+#endif // PF_HYPER_HYPERVISOR_HH

@@ -1,0 +1,44 @@
+#include "hyper/vm.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace pageforge
+{
+
+VirtualMachine::VirtualMachine(VmId id, std::string name,
+                               std::size_t num_pages)
+    : _id(id), _name(std::move(name)), _pages(num_pages)
+{
+    pf_assert(num_pages > 0, "VM with no pages");
+}
+
+PageState &
+VirtualMachine::page(GuestPageNum gpn)
+{
+    pf_assert(gpn < _pages.size(), "gpn %u out of range in %s", gpn,
+              _name.c_str());
+    return _pages[gpn];
+}
+
+const PageState &
+VirtualMachine::page(GuestPageNum gpn) const
+{
+    pf_assert(gpn < _pages.size(), "gpn %u out of range in %s", gpn,
+              _name.c_str());
+    return _pages[gpn];
+}
+
+std::size_t
+VirtualMachine::mappedPages() const
+{
+    std::size_t n = 0;
+    for (const auto &page : _pages) {
+        if (page.mapped)
+            ++n;
+    }
+    return n;
+}
+
+} // namespace pageforge

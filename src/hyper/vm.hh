@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Virtual machine state: the guest-physical address space.
+ *
+ * Each VM owns a table of guest pages mapping guest page numbers to
+ * host frames, plus the per-page bookkeeping that same-page merging
+ * needs (mergeable advice, CoW protection, and the hash keys from the
+ * previous scan pass).
+ */
+
+#ifndef PF_HYPER_VM_HH
+#define PF_HYPER_VM_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace pageforge
+{
+
+/** Identity of one guest page: the unit same-page merging works on. */
+struct PageKey
+{
+    VmId vm = 0;
+    GuestPageNum gpn = 0;
+
+    bool
+    operator==(const PageKey &other) const
+    {
+        return vm == other.vm && gpn == other.gpn;
+    }
+};
+
+/** Per-guest-page state. */
+struct PageState
+{
+    FrameId frame = invalidFrame;
+    bool mapped = false;
+
+    /** Advised MADV_MERGEABLE: eligible for same-page merging. */
+    bool mergeable = false;
+
+    /** Write-protected because the frame is (or was) shared. */
+    bool cow = false;
+
+    // --- merging-daemon bookkeeping (valid for mergeable pages) ---
+
+    /** jhash-based key from the previous scan pass (KSM). */
+    std::uint32_t lastJhash = 0;
+    bool jhashValid = false;
+
+    /** ECC-based key from the previous scan pass (PageForge). */
+    std::uint32_t lastEccKey = 0;
+    bool eccKeyValid = false;
+
+    /** Whole-page fingerprint for ground-truth change detection. */
+    std::uint64_t lastStrongHash = 0;
+    bool strongHashValid = false;
+};
+
+/** One virtual machine's guest-physical address space. */
+class VirtualMachine
+{
+  public:
+    VirtualMachine(VmId id, std::string name, std::size_t num_pages);
+
+    VmId id() const { return _id; }
+    const std::string &name() const { return _name; }
+    std::size_t numPages() const { return _pages.size(); }
+
+    PageState &page(GuestPageNum gpn);
+    const PageState &page(GuestPageNum gpn) const;
+
+    /** Count of currently mapped guest pages. */
+    std::size_t mappedPages() const;
+
+  private:
+    VmId _id;
+    std::string _name;
+    std::vector<PageState> _pages;
+};
+
+} // namespace pageforge
+
+/** Hash support so PageKey can key unordered containers. */
+template <>
+struct std::hash<pageforge::PageKey>
+{
+    std::size_t
+    operator()(const pageforge::PageKey &key) const noexcept
+    {
+        return (static_cast<std::size_t>(key.vm) << 32) ^ key.gpn;
+    }
+};
+
+#endif // PF_HYPER_VM_HH

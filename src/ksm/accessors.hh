@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Page handles and accessors shared by the merging daemons.
+ *
+ * The stable tree references merged frames directly (they are
+ * write-protected, so their contents — the tree key — cannot change).
+ * The unstable tree references guest pages, whose contents may change
+ * under it; that inconsistency is tolerated by design and the tree is
+ * rebuilt every pass (Section 2.1).
+ */
+
+#ifndef PF_KSM_ACCESSORS_HH
+#define PF_KSM_ACCESSORS_HH
+
+#include "hyper/hypervisor.hh"
+#include "ksm/content_tree.hh"
+
+namespace pageforge
+{
+
+/** Tag bit distinguishing guest-page handles from frame handles. */
+constexpr PageHandle guestHandleTag = PageHandle(1) << 63;
+
+/** Encode a frame as a tree handle (stable tree). */
+constexpr PageHandle
+frameHandle(FrameId frame)
+{
+    return frame;
+}
+
+/** Encode a guest page as a tree handle (unstable tree). */
+constexpr PageHandle
+guestHandle(const PageKey &key)
+{
+    return guestHandleTag | (static_cast<PageHandle>(key.vm) << 32) |
+        key.gpn;
+}
+
+/** Decode a frame handle. */
+constexpr FrameId
+handleFrame(PageHandle handle)
+{
+    return static_cast<FrameId>(handle & 0xffffffffULL);
+}
+
+/** Decode a guest-page handle. */
+constexpr PageKey
+handleGuest(PageHandle handle)
+{
+    return PageKey{static_cast<VmId>((handle >> 32) & 0x7fffffffULL),
+                   static_cast<GuestPageNum>(handle & 0xffffffffULL)};
+}
+
+/** True when the handle refers to a guest page. */
+constexpr bool
+isGuestHandle(PageHandle handle)
+{
+    return (handle & guestHandleTag) != 0;
+}
+
+/**
+ * Accessor for stable-tree nodes (frame handles).
+ *
+ * The tree holds a reference on every frame it contains, so the frame
+ * stays allocated while the node exists. A frame whose only remaining
+ * reference is the tree's (refcount 1) backs no guest page any more:
+ * the node is stale and gets pruned.
+ */
+class StableAccessor : public PageAccessor
+{
+  public:
+    explicit StableAccessor(PhysicalMemory &mem) : _mem(mem) {}
+
+    const std::uint8_t *
+    resolve(PageHandle handle) override
+    {
+        FrameId frame = handleFrame(handle);
+        if (!_mem.isAllocated(frame) || _mem.refCount(frame) <= 1)
+            return nullptr;
+        return _mem.data(frame);
+    }
+
+  private:
+    PhysicalMemory &_mem;
+};
+
+/** Accessor for unstable-tree nodes (guest-page handles). */
+class GuestAccessor : public PageAccessor
+{
+  public:
+    explicit GuestAccessor(Hypervisor &hyper) : _hyper(hyper) {}
+
+    const std::uint8_t *
+    resolve(PageHandle handle) override
+    {
+        PageKey key = handleGuest(handle);
+        if (key.vm >= _hyper.numVms())
+            return nullptr;
+        const VirtualMachine &machine = _hyper.vm(key.vm);
+        if (key.gpn >= machine.numPages())
+            return nullptr;
+        const PageState &page = machine.page(key.gpn);
+        if (!page.mapped || !page.mergeable)
+            return nullptr;
+        return _hyper.memory().data(page.frame);
+    }
+
+  private:
+    Hypervisor &_hyper;
+};
+
+} // namespace pageforge
+
+#endif // PF_KSM_ACCESSORS_HH

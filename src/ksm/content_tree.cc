@@ -1,0 +1,472 @@
+#include "ksm/content_tree.hh"
+
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace pageforge
+{
+
+PageCompare
+comparePages(const std::uint8_t *a, const std::uint8_t *b)
+{
+    // Word-wise scan to the first difference, then byte-wise inside
+    // the word, mirroring an optimized memcmp.
+    const std::uint32_t words = pageSize / 8;
+    for (std::uint32_t w = 0; w < words; ++w) {
+        std::uint64_t wa, wb;
+        std::memcpy(&wa, a + w * 8, 8);
+        std::memcpy(&wb, b + w * 8, 8);
+        if (wa == wb)
+            continue;
+        for (std::uint32_t i = 0; i < 8; ++i) {
+            std::uint32_t off = w * 8 + i;
+            if (a[off] != b[off]) {
+                return {a[off] < b[off] ? -1 : 1, off + 1};
+            }
+        }
+    }
+    return {0, pageSize};
+}
+
+struct ContentTree::Node
+{
+    PageHandle handle = 0;
+    Node *parent = nullptr;
+    Node *left = nullptr;
+    Node *right = nullptr;
+    bool red = false;
+};
+
+ContentTree::ContentTree(PageAccessor &accessor) : _accessor(accessor)
+{
+    _nil = new Node();
+    _nil->red = false;
+    _nil->parent = _nil->left = _nil->right = _nil;
+    _root = _nil;
+}
+
+ContentTree::~ContentTree()
+{
+    clear();
+    delete _nil;
+}
+
+ContentTree::Node *
+ContentTree::makeNode(PageHandle handle)
+{
+    Node *node = new Node();
+    node->handle = handle;
+    node->parent = node->left = node->right = _nil;
+    node->red = true;
+    return node;
+}
+
+void
+ContentTree::destroySubtree(Node *node, const PruneHook &prune)
+{
+    if (node == _nil)
+        return;
+    destroySubtree(node->left, prune);
+    destroySubtree(node->right, prune);
+    if (prune)
+        prune(node->handle);
+    delete node;
+}
+
+void
+ContentTree::clear(const PruneHook &prune)
+{
+    destroySubtree(_root, prune);
+    _root = _nil;
+    _size = 0;
+}
+
+ContentTree::SearchResult
+ContentTree::search(const std::uint8_t *probe, const CompareHook &hook,
+                    const PruneHook &prune)
+{
+    SearchResult result;
+
+restart:
+    Node *cur = _root;
+    Node *parent = _nil;
+    bool went_left = false;
+
+    while (cur != _nil) {
+        const std::uint8_t *node_data = _accessor.resolve(cur->handle);
+        if (!node_data) {
+            // Stale node: drop it like KSM drops pages that vanished,
+            // then restart from the root (the tree just changed shape).
+            PageHandle stale = cur->handle;
+            erase(cur);
+            if (prune)
+                prune(stale);
+            result.match = nullptr;
+            goto restart;
+        }
+
+        PageCompare cmp = comparePages(probe, node_data);
+        ++result.nodesVisited;
+        result.bytesCompared += cmp.bytesExamined;
+        if (hook)
+            hook(cur->handle, cmp);
+
+        if (cmp.sign == 0) {
+            result.match = cur;
+            result.parent = cur->parent == _nil ? nullptr : cur->parent;
+            return result;
+        }
+        parent = cur;
+        went_left = cmp.sign < 0;
+        cur = went_left ? cur->left : cur->right;
+    }
+
+    result.match = nullptr;
+    result.parent = parent == _nil ? nullptr : parent;
+    result.insertLeft = went_left;
+    return result;
+}
+
+ContentTree::Node *
+ContentTree::insertAt(const SearchResult &result, PageHandle handle)
+{
+    pf_assert(!result.match, "insertAt with a match present");
+    Node *node = makeNode(handle);
+
+    if (!result.parent) {
+        pf_assert(_root == _nil, "insertAt at root of non-empty tree");
+        _root = node;
+    } else {
+        Node *parent = result.parent;
+        Node *&slot = result.insertLeft ? parent->left : parent->right;
+        pf_assert(slot == _nil, "insertAt into occupied slot");
+        slot = node;
+        node->parent = parent;
+    }
+
+    ++_size;
+    insertFixup(node);
+    return node;
+}
+
+ContentTree::Node *
+ContentTree::insertChild(Node *parent, bool left, PageHandle handle)
+{
+    SearchResult result;
+    result.parent = parent;
+    result.insertLeft = left;
+    return insertAt(result, handle);
+}
+
+ContentTree::Node *
+ContentTree::insert(PageHandle handle, const CompareHook &hook)
+{
+    const std::uint8_t *data = _accessor.resolve(handle);
+    pf_assert(data, "inserting an unresolvable handle");
+
+    SearchResult result = search(data, hook);
+    if (result.match)
+        return nullptr;
+    return insertAt(result, handle);
+}
+
+void
+ContentTree::rotateLeft(Node *x)
+{
+    Node *y = x->right;
+    x->right = y->left;
+    if (y->left != _nil)
+        y->left->parent = x;
+    y->parent = x->parent;
+    if (x->parent == _nil)
+        _root = y;
+    else if (x == x->parent->left)
+        x->parent->left = y;
+    else
+        x->parent->right = y;
+    y->left = x;
+    x->parent = y;
+}
+
+void
+ContentTree::rotateRight(Node *x)
+{
+    Node *y = x->left;
+    x->left = y->right;
+    if (y->right != _nil)
+        y->right->parent = x;
+    y->parent = x->parent;
+    if (x->parent == _nil)
+        _root = y;
+    else if (x == x->parent->right)
+        x->parent->right = y;
+    else
+        x->parent->left = y;
+    y->right = x;
+    x->parent = y;
+}
+
+void
+ContentTree::insertFixup(Node *z)
+{
+    while (z->parent->red) {
+        Node *gp = z->parent->parent;
+        if (z->parent == gp->left) {
+            Node *uncle = gp->right;
+            if (uncle->red) {
+                z->parent->red = false;
+                uncle->red = false;
+                gp->red = true;
+                z = gp;
+            } else {
+                if (z == z->parent->right) {
+                    z = z->parent;
+                    rotateLeft(z);
+                }
+                z->parent->red = false;
+                gp->red = true;
+                rotateRight(gp);
+            }
+        } else {
+            Node *uncle = gp->left;
+            if (uncle->red) {
+                z->parent->red = false;
+                uncle->red = false;
+                gp->red = true;
+                z = gp;
+            } else {
+                if (z == z->parent->left) {
+                    z = z->parent;
+                    rotateRight(z);
+                }
+                z->parent->red = false;
+                gp->red = true;
+                rotateLeft(gp);
+            }
+        }
+    }
+    _root->red = false;
+}
+
+void
+ContentTree::transplant(Node *u, Node *v)
+{
+    if (u->parent == _nil)
+        _root = v;
+    else if (u == u->parent->left)
+        u->parent->left = v;
+    else
+        u->parent->right = v;
+    v->parent = u->parent;
+}
+
+ContentTree::Node *
+ContentTree::minimum(Node *node) const
+{
+    while (node->left != _nil)
+        node = node->left;
+    return node;
+}
+
+void
+ContentTree::erase(Node *z)
+{
+    pf_assert(z && z != _nil, "erasing a null node");
+
+    Node *y = z;
+    Node *x;
+    bool y_was_red = y->red;
+
+    if (z->left == _nil) {
+        x = z->right;
+        transplant(z, z->right);
+    } else if (z->right == _nil) {
+        x = z->left;
+        transplant(z, z->left);
+    } else {
+        y = minimum(z->right);
+        y_was_red = y->red;
+        x = y->right;
+        if (y->parent == z) {
+            x->parent = y;
+        } else {
+            transplant(y, y->right);
+            y->right = z->right;
+            y->right->parent = y;
+        }
+        transplant(z, y);
+        y->left = z->left;
+        y->left->parent = y;
+        y->red = z->red;
+    }
+
+    if (!y_was_red)
+        eraseFixup(x);
+
+    delete z;
+    --_size;
+    _nil->parent = _nil; // eraseFixup may have dirtied the sentinel
+}
+
+void
+ContentTree::eraseFixup(Node *x)
+{
+    while (x != _root && !x->red) {
+        if (x == x->parent->left) {
+            Node *w = x->parent->right;
+            if (w->red) {
+                w->red = false;
+                x->parent->red = true;
+                rotateLeft(x->parent);
+                w = x->parent->right;
+            }
+            if (!w->left->red && !w->right->red) {
+                w->red = true;
+                x = x->parent;
+            } else {
+                if (!w->right->red) {
+                    w->left->red = false;
+                    w->red = true;
+                    rotateRight(w);
+                    w = x->parent->right;
+                }
+                w->red = x->parent->red;
+                x->parent->red = false;
+                w->right->red = false;
+                rotateLeft(x->parent);
+                x = _root;
+            }
+        } else {
+            Node *w = x->parent->left;
+            if (w->red) {
+                w->red = false;
+                x->parent->red = true;
+                rotateRight(x->parent);
+                w = x->parent->left;
+            }
+            if (!w->right->red && !w->left->red) {
+                w->red = true;
+                x = x->parent;
+            } else {
+                if (!w->left->red) {
+                    w->right->red = false;
+                    w->red = true;
+                    rotateLeft(w);
+                    w = x->parent->left;
+                }
+                w->red = x->parent->red;
+                x->parent->red = false;
+                w->left->red = false;
+                rotateRight(x->parent);
+                x = _root;
+            }
+        }
+    }
+    x->red = false;
+}
+
+ContentTree::Node *
+ContentTree::root() const
+{
+    return _root == _nil ? nullptr : _root;
+}
+
+ContentTree::Node *
+ContentTree::left(const Node *node) const
+{
+    return node->left == _nil ? nullptr : node->left;
+}
+
+ContentTree::Node *
+ContentTree::right(const Node *node) const
+{
+    return node->right == _nil ? nullptr : node->right;
+}
+
+PageHandle
+ContentTree::handle(const Node *node) const
+{
+    return node->handle;
+}
+
+void
+ContentTree::forEach(const std::function<void(PageHandle)> &fn) const
+{
+    // Iterative in-order walk.
+    const Node *cur = _root;
+    const Node *prev = _nil;
+    std::function<void(const Node *)> walk = [&](const Node *node) {
+        if (node == _nil)
+            return;
+        walk(node->left);
+        fn(node->handle);
+        walk(node->right);
+    };
+    (void)prev;
+    walk(cur);
+}
+
+bool
+ContentTree::validateNode(Node *node, int &black_height)
+{
+    if (node == _nil) {
+        black_height = 1;
+        return true;
+    }
+
+    if (node->red && (node->left->red || node->right->red)) {
+        warn("red-red violation");
+        return false;
+    }
+
+    int lh = 0;
+    int rh = 0;
+    if (!validateNode(node->left, lh) || !validateNode(node->right, rh))
+        return false;
+    if (lh != rh) {
+        warn("black height mismatch: %d vs %d", lh, rh);
+        return false;
+    }
+
+    // Content ordering: left subtree < node < right subtree, checked
+    // locally against the children (sufficient given BST recursion on
+    // live contents is not stable for the unstable tree; this is a
+    // structural smoke check used by tests on static contents).
+    const std::uint8_t *node_data = _accessor.resolve(node->handle);
+    if (node_data) {
+        if (node->left != _nil) {
+            const std::uint8_t *ld = _accessor.resolve(node->left->handle);
+            if (ld && comparePages(ld, node_data).sign >= 0) {
+                warn("ordering violation (left)");
+                return false;
+            }
+        }
+        if (node->right != _nil) {
+            const std::uint8_t *rd =
+                _accessor.resolve(node->right->handle);
+            if (rd && comparePages(rd, node_data).sign <= 0) {
+                warn("ordering violation (right)");
+                return false;
+            }
+        }
+    }
+
+    black_height = (node->red ? 0 : 1) + lh;
+    return true;
+}
+
+bool
+ContentTree::validate()
+{
+    if (_root == _nil)
+        return true;
+    if (_root->red) {
+        warn("red root");
+        return false;
+    }
+    int height = 0;
+    return validateNode(_root, height);
+}
+
+} // namespace pageforge

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Content-indexed red-black tree, the data structure behind KSM's
+ * stable and unstable trees (Section 2.1).
+ *
+ * Nodes reference pages by opaque 64-bit handles; a PageAccessor
+ * resolves a handle to the page's current bytes (or nullptr when the
+ * page is gone, in which case the stale node is pruned during search,
+ * as KSM does). Ordering is the lexicographic byte order of page
+ * contents: searches walk left when the probe page compares smaller
+ * than the node's page and right when larger.
+ *
+ * Comparison work is reported through a hook so the caller (ksmd) can
+ * charge core cycles and drive the touched lines through the cache
+ * hierarchy — the source of KSM's pollution overhead.
+ */
+
+#ifndef PF_KSM_CONTENT_TREE_HH
+#define PF_KSM_CONTENT_TREE_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/types.hh"
+
+namespace pageforge
+{
+
+/** Opaque page handle stored in tree nodes. */
+using PageHandle = std::uint64_t;
+
+/** Resolves handles to current page bytes. */
+class PageAccessor
+{
+  public:
+    virtual ~PageAccessor() = default;
+
+    /**
+     * @return the page's pageSize bytes, or nullptr when the handle no
+     *         longer refers to a usable page (stale node)
+     */
+    virtual const std::uint8_t *resolve(PageHandle handle) = 0;
+};
+
+/**
+ * Byte comparison outcome between two pages.
+ * bytesExamined counts bytes up to and including the first difference
+ * (pageSize when equal); it drives the cost model.
+ */
+struct PageCompare
+{
+    int sign = 0; //!< <0, 0, >0 like memcmp
+    std::uint32_t bytesExamined = 0;
+
+    /** Lines touched in each page to reach the divergence point. */
+    std::uint32_t
+    linesExamined() const
+    {
+        return (bytesExamined + lineSize - 1) / lineSize;
+    }
+};
+
+/** Compare two full pages, reporting the divergence point. */
+PageCompare comparePages(const std::uint8_t *a, const std::uint8_t *b);
+
+/** The red-black tree. */
+class ContentTree
+{
+  public:
+    struct Node;
+
+    /**
+     * Called once per node comparison during search/insert so the
+     * caller can charge time and cache traffic.
+     *
+     * @param node_handle handle of the tree node compared against
+     * @param cmp comparison outcome (bytes examined, direction)
+     */
+    using CompareHook =
+        std::function<void(PageHandle node_handle, const PageCompare &cmp)>;
+
+    /**
+     * Called when a stale node (accessor returned nullptr) is pruned
+     * during a search, e.g. so the owner can release resources.
+     */
+    using PruneHook = std::function<void(PageHandle node_handle)>;
+
+    explicit ContentTree(PageAccessor &accessor);
+    ~ContentTree();
+
+    ContentTree(const ContentTree &) = delete;
+    ContentTree &operator=(const ContentTree &) = delete;
+
+    /** Result of a content search. */
+    struct SearchResult
+    {
+        Node *match = nullptr;  //!< node with identical content
+        Node *parent = nullptr; //!< attach point when no match
+        bool insertLeft = false;
+        std::uint32_t nodesVisited = 0;
+        std::uint64_t bytesCompared = 0;
+    };
+
+    /**
+     * Search for a page with contents equal to @p probe.
+     * Stale nodes encountered are erased and the search restarts.
+     */
+    SearchResult search(const std::uint8_t *probe,
+                        const CompareHook &hook = {},
+                        const PruneHook &prune = {});
+
+    /**
+     * Attach a new node at the position a failed search returned.
+     * @pre result.match == nullptr and the tree has not been modified
+     *      since the search
+     * @return the new node
+     */
+    Node *insertAt(const SearchResult &result, PageHandle handle);
+
+    /**
+     * Structural insert below an existing node (used by the PageForge
+     * driver, which learns positions from the hardware traversal).
+     * @pre the chosen child slot of @p parent is empty
+     */
+    Node *insertChild(Node *parent, bool left, PageHandle handle);
+
+    /** Search and attach in one step; returns null if a match exists. */
+    Node *insert(PageHandle handle, const CompareHook &hook = {});
+
+    /** Detach and free a node. */
+    void erase(Node *node);
+
+    /** Drop all nodes (the unstable tree's end-of-pass reset). */
+    void clear(const PruneHook &prune = {});
+
+    std::size_t size() const { return _size; }
+    bool empty() const { return _size == 0; }
+
+    /** Root node, or nullptr when empty. */
+    Node *root() const;
+
+    /** Children and payload of a node (nullptr when absent). */
+    Node *left(const Node *node) const;
+    Node *right(const Node *node) const;
+    PageHandle handle(const Node *node) const;
+
+    /** In-order traversal over handles. */
+    void forEach(const std::function<void(PageHandle)> &fn) const;
+
+    /**
+     * Check the red-black invariants and the content ordering; for
+     * tests. Returns false (and warns) on violation.
+     */
+    bool validate();
+
+  private:
+    PageAccessor &_accessor;
+    Node *_nil;  //!< shared black sentinel
+    Node *_root;
+    std::size_t _size = 0;
+
+    Node *makeNode(PageHandle handle);
+    void destroySubtree(Node *node, const PruneHook &prune);
+
+    void rotateLeft(Node *x);
+    void rotateRight(Node *x);
+    void insertFixup(Node *z);
+    void transplant(Node *u, Node *v);
+    void eraseFixup(Node *x);
+
+    Node *minimum(Node *node) const;
+
+    bool validateNode(Node *node, int &black_height);
+};
+
+} // namespace pageforge
+
+#endif // PF_KSM_CONTENT_TREE_HH

@@ -1,0 +1,54 @@
+#include "ksm/cost_model.hh"
+
+#include "ecc/ecc_hash_key.hh"
+#include "ecc/jhash.hh"
+#include "hyper/vm.hh"
+
+namespace pageforge
+{
+
+HashCheckOutcome
+checkPageHashes(const std::uint8_t *data, PageState &page,
+                const EccOffsets &offsets, HashKeyStats &stats)
+{
+    HashCheckOutcome outcome;
+    outcome.jhashKey = ksmPageHash(data);
+    outcome.eccKey = eccPageHash(data, offsets);
+    std::uint64_t strong = fnv1a64(data, pageSize);
+
+    outcome.firstScan = !page.jhashValid || !page.eccKeyValid;
+    outcome.trulyChanged =
+        !page.strongHashValid || page.lastStrongHash != strong;
+
+    if (page.jhashValid) {
+        if (outcome.jhashKey == page.lastJhash) {
+            ++stats.jhashMatches;
+            outcome.unchangedByJhash = true;
+            if (outcome.trulyChanged)
+                ++stats.jhashFalseMatches;
+        } else {
+            ++stats.jhashMismatches;
+        }
+    }
+
+    if (page.eccKeyValid) {
+        if (outcome.eccKey == page.lastEccKey) {
+            ++stats.eccMatches;
+            outcome.unchangedByEcc = true;
+            if (outcome.trulyChanged)
+                ++stats.eccFalseMatches;
+        } else {
+            ++stats.eccMismatches;
+        }
+    }
+
+    page.lastJhash = outcome.jhashKey;
+    page.jhashValid = true;
+    page.lastEccKey = outcome.eccKey;
+    page.eccKeyValid = true;
+    page.lastStrongHash = strong;
+    page.strongHashValid = true;
+    return outcome;
+}
+
+} // namespace pageforge

@@ -1,0 +1,157 @@
+#include "mem/mem_controller.hh"
+
+#include <cstring>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace pageforge
+{
+
+const char *
+requesterName(Requester req)
+{
+    switch (req) {
+      case Requester::App:
+        return "app";
+      case Requester::Ksm:
+        return "ksm";
+      case Requester::PageForge:
+        return "pageforge";
+      case Requester::Writeback:
+        return "writeback";
+      case Requester::Os:
+        return "os";
+    }
+    return "?";
+}
+
+MemController::MemController(std::string name, EventQueue &eq,
+                             PhysicalMemory &mem, const DramConfig &config)
+    : SimObject(std::move(name), eq), _mem(mem), _dram(config),
+      _stats(this->name())
+{
+    _stats.addCounter("read_reqs", "line read requests", _readReqs);
+    _stats.addCounter("write_reqs", "line write requests", _writeReqs);
+    _stats.addCounter("coalesced_reads",
+                      "reads merged with a pending request", _coalesced);
+    _stats.addCounter("ecc_encodes", "lines encoded by the ECC engine",
+                      _eccEncodes);
+    _stats.addCounter("ecc_decodes", "lines decoded by the ECC engine",
+                      _eccDecodes);
+    _stats.addCounter("ecc_corrected", "single-bit errors corrected",
+                      _corrected);
+    _stats.addCounter("ecc_uncorrectable",
+                      "uncorrectable errors detected", _uncorrectable);
+    _stats.addChild(_dram.stats());
+}
+
+const std::uint8_t *
+MemController::lineBytes(Addr line_addr) const
+{
+    pf_assert(line_addr % lineSize == 0, "unaligned line address");
+    FrameId frame = addrToFrame(line_addr);
+    std::uint32_t offset =
+        static_cast<std::uint32_t>(line_addr % pageSize);
+    return _mem.data(frame) + offset;
+}
+
+void
+MemController::resetTiming()
+{
+    _pendingReads.clear();
+    _dram.resetTiming();
+}
+
+void
+MemController::prunePending(Tick now)
+{
+    if (_pendingReads.size() < 4096)
+        return;
+    for (auto it = _pendingReads.begin(); it != _pendingReads.end();) {
+        if (it->second < now)
+            it = _pendingReads.erase(it);
+        else
+            ++it;
+    }
+}
+
+void
+MemController::injectBitFlip(Addr line_addr, unsigned bit)
+{
+    pf_assert(line_addr % lineSize == 0, "unaligned line address");
+    pf_assert(bit < lineSize * 8, "bit index %u out of line", bit);
+    _injectedFaults[line_addr].push_back(bit);
+}
+
+McReadResult
+MemController::readLine(Addr line_addr, Tick now, Requester req)
+{
+    pf_assert(line_addr % lineSize == 0, "unaligned line address");
+    ++_readReqs;
+
+    // ECC decode happens on every read response regardless of source.
+    ++_eccDecodes;
+    LineEccCode ecc = LineEcc::encode(lineBytes(line_addr));
+
+    // Apply injected DRAM faults: the stored ECC corresponds to the
+    // original data; decode sees the corrupted bits and corrects or
+    // flags them, exactly as the real read path would.
+    if (auto fault = _injectedFaults.find(line_addr);
+        fault != _injectedFaults.end()) {
+        std::uint8_t corrupted[lineSize];
+        std::memcpy(corrupted, lineBytes(line_addr), lineSize);
+        for (unsigned bit : fault->second)
+            corrupted[bit / 8] ^= static_cast<std::uint8_t>(1 << (bit % 8));
+        _injectedFaults.erase(fault);
+
+        LineEcc::LineDecodeResult decode = LineEcc::decode(corrupted, ecc);
+        if (!decode.ok) {
+            ++_uncorrectable;
+            warn("uncorrectable ECC error at %llx",
+                 static_cast<unsigned long long>(line_addr));
+        } else if (decode.corrected > 0) {
+            _corrected += decode.corrected;
+            // Corrected data matches the pristine copy; the scrub
+            // rewrites DRAM, so nothing else changes functionally.
+        }
+    }
+
+    auto it = _pendingReads.find(line_addr);
+    if (it != _pendingReads.end() && it->second >= now &&
+        it->second <= now + 2 * _dram.config().queueHorizon) {
+        // An earlier request for the same line is still in flight:
+        // coalesce with it instead of issuing a second DRAM access.
+        // Entries completing beyond the queue horizon belong to
+        // another walker's local future and are not visible here
+        // (see DramConfig::queueHorizon).
+        ++_coalesced;
+        return {it->second, ecc, true};
+    }
+
+    prunePending(now);
+    Tick done = _dram.access(line_addr, now + _dram.config().frontendLat,
+                             false, req);
+    _pendingReads[line_addr] = done;
+    return {done, ecc, false};
+}
+
+Tick
+MemController::writeLine(Addr line_addr, Tick now, Requester req)
+{
+    pf_assert(line_addr % lineSize == 0, "unaligned line address");
+    ++_writeReqs;
+    // Writes pass through the ECC encoder into the write data buffer.
+    ++_eccEncodes;
+    return _dram.access(line_addr, now + _dram.config().frontendLat,
+                        true, req);
+}
+
+LineEccCode
+MemController::encodeLine(Addr line_addr)
+{
+    ++_eccEncodes;
+    return LineEcc::encode(lineBytes(line_addr));
+}
+
+} // namespace pageforge

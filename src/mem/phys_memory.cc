@@ -1,0 +1,150 @@
+#include "mem/phys_memory.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace pageforge
+{
+
+PhysicalMemory::PhysicalMemory(std::size_t total_frames)
+    : _frames(total_frames), _stats("phys_mem")
+{
+    pf_assert(total_frames > 0, "zero-sized physical memory");
+    _freeList.reserve(total_frames);
+    // Allocate low frame numbers first, like a simple buddy allocator
+    // handing out the bottom of the free list.
+    for (std::size_t i = total_frames; i-- > 0;)
+        _freeList.push_back(static_cast<FrameId>(i));
+
+    _stats.addCounter("allocs", "frames allocated", _allocs);
+    _stats.addCounter("frees", "frames freed", _frees);
+    _stats.addStat("in_use", "frames currently allocated",
+                   [this] { return static_cast<double>(_inUse); });
+    _stats.addStat("peak_in_use", "high-water mark of allocated frames",
+                   [this] { return static_cast<double>(_peakInUse); });
+}
+
+PhysicalMemory::Frame &
+PhysicalMemory::frameAt(FrameId frame)
+{
+    pf_assert(frame < _frames.size(), "frame %u out of range", frame);
+    return _frames[frame];
+}
+
+const PhysicalMemory::Frame &
+PhysicalMemory::frameAt(FrameId frame) const
+{
+    pf_assert(frame < _frames.size(), "frame %u out of range", frame);
+    return _frames[frame];
+}
+
+FrameId
+PhysicalMemory::allocFrame(bool zero)
+{
+    if (_freeList.empty())
+        fatal("physical memory exhausted (%zu frames)", _frames.size());
+
+    FrameId id = _freeList.back();
+    _freeList.pop_back();
+
+    Frame &frame = _frames[id];
+    pf_assert(!frame.allocated, "free list returned a live frame");
+    if (!frame.bytes)
+        frame.bytes = std::make_unique<std::uint8_t[]>(pageSize);
+    if (zero)
+        std::memset(frame.bytes.get(), 0, pageSize);
+    frame.refs = 1;
+    frame.allocated = true;
+    frame.writeProtected = false;
+
+    ++_allocs;
+    ++_inUse;
+    _peakInUse = std::max(_peakInUse, _inUse);
+    return id;
+}
+
+void
+PhysicalMemory::addRef(FrameId frame)
+{
+    Frame &f = frameAt(frame);
+    pf_assert(f.allocated, "addRef on free frame %u", frame);
+    ++f.refs;
+}
+
+bool
+PhysicalMemory::decRef(FrameId frame)
+{
+    Frame &f = frameAt(frame);
+    pf_assert(f.allocated && f.refs > 0, "decRef on free frame %u", frame);
+    if (--f.refs > 0)
+        return false;
+
+    f.allocated = false;
+    f.writeProtected = false;
+    _freeList.push_back(frame);
+    ++_frees;
+    --_inUse;
+    return true;
+}
+
+std::uint32_t
+PhysicalMemory::refCount(FrameId frame) const
+{
+    const Frame &f = frameAt(frame);
+    return f.allocated ? f.refs : 0;
+}
+
+bool
+PhysicalMemory::isAllocated(FrameId frame) const
+{
+    return frame < _frames.size() && _frames[frame].allocated;
+}
+
+std::uint8_t *
+PhysicalMemory::data(FrameId frame)
+{
+    Frame &f = frameAt(frame);
+    pf_assert(f.allocated, "data access to free frame %u", frame);
+    return f.bytes.get();
+}
+
+const std::uint8_t *
+PhysicalMemory::data(FrameId frame) const
+{
+    const Frame &f = frameAt(frame);
+    pf_assert(f.allocated, "data access to free frame %u", frame);
+    return f.bytes.get();
+}
+
+void
+PhysicalMemory::setWriteProtected(FrameId frame, bool wp)
+{
+    frameAt(frame).writeProtected = wp;
+}
+
+bool
+PhysicalMemory::isWriteProtected(FrameId frame) const
+{
+    return frameAt(frame).writeProtected;
+}
+
+bool
+PhysicalMemory::framesEqual(FrameId a, FrameId b) const
+{
+    return std::memcmp(data(a), data(b), pageSize) == 0;
+}
+
+bool
+PhysicalMemory::isZeroFrame(FrameId frame) const
+{
+    const std::uint8_t *bytes = data(frame);
+    for (std::uint32_t i = 0; i < pageSize; ++i) {
+        if (bytes[i] != 0)
+            return false;
+    }
+    return true;
+}
+
+} // namespace pageforge

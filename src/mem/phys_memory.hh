@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Host physical memory: frames with real backing data.
+ *
+ * Pages hold actual bytes so that same-page merging in this simulator
+ * is content-based for real: KSM and PageForge compare and merge real
+ * data, and the two implementations can be cross-checked for the
+ * paper's claim of identical memory savings.
+ *
+ * Frames are reference-counted: a frame shared by several guest pages
+ * after merging is freed only when the last mapping goes away.
+ */
+
+#ifndef PF_MEM_PHYS_MEMORY_HH
+#define PF_MEM_PHYS_MEMORY_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/types.hh"
+#include "stats/stat_group.hh"
+
+namespace pageforge
+{
+
+/** Frame-granular host physical memory. */
+class PhysicalMemory
+{
+  public:
+    /**
+     * @param total_frames capacity of the machine in 4 KB frames
+     */
+    explicit PhysicalMemory(std::size_t total_frames);
+
+    /**
+     * Allocate a frame with refcount 1.
+     * @param zero when true the frame is zero-filled, modelling the
+     *        hypervisor's zeroing of pages handed to guests
+     * @return the new frame id
+     */
+    FrameId allocFrame(bool zero = true);
+
+    /** Increment a frame's mapping count. */
+    void addRef(FrameId frame);
+
+    /**
+     * Decrement a frame's mapping count, freeing it at zero.
+     * @return true if the frame was freed
+     */
+    bool decRef(FrameId frame);
+
+    /** Current mapping count of an allocated frame. */
+    std::uint32_t refCount(FrameId frame) const;
+
+    /** True when the frame is currently allocated. */
+    bool isAllocated(FrameId frame) const;
+
+    /** Mutable backing data of a frame (pageSize bytes). */
+    std::uint8_t *data(FrameId frame);
+
+    /** Read-only backing data of a frame. */
+    const std::uint8_t *data(FrameId frame) const;
+
+    /** Pointer to line @p line_idx of the frame. */
+    const std::uint8_t *
+    lineData(FrameId frame, std::uint32_t line_idx) const
+    {
+        return data(frame) + line_idx * lineSize;
+    }
+
+    /** Mark a frame read-only (CoW protection after merging). */
+    void setWriteProtected(FrameId frame, bool wp);
+
+    /** True when the frame is CoW-protected. */
+    bool isWriteProtected(FrameId frame) const;
+
+    /** Byte-exact comparison of two frames' contents. */
+    bool framesEqual(FrameId a, FrameId b) const;
+
+    /** True when every byte of the frame is zero. */
+    bool isZeroFrame(FrameId frame) const;
+
+    /** Frames currently allocated. */
+    std::size_t framesInUse() const { return _inUse; }
+
+    /** High-water mark of allocated frames. */
+    std::size_t peakFramesInUse() const { return _peakInUse; }
+
+    /** Machine capacity in frames. */
+    std::size_t totalFrames() const { return _frames.size(); }
+
+    StatGroup &stats() { return _stats; }
+
+  private:
+    struct Frame
+    {
+        std::unique_ptr<std::uint8_t[]> bytes;
+        std::uint32_t refs = 0;
+        bool allocated = false;
+        bool writeProtected = false;
+    };
+
+    std::vector<Frame> _frames;
+    std::vector<FrameId> _freeList;
+    std::size_t _inUse = 0;
+    std::size_t _peakInUse = 0;
+
+    Counter _allocs;
+    Counter _frees;
+    StatGroup _stats;
+
+    Frame &frameAt(FrameId frame);
+    const Frame &frameAt(FrameId frame) const;
+};
+
+} // namespace pageforge
+
+#endif // PF_MEM_PHYS_MEMORY_HH

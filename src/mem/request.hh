@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Memory request classification.
+ */
+
+#ifndef PF_MEM_REQUEST_HH
+#define PF_MEM_REQUEST_HH
+
+namespace pageforge
+{
+
+/**
+ * Who generated a memory request. Used for bandwidth attribution
+ * (Figure 11) and per-requester cache statistics (Table 4).
+ */
+enum class Requester
+{
+    App,       //!< application (VM query) execution
+    Ksm,       //!< the ksmd kernel thread running on a core
+    PageForge, //!< the PageForge module in the memory controller
+    Writeback, //!< dirty evictions from the cache hierarchy
+    Os,        //!< other OS/hypervisor work (CoW copies, driver)
+};
+
+/** Number of Requester classes. */
+constexpr unsigned numRequesters = 5;
+
+/** Short label for a requester class. */
+const char *requesterName(Requester req);
+
+} // namespace pageforge
+
+#endif // PF_MEM_REQUEST_HH

@@ -1,0 +1,108 @@
+#include "power/power_model.hh"
+
+#include <algorithm>
+
+namespace pageforge
+{
+
+namespace
+{
+
+// Calibration constants at 22 nm. The SRAM constants are chosen so a
+// 512 B HP structure costs 0.010 mm^2 / 0.028 W, as the paper's tools
+// report for the Scan table.
+constexpr double sram_mm2_per_kb_hp = 0.020;
+constexpr double sram_w_per_kb_hp = 0.056;
+
+// LOP SRAM constants are calibrated for larger (32 KB-class) arrays,
+// whose periphery is amortized over many more bits, and fold in the
+// ~8x lower leakage of low-operating-power devices.
+constexpr double sram_mm2_per_kb_lop = 0.00235;
+constexpr double sram_w_per_kb_lop = 0.0011;
+
+// Structures smaller than this behave like this (decoders and sense
+// amps dominate): the paper "conservatively uses a 512 B cache-like
+// structure" for the 260 B table.
+constexpr std::size_t min_sram_bytes = 512;
+
+// Embedded-class ALU.
+constexpr double alu_mm2 = 0.019;
+constexpr double alu_w = 0.009;
+
+// A9-class in-order core, LOP: logic plus 2 x 32 KB L1.
+constexpr double a9_logic_mm2 = 0.62;
+constexpr double a9_logic_w = 0.30;
+
+// Server-class OoO core w/ private L1+L2 (area/power per core), HP.
+constexpr double server_core_mm2 = 7.5;
+constexpr double server_core_w = 11.2;
+
+// Shared L3 and uncore.
+constexpr double l3_mm2_per_mb = 1.85;
+constexpr double l3_w_per_mb = 1.35;
+constexpr double mc_mm2 = 2.3;
+constexpr double mc_w = 4.4;
+
+} // namespace
+
+ComponentEstimate
+PowerModel::sramStructure(const std::string &name, std::size_t bytes,
+                          DeviceType dev)
+{
+    double kb =
+        static_cast<double>(std::max(bytes, min_sram_bytes)) / 1024.0;
+    if (dev == DeviceType::HighPerformance) {
+        return {name, kb * sram_mm2_per_kb_hp, kb * sram_w_per_kb_hp};
+    }
+    return {name, kb * sram_mm2_per_kb_lop, kb * sram_w_per_kb_lop};
+}
+
+ComponentEstimate
+PowerModel::comparatorAlu()
+{
+    return {"ALU", alu_mm2, alu_w};
+}
+
+ComponentEstimate
+PowerModel::pageForge(std::size_t scan_table_bytes)
+{
+    ComponentEstimate table = sramStructure(
+        "Scan table", scan_table_bytes, DeviceType::HighPerformance);
+    ComponentEstimate alu = comparatorAlu();
+    return {"Total PageForge", table.areaMm2 + alu.areaMm2,
+            table.powerW + alu.powerW};
+}
+
+ComponentEstimate
+PowerModel::simpleInOrderCore()
+{
+    ComponentEstimate l1 = sramStructure("L1", 2 * 32 * 1024,
+                                         DeviceType::LowOperatingPower);
+    return {"ARM-A9-class core", a9_logic_mm2 + l1.areaMm2,
+            a9_logic_w + l1.powerW};
+}
+
+ComponentEstimate
+PowerModel::serverChip(unsigned cores, std::size_t l3_bytes,
+                       unsigned mem_controllers)
+{
+    double l3_mb = static_cast<double>(l3_bytes) / (1024.0 * 1024.0);
+    double area = cores * server_core_mm2 + l3_mb * l3_mm2_per_mb +
+        mem_controllers * mc_mm2;
+    double power = cores * server_core_w + l3_mb * l3_w_per_mb +
+        mem_controllers * mc_w;
+    return {"Server chip (Table 2)", area, power};
+}
+
+std::vector<ComponentEstimate>
+PowerModel::table5Breakdown(std::size_t scan_table_bytes)
+{
+    return {
+        sramStructure("Scan table", scan_table_bytes,
+                      DeviceType::HighPerformance),
+        comparatorAlu(),
+        pageForge(scan_table_bytes),
+    };
+}
+
+} // namespace pageforge

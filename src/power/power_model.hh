@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Analytical area and power model (the McPAT stand-in).
+ *
+ * The paper reports, at 22 nm (Table 5 and Section 6.4.2):
+ *   - Scan table (sized as a 512 B cache-like structure, high
+ *     performance devices): 0.010 mm^2, 0.028 W
+ *   - ALU (embedded-class):  0.019 mm^2, 0.009 W
+ *   - PageForge total:       0.029 mm^2, 0.037 W
+ *   - ARM A9-like core (32 KB L1s, no L2, low operating power):
+ *                            0.77 mm^2, 0.37 W
+ *   - the Table 2 server chip: 138.6 mm^2, 164 W TDP
+ *
+ * This module reproduces those point estimates from per-structure
+ * constants (SRAM area/leakage per KB, ALU cost, per-core cost) so
+ * that sensitivity studies (e.g. a larger Scan table) scale sensibly.
+ */
+
+#ifndef PF_POWER_POWER_MODEL_HH
+#define PF_POWER_POWER_MODEL_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pageforge
+{
+
+/** Area/power estimate of one hardware component. */
+struct ComponentEstimate
+{
+    std::string name;
+    double areaMm2 = 0.0;
+    double powerW = 0.0;
+};
+
+/** Device flavor, as in McPAT. */
+enum class DeviceType
+{
+    HighPerformance, //!< HP: fast, leaky (used for PageForge)
+    LowOperatingPower, //!< LOP: slow, frugal (used for the A9 core)
+};
+
+/** The analytical model, calibrated at 22 nm. */
+class PowerModel
+{
+  public:
+    /** SRAM-structure estimate for a cache-like table. */
+    static ComponentEstimate sramStructure(const std::string &name,
+                                           std::size_t bytes,
+                                           DeviceType dev);
+
+    /** Embedded-class ALU used for page comparisons. */
+    static ComponentEstimate comparatorAlu();
+
+    /**
+     * Whole PageForge module: Scan table (conservatively modelled as a
+     * 512 B structure, per the paper) plus the comparator ALU.
+     *
+     * @param scan_table_bytes actual table size; the paper rounds up
+     *        to 512 B, and so does this model (minimum block size)
+     */
+    static ComponentEstimate pageForge(std::size_t scan_table_bytes);
+
+    /** In-order ARM-A9-class core with 32 KB L1s and no L2, LOP. */
+    static ComponentEstimate simpleInOrderCore();
+
+    /** The Table 2 server chip (10 OoO cores, 32 MB L3, 2 MCs). */
+    static ComponentEstimate serverChip(unsigned cores,
+                                        std::size_t l3_bytes,
+                                        unsigned mem_controllers);
+
+    /** All rows of the Table 5 area/power section. */
+    static std::vector<ComponentEstimate>
+    table5Breakdown(std::size_t scan_table_bytes);
+};
+
+} // namespace pageforge
+
+#endif // PF_POWER_POWER_MODEL_HH

@@ -1,0 +1,66 @@
+#include "sim/event_queue.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace pageforge
+{
+
+void
+EventQueue::schedule(Tick when, Callback cb)
+{
+    if (when < _curTick) {
+        panic("scheduling event in the past: when=%llu cur=%llu",
+              static_cast<unsigned long long>(when),
+              static_cast<unsigned long long>(_curTick));
+    }
+    _events.push(Event{when, _nextSeq++, std::move(cb)});
+}
+
+Tick
+EventQueue::nextEventTick() const
+{
+    return _events.empty() ? maxTick : _events.top().when;
+}
+
+bool
+EventQueue::step()
+{
+    if (_events.empty())
+        return false;
+    // priority_queue::top() is const; move out via const_cast, which is
+    // safe because pop() immediately destroys the source.
+    auto &top = const_cast<Event &>(_events.top());
+    Tick when = top.when;
+    Callback cb = std::move(top.cb);
+    _events.pop();
+    _curTick = when;
+    ++_dispatched;
+    cb();
+    return true;
+}
+
+std::uint64_t
+EventQueue::runUntil(Tick limit, bool advance_to_limit)
+{
+    std::uint64_t n = 0;
+    while (!_events.empty() && _events.top().when <= limit) {
+        step();
+        ++n;
+    }
+    if (advance_to_limit && _curTick < limit)
+        _curTick = limit;
+    return n;
+}
+
+std::uint64_t
+EventQueue::runAll()
+{
+    std::uint64_t n = 0;
+    while (step())
+        ++n;
+    return n;
+}
+
+} // namespace pageforge

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A single global-ordered event queue drives the whole simulated
+ * machine. Events are arbitrary callables scheduled at absolute ticks;
+ * ties are broken by insertion order so the simulation is fully
+ * deterministic.
+ */
+
+#ifndef PF_SIM_EVENT_QUEUE_HH
+#define PF_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace pageforge
+{
+
+/**
+ * Priority queue of timed events.
+ *
+ * The queue owns the simulated clock: curTick() advances only as events
+ * are dispatched. Components may also advance state lazily against
+ * curTick() (e.g., the DRAM bank model), which keeps the event count low.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick curTick() const { return _curTick; }
+
+    /**
+     * Schedule @p cb to run at absolute tick @p when.
+     * @pre when >= curTick()
+     */
+    void schedule(Tick when, Callback cb);
+
+    /** Schedule @p cb to run @p delta ticks from now. */
+    void scheduleIn(Tick delta, Callback cb) {
+        schedule(_curTick + delta, std::move(cb));
+    }
+
+    /** True when no events remain. */
+    bool empty() const { return _events.empty(); }
+
+    /** Number of pending events. */
+    std::size_t size() const { return _events.size(); }
+
+    /** Tick of the next pending event; maxTick when empty. */
+    Tick nextEventTick() const;
+
+    /**
+     * Dispatch events in order until the queue is empty or the next
+     * event lies strictly after @p limit. curTick() ends at the last
+     * dispatched event's time (or @p limit if that is later and
+     * advance_to_limit is true).
+     *
+     * @return number of events dispatched.
+     */
+    std::uint64_t runUntil(Tick limit, bool advance_to_limit = true);
+
+    /** Dispatch every pending event. @return events dispatched. */
+    std::uint64_t runAll();
+
+    /** Dispatch exactly one event if any is pending. @return dispatched? */
+    bool step();
+
+    /** Total events dispatched over the queue's lifetime. */
+    std::uint64_t eventsDispatched() const { return _dispatched; }
+
+  private:
+    struct Event
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> _events;
+    Tick _curTick = 0;
+    std::uint64_t _nextSeq = 0;
+    std::uint64_t _dispatched = 0;
+};
+
+} // namespace pageforge
+
+#endif // PF_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * gem5-style status and error reporting.
+ *
+ * panic() is for simulator bugs (impossible states); it aborts.
+ * fatal() is for user/configuration errors; it exits cleanly.
+ * warn()/inform() report conditions without stopping the simulation.
+ */
+
+#ifndef PF_SIM_LOGGING_HH
+#define PF_SIM_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace pageforge
+{
+
+/** Verbosity levels for status messages. */
+enum class LogLevel { Silent, Warn, Inform, Debug };
+
+/** Set the global verbosity; messages above the level are suppressed. */
+void setLogLevel(LogLevel level);
+
+/** Current global verbosity. */
+LogLevel logLevel();
+
+/**
+ * Report an internal simulator bug and abort.
+ * Use only for conditions that should never happen regardless of what
+ * the user does.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable user error (bad configuration, invalid
+ * arguments) and exit with status 1.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Warn about questionable but survivable conditions. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Informative status message. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Internal: report a failed assertion's location before panicking. */
+void assertFailed(const char *cond, const char *file, int line);
+
+/**
+ * panic() if @p cond does not hold.
+ * A lightweight always-on assert for simulator invariants; takes a
+ * printf-style message describing the violated invariant.
+ */
+#define pf_assert(cond, ...)                                            \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            ::pageforge::assertFailed(#cond, __FILE__, __LINE__);       \
+            ::pageforge::panic(__VA_ARGS__);                            \
+        }                                                               \
+    } while (0)
+
+} // namespace pageforge
+
+#endif // PF_SIM_LOGGING_HH

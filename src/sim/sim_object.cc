@@ -1,0 +1,15 @@
+#include "sim/sim_object.hh"
+
+#include <utility>
+
+namespace pageforge
+{
+
+SimObject::SimObject(std::string name, EventQueue &eq)
+    : _name(std::move(name)), _eq(eq)
+{
+}
+
+SimObject::~SimObject() = default;
+
+} // namespace pageforge

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Base class for named simulated components.
+ */
+
+#ifndef PF_SIM_SIM_OBJECT_HH
+#define PF_SIM_SIM_OBJECT_HH
+
+#include <string>
+
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace pageforge
+{
+
+/**
+ * A named component attached to an event queue.
+ *
+ * SimObjects are created once at system construction and live for the
+ * whole simulation; they are neither copyable nor movable so raw
+ * references between components stay valid.
+ */
+class SimObject
+{
+  public:
+    SimObject(std::string name, EventQueue &eq);
+    virtual ~SimObject();
+
+    SimObject(const SimObject &) = delete;
+    SimObject &operator=(const SimObject &) = delete;
+
+    /** Hierarchical instance name, e.g. "system.mc0.pageforge". */
+    const std::string &name() const { return _name; }
+
+    /** Event queue driving this object. */
+    EventQueue &eventq() const { return _eq; }
+
+    /** Current simulated time. */
+    Tick curTick() const { return _eq.curTick(); }
+
+  private:
+    std::string _name;
+    EventQueue &_eq;
+};
+
+} // namespace pageforge
+
+#endif // PF_SIM_SIM_OBJECT_HH

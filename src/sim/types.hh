@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Fundamental simulation-wide types and constants.
+ *
+ * The whole simulator runs in a single timing domain where one Tick is
+ * one CPU cycle at the configured core frequency (2 GHz by default, as
+ * in Table 2 of the PageForge paper).
+ */
+
+#ifndef PF_SIM_TYPES_HH
+#define PF_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace pageforge
+{
+
+/** Simulation time, in CPU cycles. */
+using Tick = std::uint64_t;
+
+/** Sentinel for "no tick" / "never". */
+constexpr Tick maxTick = ~Tick(0);
+
+/** Host physical address (byte granularity). */
+using Addr = std::uint64_t;
+
+/** Index of a physical page frame in host memory. */
+using FrameId = std::uint32_t;
+
+/** Sentinel frame id. */
+constexpr FrameId invalidFrame = ~FrameId(0);
+
+/** Guest page number within a VM's guest-physical address space. */
+using GuestPageNum = std::uint32_t;
+
+/** Identifier of a virtual machine. */
+using VmId = std::uint16_t;
+
+/** Identifier of a core in the multicore. */
+using CoreId = std::uint16_t;
+
+/** Page geometry: 4 KB pages of 64 B lines, as in the paper. */
+constexpr std::uint32_t pageSize = 4096;
+constexpr std::uint32_t lineSize = 64;
+constexpr std::uint32_t linesPerPage = pageSize / lineSize;
+
+/** Core clock frequency (ticks per second). Table 2: 2 GHz. */
+constexpr std::uint64_t ticksPerSec = 2'000'000'000ULL;
+
+/** Convenience conversions from wall-clock time to ticks. */
+constexpr Tick
+msToTicks(double ms)
+{
+    return static_cast<Tick>(ms * 1e-3 * ticksPerSec);
+}
+
+constexpr Tick
+usToTicks(double us)
+{
+    return static_cast<Tick>(us * 1e-6 * ticksPerSec);
+}
+
+constexpr double
+ticksToMs(Tick t)
+{
+    return static_cast<double>(t) * 1e3 / ticksPerSec;
+}
+
+constexpr double
+ticksToUs(Tick t)
+{
+    return static_cast<double>(t) * 1e6 / ticksPerSec;
+}
+
+constexpr double
+ticksToSec(Tick t)
+{
+    return static_cast<double>(t) / ticksPerSec;
+}
+
+/** Byte address of the first byte of a frame. */
+constexpr Addr
+frameToAddr(FrameId frame)
+{
+    return static_cast<Addr>(frame) * pageSize;
+}
+
+/** Frame that contains a byte address. */
+constexpr FrameId
+addrToFrame(Addr addr)
+{
+    return static_cast<FrameId>(addr / pageSize);
+}
+
+/** Line-aligned address containing a byte address. */
+constexpr Addr
+lineAlign(Addr addr)
+{
+    return addr & ~static_cast<Addr>(lineSize - 1);
+}
+
+/** Byte address of line @p line_idx within frame @p frame. */
+constexpr Addr
+lineAddr(FrameId frame, std::uint32_t line_idx)
+{
+    return frameToAddr(frame) + static_cast<Addr>(line_idx) * lineSize;
+}
+
+} // namespace pageforge
+
+#endif // PF_SIM_TYPES_HH

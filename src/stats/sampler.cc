@@ -1,0 +1,87 @@
+#include "stats/sampler.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "sim/logging.hh"
+
+namespace pageforge
+{
+
+double
+Sampler::mean() const
+{
+    if (_samples.empty())
+        return 0.0;
+    return sum() / static_cast<double>(_samples.size());
+}
+
+double
+Sampler::sum() const
+{
+    return std::accumulate(_samples.begin(), _samples.end(), 0.0);
+}
+
+void
+Sampler::ensureSorted() const
+{
+    if (!_sorted) {
+        std::sort(_samples.begin(), _samples.end());
+        _sorted = true;
+    }
+}
+
+double
+Sampler::quantile(double q) const
+{
+    pf_assert(q >= 0.0 && q <= 1.0, "quantile out of range: %f", q);
+    if (_samples.empty())
+        return 0.0;
+    ensureSorted();
+    // Nearest-rank: smallest value with cumulative fraction >= q.
+    auto rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(_samples.size())));
+    if (rank == 0)
+        rank = 1;
+    return _samples[rank - 1];
+}
+
+double
+Sampler::minSample() const
+{
+    if (_samples.empty())
+        return 0.0;
+    ensureSorted();
+    return _samples.front();
+}
+
+double
+Sampler::maxSample() const
+{
+    if (_samples.empty())
+        return 0.0;
+    ensureSorted();
+    return _samples.back();
+}
+
+double
+Sampler::stddev() const
+{
+    if (_samples.size() < 2)
+        return 0.0;
+    double m = mean();
+    double acc = 0.0;
+    for (double v : _samples)
+        acc += (v - m) * (v - m);
+    return std::sqrt(acc / static_cast<double>(_samples.size()));
+}
+
+void
+Sampler::reset()
+{
+    _samples.clear();
+    _sorted = false;
+}
+
+} // namespace pageforge

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Exact sample collection for percentile statistics.
+ *
+ * The paper reports mean sojourn latency and the 95th-percentile tail
+ * latency (Figures 9 and 10). Query counts per experiment are modest,
+ * so we keep every sample and compute exact order statistics, rather
+ * than approximating.
+ */
+
+#ifndef PF_STATS_SAMPLER_HH
+#define PF_STATS_SAMPLER_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace pageforge
+{
+
+/** Collects samples and computes exact quantiles on demand. */
+class Sampler
+{
+  public:
+    void
+    sample(double v)
+    {
+        _samples.push_back(v);
+        _sorted = false;
+    }
+
+    std::uint64_t count() const { return _samples.size(); }
+    double mean() const;
+    double sum() const;
+
+    /**
+     * Exact quantile using the nearest-rank method, matching how tail
+     * latency is conventionally reported. @p q in [0, 1].
+     */
+    double quantile(double q) const;
+
+    /** Convenience: 95th-percentile latency. */
+    double p95() const { return quantile(0.95); }
+
+    double minSample() const;
+    double maxSample() const;
+
+    /** Standard deviation (population). */
+    double stddev() const;
+
+    void reset();
+
+    const std::vector<double> &samples() const { return _samples; }
+
+  private:
+    mutable std::vector<double> _samples;
+    mutable bool _sorted = false;
+
+    void ensureSorted() const;
+};
+
+} // namespace pageforge
+
+#endif // PF_STATS_SAMPLER_HH

@@ -1,0 +1,70 @@
+#include "stats/stat_group.hh"
+
+#include <iomanip>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace pageforge
+{
+
+void
+StatGroup::addStat(std::string stat_name, std::string desc,
+                   std::function<double()> getter)
+{
+    _entries.push_back(
+        Entry{std::move(stat_name), std::move(desc), std::move(getter)});
+}
+
+void
+StatGroup::addCounter(std::string stat_name, std::string desc,
+                      const Counter &counter)
+{
+    const Counter *ptr = &counter;
+    addStat(std::move(stat_name), std::move(desc),
+            [ptr] { return static_cast<double>(ptr->value()); });
+}
+
+void
+StatGroup::addChild(const StatGroup &child)
+{
+    _children.push_back(&child);
+}
+
+void
+StatGroup::dump(std::ostream &os, const std::string &prefix) const
+{
+    std::string full = prefix.empty() ? _name : prefix + "." + _name;
+    for (const auto &entry : _entries) {
+        os << std::left << std::setw(48) << (full + "." + entry.name)
+           << " " << std::right << std::setw(16) << entry.getter();
+        if (!entry.desc.empty())
+            os << "  # " << entry.desc;
+        os << "\n";
+    }
+    for (const auto *child : _children)
+        child->dump(os, full);
+}
+
+double
+StatGroup::value(const std::string &stat_name) const
+{
+    for (const auto &entry : _entries) {
+        if (entry.name == stat_name)
+            return entry.getter();
+    }
+    panic("no stat named '%s' in group '%s'", stat_name.c_str(),
+          _name.c_str());
+}
+
+bool
+StatGroup::hasStat(const std::string &stat_name) const
+{
+    for (const auto &entry : _entries) {
+        if (entry.name == stat_name)
+            return true;
+    }
+    return false;
+}
+
+} // namespace pageforge

@@ -1,0 +1,98 @@
+#include "stats/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <iomanip>
+
+#include "sim/logging.hh"
+
+namespace pageforge
+{
+
+void
+TablePrinter::setHeader(std::vector<std::string> header)
+{
+    _header = std::move(header);
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> row)
+{
+    if (!_header.empty() && row.size() != _header.size()) {
+        panic("table '%s': row has %zu cells, header has %zu",
+              _title.c_str(), row.size(), _header.size());
+    }
+    _rows.push_back(Row{false, std::move(row)});
+}
+
+void
+TablePrinter::addSeparator()
+{
+    _rows.push_back(Row{true, {}});
+}
+
+void
+TablePrinter::print(std::ostream &os) const
+{
+    std::size_t cols = _header.size();
+    for (const auto &row : _rows)
+        cols = std::max(cols, row.cells.size());
+
+    std::vector<std::size_t> widths(cols, 0);
+    auto measure = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    measure(_header);
+    for (const auto &row : _rows) {
+        if (!row.separator)
+            measure(row.cells);
+    }
+
+    std::size_t total = 0;
+    for (auto w : widths)
+        total += w + 3;
+
+    auto print_cells = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cols; ++i) {
+            std::string cell = i < cells.size() ? cells[i] : "";
+            // Left-align the first column (row labels), right-align data.
+            if (i == 0)
+                os << std::left;
+            else
+                os << std::right;
+            os << std::setw(static_cast<int>(widths[i])) << cell << " | ";
+        }
+        os << "\n";
+    };
+
+    os << "== " << _title << " ==\n";
+    if (!_header.empty()) {
+        print_cells(_header);
+        os << std::string(total, '-') << "\n";
+    }
+    for (const auto &row : _rows) {
+        if (row.separator)
+            os << std::string(total, '-') << "\n";
+        else
+            print_cells(row.cells);
+    }
+}
+
+std::string
+TablePrinter::fmt(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+TablePrinter::pct(double fraction, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+    return buf;
+}
+
+} // namespace pageforge

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * ASCII table rendering for benchmark output.
+ *
+ * Every bench binary prints the rows/series of one paper table or
+ * figure; TablePrinter keeps that output aligned and uniform.
+ */
+
+#ifndef PF_STATS_TABLE_HH
+#define PF_STATS_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pageforge
+{
+
+/** Column-aligned ASCII table with a title and header row. */
+class TablePrinter
+{
+  public:
+    explicit TablePrinter(std::string title) : _title(std::move(title)) {}
+
+    /** Set the header row; defines the column count. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a data row; must match the header's column count. */
+    void addRow(std::vector<std::string> row);
+
+    /** Append a horizontal separator line. */
+    void addSeparator();
+
+    /** Render to @p os. */
+    void print(std::ostream &os) const;
+
+    /** Format a double with @p precision decimal places. */
+    static std::string fmt(double v, int precision = 2);
+
+    /** Format a value as a percentage string, e.g. "48.0%". */
+    static std::string pct(double fraction, int precision = 1);
+
+  private:
+    struct Row
+    {
+        bool separator;
+        std::vector<std::string> cells;
+    };
+
+    std::string _title;
+    std::vector<std::string> _header;
+    std::vector<Row> _rows;
+};
+
+} // namespace pageforge
+
+#endif // PF_STATS_TABLE_HH

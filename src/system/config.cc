@@ -1,0 +1,20 @@
+#include "system/config.hh"
+
+namespace pageforge
+{
+
+const char *
+dedupModeName(DedupMode mode)
+{
+    switch (mode) {
+      case DedupMode::None:
+        return "Baseline";
+      case DedupMode::Ksm:
+        return "KSM";
+      case DedupMode::PageForge:
+        return "PageForge";
+    }
+    return "?";
+}
+
+} // namespace pageforge

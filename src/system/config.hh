@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Full-system configuration (Table 2 defaults).
+ */
+
+#ifndef PF_SYSTEM_CONFIG_HH
+#define PF_SYSTEM_CONFIG_HH
+
+#include "cache/bus.hh"
+#include "cache/cache.hh"
+#include "core/pageforge_driver.hh"
+#include "core/pageforge_module.hh"
+#include "cpu/scheduler.hh"
+#include "ksm/ksmd.hh"
+#include "mem/dram_model.hh"
+
+namespace pageforge
+{
+
+/** Which same-page-merging configuration the system runs. */
+enum class DedupMode
+{
+    None,      //!< Baseline: merging disabled
+    Ksm,       //!< RedHat's KSM in software on the cores
+    PageForge, //!< the proposed near-memory hardware
+};
+
+/** Short label of a dedup mode. */
+const char *dedupModeName(DedupMode mode);
+
+/** All the knobs of the modelled machine. */
+struct SystemConfig
+{
+    unsigned numCores = 10; //!< Table 2: 10 cores, one VM each
+    unsigned numVms = 10;
+
+    CacheConfig l1{"l1", 32 * 1024, 8, 2, 16};
+    CacheConfig l2{"l2", 256 * 1024, 8, 6, 16};
+    CacheConfig l3{"l3", 32 * 1024 * 1024, 20, 20, 24};
+    BusConfig bus{};
+    DramConfig dram{};
+
+    /**
+     * Physical memory size in frames. Zero means "auto": sized from
+     * the deployed VM footprints with headroom. (The paper models
+     * 16 GB; experiments scale the image down, so auto keeps the
+     * allocator dense and fast.)
+     */
+    std::size_t memFrames = 0;
+
+    DedupMode mode = DedupMode::None;
+    KsmConfig ksm{};
+    PageForgeConfig pfModule{};
+    PageForgeDriverConfig pfDriver{};
+
+    KsmPlacement ksmPlacement = KsmPlacement::Sticky;
+    double ksmStickiness = 0.6;
+
+    std::uint64_t seed = 42;
+
+    /** Scale factor on per-VM footprint/working set (1.0 = default). */
+    double memScale = 1.0;
+};
+
+} // namespace pageforge
+
+#endif // PF_SYSTEM_CONFIG_HH

@@ -1,0 +1,142 @@
+#include "system/experiment.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace pageforge
+{
+
+Tick
+ExperimentConfig::measureWindow(const AppProfile &app,
+                                unsigned num_vms) const
+{
+    double total_qps = app.qps * num_vms;
+    double secs = static_cast<double>(targetQueries) / total_qps;
+    Tick window = static_cast<Tick>(secs * ticksPerSec);
+    return std::clamp(window, minMeasure, maxMeasure);
+}
+
+ExperimentResult
+runExperiment(const AppProfile &app, DedupMode mode,
+              const ExperimentConfig &cfg,
+              const SystemConfig &sys_template)
+{
+    SystemConfig sys_cfg = sys_template;
+    sys_cfg.mode = mode;
+    sys_cfg.memScale = cfg.memScale;
+    sys_cfg.seed = cfg.seed;
+
+    // Keep the footprint-to-cache ratio in the paper's regime (see
+    // ExperimentConfig::scaleCaches). Only applied to untouched
+    // Table 2 defaults so custom cache setups stay as given.
+    SystemConfig defaults;
+    if (cfg.scaleCaches && cfg.memScale < 1.0 &&
+        sys_cfg.l3.sizeBytes == defaults.l3.sizeBytes &&
+        sys_cfg.l2.sizeBytes == defaults.l2.sizeBytes) {
+        auto scaled = [](std::uint32_t base, double factor,
+                         std::uint32_t floor_bytes) {
+            auto bytes = static_cast<std::uint32_t>(base * factor);
+            return std::max(bytes, floor_bytes);
+        };
+        sys_cfg.l2.sizeBytes =
+            scaled(defaults.l2.sizeBytes, cfg.memScale * 2.0, 64 * 1024);
+        sys_cfg.l3.sizeBytes = scaled(defaults.l3.sizeBytes,
+                                      cfg.memScale / 2.0, 1024 * 1024);
+    }
+
+    System system(sys_cfg, app);
+    system.deploy();
+
+    // ---- steady-state warm-up ----
+    if (mode != DedupMode::None)
+        system.warmupDedup(cfg.warmupPasses);
+
+    system.startLoad();
+    system.run(cfg.settleTime);
+
+    // ---- measurement window ----
+    system.resetMeasurement();
+    std::uint64_t merges_before = system.hypervisor().merges();
+    std::uint64_t cow_before = system.hypervisor().cowBreaks();
+
+    Tick window = cfg.measureWindow(system.profile(), sys_cfg.numVms);
+    Tick window_start = system.eventq().curTick();
+    system.run(window);
+    Tick window_end = system.eventq().curTick();
+
+    // ---- collect ----
+    ExperimentResult result;
+    result.app = app.name;
+    result.mode = mode;
+
+    LatencyStats &lat = system.latency();
+    result.meanSojournMs = ticksToMs(
+        static_cast<Tick>(lat.geoMeanOfMeans()));
+    result.p95SojournMs = ticksToMs(
+        static_cast<Tick>(lat.geoMeanOfP95s()));
+    result.queries = lat.queries();
+
+    result.dup = system.hypervisor().analyzeDuplication();
+    result.l3MissRate = system.hierarchy().l3MissRate();
+    std::uint64_t app_acc = system.hierarchy().l3Accesses(Requester::App);
+    std::uint64_t app_miss = system.hierarchy().l3Misses(Requester::App);
+    result.l3AppMissRate = app_acc
+        ? static_cast<double>(app_miss) / static_cast<double>(app_acc)
+        : 0.0;
+
+    Tick window_ticks = window_end - window_start;
+    if (mode == DedupMode::Ksm && window_ticks > 0) {
+        double sum = 0.0;
+        double max_frac = 0.0;
+        for (unsigned c = 0; c < system.numCores(); ++c) {
+            double frac =
+                static_cast<double>(
+                    system.core(c).busyTicks(Requester::Ksm)) /
+                static_cast<double>(window_ticks);
+            sum += frac;
+            max_frac = std::max(max_frac, frac);
+        }
+        result.ksmCycleFracAvg = sum / system.numCores();
+        result.ksmCycleFracMax = max_frac;
+
+        const DaemonCycleStats &cycles = system.ksmd()->cycleStats();
+        result.ksmCompareFrac = cycles.fraction(cycles.compareCycles);
+        result.ksmHashFrac = cycles.fraction(cycles.hashCycles);
+    }
+
+    result.hashStats = system.hashStats();
+
+    const BandwidthTracker &bw =
+        system.memController().dram().bandwidth();
+    result.baselinePhaseBwGBps = bw.meanGBps(window_start, window_end);
+    switch (mode) {
+      case DedupMode::None:
+        result.dedupPhaseBwGBps = bw.peakGBps();
+        break;
+      case DedupMode::Ksm:
+        result.dedupPhaseBwGBps = bw.peakGBpsWhenActive(Requester::Ksm);
+        break;
+      case DedupMode::PageForge:
+        result.dedupPhaseBwGBps =
+            bw.peakGBpsWhenActive(Requester::PageForge);
+        break;
+    }
+
+    if (mode == DedupMode::PageForge) {
+        const Sampler &batches = system.pfModule()->tableProcessCycles();
+        result.pfBatchCyclesAvg = batches.mean();
+        result.pfBatchCyclesStddev = batches.stddev();
+        result.pfRefills = system.pfDriver()->refills();
+        result.pfOsChecks = system.pfDriver()->osChecks();
+        result.pfPagesScanned =
+            system.pfDriver()->mergeStats().pagesScanned;
+    }
+
+    result.merges = system.hypervisor().merges() - merges_before;
+    result.cowBreaks = system.hypervisor().cowBreaks() - cow_before;
+    return result;
+}
+
+} // namespace pageforge

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Experiment runner: one (application, configuration) measurement,
+ * following the paper's methodology (Section 5.3): deploy 10 VMs of
+ * the same application, let merging reach steady state, then measure
+ * a window and report sojourn latency, memory savings, hash-key
+ * behaviour, bandwidth, and daemon characterization.
+ */
+
+#ifndef PF_SYSTEM_EXPERIMENT_HH
+#define PF_SYSTEM_EXPERIMENT_HH
+
+#include <string>
+
+#include "system/system.hh"
+
+namespace pageforge
+{
+
+/** Knobs of a measurement run. */
+struct ExperimentConfig
+{
+    /** Memory-image scale (1.0 = profile defaults). */
+    double memScale = 1.0;
+
+    /**
+     * Scale the L2/L3 capacities along with the memory image (only
+     * when the system template still carries the Table 2 defaults).
+     * The paper's regime has VM memory vastly exceeding the caches
+     * (5 GB active vs 32 MB L3); without this, a scaled-down image
+     * fits in the L3 and deduplication stops generating the DRAM
+     * traffic and pollution the evaluation measures.
+     */
+    bool scaleCaches = true;
+
+    /** Functional dedup passes before timing begins. */
+    unsigned warmupPasses = 6;
+
+    /** Event-mode settling time before the window. */
+    Tick settleTime = msToTicks(30);
+
+    /** Queries to aim for in the window (sets its length). */
+    std::uint64_t targetQueries = 3000;
+
+    /** Bounds on the measurement window. */
+    Tick minMeasure = msToTicks(200);
+    Tick maxMeasure = msToTicks(8000);
+
+    std::uint64_t seed = 42;
+
+    /** Compute the window length for an application's load. */
+    Tick measureWindow(const AppProfile &app, unsigned num_vms) const;
+};
+
+/** Everything a bench needs to print its table/figure rows. */
+struct ExperimentResult
+{
+    std::string app;
+    DedupMode mode = DedupMode::None;
+
+    // Latency (Figures 9 and 10).
+    double meanSojournMs = 0.0; //!< geomean across VMs of per-VM mean
+    double p95SojournMs = 0.0;  //!< geomean across VMs of per-VM p95
+    std::uint64_t queries = 0;
+
+    // Memory (Figure 7).
+    DupAnalysis dup;
+
+    // Cache behaviour (Table 4).
+    double l3MissRate = 0.0;    //!< all requesters
+
+    /**
+     * L3 miss rate of application accesses only. In the scaled-down
+     * system ksmd's own accesses often hit (its tree-path lines stay
+     * resident), dragging the overall rate down even while it evicts
+     * application lines; the app-only rate isolates the pollution the
+     * paper's Table 4 is about.
+     */
+    double l3AppMissRate = 0.0;
+
+    // Daemon cycles (Table 4): fraction of core cycles in ksmd.
+    double ksmCycleFracAvg = 0.0;
+    double ksmCycleFracMax = 0.0;
+    double ksmCompareFrac = 0.0; //!< page compare share of ksmd cycles
+    double ksmHashFrac = 0.0;    //!< hash keygen share of ksmd cycles
+
+    // Hash keys (Figure 8).
+    HashKeyStats hashStats;
+
+    // Bandwidth (Figure 11), GB/s.
+    double baselinePhaseBwGBps = 0.0; //!< mean over the window
+    double dedupPhaseBwGBps = 0.0;    //!< peak while dedup active
+
+    // PageForge characterization (Table 5).
+    double pfBatchCyclesAvg = 0.0;
+    double pfBatchCyclesStddev = 0.0;
+    std::uint64_t pfRefills = 0;
+    std::uint64_t pfOsChecks = 0;
+    std::uint64_t pfPagesScanned = 0;
+
+    std::uint64_t merges = 0;
+    std::uint64_t cowBreaks = 0;
+};
+
+/**
+ * Run one full experiment.
+ *
+ * @param app application profile (one VM per core, all identical)
+ * @param mode Baseline / KSM / PageForge
+ * @param cfg measurement knobs
+ * @param sys_template system configuration to start from; mode and
+ *        scale fields are overwritten
+ */
+ExperimentResult runExperiment(const AppProfile &app, DedupMode mode,
+                               const ExperimentConfig &cfg,
+                               const SystemConfig &sys_template = {});
+
+} // namespace pageforge
+
+#endif // PF_SYSTEM_EXPERIMENT_HH

@@ -1,0 +1,187 @@
+#include "system/system.hh"
+
+#include "sim/logging.hh"
+
+namespace pageforge
+{
+
+const MergeStats System::emptyMergeStats{};
+const HashKeyStats System::emptyHashStats{};
+
+System::System(const SystemConfig &config, const AppProfile &app)
+    : _config(config), _app(scaleProfile(app, config.memScale)),
+      _rng(config.seed)
+{
+    pf_assert(_config.numVms <= _config.numCores,
+              "each VM needs its own core (%u VMs, %u cores)",
+              _config.numVms, _config.numCores);
+
+    std::size_t frames = _config.memFrames;
+    if (frames == 0) {
+        // Auto-size: footprint of all VMs plus CoW/zero headroom.
+        frames = static_cast<std::size_t>(_config.numVms) *
+                _app.footprintPages * 2 + 8192;
+    }
+
+    _mem = std::make_unique<PhysicalMemory>(frames);
+    _mc = std::make_unique<MemController>("mc0", _eq, *_mem,
+                                          _config.dram);
+    _hierarchy = std::make_unique<Hierarchy>(
+        "chip", _eq, _config.numCores, _config.l1, _config.l2,
+        _config.l3, _config.bus, *_mc);
+    for (unsigned c = 0; c < _config.numCores; ++c) {
+        _cores.push_back(std::make_unique<Core>(
+            "core" + std::to_string(c), _eq,
+            static_cast<CoreId>(c)));
+    }
+    _hyper = std::make_unique<Hypervisor>("hypervisor", _eq, *_mem);
+    // Derive per-component streams from fixed offsets of the seed, so
+    // Baseline/KSM/PageForge runs of the same seed see identical
+    // content and query randomness regardless of which components
+    // exist (variance reduction between configurations).
+    _content = std::make_unique<ContentGenerator>(
+        *_hyper, _config.seed ^ 0x636f6e74656e74ULL);
+    _latency = std::make_unique<LatencyStats>(_config.numVms);
+
+    std::vector<Core *> core_ptrs;
+    for (auto &core : _cores)
+        core_ptrs.push_back(core.get());
+
+    switch (_config.mode) {
+      case DedupMode::None:
+        break;
+      case DedupMode::Ksm:
+        _ksmSched = std::make_unique<KsmScheduler>(
+            "ksm_sched", _eq, _config.numCores, _config.ksmPlacement,
+            _config.ksmStickiness,
+            Rng(_config.seed ^ 0x7363686564ULL));
+        _ksmd = std::make_unique<Ksmd>("ksmd", _eq, *_hyper,
+                                       *_hierarchy, core_ptrs,
+                                       *_ksmSched, _config.ksm);
+        break;
+      case DedupMode::PageForge:
+        _pfModule = std::make_unique<PageForgeModule>(
+            "mc0.pageforge", _eq, *_mc, *_hierarchy, _config.pfModule);
+        _pfApi = std::make_unique<PageForgeApi>(*_pfModule);
+        _pfDriver = std::make_unique<PageForgeDriver>(
+            "pf_driver", _eq, *_hyper, *_pfApi, core_ptrs,
+            _config.pfDriver);
+        break;
+    }
+}
+
+System::~System() = default;
+
+void
+System::deploy()
+{
+    pf_assert(!_deployed, "deploy() called twice");
+    _deployed = true;
+
+    for (unsigned v = 0; v < _config.numVms; ++v) {
+        VmLayout layout = _content->deployVm(_app, v);
+        _layouts.push_back(layout);
+        _apps.push_back(std::make_unique<TailBenchApp>(
+            _app.name + ".app" + std::to_string(v), _eq, *_hyper,
+            *_hierarchy, *_cores[v], *_content, layout, _app,
+            *_latency,
+            Rng(_config.seed * 0x9e3779b97f4a7c15ULL + v + 1)));
+    }
+}
+
+unsigned
+System::warmupDedup(unsigned max_passes)
+{
+    pf_assert(_deployed, "warmup before deploy");
+    if (_config.mode == DedupMode::None)
+        return 0;
+
+    std::uint64_t merges_before = _hyper->merges();
+    for (unsigned pass = 1; pass <= max_passes; ++pass) {
+        if (_config.mode == DedupMode::Ksm)
+            _ksmd->runOnePassNow();
+        else
+            _pfDriver->runOnePassNow();
+
+        std::uint64_t merges_now = _hyper->merges();
+        if (pass >= 2 && merges_now == merges_before) {
+            finishWarmup();
+            return pass;
+        }
+        merges_before = merges_now;
+    }
+    finishWarmup();
+    return max_passes;
+}
+
+void
+System::finishWarmup()
+{
+    // Synchronous passes advance their own local clocks far beyond
+    // the event queue's; clear the timing debris they left in the
+    // memory system (bank/bus availability, pending-read coalescing,
+    // MSHR entries) so the measured phase starts clean.
+    _mc->resetTiming();
+    _mc->dram().bandwidth().reset(_eq.curTick());
+    _hierarchy->resetTiming();
+}
+
+void
+System::startLoad()
+{
+    pf_assert(_deployed, "startLoad before deploy");
+    pf_assert(!_started, "startLoad called twice");
+    _started = true;
+
+    for (auto &app : _apps)
+        app->start();
+
+    if (_ksmd)
+        _ksmd->start();
+    if (_pfDriver)
+        _pfDriver->start();
+}
+
+void
+System::run(Tick duration)
+{
+    _eq.runUntil(_eq.curTick() + duration);
+}
+
+void
+System::resetMeasurement()
+{
+    _latency->reset();
+    _hierarchy->resetStats();
+    _mc->dram().bandwidth().reset(_eq.curTick());
+    for (auto &core : _cores)
+        core->resetStats();
+    if (_ksmd)
+        _ksmd->resetStats();
+    if (_pfDriver)
+        _pfDriver->resetStats();
+    if (_pfModule)
+        _pfModule->resetStats();
+}
+
+const MergeStats &
+System::mergeStats() const
+{
+    if (_ksmd)
+        return _ksmd->mergeStats();
+    if (_pfDriver)
+        return _pfDriver->mergeStats();
+    return emptyMergeStats;
+}
+
+const HashKeyStats &
+System::hashStats() const
+{
+    if (_ksmd)
+        return _ksmd->hashStats();
+    if (_pfDriver)
+        return _pfDriver->hashStats();
+    return emptyHashStats;
+}
+
+} // namespace pageforge

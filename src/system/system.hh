@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The assembled machine: Figure 5's multicore with VMs, hypervisor,
+ * a merging configuration, and the TailBench-like load.
+ *
+ * This is the top-level object benchmarks and examples construct. It
+ * wires the event queue, physical memory, memory controller (with the
+ * PageForge module when enabled), cache hierarchy, cores, hypervisor,
+ * the dedup daemon of the chosen mode, and one application instance
+ * per VM.
+ */
+
+#ifndef PF_SYSTEM_SYSTEM_HH
+#define PF_SYSTEM_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "system/config.hh"
+#include "workload/content_gen.hh"
+#include "workload/query_gen.hh"
+
+namespace pageforge
+{
+
+/** The whole simulated machine. */
+class System
+{
+  public:
+    /**
+     * Build the machine for one homogeneous application (the paper's
+     * cloud scenario: 10 VMs running the same app, one per core).
+     */
+    System(const SystemConfig &config, const AppProfile &app);
+    ~System();
+
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
+
+    /** Deploy the VMs and write their memory images. */
+    void deploy();
+
+    /**
+     * Functionally fast-forward same-page merging to steady state by
+     * running synchronous scan passes (no core occupancy). Passes stop
+     * early once a pass produces no new merges.
+     * @return passes actually run
+     */
+    unsigned warmupDedup(unsigned max_passes);
+
+    /** Start query generation, churn, and the dedup daemon. */
+    void startLoad();
+
+    /** Advance simulated time. */
+    void run(Tick duration);
+
+    /** Reset all measurement statistics (start of the window). */
+    void resetMeasurement();
+
+    // ---- component access ----
+    EventQueue &eventq() { return _eq; }
+    PhysicalMemory &memory() { return *_mem; }
+    MemController &memController() { return *_mc; }
+    Hierarchy &hierarchy() { return *_hierarchy; }
+    Hypervisor &hypervisor() { return *_hyper; }
+    Core &core(CoreId id) { return *_cores[id]; }
+    unsigned numCores() const { return _config.numCores; }
+    LatencyStats &latency() { return *_latency; }
+    TailBenchApp &app(unsigned idx) { return *_apps[idx]; }
+    unsigned numApps() const { return static_cast<unsigned>(_apps.size()); }
+    const AppProfile &profile() const { return _app; }
+    const SystemConfig &config() const { return _config; }
+
+    /** Null unless mode == Ksm. */
+    Ksmd *ksmd() { return _ksmd.get(); }
+
+    /** Null unless mode == PageForge. */
+    PageForgeDriver *pfDriver() { return _pfDriver.get(); }
+    PageForgeModule *pfModule() { return _pfModule.get(); }
+
+    /** Merge statistics of whichever daemon is active (or empty). */
+    const MergeStats &mergeStats() const;
+    const HashKeyStats &hashStats() const;
+
+    const std::vector<VmLayout> &layouts() const { return _layouts; }
+
+  private:
+    SystemConfig _config;
+    AppProfile _app;
+
+    EventQueue _eq;
+    Rng _rng;
+
+    std::unique_ptr<PhysicalMemory> _mem;
+    std::unique_ptr<MemController> _mc;
+    std::unique_ptr<Hierarchy> _hierarchy;
+    std::vector<std::unique_ptr<Core>> _cores;
+    std::unique_ptr<Hypervisor> _hyper;
+    std::unique_ptr<ContentGenerator> _content;
+    std::unique_ptr<LatencyStats> _latency;
+
+    std::unique_ptr<KsmScheduler> _ksmSched;
+    std::unique_ptr<Ksmd> _ksmd;
+    std::unique_ptr<PageForgeModule> _pfModule;
+    std::unique_ptr<PageForgeApi> _pfApi;
+    std::unique_ptr<PageForgeDriver> _pfDriver;
+
+    std::vector<VmLayout> _layouts;
+    std::vector<std::unique_ptr<TailBenchApp>> _apps;
+
+    bool _deployed = false;
+    bool _started = false;
+
+    /** Clear timing debris left by synchronous warm-up passes. */
+    void finishWarmup();
+
+    static const MergeStats emptyMergeStats;
+    static const HashKeyStats emptyHashStats;
+};
+
+} // namespace pageforge
+
+#endif // PF_SYSTEM_SYSTEM_HH

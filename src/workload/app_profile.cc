@@ -1,0 +1,114 @@
+#include "workload/app_profile.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace pageforge
+{
+
+const std::vector<AppProfile> &
+tailbenchApps()
+{
+    static const std::vector<AppProfile> apps = [] {
+        std::vector<AppProfile> list;
+
+        // Img-dnn: handwriting recognition (image recognition
+        // services); millisecond queries, read-mostly model data.
+        AppProfile img_dnn;
+        img_dnn.name = "img_dnn";
+        img_dnn.qps = 500;
+        img_dnn.computeCyclesPerQuery = 1'700'000;
+        img_dnn.memAccessesPerQuery = 1600;
+        img_dnn.writeFraction = 0.08;
+        img_dnn.footprintPages = 3200;
+        img_dnn.workingSetPages = 1800;
+        img_dnn.dup = {0.05, 0.55};
+        img_dnn.dirtyPagesPerSec = 60;
+        list.push_back(img_dnn);
+
+        // Masstree: in-memory key-value store driven by YCSB with
+        // 50% get / 50% put.
+        AppProfile masstree;
+        masstree.name = "masstree";
+        masstree.qps = 500;
+        masstree.computeCyclesPerQuery = 1'700'000;
+        masstree.memAccessesPerQuery = 1500;
+        masstree.writeFraction = 0.30;
+        masstree.footprintPages = 3000;
+        masstree.workingSetPages = 1200;
+        masstree.dup = {0.06, 0.44};
+        masstree.dirtyPagesPerSec = 120;
+        list.push_back(masstree);
+
+        // Moses: statistical machine translation; coarser queries,
+        // large read-mostly phrase tables.
+        AppProfile moses;
+        moses.name = "moses";
+        moses.qps = 100;
+        moses.computeCyclesPerQuery = 9'000'000;
+        moses.memAccessesPerQuery = 5000;
+        moses.writeFraction = 0.08;
+        moses.footprintPages = 3600;
+        moses.workingSetPages = 2000;
+        moses.dup = {0.04, 0.61};
+        moses.dirtyPagesPerSec = 50;
+        list.push_back(moses);
+
+        // Silo: in-memory OLTP (TPC-C); very fine-grained queries at
+        // high QPS: the most tail-sensitive application.
+        AppProfile silo;
+        silo.name = "silo";
+        silo.qps = 2000;
+        silo.computeCyclesPerQuery = 420'000;
+        silo.memAccessesPerQuery = 500;
+        silo.writeFraction = 0.30;
+        silo.footprintPages = 3000;
+        silo.workingSetPages = 1000;
+        silo.dup = {0.06, 0.39};
+        silo.dirtyPagesPerSec = 150;
+        list.push_back(silo);
+
+        // Sphinx: speech recognition; second-granularity queries at
+        // 1 QPS: barely affected by daemon interference.
+        AppProfile sphinx;
+        sphinx.name = "sphinx";
+        sphinx.qps = 1;
+        sphinx.computeCyclesPerQuery = 900'000'000;
+        sphinx.memAccessesPerQuery = 60'000;
+        sphinx.writeFraction = 0.05;
+        sphinx.footprintPages = 3400;
+        sphinx.workingSetPages = 2200;
+        sphinx.dup = {0.04, 0.51};
+        sphinx.dirtyPagesPerSec = 40;
+        list.push_back(sphinx);
+
+        return list;
+    }();
+    return apps;
+}
+
+const AppProfile &
+appByName(const std::string &name)
+{
+    for (const auto &app : tailbenchApps()) {
+        if (app.name == name)
+            return app;
+    }
+    fatal("unknown application '%s'", name.c_str());
+}
+
+AppProfile
+scaleProfile(const AppProfile &profile, double mem_scale)
+{
+    AppProfile scaled = profile;
+    scaled.footprintPages = std::max(
+        64u, static_cast<unsigned>(profile.footprintPages * mem_scale));
+    scaled.workingSetPages = std::max(
+        32u, static_cast<unsigned>(profile.workingSetPages * mem_scale));
+    scaled.workingSetPages =
+        std::min(scaled.workingSetPages, scaled.footprintPages);
+    return scaled;
+}
+
+} // namespace pageforge

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Synthetic TailBench-like application profiles.
+ *
+ * The paper drives each of 10 VMs with one TailBench application
+ * (Table 3). The evaluation depends on the applications through three
+ * properties, which these profiles encode directly:
+ *
+ *  - the duplication profile of their memory image (Figure 7's
+ *    Unmergeable / Mergeable-Zero / Mergeable-Non-Zero split),
+ *  - the load: queries per second and per-query service demand
+ *    (compute cycles plus memory accesses over a working set), and
+ *  - churn: how often pages are written (CoW breaks / re-merges).
+ *
+ * The QPS values are the paper's; the service demands are synthetic,
+ * scaled so queries have the paper's relative granularity (Sphinx
+ * coarse, Silo/Masstree fine) at laptop-simulation scale.
+ */
+
+#ifndef PF_WORKLOAD_APP_PROFILE_HH
+#define PF_WORKLOAD_APP_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace pageforge
+{
+
+/** Memory-image duplication profile of an application VM. */
+struct DuplicationProfile
+{
+    double zeroFraction = 0.05;   //!< all-zero pages
+    double dupFraction = 0.50;    //!< pages shared across VMs
+    // Remaining pages are unique ("Unmergeable" in Figure 7).
+
+    double
+    uniqueFraction() const
+    {
+        return 1.0 - zeroFraction - dupFraction;
+    }
+};
+
+/** One application's workload description. */
+struct AppProfile
+{
+    std::string name;
+
+    // ---- load (Table 3) ----
+    double qps = 100.0; //!< queries per second per VM
+
+    // ---- per-query service demand ----
+    std::uint64_t computeCyclesPerQuery = 1'000'000;
+    unsigned memAccessesPerQuery = 1500;
+    double writeFraction = 0.1;   //!< stores among memory accesses
+    double serviceJitter = 0.3;   //!< +- uniform jitter on demand
+
+    // ---- memory image ----
+    unsigned footprintPages = 3000; //!< guest pages per VM
+    unsigned workingSetPages = 1200;//!< pages queries touch
+    double hotFraction = 0.8;       //!< accesses hitting the hot set
+    DuplicationProfile dup;
+
+    // ---- churn ----
+    double dirtyPagesPerSec = 80.0; //!< shared pages dirtied per second
+    Tick restoreDelay = msToTicks(100); //!< dirty -> canonical restore
+
+    /** Mean per-access share of the compute demand. */
+    Tick
+    computePerAccess() const
+    {
+        return memAccessesPerQuery
+            ? computeCyclesPerQuery / memAccessesPerQuery
+            : computeCyclesPerQuery;
+    }
+};
+
+/** The five TailBench applications evaluated in the paper. */
+const std::vector<AppProfile> &tailbenchApps();
+
+/** Look up a profile by name; fatal() on unknown names. */
+const AppProfile &appByName(const std::string &name);
+
+/**
+ * Scale a profile's memory image (footprint, working set) by a
+ * factor, for quick tests vs. full benchmark runs.
+ */
+AppProfile scaleProfile(const AppProfile &profile, double mem_scale);
+
+} // namespace pageforge
+
+#endif // PF_WORKLOAD_APP_PROFILE_HH

@@ -1,0 +1,88 @@
+#include "workload/content_gen.hh"
+
+#include <array>
+
+#include "ecc/jhash.hh"
+#include "sim/logging.hh"
+
+namespace pageforge
+{
+
+ContentGenerator::ContentGenerator(Hypervisor &hyper, std::uint64_t seed)
+    : _hyper(hyper), _seed(seed)
+{
+}
+
+void
+ContentGenerator::fillFromSeed(VmId vm, GuestPageNum gpn,
+                               std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::array<std::uint8_t, pageSize> bytes;
+    for (std::size_t i = 0; i < pageSize; i += 8) {
+        std::uint64_t word = rng.next();
+        for (unsigned b = 0; b < 8; ++b)
+            bytes[i + b] = static_cast<std::uint8_t>(word >> (8 * b));
+    }
+    _hyper.writeToPage(vm, gpn, 0, bytes.data(), pageSize);
+}
+
+VmLayout
+ContentGenerator::deployVm(const AppProfile &profile, unsigned vm_index)
+{
+    VmLayout layout;
+    layout.vmIndex = vm_index;
+    layout.appSeed = fnv1a64(
+        reinterpret_cast<const std::uint8_t *>(profile.name.data()),
+        profile.name.size()) ^ _seed;
+
+    unsigned total = profile.footprintPages;
+    layout.zeroCount =
+        static_cast<unsigned>(total * profile.dup.zeroFraction);
+    layout.dupCount =
+        static_cast<unsigned>(total * profile.dup.dupFraction);
+    layout.uniqueCount = total - layout.zeroCount - layout.dupCount;
+    layout.zeroStart = 0;
+    layout.dupStart = layout.zeroCount;
+    layout.uniqueStart = layout.zeroCount + layout.dupCount;
+
+    layout.vm = _hyper.createVm(
+        profile.name + ".vm" + std::to_string(vm_index), total);
+
+    for (GuestPageNum gpn = 0; gpn < total; ++gpn)
+        fillCanonical(layout, gpn);
+
+    // The guest advises its whole address space mergeable, as QEMU
+    // does for VM memory (madvise MADV_MERGEABLE).
+    _hyper.markMergeable(layout.vm, 0, total);
+    return layout;
+}
+
+void
+ContentGenerator::fillCanonical(const VmLayout &layout, GuestPageNum gpn)
+{
+    pf_assert(gpn < layout.totalPages(), "gpn outside layout");
+
+    if (gpn < layout.dupStart) {
+        // Zero block: first touch zero-fills; later restores must
+        // explicitly write zeroes over whatever is there.
+        std::array<std::uint8_t, pageSize> zeroes{};
+        _hyper.writeToPage(layout.vm, gpn, 0, zeroes.data(), pageSize);
+        return;
+    }
+
+    if (inDupBlock(layout, gpn)) {
+        // Shared content: the seed depends only on the application
+        // and the page, so every replica gets identical bytes.
+        fillFromSeed(layout.vm, gpn,
+                     layout.appSeed * 0x9e3779b97f4a7c15ULL + gpn);
+        return;
+    }
+
+    // Unique content: the seed also includes the replica index.
+    fillFromSeed(layout.vm, gpn,
+                 (layout.appSeed + 0x1234567 + layout.vmIndex) *
+                     0xff51afd7ed558ccdULL + gpn);
+}
+
+} // namespace pageforge

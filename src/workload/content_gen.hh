@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Page-content generation for VM memory images.
+ *
+ * Builds each VM's guest memory so that its duplication statistics
+ * match the application profile: a block of all-zero pages, a block of
+ * pages whose contents are shared across the VMs running the same
+ * application (libraries, kernel images, datasets — the cross-VM
+ * duplication same-page merging exploits), and a block of pages unique
+ * to the VM. Content is generated deterministically from seeds, so a
+ * dirtied shared page can later be restored to its canonical bytes
+ * (modelling a guest re-reading the same file).
+ */
+
+#ifndef PF_WORKLOAD_CONTENT_GEN_HH
+#define PF_WORKLOAD_CONTENT_GEN_HH
+
+#include "hyper/hypervisor.hh"
+#include "sim/rng.hh"
+#include "workload/app_profile.hh"
+
+namespace pageforge
+{
+
+/** Where each content class lives in a VM's guest address space. */
+struct VmLayout
+{
+    VmId vm = 0;
+    unsigned vmIndex = 0;      //!< replica index among same-app VMs
+    std::uint64_t appSeed = 0; //!< seed shared by all replicas
+
+    GuestPageNum zeroStart = 0;
+    unsigned zeroCount = 0;
+    GuestPageNum dupStart = 0;
+    unsigned dupCount = 0;
+    GuestPageNum uniqueStart = 0;
+    unsigned uniqueCount = 0;
+
+    unsigned
+    totalPages() const
+    {
+        return zeroCount + dupCount + uniqueCount;
+    }
+};
+
+/** Deploys VMs and writes their initial memory images. */
+class ContentGenerator
+{
+  public:
+    ContentGenerator(Hypervisor &hyper, std::uint64_t seed);
+
+    /**
+     * Create a VM for @p profile, fill its pages per the duplication
+     * profile, and advise the whole range mergeable.
+     *
+     * @param vm_index replica index; pages in the dup block get
+     *        contents that depend only on (appSeed, page), so the
+     *        same page of every replica is byte-identical
+     */
+    VmLayout deployVm(const AppProfile &profile, unsigned vm_index);
+
+    /**
+     * Rewrite a page with its canonical content (zero / shared /
+     * unique, per its block). Used to restore dirtied shared pages.
+     */
+    void fillCanonical(const VmLayout &layout, GuestPageNum gpn);
+
+    /** True when @p gpn lies in the layout's shared block. */
+    static bool
+    inDupBlock(const VmLayout &layout, GuestPageNum gpn)
+    {
+        return gpn >= layout.dupStart &&
+            gpn < layout.dupStart + layout.dupCount;
+    }
+
+  private:
+    Hypervisor &_hyper;
+    std::uint64_t _seed;
+
+    /** Fill one page from a content seed. */
+    void fillFromSeed(VmId vm, GuestPageNum gpn, std::uint64_t seed);
+};
+
+} // namespace pageforge
+
+#endif // PF_WORKLOAD_CONTENT_GEN_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Unit tests for the snoopy bus occupancy model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/bus.hh"
+
+namespace pageforge
+{
+namespace
+{
+
+TEST(Bus, ProbeIsCheaperThanDataTransfer)
+{
+    EventQueue eq;
+    BusConfig cfg;
+    Bus bus("bus", eq, cfg);
+
+    Tick probe_done = bus.probe(0);
+    Bus bus2("bus2", eq, cfg);
+    Tick data_done = bus2.transact(0, true);
+    EXPECT_LT(probe_done, data_done);
+}
+
+TEST(Bus, BackToBackTransactionsSerialize)
+{
+    EventQueue eq;
+    BusConfig cfg;
+    Bus bus("bus", eq, cfg);
+
+    Tick first = bus.transact(0, true);
+    Tick second = bus.transact(0, true);
+    EXPECT_GT(second, first);
+    EXPECT_EQ(bus.transactions(), 2u);
+    EXPECT_EQ(bus.dataTransfers(), 2u);
+}
+
+TEST(Bus, IdleBusHasNoQueueing)
+{
+    EventQueue eq;
+    BusConfig cfg;
+    Bus bus("bus", eq, cfg);
+
+    Tick a = bus.transact(0, false);
+    Tick lat_a = a - 0;
+    Tick b = bus.transact(10'000, false);
+    Tick lat_b = b - 10'000;
+    EXPECT_EQ(lat_a, lat_b);
+}
+
+TEST(Bus, OccupancyNotLatencyGovernsThroughput)
+{
+    EventQueue eq;
+    BusConfig cfg;
+    cfg.arbitration = 100;   // long request-to-grant
+    cfg.probeOccupancy = 2;  // but short occupancy
+    Bus bus("bus", eq, cfg);
+
+    Tick first = bus.probe(0);
+    Tick second = bus.probe(0);
+    // Second probe waits only for occupancy (2), not arbitration.
+    EXPECT_EQ(second - first, cfg.probeOccupancy);
+}
+
+} // namespace
+} // namespace pageforge

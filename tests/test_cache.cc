@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Unit tests for the set-associative MESI tag array.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+
+namespace pageforge
+{
+namespace
+{
+
+CacheConfig
+tinyConfig(std::uint32_t size = 4096, std::uint32_t ways = 2)
+{
+    return CacheConfig{"test", size, ways, 2, 4};
+}
+
+TEST(Cache, MissThenHit)
+{
+    Cache cache(tinyConfig());
+    Addr addr = 0x1000;
+    EXPECT_EQ(cache.access(addr), MesiState::Invalid);
+    cache.insert(addr, MesiState::Exclusive);
+    EXPECT_EQ(cache.access(addr), MesiState::Exclusive);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(Cache, LruEvictionOrder)
+{
+    // 2 ways; three lines mapping to the same set evict the LRU one.
+    CacheConfig cfg = tinyConfig(4096, 2);
+    Cache cache(cfg);
+    std::uint32_t sets = cfg.numSets();
+    Addr set_stride = static_cast<Addr>(sets) * lineSize;
+
+    Addr a = 0;
+    Addr b = set_stride;
+    Addr c = 2 * set_stride;
+
+    cache.insert(a, MesiState::Shared);
+    cache.insert(b, MesiState::Shared);
+    cache.access(a); // make b the LRU
+
+    Victim victim = cache.insert(c, MesiState::Shared);
+    ASSERT_TRUE(victim.valid);
+    EXPECT_EQ(victim.addr, b);
+    EXPECT_TRUE(cache.contains(a));
+    EXPECT_FALSE(cache.contains(b));
+}
+
+TEST(Cache, DirtyVictimReported)
+{
+    CacheConfig cfg = tinyConfig(4096, 1);
+    Cache cache(cfg);
+    Addr set_stride = static_cast<Addr>(cfg.numSets()) * lineSize;
+
+    cache.insert(0, MesiState::Modified);
+    Victim victim = cache.insert(set_stride, MesiState::Shared);
+    ASSERT_TRUE(victim.valid);
+    EXPECT_TRUE(victim.dirty);
+    EXPECT_EQ(victim.addr, 0u);
+}
+
+TEST(Cache, InsertOfResidentLineUpdatesState)
+{
+    Cache cache(tinyConfig());
+    cache.insert(0x40, MesiState::Shared);
+    Victim victim = cache.insert(0x40, MesiState::Modified);
+    EXPECT_FALSE(victim.valid);
+    EXPECT_EQ(cache.probe(0x40), MesiState::Modified);
+    EXPECT_EQ(cache.residentLines(), 1u);
+}
+
+TEST(Cache, InvalidateReportsDirtiness)
+{
+    Cache cache(tinyConfig());
+    cache.insert(0x80, MesiState::Modified);
+    EXPECT_TRUE(cache.invalidate(0x80));
+    EXPECT_FALSE(cache.contains(0x80));
+    EXPECT_FALSE(cache.invalidate(0x80)); // absent line: no-op
+}
+
+TEST(Cache, ProbeDoesNotTouchLruOrStats)
+{
+    CacheConfig cfg = tinyConfig(4096, 2);
+    Cache cache(cfg);
+    Addr set_stride = static_cast<Addr>(cfg.numSets()) * lineSize;
+
+    cache.insert(0, MesiState::Shared);
+    cache.insert(set_stride, MesiState::Shared);
+    std::uint64_t hits_before = cache.hits();
+
+    // Probing line 0 must not promote it in LRU.
+    cache.probe(0);
+    EXPECT_EQ(cache.hits(), hits_before);
+    Victim victim = cache.insert(2 * set_stride, MesiState::Shared);
+    ASSERT_TRUE(victim.valid);
+    EXPECT_EQ(victim.addr, 0u); // line 0 was still the LRU
+}
+
+TEST(Cache, SetStateRequiresResidentLine)
+{
+    Cache cache(tinyConfig());
+    EXPECT_DEATH(cache.setState(0x40, MesiState::Shared), "absent");
+}
+
+TEST(Cache, NonPowerOfTwoSetCountWorks)
+{
+    // 20 ways like the paper's L3: sets = size / (64*20) is not a
+    // power of two; indexing must still spread lines across all sets.
+    CacheConfig cfg{"l3ish", 20 * 64 * 100, 20, 20, 4};
+    Cache cache(cfg);
+    ASSERT_EQ(cfg.numSets(), 100u);
+
+    for (Addr line = 0; line < 200; ++line)
+        cache.insert(line * lineSize, MesiState::Shared);
+    EXPECT_EQ(cache.residentLines(), 200u);
+}
+
+TEST(Cache, HitRateComputation)
+{
+    Cache cache(tinyConfig());
+    cache.access(0);          // miss
+    cache.insert(0, MesiState::Shared);
+    cache.access(0);          // hit
+    cache.access(0);          // hit
+    EXPECT_NEAR(cache.hitRate(), 2.0 / 3.0, 1e-12);
+
+    cache.resetStats();
+    EXPECT_EQ(cache.hits(), 0u);
+    EXPECT_EQ(cache.misses(), 0u);
+}
+
+TEST(Cache, MesiNames)
+{
+    EXPECT_STREQ(mesiName(MesiState::Invalid), "I");
+    EXPECT_STREQ(mesiName(MesiState::Modified), "M");
+}
+
+} // namespace
+} // namespace pageforge

@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Unit and property tests for the content-indexed red-black tree.
+ */
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ksm/content_tree.hh"
+#include "sim/rng.hh"
+
+namespace pageforge
+{
+namespace
+{
+
+/** Test accessor over an owned pool of pages. */
+class PoolAccessor : public PageAccessor
+{
+  public:
+    PageHandle
+    addPage(std::uint64_t seed)
+    {
+        auto page = std::make_unique<std::uint8_t[]>(pageSize);
+        Rng rng(seed);
+        for (std::uint32_t i = 0; i < pageSize; ++i)
+            page[i] = static_cast<std::uint8_t>(rng.next());
+        _pages.push_back(std::move(page));
+        return _pages.size() - 1;
+    }
+
+    PageHandle
+    addBytes(std::uint8_t value)
+    {
+        auto page = std::make_unique<std::uint8_t[]>(pageSize);
+        std::memset(page.get(), value, pageSize);
+        _pages.push_back(std::move(page));
+        return _pages.size() - 1;
+    }
+
+    void invalidate(PageHandle handle) { _stale.push_back(handle); }
+
+    const std::uint8_t *
+    resolve(PageHandle handle) override
+    {
+        if (std::find(_stale.begin(), _stale.end(), handle) !=
+            _stale.end()) {
+            return nullptr;
+        }
+        return _pages[handle].get();
+    }
+
+  private:
+    std::vector<std::unique_ptr<std::uint8_t[]>> _pages;
+    std::vector<PageHandle> _stale;
+};
+
+TEST(ComparePages, EqualPages)
+{
+    std::uint8_t a[pageSize] = {};
+    std::uint8_t b[pageSize] = {};
+    PageCompare cmp = comparePages(a, b);
+    EXPECT_EQ(cmp.sign, 0);
+    EXPECT_EQ(cmp.bytesExamined, pageSize);
+    EXPECT_EQ(cmp.linesExamined(), linesPerPage);
+}
+
+TEST(ComparePages, DivergenceInFirstLine)
+{
+    std::uint8_t a[pageSize] = {};
+    std::uint8_t b[pageSize] = {};
+    b[10] = 1;
+    PageCompare cmp = comparePages(a, b);
+    EXPECT_LT(cmp.sign, 0);
+    EXPECT_EQ(cmp.bytesExamined, 11u);
+    EXPECT_EQ(cmp.linesExamined(), 1u);
+
+    PageCompare rev = comparePages(b, a);
+    EXPECT_GT(rev.sign, 0);
+}
+
+TEST(ComparePages, DivergenceDeepInPage)
+{
+    std::uint8_t a[pageSize] = {};
+    std::uint8_t b[pageSize] = {};
+    b[3000] = 5;
+    PageCompare cmp = comparePages(a, b);
+    EXPECT_EQ(cmp.bytesExamined, 3001u);
+    EXPECT_EQ(cmp.linesExamined(), (3001 + lineSize - 1) / lineSize);
+}
+
+TEST(ContentTree, InsertAndFind)
+{
+    PoolAccessor pool;
+    ContentTree tree(pool);
+
+    PageHandle a = pool.addBytes(10);
+    PageHandle b = pool.addBytes(20);
+    PageHandle c = pool.addBytes(30);
+
+    EXPECT_NE(tree.insert(b), nullptr);
+    EXPECT_NE(tree.insert(a), nullptr);
+    EXPECT_NE(tree.insert(c), nullptr);
+    EXPECT_EQ(tree.size(), 3u);
+    EXPECT_TRUE(tree.validate());
+
+    auto result = tree.search(pool.resolve(a));
+    ASSERT_NE(result.match, nullptr);
+    EXPECT_EQ(tree.handle(result.match), a);
+}
+
+TEST(ContentTree, DuplicateInsertReturnsNull)
+{
+    PoolAccessor pool;
+    ContentTree tree(pool);
+    PageHandle a = pool.addBytes(10);
+    PageHandle twin = pool.addBytes(10);
+
+    EXPECT_NE(tree.insert(a), nullptr);
+    EXPECT_EQ(tree.insert(twin), nullptr);
+    EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST(ContentTree, SearchMissReportsInsertionPoint)
+{
+    PoolAccessor pool;
+    ContentTree tree(pool);
+    PageHandle a = pool.addBytes(10);
+    PageHandle c = pool.addBytes(30);
+    tree.insert(a);
+    tree.insert(c);
+
+    PageHandle b = pool.addBytes(20);
+    auto result = tree.search(pool.resolve(b));
+    EXPECT_EQ(result.match, nullptr);
+    ASSERT_NE(result.parent, nullptr);
+
+    tree.insertAt(result, b);
+    EXPECT_EQ(tree.size(), 3u);
+    EXPECT_TRUE(tree.validate());
+    EXPECT_NE(tree.search(pool.resolve(b)).match, nullptr);
+}
+
+TEST(ContentTree, InOrderTraversalIsSortedByContent)
+{
+    PoolAccessor pool;
+    ContentTree tree(pool);
+    Rng rng(77);
+    for (int i = 0; i < 60; ++i)
+        tree.insert(pool.addPage(rng.next()));
+
+    std::vector<PageHandle> order;
+    tree.forEach([&](PageHandle h) { order.push_back(h); });
+    ASSERT_EQ(order.size(), tree.size());
+    for (std::size_t i = 1; i < order.size(); ++i) {
+        PageCompare cmp = comparePages(pool.resolve(order[i - 1]),
+                                       pool.resolve(order[i]));
+        EXPECT_LT(cmp.sign, 0);
+    }
+}
+
+TEST(ContentTree, RandomInsertEraseKeepsInvariants)
+{
+    PoolAccessor pool;
+    ContentTree tree(pool);
+    Rng rng(123);
+
+    std::vector<ContentTree::Node *> nodes;
+    for (int round = 0; round < 400; ++round) {
+        bool do_insert = nodes.empty() || rng.chance(0.6);
+        if (do_insert) {
+            ContentTree::Node *node = tree.insert(pool.addPage(rng.next()));
+            if (node)
+                nodes.push_back(node);
+        } else {
+            std::size_t pick = rng.nextBounded(nodes.size());
+            tree.erase(nodes[pick]);
+            nodes.erase(nodes.begin() +
+                        static_cast<std::ptrdiff_t>(pick));
+        }
+        if (round % 37 == 0) {
+            ASSERT_TRUE(tree.validate()) << "round " << round;
+        }
+    }
+    EXPECT_TRUE(tree.validate());
+    EXPECT_EQ(tree.size(), nodes.size());
+}
+
+TEST(ContentTree, SearchPrunesStaleNodes)
+{
+    PoolAccessor pool;
+    ContentTree tree(pool);
+    PageHandle a = pool.addBytes(10);
+    PageHandle b = pool.addBytes(20);
+    PageHandle c = pool.addBytes(30);
+    tree.insert(b); // root
+    tree.insert(a);
+    tree.insert(c);
+
+    pool.invalidate(b);
+
+    std::vector<PageHandle> pruned;
+    auto result = tree.search(pool.resolve(c), {},
+                              [&](PageHandle h) { pruned.push_back(h); });
+    ASSERT_NE(result.match, nullptr);
+    EXPECT_EQ(tree.handle(result.match), c);
+    ASSERT_EQ(pruned.size(), 1u);
+    EXPECT_EQ(pruned[0], b);
+    EXPECT_EQ(tree.size(), 2u);
+    EXPECT_TRUE(tree.validate());
+}
+
+TEST(ContentTree, CompareHookSeesEveryVisit)
+{
+    PoolAccessor pool;
+    ContentTree tree(pool);
+    for (int i = 0; i < 15; ++i)
+        tree.insert(pool.addBytes(static_cast<std::uint8_t>(i * 16)));
+
+    PageHandle probe = pool.addBytes(15 * 16);
+    unsigned visits = 0;
+    std::uint64_t bytes = 0;
+    auto result = tree.search(
+        pool.resolve(probe),
+        [&](PageHandle, const PageCompare &cmp) {
+            ++visits;
+            bytes += cmp.bytesExamined;
+        });
+    EXPECT_EQ(result.match, nullptr);
+    EXPECT_EQ(visits, result.nodesVisited);
+    EXPECT_EQ(bytes, result.bytesCompared);
+    EXPECT_GT(visits, 0u);
+    // A red-black tree of 15 nodes has height at most
+    // 2*log2(15 + 1) = 8.
+    EXPECT_LE(visits, 8u);
+}
+
+TEST(ContentTree, ClearInvokesPruneForEveryNode)
+{
+    PoolAccessor pool;
+    ContentTree tree(pool);
+    for (int i = 0; i < 10; ++i)
+        tree.insert(pool.addBytes(static_cast<std::uint8_t>(i)));
+
+    unsigned pruned = 0;
+    tree.clear([&](PageHandle) { ++pruned; });
+    EXPECT_EQ(pruned, 10u);
+    EXPECT_TRUE(tree.empty());
+    EXPECT_EQ(tree.root(), nullptr);
+}
+
+TEST(ContentTree, InsertChildStructural)
+{
+    PoolAccessor pool;
+    ContentTree tree(pool);
+    PageHandle b = pool.addBytes(20);
+    ContentTree::Node *root = tree.insertChild(nullptr, false, b);
+    ASSERT_NE(root, nullptr);
+
+    PageHandle a = pool.addBytes(10);
+    tree.insertChild(root, true, a);
+    EXPECT_EQ(tree.size(), 2u);
+    EXPECT_TRUE(tree.validate());
+    EXPECT_NE(tree.search(pool.resolve(a)).match, nullptr);
+}
+
+TEST(ContentTree, MatchesStdMapOrderingUnderChurn)
+{
+    // Differential test against std::map keyed by page bytes.
+    PoolAccessor pool;
+    ContentTree tree(pool);
+    std::map<std::vector<std::uint8_t>, PageHandle> reference;
+    Rng rng(321);
+
+    for (int i = 0; i < 120; ++i) {
+        PageHandle h = pool.addPage(rng.next());
+        const std::uint8_t *data = pool.resolve(h);
+        std::vector<std::uint8_t> key(data, data + pageSize);
+        if (reference.emplace(key, h).second) {
+            EXPECT_NE(tree.insert(h), nullptr);
+        }
+    }
+
+    ASSERT_EQ(tree.size(), reference.size());
+    std::vector<PageHandle> tree_order;
+    tree.forEach([&](PageHandle h) { tree_order.push_back(h); });
+    std::size_t idx = 0;
+    for (const auto &[key, handle] : reference)
+        EXPECT_EQ(tree_order[idx++], handle);
+}
+
+} // namespace
+} // namespace pageforge

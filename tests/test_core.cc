@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Unit tests for the timing core: serialization, queueing,
+ * front-of-queue preemption, and busy-cycle attribution.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/core.hh"
+
+namespace pageforge
+{
+namespace
+{
+
+TEST(Core, RunsTaskAndReportsCompletion)
+{
+    EventQueue eq;
+    Core core("core0", eq, 0);
+
+    Tick done_at = 0;
+    core.submit(CoreTask{[](Tick) { return Tick(100); },
+                         [&](Tick done) { done_at = done; },
+                         Requester::App});
+    EXPECT_FALSE(core.idle());
+    eq.runAll();
+    EXPECT_EQ(done_at, 100u);
+    EXPECT_TRUE(core.idle());
+}
+
+TEST(Core, TasksSerializeFifo)
+{
+    EventQueue eq;
+    Core core("core0", eq, 0);
+
+    std::vector<Tick> completions;
+    for (int i = 0; i < 3; ++i) {
+        core.submit(CoreTask{[](Tick) { return Tick(50); },
+                             [&](Tick done) { completions.push_back(done); },
+                             Requester::App});
+    }
+    eq.runAll();
+    ASSERT_EQ(completions.size(), 3u);
+    EXPECT_EQ(completions[0], 50u);
+    EXPECT_EQ(completions[1], 100u);
+    EXPECT_EQ(completions[2], 150u);
+}
+
+TEST(Core, SubmitFrontPreemptsQueueNotRunningTask)
+{
+    EventQueue eq;
+    Core core("core0", eq, 0);
+    std::vector<int> order;
+
+    core.submit(CoreTask{[](Tick) { return Tick(100); },
+                         [&](Tick) { order.push_back(1); },
+                         Requester::App});
+    core.submit(CoreTask{[](Tick) { return Tick(100); },
+                         [&](Tick) { order.push_back(2); },
+                         Requester::App});
+    // The "kernel thread" jumps the queue but does not abort task 1.
+    core.submitFront(CoreTask{[](Tick) { return Tick(10); },
+                              [&](Tick) { order.push_back(99); },
+                              Requester::Ksm});
+    eq.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 99, 2}));
+}
+
+TEST(Core, TaskStartSeesCurrentTick)
+{
+    EventQueue eq;
+    Core core("core0", eq, 0);
+
+    Tick observed_start = maxTick;
+    eq.schedule(500, [&] {
+        core.submit(CoreTask{[&](Tick start) {
+                                 observed_start = start;
+                                 return Tick(10);
+                             },
+                             nullptr, Requester::App});
+    });
+    eq.runAll();
+    EXPECT_EQ(observed_start, 500u);
+}
+
+TEST(Core, BusyAttributionPerClass)
+{
+    EventQueue eq;
+    Core core("core0", eq, 0);
+
+    core.submit(CoreTask{[](Tick) { return Tick(70); }, nullptr,
+                         Requester::App});
+    core.submit(CoreTask{[](Tick) { return Tick(30); }, nullptr,
+                         Requester::Ksm});
+    eq.runAll();
+
+    EXPECT_EQ(core.busyTicks(Requester::App), 70u);
+    EXPECT_EQ(core.busyTicks(Requester::Ksm), 30u);
+    EXPECT_EQ(core.totalBusyTicks(), 100u);
+
+    core.resetStats();
+    EXPECT_EQ(core.totalBusyTicks(), 0u);
+}
+
+TEST(Core, QueueDepthCountsWaiters)
+{
+    EventQueue eq;
+    Core core("core0", eq, 0);
+    for (int i = 0; i < 4; ++i) {
+        core.submit(CoreTask{[](Tick) { return Tick(10); }, nullptr,
+                             Requester::App});
+    }
+    // One is running; three wait.
+    EXPECT_EQ(core.queueDepth(), 3u);
+    eq.runAll();
+    EXPECT_EQ(core.queueDepth(), 0u);
+}
+
+TEST(Core, CompletionMayScheduleMoreWork)
+{
+    EventQueue eq;
+    Core core("core0", eq, 0);
+    int chained = 0;
+
+    core.submit(CoreTask{[](Tick) { return Tick(10); },
+                         [&](Tick) {
+                             core.submit(CoreTask{
+                                 [](Tick) { return Tick(5); },
+                                 [&](Tick) { ++chained; },
+                                 Requester::App});
+                         },
+                         Requester::App});
+    eq.runAll();
+    EXPECT_EQ(chained, 1);
+    EXPECT_EQ(eq.curTick(), 15u);
+}
+
+} // namespace
+} // namespace pageforge

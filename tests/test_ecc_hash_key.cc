@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Unit tests for ECC-based page hash keys (Section 3.3).
+ */
+
+#include <array>
+
+#include <gtest/gtest.h>
+
+#include "ecc/ecc_hash_key.hh"
+#include "sim/rng.hh"
+
+namespace pageforge
+{
+namespace
+{
+
+std::array<std::uint8_t, pageSize>
+randomPage(std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::array<std::uint8_t, pageSize> page;
+    for (auto &byte : page)
+        byte = static_cast<std::uint8_t>(rng.next());
+    return page;
+}
+
+TEST(EccOffsets, DefaultsSampleOneLinePerSection)
+{
+    EccOffsets offsets = EccOffsets::defaults();
+    for (unsigned s = 0; s < eccHashSections; ++s) {
+        std::uint32_t line = offsets.lineIndex(s);
+        EXPECT_GE(line, s * linesPerSection);
+        EXPECT_LT(line, (s + 1) * linesPerSection);
+    }
+}
+
+TEST(EccPageHash, DeterministicAndOffsetSensitive)
+{
+    auto page = randomPage(1);
+    EccOffsets a = EccOffsets::defaults();
+    EccOffsets b{{0, 1, 2, 3}};
+    EXPECT_EQ(eccPageHash(page.data(), a), eccPageHash(page.data(), a));
+    EXPECT_NE(eccPageHash(page.data(), a), eccPageHash(page.data(), b));
+}
+
+TEST(EccPageHash, SeesChangesOnlyOnSampledLines)
+{
+    EccOffsets offsets = EccOffsets::defaults();
+    auto page = randomPage(2);
+    std::uint32_t base = eccPageHash(page.data(), offsets);
+
+    // Change on a sampled line: visible.
+    std::uint32_t sampled = offsets.lineIndex(2);
+    page[sampled * lineSize + 5] ^= 0xff;
+    EXPECT_NE(eccPageHash(page.data(), offsets), base);
+    page[sampled * lineSize + 5] ^= 0xff;
+
+    // Change off the sampled lines: invisible (the ECC key's false
+    // positive mechanism, Section 6.2).
+    std::uint32_t unsampled = offsets.lineIndex(2) + 1;
+    page[unsampled * lineSize + 5] ^= 0xff;
+    EXPECT_EQ(eccPageHash(page.data(), offsets), base);
+}
+
+TEST(EccHashAccumulator, AssemblesKeyFromOffers)
+{
+    EccOffsets offsets = EccOffsets::defaults();
+    auto page = randomPage(3);
+    std::uint32_t expected = eccPageHash(page.data(), offsets);
+
+    EccHashAccumulator acc(offsets);
+    EXPECT_FALSE(acc.ready());
+    EXPECT_EQ(acc.missing(), eccHashSections);
+
+    // Offer every line of the page, as the comparison stream would.
+    for (std::uint32_t line = 0; line < linesPerPage; ++line) {
+        LineEccCode code = LineEcc::encode(page.data() + line * lineSize);
+        acc.offer(line, code);
+    }
+    ASSERT_TRUE(acc.ready());
+    EXPECT_EQ(acc.key(), expected);
+}
+
+TEST(EccHashAccumulator, OutOfOrderOffersWork)
+{
+    EccOffsets offsets = EccOffsets::defaults();
+    auto page = randomPage(4);
+    EccHashAccumulator acc(offsets);
+
+    // Offer the sampled lines in reverse section order: PageForge can
+    // consume responses out of order, unlike a serial jhash.
+    for (int s = eccHashSections - 1; s >= 0; --s) {
+        std::uint32_t line = offsets.lineIndex(s);
+        LineEccCode code = LineEcc::encode(page.data() + line * lineSize);
+        EXPECT_TRUE(acc.offer(line, code));
+    }
+    ASSERT_TRUE(acc.ready());
+    EXPECT_EQ(acc.key(), eccPageHash(page.data(), offsets));
+}
+
+TEST(EccHashAccumulator, IgnoresUnsampledLinesAndDuplicates)
+{
+    EccOffsets offsets = EccOffsets::defaults();
+    auto page = randomPage(5);
+    EccHashAccumulator acc(offsets);
+
+    std::uint32_t unsampled = offsets.lineIndex(0) + 1;
+    LineEccCode code =
+        LineEcc::encode(page.data() + unsampled * lineSize);
+    EXPECT_FALSE(acc.offer(unsampled, code));
+
+    std::uint32_t sampled = offsets.lineIndex(0);
+    LineEccCode scode = LineEcc::encode(page.data() + sampled * lineSize);
+    EXPECT_TRUE(acc.offer(sampled, scode));
+    EXPECT_FALSE(acc.offer(sampled, scode)); // second offer is a no-op
+    EXPECT_EQ(acc.missing(), eccHashSections - 1);
+}
+
+TEST(EccHashAccumulator, MissingLinesListsUncapturedOffsets)
+{
+    EccOffsets offsets = EccOffsets::defaults();
+    auto page = randomPage(6);
+    EccHashAccumulator acc(offsets);
+
+    std::uint32_t line1 = offsets.lineIndex(1);
+    acc.offer(line1, LineEcc::encode(page.data() + line1 * lineSize));
+
+    auto missing = acc.missingLines();
+    EXPECT_EQ(missing[0], offsets.lineIndex(0));
+    EXPECT_EQ(missing[1], offsets.lineIndex(2));
+    EXPECT_EQ(missing[2], offsets.lineIndex(3));
+    EXPECT_EQ(missing[3], ~std::uint32_t(0));
+}
+
+TEST(EccHashAccumulator, ResetClearsProgress)
+{
+    EccOffsets offsets = EccOffsets::defaults();
+    auto page = randomPage(7);
+    EccHashAccumulator acc(offsets);
+    for (std::uint32_t line = 0; line < linesPerPage; ++line)
+        acc.offer(line, LineEcc::encode(page.data() + line * lineSize));
+    ASSERT_TRUE(acc.ready());
+
+    acc.reset();
+    EXPECT_FALSE(acc.ready());
+    EXPECT_EQ(acc.missing(), eccHashSections);
+}
+
+TEST(EccPageHash, KeyReads256BytesWorth)
+{
+    // The design point of Section 3.3.1: the key needs only
+    // eccHashSections lines = 256 B, a 75% reduction vs. KSM's 1 KB.
+    EXPECT_EQ(eccHashSections * lineSize, 256u);
+}
+
+} // namespace
+} // namespace pageforge

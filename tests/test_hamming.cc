@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Unit and property tests for the (72,64) SECDED code: every
+ * single-bit error is corrected, every double-bit error is detected.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ecc/hamming7264.hh"
+#include "ecc/line_ecc.hh"
+#include "sim/rng.hh"
+
+namespace pageforge
+{
+namespace
+{
+
+using Status = EccDecodeResult::Status;
+
+TEST(Hamming7264, CleanWordDecodesOk)
+{
+    for (std::uint64_t word :
+         {0ULL, ~0ULL, 0xdeadbeefcafebabeULL, 1ULL, 0x8000000000000000ULL}) {
+        std::uint8_t check = Hamming7264::encode(word);
+        auto result = Hamming7264::decode(word, check);
+        EXPECT_EQ(result.status, Status::Ok);
+        EXPECT_EQ(result.data, word);
+    }
+}
+
+TEST(Hamming7264, EveryDataBitFlipIsCorrected)
+{
+    std::uint64_t word = 0x0123456789abcdefULL;
+    std::uint8_t check = Hamming7264::encode(word);
+    for (unsigned bit = 0; bit < 64; ++bit) {
+        std::uint64_t corrupted = word ^ (1ULL << bit);
+        auto result = Hamming7264::decode(corrupted, check);
+        EXPECT_EQ(result.status, Status::CorrectedData) << "bit " << bit;
+        EXPECT_EQ(result.data, word) << "bit " << bit;
+    }
+}
+
+TEST(Hamming7264, EveryCheckBitFlipIsCorrected)
+{
+    std::uint64_t word = 0xfeedfacefeedfaceULL;
+    std::uint8_t check = Hamming7264::encode(word);
+    for (unsigned bit = 0; bit < 8; ++bit) {
+        std::uint8_t corrupted = check ^ static_cast<std::uint8_t>(1 << bit);
+        auto result = Hamming7264::decode(word, corrupted);
+        EXPECT_EQ(result.status, Status::CorrectedCheck) << "bit " << bit;
+        EXPECT_EQ(result.data, word) << "bit " << bit;
+    }
+}
+
+// Property sweep: random words, all data double-bit error positions
+// sampled, must be flagged as DoubleError (never silently "corrected"
+// to a wrong codeword that claims Ok).
+TEST(Hamming7264, DoubleDataBitErrorsAreDetected)
+{
+    Rng rng(99);
+    for (int trial = 0; trial < 50; ++trial) {
+        std::uint64_t word = rng.next();
+        std::uint8_t check = Hamming7264::encode(word);
+        for (int k = 0; k < 40; ++k) {
+            unsigned b1 = static_cast<unsigned>(rng.nextBounded(64));
+            unsigned b2 = static_cast<unsigned>(rng.nextBounded(64));
+            if (b1 == b2)
+                continue;
+            std::uint64_t corrupted =
+                word ^ (1ULL << b1) ^ (1ULL << b2);
+            auto result = Hamming7264::decode(corrupted, check);
+            EXPECT_EQ(result.status, Status::DoubleError)
+                << "bits " << b1 << "," << b2;
+        }
+    }
+}
+
+TEST(Hamming7264, MixedDataCheckDoubleErrorsAreDetected)
+{
+    Rng rng(101);
+    std::uint64_t word = rng.next();
+    std::uint8_t check = Hamming7264::encode(word);
+    for (unsigned db = 0; db < 64; ++db) {
+        for (unsigned cb = 0; cb < 8; ++cb) {
+            std::uint64_t bad_word = word ^ (1ULL << db);
+            std::uint8_t bad_check =
+                check ^ static_cast<std::uint8_t>(1 << cb);
+            auto result = Hamming7264::decode(bad_word, bad_check);
+            EXPECT_EQ(result.status, Status::DoubleError)
+                << "data bit " << db << ", check bit " << cb;
+        }
+    }
+}
+
+TEST(Hamming7264, DistinctWordsGetValidCodes)
+{
+    // Encoding must be a function of the data (stable) and decoding
+    // its own output must always be clean.
+    Rng rng(103);
+    for (int i = 0; i < 1000; ++i) {
+        std::uint64_t word = rng.next();
+        std::uint8_t c1 = Hamming7264::encode(word);
+        std::uint8_t c2 = Hamming7264::encode(word);
+        EXPECT_EQ(c1, c2);
+        EXPECT_EQ(Hamming7264::decode(word, c1).status, Status::Ok);
+    }
+}
+
+TEST(LineEcc, EncodesEightWords)
+{
+    std::uint8_t line[lineSize];
+    for (unsigned i = 0; i < lineSize; ++i)
+        line[i] = static_cast<std::uint8_t>(i * 7 + 1);
+
+    LineEccCode code = LineEcc::encode(line);
+    auto result = LineEcc::decode(line, code);
+    EXPECT_TRUE(result.ok);
+    EXPECT_EQ(result.corrected, 0u);
+}
+
+TEST(LineEcc, CorrectsSingleBitFlipInLine)
+{
+    std::uint8_t line[lineSize] = {};
+    line[5] = 0xa5;
+    LineEccCode code = LineEcc::encode(line);
+
+    std::uint8_t corrupted[lineSize];
+    std::copy(std::begin(line), std::end(line), std::begin(corrupted));
+    corrupted[17] ^= 0x10;
+
+    auto result = LineEcc::decode(corrupted, code);
+    EXPECT_TRUE(result.ok);
+    EXPECT_EQ(result.corrected, 1u);
+    EXPECT_EQ(corrupted[17], line[17]);
+}
+
+TEST(LineEcc, DetectsDoubleBitFlipInSameWord)
+{
+    std::uint8_t line[lineSize] = {};
+    LineEccCode code = LineEcc::encode(line);
+    std::uint8_t corrupted[lineSize] = {};
+    corrupted[0] ^= 0x03; // two bits in word 0
+
+    auto result = LineEcc::decode(corrupted, code);
+    EXPECT_FALSE(result.ok);
+}
+
+TEST(LineEcc, MinikeyIsLowByte)
+{
+    std::uint8_t line[lineSize] = {};
+    LineEccCode code = LineEcc::encode(line);
+    EXPECT_EQ(LineEcc::minikey(code), code[0]);
+}
+
+} // namespace
+} // namespace pageforge

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Unit tests for the hypervisor: allocation, CoW, merging, madvise,
+ * and duplication analysis.
+ */
+
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "hyper/hypervisor.hh"
+
+namespace pageforge
+{
+namespace
+{
+
+class HypervisorTest : public ::testing::Test
+{
+  protected:
+    HypervisorTest() : mem(256), hyper("hv", eq, mem)
+    {
+        vm0 = hyper.createVm("vm0", 16);
+        vm1 = hyper.createVm("vm1", 16);
+    }
+
+    void
+    fillPage(VmId vm, GuestPageNum gpn, std::uint8_t value)
+    {
+        std::uint8_t buf[pageSize];
+        std::memset(buf, value, pageSize);
+        hyper.writeToPage(vm, gpn, 0, buf, pageSize);
+    }
+
+    EventQueue eq;
+    PhysicalMemory mem;
+    Hypervisor hyper;
+    VmId vm0 = 0;
+    VmId vm1 = 0;
+};
+
+TEST_F(HypervisorTest, FirstTouchZeroFills)
+{
+    EXPECT_EQ(hyper.frameOf(vm0, 3), invalidFrame);
+    FrameId frame = hyper.touchPage(vm0, 3);
+    EXPECT_NE(frame, invalidFrame);
+    EXPECT_TRUE(mem.isZeroFrame(frame));
+    EXPECT_EQ(hyper.softFaults(), 1u);
+
+    // Second touch is idempotent.
+    EXPECT_EQ(hyper.touchPage(vm0, 3), frame);
+    EXPECT_EQ(hyper.softFaults(), 1u);
+}
+
+TEST_F(HypervisorTest, WriteToPrivatePageInPlace)
+{
+    fillPage(vm0, 0, 0xaa);
+    FrameId frame = hyper.frameOf(vm0, 0);
+
+    std::uint8_t byte = 0xbb;
+    WriteOutcome outcome = hyper.writeToPage(vm0, 0, 100, &byte, 1);
+    EXPECT_FALSE(outcome.cowBroken);
+    EXPECT_EQ(outcome.frame, frame);
+    EXPECT_EQ(hyper.pageData(vm0, 0)[100], 0xbb);
+}
+
+TEST_F(HypervisorTest, MergePairSharesFrameAndProtects)
+{
+    fillPage(vm0, 0, 0x11);
+    fillPage(vm1, 5, 0x11);
+
+    FrameId merged = hyper.mergePair(PageKey{vm0, 0}, PageKey{vm1, 5});
+    EXPECT_EQ(hyper.frameOf(vm0, 0), merged);
+    EXPECT_EQ(hyper.frameOf(vm1, 5), merged);
+    EXPECT_EQ(mem.refCount(merged), 2u);
+    EXPECT_TRUE(mem.isWriteProtected(merged));
+    EXPECT_EQ(hyper.merges(), 1u);
+    EXPECT_EQ(mem.framesInUse(), 1u);
+}
+
+TEST_F(HypervisorTest, WriteToMergedPageBreaksCow)
+{
+    fillPage(vm0, 0, 0x22);
+    fillPage(vm1, 0, 0x22);
+    FrameId merged = hyper.mergePair(PageKey{vm0, 0}, PageKey{vm1, 0});
+
+    std::uint8_t byte = 0x99;
+    WriteOutcome outcome = hyper.writeToPage(vm0, 0, 0, &byte, 1);
+    EXPECT_TRUE(outcome.cowBroken);
+    EXPECT_NE(outcome.frame, merged);
+    EXPECT_EQ(hyper.cowBreaks(), 1u);
+
+    // The other mapping is untouched; the writer's copy diverges.
+    EXPECT_EQ(hyper.frameOf(vm1, 0), merged);
+    EXPECT_EQ(hyper.pageData(vm0, 0)[0], 0x99);
+    EXPECT_EQ(hyper.pageData(vm1, 0)[0], 0x22);
+    EXPECT_EQ(hyper.pageData(vm0, 0)[1], 0x22); // rest was copied
+}
+
+TEST_F(HypervisorTest, MergeIntoFrameRemapsCandidate)
+{
+    fillPage(vm0, 0, 0x33);
+    fillPage(vm1, 1, 0x33);
+    FrameId merged = hyper.mergePair(PageKey{vm0, 0}, PageKey{vm1, 1});
+
+    fillPage(vm0, 7, 0x33);
+    EXPECT_TRUE(hyper.mergeIntoFrame(PageKey{vm0, 7}, merged));
+    EXPECT_EQ(hyper.frameOf(vm0, 7), merged);
+    EXPECT_EQ(mem.refCount(merged), 3u);
+
+    // Merging a page already mapped there is a no-op.
+    EXPECT_FALSE(hyper.mergeIntoFrame(PageKey{vm0, 7}, merged));
+}
+
+TEST_F(HypervisorTest, MergeOfUnequalPagesPanics)
+{
+    fillPage(vm0, 0, 0x44);
+    fillPage(vm1, 0, 0x55);
+    FrameId other = hyper.frameOf(vm1, 0);
+    mem.setWriteProtected(other, true);
+    EXPECT_DEATH(hyper.mergeIntoFrame(PageKey{vm0, 0}, other),
+                 "non-identical");
+}
+
+TEST_F(HypervisorTest, TryMergeDeclinesGracefully)
+{
+    fillPage(vm0, 0, 0x44);
+    fillPage(vm1, 0, 0x55);
+    FrameId other = hyper.frameOf(vm1, 0);
+    EXPECT_FALSE(hyper.tryMergeIntoFrame(PageKey{vm0, 0}, other));
+
+    fillPage(vm1, 0, 0x44);
+    EXPECT_TRUE(hyper.tryMergeIntoFrame(PageKey{vm0, 0},
+                                        hyper.frameOf(vm1, 0)));
+}
+
+TEST_F(HypervisorTest, MadviseMarksRange)
+{
+    hyper.markMergeable(vm0, 2, 3);
+    hyper.touchPage(vm0, 2);
+    hyper.touchPage(vm0, 3);
+    hyper.touchPage(vm0, 10); // mapped but not mergeable
+
+    auto pages = hyper.mergeablePages();
+    ASSERT_EQ(pages.size(), 2u);
+    EXPECT_EQ(pages[0].gpn, 2u);
+    EXPECT_EQ(pages[1].gpn, 3u);
+}
+
+TEST_F(HypervisorTest, DupAnalysisClassifiesPages)
+{
+    // Two identical non-zero pages, one unique, two zero pages.
+    fillPage(vm0, 0, 0x66);
+    fillPage(vm1, 0, 0x66);
+    fillPage(vm0, 1, 0x77);
+    hyper.touchPage(vm0, 2);
+    hyper.touchPage(vm1, 2);
+
+    DupAnalysis analysis = hyper.analyzeDuplication();
+    EXPECT_EQ(analysis.mappedPages, 5u);
+    EXPECT_EQ(analysis.mergeableNonZero, 2u);
+    EXPECT_EQ(analysis.mergeableZero, 2u);
+    EXPECT_EQ(analysis.unmergeable, 1u);
+    EXPECT_EQ(analysis.framesUsed, 5u); // nothing merged yet
+    EXPECT_EQ(analysis.framesIfFullyMerged, 3u);
+}
+
+TEST_F(HypervisorTest, DupAnalysisAfterMergingShowsSavings)
+{
+    fillPage(vm0, 0, 0x66);
+    fillPage(vm1, 0, 0x66);
+    hyper.mergePair(PageKey{vm0, 0}, PageKey{vm1, 0});
+
+    DupAnalysis analysis = hyper.analyzeDuplication();
+    EXPECT_EQ(analysis.mappedPages, 2u);
+    EXPECT_EQ(analysis.framesUsed, 1u);
+    EXPECT_DOUBLE_EQ(analysis.footprintRatio(), 0.5);
+}
+
+TEST_F(HypervisorTest, CowBreakOnLastSharerLeavesOneCopy)
+{
+    fillPage(vm0, 0, 0x88);
+    fillPage(vm1, 0, 0x88);
+    FrameId merged = hyper.mergePair(PageKey{vm0, 0}, PageKey{vm1, 0});
+
+    std::uint8_t byte = 1;
+    hyper.writeToPage(vm0, 0, 0, &byte, 1);
+    hyper.writeToPage(vm1, 0, 0, &byte, 1);
+    // Both broke away; the merged frame is free.
+    EXPECT_FALSE(mem.isAllocated(merged));
+    EXPECT_EQ(mem.framesInUse(), 2u);
+}
+
+} // namespace
+} // namespace pageforge

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Unit tests for jhash2 and the page-hash helpers.
+ */
+
+#include <array>
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "ecc/jhash.hh"
+#include "sim/rng.hh"
+
+namespace pageforge
+{
+namespace
+{
+
+TEST(Jhash2, DeterministicAndInitvalSensitive)
+{
+    std::uint32_t words[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+    EXPECT_EQ(jhash2(words, 8, 17), jhash2(words, 8, 17));
+    EXPECT_NE(jhash2(words, 8, 17), jhash2(words, 8, 18));
+}
+
+TEST(Jhash2, LengthSensitive)
+{
+    std::uint32_t words[8] = {};
+    EXPECT_NE(jhash2(words, 7, 17), jhash2(words, 8, 17));
+}
+
+TEST(Jhash2, SingleWordChangesHash)
+{
+    Rng rng(5);
+    std::uint32_t words[256];
+    for (auto &w : words)
+        w = static_cast<std::uint32_t>(rng.next());
+
+    std::uint32_t base = jhash2(words, 256, 17);
+    for (int i = 0; i < 256; i += 17) {
+        std::uint32_t saved = words[i];
+        words[i] ^= 0x1;
+        EXPECT_NE(jhash2(words, 256, 17), base) << "word " << i;
+        words[i] = saved;
+    }
+}
+
+TEST(Jhash2, HandlesAllTailLengths)
+{
+    std::uint32_t words[7] = {9, 8, 7, 6, 5, 4, 3};
+    // Lengths 0..7 exercise every switch case and the mix loop.
+    std::uint32_t seen[8];
+    for (std::uint32_t len = 0; len <= 7; ++len)
+        seen[len] = jhash2(words, len, 17);
+    for (std::uint32_t a = 0; a <= 7; ++a) {
+        for (std::uint32_t b = a + 1; b <= 7; ++b)
+            EXPECT_NE(seen[a], seen[b]) << a << " vs " << b;
+    }
+}
+
+TEST(KsmPageHash, HashesOnlyTheFirstKilobyte)
+{
+    std::array<std::uint8_t, pageSize> page{};
+    std::uint32_t base = ksmPageHash(page.data());
+
+    // A change beyond 1 KB is invisible to the KSM key (that is the
+    // source of its false positives in Figure 8)...
+    page[2048] = 0xff;
+    EXPECT_EQ(ksmPageHash(page.data()), base);
+
+    // ...while a change inside the first 1 KB is visible.
+    page[100] = 0xff;
+    EXPECT_NE(ksmPageHash(page.data()), base);
+}
+
+TEST(KsmPageHash, MatchesDirectJhashOfWords)
+{
+    std::array<std::uint8_t, pageSize> page{};
+    for (unsigned i = 0; i < pageSize; ++i)
+        page[i] = static_cast<std::uint8_t>(i * 31);
+
+    std::uint32_t words[256];
+    std::memcpy(words, page.data(), 1024);
+    EXPECT_EQ(ksmPageHash(page.data()), jhash2(words, 256, 17));
+}
+
+TEST(Fnv1a64, KnownVectorsAndSensitivity)
+{
+    // FNV-1a of the empty string is the offset basis.
+    EXPECT_EQ(fnv1a64(nullptr, 0), 0xcbf29ce484222325ULL);
+
+    const std::uint8_t a[] = {'a'};
+    EXPECT_EQ(fnv1a64(a, 1), 0xaf63dc4c8601ec8cULL);
+
+    const std::uint8_t ab[] = {'a', 'b'};
+    EXPECT_NE(fnv1a64(a, 1), fnv1a64(ab, 2));
+}
+
+} // namespace
+} // namespace pageforge

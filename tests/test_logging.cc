@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Tests for gem5-style status reporting and the SimObject base.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+#include "sim/sim_object.hh"
+
+namespace pageforge
+{
+namespace
+{
+
+TEST(Logging, PanicAborts)
+{
+    EXPECT_DEATH(panic("boom %d", 42), "boom 42");
+}
+
+TEST(Logging, FatalExitsWithStatusOne)
+{
+    EXPECT_EXIT(fatal("bad config: %s", "reason"),
+                ::testing::ExitedWithCode(1), "bad config: reason");
+}
+
+TEST(Logging, AssertMacroReportsConditionAndMessage)
+{
+    int x = 3;
+    EXPECT_DEATH(pf_assert(x == 4, "x was %d", x), "x == 4");
+    EXPECT_DEATH(pf_assert(x == 4, "x was %d", x), "x was 3");
+}
+
+TEST(Logging, AssertPassesSilently)
+{
+    pf_assert(1 + 1 == 2, "arithmetic broke");
+    SUCCEED();
+}
+
+TEST(Logging, LevelsAreSticky)
+{
+    LogLevel before = logLevel();
+    setLogLevel(LogLevel::Silent);
+    EXPECT_EQ(logLevel(), LogLevel::Silent);
+    // warn/inform must be safe to call at any level (no output check;
+    // just exercising the suppressed path).
+    warn("suppressed %d", 1);
+    inform("suppressed %d", 2);
+    setLogLevel(before);
+}
+
+TEST(SimObjectTest, NameAndClockAccess)
+{
+    EventQueue eq;
+    SimObject obj("system.mc0", eq);
+    EXPECT_EQ(obj.name(), "system.mc0");
+    EXPECT_EQ(obj.curTick(), 0u);
+
+    eq.schedule(123, [] {});
+    eq.runAll();
+    EXPECT_EQ(obj.curTick(), 123u);
+    EXPECT_EQ(&obj.eventq(), &eq);
+}
+
+TEST(TypesTest, TimeConversionsRoundTrip)
+{
+    EXPECT_EQ(msToTicks(1.0), ticksPerSec / 1000);
+    EXPECT_EQ(usToTicks(1.0), ticksPerSec / 1'000'000);
+    EXPECT_DOUBLE_EQ(ticksToMs(msToTicks(5.0)), 5.0);
+    EXPECT_DOUBLE_EQ(ticksToSec(ticksPerSec), 1.0);
+}
+
+TEST(TypesTest, AddressHelpers)
+{
+    FrameId frame = 7;
+    EXPECT_EQ(frameToAddr(frame), 7u * pageSize);
+    EXPECT_EQ(addrToFrame(frameToAddr(frame) + 100), frame);
+    EXPECT_EQ(lineAddr(frame, 3), 7u * pageSize + 3 * lineSize);
+    EXPECT_EQ(lineAlign(lineAddr(frame, 3) + 17), lineAddr(frame, 3));
+}
+
+} // namespace
+} // namespace pageforge

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Unit tests for the memory controller: ECC engine integration and
+ * read-request coalescing (Section 3.2.2).
+ */
+
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "ecc/ecc_hash_key.hh"
+#include "mem/mem_controller.hh"
+
+namespace pageforge
+{
+namespace
+{
+
+class MemControllerTest : public ::testing::Test
+{
+  protected:
+    MemControllerTest()
+        : mem(64), mc("mc0", eq, mem, DramConfig{})
+    {
+        frame = mem.allocFrame();
+        for (unsigned i = 0; i < pageSize; ++i)
+            mem.data(frame)[i] = static_cast<std::uint8_t>(i * 13);
+    }
+
+    EventQueue eq;
+    PhysicalMemory mem;
+    MemController mc;
+    FrameId frame = invalidFrame;
+};
+
+TEST_F(MemControllerTest, ReadReturnsEccOfCurrentData)
+{
+    Addr addr = lineAddr(frame, 3);
+    McReadResult result = mc.readLine(addr, 0, Requester::App);
+    EXPECT_GT(result.done, 0u);
+    EXPECT_FALSE(result.coalesced);
+
+    LineEccCode expected = LineEcc::encode(mem.data(frame) + 3 * lineSize);
+    EXPECT_EQ(result.ecc, expected);
+    EXPECT_EQ(mc.eccDecodes(), 1u);
+}
+
+TEST_F(MemControllerTest, SecondReadOfPendingLineCoalesces)
+{
+    Addr addr = lineAddr(frame, 0);
+    McReadResult first = mc.readLine(addr, 0, Requester::App);
+    McReadResult second = mc.readLine(addr, 5, Requester::PageForge);
+
+    EXPECT_TRUE(second.coalesced);
+    EXPECT_EQ(second.done, first.done);
+    EXPECT_EQ(mc.coalescedReads(), 1u);
+    // Only one DRAM access happened.
+    EXPECT_EQ(mc.dram().reads(), 1u);
+}
+
+TEST_F(MemControllerTest, ReadAfterCompletionDoesNotCoalesce)
+{
+    Addr addr = lineAddr(frame, 1);
+    McReadResult first = mc.readLine(addr, 0, Requester::App);
+    McReadResult later =
+        mc.readLine(addr, first.done + 1, Requester::App);
+    EXPECT_FALSE(later.coalesced);
+    EXPECT_EQ(mc.dram().reads(), 2u);
+}
+
+TEST_F(MemControllerTest, DistinctLinesDoNotCoalesce)
+{
+    McReadResult a = mc.readLine(lineAddr(frame, 0), 0, Requester::App);
+    McReadResult b = mc.readLine(lineAddr(frame, 1), 0, Requester::App);
+    EXPECT_FALSE(a.coalesced);
+    EXPECT_FALSE(b.coalesced);
+    EXPECT_EQ(mc.dram().reads(), 2u);
+}
+
+TEST_F(MemControllerTest, WritesGoThroughEccEncoder)
+{
+    Tick done = mc.writeLine(lineAddr(frame, 2), 0, Requester::Writeback);
+    EXPECT_GT(done, 0u);
+    EXPECT_EQ(mc.eccEncodes(), 1u);
+    EXPECT_EQ(mc.dram().writes(), 1u);
+}
+
+TEST_F(MemControllerTest, EncodeLineMatchesReadPathEcc)
+{
+    Addr addr = lineAddr(frame, 7);
+    LineEccCode from_encode = mc.encodeLine(addr);
+    McReadResult from_read = mc.readLine(addr, 0, Requester::App);
+    EXPECT_EQ(from_encode, from_read.ecc);
+}
+
+TEST_F(MemControllerTest, UnalignedAddressPanics)
+{
+    EXPECT_DEATH(mc.readLine(lineAddr(frame, 0) + 1, 0, Requester::App),
+                 "unaligned");
+}
+
+TEST_F(MemControllerTest, InjectedSingleBitFaultIsCorrected)
+{
+    Addr addr = lineAddr(frame, 4);
+    mc.injectBitFlip(addr, 100);
+    McReadResult result = mc.readLine(addr, 0, Requester::App);
+    EXPECT_EQ(mc.correctedErrors(), 1u);
+    EXPECT_EQ(mc.uncorrectableErrors(), 0u);
+    // The delivered ECC corresponds to the corrected (original) data.
+    LineEccCode expected = LineEcc::encode(mem.data(frame) + 4 * lineSize);
+    EXPECT_EQ(result.ecc, expected);
+
+    // The fault is consumed: a second read is clean.
+    mc.readLine(addr, 100'000, Requester::App);
+    EXPECT_EQ(mc.correctedErrors(), 1u);
+}
+
+TEST_F(MemControllerTest, DoubleBitFaultInOneWordIsUncorrectable)
+{
+    Addr addr = lineAddr(frame, 5);
+    // Two bits within the same 64-bit word (word 0: bits 0..63).
+    mc.injectBitFlip(addr, 3);
+    mc.injectBitFlip(addr, 17);
+    mc.readLine(addr, 0, Requester::App);
+    EXPECT_EQ(mc.uncorrectableErrors(), 1u);
+}
+
+TEST_F(MemControllerTest, FaultsInDistinctWordsAllCorrected)
+{
+    Addr addr = lineAddr(frame, 6);
+    // One bit in each of three different words: SECDED corrects all.
+    mc.injectBitFlip(addr, 5);        // word 0
+    mc.injectBitFlip(addr, 64 + 9);   // word 1
+    mc.injectBitFlip(addr, 448 + 60); // word 7
+    mc.readLine(addr, 0, Requester::App);
+    EXPECT_EQ(mc.correctedErrors(), 3u);
+    EXPECT_EQ(mc.uncorrectableErrors(), 0u);
+}
+
+TEST_F(MemControllerTest, BandwidthAttributedToRequester)
+{
+    mc.readLine(lineAddr(frame, 0), 0, Requester::PageForge);
+    mc.readLine(lineAddr(frame, 1), 0, Requester::Ksm);
+    const BandwidthTracker &bw = mc.dram().bandwidth();
+    EXPECT_EQ(bw.totalBytes(Requester::PageForge), lineSize);
+    EXPECT_EQ(bw.totalBytes(Requester::Ksm), lineSize);
+}
+
+} // namespace
+} // namespace pageforge

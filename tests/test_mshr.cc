@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Unit tests for the MSHR file.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/mshr.hh"
+
+namespace pageforge
+{
+namespace
+{
+
+TEST(Mshr, CoalescesOntoPendingFill)
+{
+    Mshr mshr("m", 4);
+    EXPECT_FALSE(mshr.pendingFill(0x40, 0).has_value());
+
+    mshr.reserve(0);
+    mshr.insertFill(0x40, 100);
+
+    auto pending = mshr.pendingFill(0x40, 50);
+    ASSERT_TRUE(pending.has_value());
+    EXPECT_EQ(*pending, 100u);
+    EXPECT_EQ(mshr.coalesced(), 1u);
+}
+
+TEST(Mshr, RetiredFillsAreForgotten)
+{
+    Mshr mshr("m", 4);
+    mshr.reserve(0);
+    mshr.insertFill(0x40, 100);
+    EXPECT_FALSE(mshr.pendingFill(0x40, 100).has_value());
+    EXPECT_FALSE(mshr.pendingFill(0x40, 200).has_value());
+}
+
+TEST(Mshr, FullFileStallsUntilEarliestRetire)
+{
+    Mshr mshr("m", 2);
+    mshr.reserve(0);
+    mshr.insertFill(0x40, 100);
+    mshr.reserve(0);
+    mshr.insertFill(0x80, 150);
+
+    Tick stall = mshr.reserve(20);
+    EXPECT_EQ(stall, 80u); // waits for the 100-tick fill
+    EXPECT_EQ(mshr.fullStalls(), 1u);
+}
+
+TEST(Mshr, ReserveIsFreeWithSpace)
+{
+    Mshr mshr("m", 2);
+    EXPECT_EQ(mshr.reserve(0), 0u);
+    mshr.insertFill(0x40, 100);
+    EXPECT_EQ(mshr.reserve(0), 0u);
+}
+
+TEST(Mshr, OccupancyPrunesRetired)
+{
+    Mshr mshr("m", 8);
+    mshr.reserve(0);
+    mshr.insertFill(0x40, 100);
+    mshr.reserve(0);
+    mshr.insertFill(0x80, 200);
+
+    EXPECT_EQ(mshr.occupancy(50), 2u);
+    EXPECT_EQ(mshr.occupancy(150), 1u);
+    EXPECT_EQ(mshr.occupancy(250), 0u);
+}
+
+TEST(Mshr, FullFileAtLaterTimeHasNoStall)
+{
+    Mshr mshr("m", 1);
+    mshr.reserve(0);
+    mshr.insertFill(0x40, 100);
+    // By tick 200 the outstanding fill retired; no stall even though
+    // the file was nominally full.
+    EXPECT_EQ(mshr.reserve(200), 0u);
+}
+
+} // namespace
+} // namespace pageforge

@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Tests for the PageForge hardware module: Scan Table walks,
+ * Less/More traversal, duplicate detection, background ECC hash
+ * assembly, snoop-first request path, and coalescing.
+ */
+
+#include "sim_fixture.hh"
+
+#include "core/pageforge_api.hh"
+#include "ecc/ecc_hash_key.hh"
+#include "ksm/content_tree.hh"
+
+namespace pageforge
+{
+namespace
+{
+
+class PageForgeModuleTest : public SmallMachine
+{
+  protected:
+    PageForgeModuleTest()
+        : module("pf", eq, mc, hier, PageForgeConfig{}), api(module)
+    {
+        api.setSynchronous(true);
+    }
+
+    FrameId
+    frameWithSeed(std::uint64_t seed)
+    {
+        FrameId frame = mem.allocFrame();
+        Rng rng(seed);
+        for (std::uint32_t i = 0; i < pageSize; ++i)
+            mem.data(frame)[i] = static_cast<std::uint8_t>(rng.next());
+        return frame;
+    }
+
+    PageForgeModule module;
+    PageForgeApi api;
+};
+
+TEST_F(PageForgeModuleTest, FindsDuplicateInSingleEntry)
+{
+    FrameId cand = frameWithSeed(1);
+    FrameId twin = frameWithSeed(1);
+
+    api.insertPpn(0, twin, scanIndexNone, scanIndexNone);
+    api.insertPfe(cand, true, 0);
+    module.processNow();
+
+    PfeInfo info = api.getPfeInfo();
+    EXPECT_TRUE(info.scanned);
+    EXPECT_TRUE(info.duplicate);
+    EXPECT_EQ(info.ptr, 0u);
+    EXPECT_EQ(module.duplicatesFound(), 1u);
+}
+
+TEST_F(PageForgeModuleTest, ReportsNoMatchWithEndToken)
+{
+    FrameId cand = frameWithSeed(1);
+    FrameId other = frameWithSeed(2);
+
+    bool cand_smaller =
+        comparePages(mem.data(cand), mem.data(other)).sign < 0;
+    api.insertPpn(0, other, makeAbsentToken(0, false),
+                  makeAbsentToken(0, true));
+    api.insertPfe(cand, true, 0);
+    module.processNow();
+
+    PfeInfo info = api.getPfeInfo();
+    EXPECT_TRUE(info.scanned);
+    EXPECT_FALSE(info.duplicate);
+    ASSERT_TRUE(isAbsentToken(info.ptr));
+    EXPECT_EQ(tokenEntry(info.ptr), 0u);
+    EXPECT_EQ(tokenMoreSide(info.ptr), !cand_smaller);
+}
+
+TEST_F(PageForgeModuleTest, WalksLessMoreLikeTheFigure2Example)
+{
+    // Build the paper's example: a tree of 6 pages; the candidate is
+    // identical to "Page 4". Entry 0 is the root.
+    // Contents ordered: p1 < p2 < p3 < p4 < p5 < p6 by first byte.
+    std::vector<FrameId> pages;
+    for (std::uint8_t v = 1; v <= 6; ++v) {
+        FrameId frame = mem.allocFrame();
+        std::memset(mem.data(frame), v * 16, pageSize);
+        pages.push_back(frame);
+    }
+    FrameId cand = mem.allocFrame();
+    std::memset(mem.data(cand), 4 * 16, pageSize); // equals page 4
+
+    // Tree from Figure 2: root p3 (entry 0), children p2 (1), p5 (2);
+    // p5's children p4 (5) and p6 (6->entry 3); p2's child p1 (4).
+    api.insertPpn(0, pages[2], 1, 2);
+    api.insertPpn(1, pages[1], 4, makeAbsentToken(1, true));
+    api.insertPpn(2, pages[4], 5, 3);
+    api.insertPpn(3, pages[5], makeAbsentToken(3, false),
+                  makeAbsentToken(3, true));
+    api.insertPpn(4, pages[0], makeAbsentToken(4, false),
+                  makeAbsentToken(4, true));
+    api.insertPpn(5, pages[3], makeAbsentToken(5, false),
+                  makeAbsentToken(5, true));
+    api.insertPfe(cand, true, 0);
+    module.processNow();
+
+    PfeInfo info = api.getPfeInfo();
+    EXPECT_TRUE(info.duplicate);
+    EXPECT_EQ(info.ptr, 5u); // matched the entry holding page 4
+    // Root, p5, p4: exactly three comparisons (steps 1-3 in Fig. 2).
+    EXPECT_EQ(module.comparisons(), 3u);
+}
+
+TEST_F(PageForgeModuleTest, ContinuationTokenStopsTheWalk)
+{
+    FrameId cand = frameWithSeed(1);
+    FrameId other = frameWithSeed(2);
+    bool cand_smaller =
+        comparePages(mem.data(cand), mem.data(other)).sign < 0;
+
+    api.insertPpn(0, other, makeContinueToken(0, false),
+                  makeContinueToken(0, true));
+    api.insertPfe(cand, false, 0);
+    module.processNow();
+
+    PfeInfo info = api.getPfeInfo();
+    EXPECT_TRUE(info.scanned);
+    EXPECT_FALSE(info.duplicate);
+    ASSERT_TRUE(isContinueToken(info.ptr));
+    EXPECT_EQ(tokenMoreSide(info.ptr), !cand_smaller);
+    // Hash incomplete: L was 0 and only one line of the candidate was
+    // compared (divergence in line 0 is nearly certain for random
+    // pages), so H may be unset.
+}
+
+TEST_F(PageForgeModuleTest, LastRefillForcesHashCompletion)
+{
+    FrameId cand = frameWithSeed(3);
+    FrameId other = frameWithSeed(4);
+
+    api.insertPpn(0, other, makeAbsentToken(0, false),
+                  makeAbsentToken(0, true));
+    api.insertPfe(cand, true, 0);
+    module.processNow();
+
+    PfeInfo info = api.getPfeInfo();
+    ASSERT_TRUE(info.hashReady);
+    EXPECT_EQ(info.hash,
+              eccPageHash(mem.data(cand), module.config().eccOffsets));
+}
+
+TEST_F(PageForgeModuleTest, HashOnlyBatchCompletesKey)
+{
+    FrameId cand = frameWithSeed(5);
+    api.insertPfe(cand, true, scanIndexNone);
+    module.processNow();
+
+    PfeInfo info = api.getPfeInfo();
+    EXPECT_TRUE(info.scanned);
+    EXPECT_FALSE(info.duplicate);
+    ASSERT_TRUE(info.hashReady);
+    EXPECT_EQ(info.hash,
+              eccPageHash(mem.data(cand), module.config().eccOffsets));
+}
+
+TEST_F(PageForgeModuleTest, FullMatchSnatchesWholeHashInBackground)
+{
+    // A full-page comparison touches all 64 candidate lines, so the
+    // four sampled minikeys are captured without extra fetches.
+    FrameId cand = frameWithSeed(6);
+    FrameId twin = frameWithSeed(6);
+
+    api.insertPpn(0, twin, scanIndexNone, scanIndexNone);
+    api.insertPfe(cand, false, 0); // L = 0: no forced completion
+    module.processNow();
+
+    PfeInfo info = api.getPfeInfo();
+    EXPECT_TRUE(info.duplicate);
+    EXPECT_TRUE(info.hashReady);
+    EXPECT_EQ(info.hash,
+              eccPageHash(mem.data(cand), module.config().eccOffsets));
+}
+
+TEST_F(PageForgeModuleTest, RequestsBypassCachesButSnoopThem)
+{
+    FrameId cand = frameWithSeed(7);
+    FrameId other = frameWithSeed(8);
+
+    // Warm the caches with the candidate page from a core.
+    for (std::uint32_t l = 0; l < linesPerPage; ++l)
+        hier.access(0, lineAddr(cand, l), false, 0, Requester::App);
+    std::uint64_t l3_accesses_before = hier.l3Accesses(Requester::App) +
+        hier.l3Accesses(Requester::PageForge);
+
+    api.insertPpn(0, other, makeAbsentToken(0, false),
+                  makeAbsentToken(0, true));
+    api.insertPfe(cand, true, 0);
+    module.processNow();
+
+    // Snoop hits serviced the cached candidate lines...
+    EXPECT_GT(module.snoopHits(), 0u);
+    // ...and PageForge allocated nothing anywhere in the hierarchy.
+    EXPECT_EQ(hier.l3Accesses(Requester::PageForge), 0u);
+    EXPECT_EQ(hier.l3Accesses(Requester::App) +
+                  hier.l3Accesses(Requester::PageForge),
+              l3_accesses_before);
+    EXPECT_FALSE(hier.anyCacheHolds(lineAddr(other, 0)));
+}
+
+TEST_F(PageForgeModuleTest, UncachedLinesComeFromDram)
+{
+    FrameId cand = frameWithSeed(9);
+    FrameId other = frameWithSeed(10);
+
+    api.insertPpn(0, other, makeAbsentToken(0, false),
+                  makeAbsentToken(0, true));
+    api.insertPfe(cand, true, 0);
+    module.processNow();
+
+    EXPECT_GT(module.dramReads(), 0u);
+    EXPECT_GT(mc.dram().bandwidth().totalBytes(Requester::PageForge), 0u);
+}
+
+TEST_F(PageForgeModuleTest, TriggeredModeAppliesResultsAfterDelay)
+{
+    api.setSynchronous(false);
+    FrameId cand = frameWithSeed(11);
+    FrameId twin = frameWithSeed(11);
+
+    api.insertPpn(0, twin, scanIndexNone, scanIndexNone);
+    api.insertPfe(cand, true, 0); // auto-triggers
+    EXPECT_TRUE(module.busy());
+    EXPECT_FALSE(api.getPfeInfo().scanned);
+
+    eq.runAll();
+    EXPECT_FALSE(module.busy());
+    PfeInfo info = api.getPfeInfo();
+    EXPECT_TRUE(info.scanned);
+    EXPECT_TRUE(info.duplicate);
+}
+
+TEST_F(PageForgeModuleTest, BatchTimingIsSampled)
+{
+    FrameId cand = frameWithSeed(12);
+    FrameId other = frameWithSeed(13);
+    api.insertPpn(0, other, makeAbsentToken(0, false),
+                  makeAbsentToken(0, true));
+    api.insertPfe(cand, true, 0);
+    Tick duration = module.processNow();
+
+    EXPECT_GT(duration, 0u);
+    EXPECT_EQ(module.tableProcessCycles().count(), 1u);
+    EXPECT_DOUBLE_EQ(module.tableProcessCycles().mean(),
+                     static_cast<double>(duration));
+}
+
+TEST_F(PageForgeModuleTest, UpdateEccOffsetChangesKey)
+{
+    FrameId cand = frameWithSeed(14);
+
+    api.insertPfe(cand, true, scanIndexNone);
+    module.processNow();
+    std::uint32_t key_default = api.getPfeInfo().hash;
+
+    EccOffsets other_offsets{{0, 1, 2, 3}};
+    api.updateEccOffset(other_offsets);
+    api.insertPfe(cand, true, scanIndexNone);
+    module.processNow();
+    std::uint32_t key_custom = api.getPfeInfo().hash;
+
+    EXPECT_NE(key_default, key_custom);
+    EXPECT_EQ(key_custom, eccPageHash(mem.data(cand), other_offsets));
+}
+
+} // namespace
+} // namespace pageforge

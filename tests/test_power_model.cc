@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Tests for the analytical area/power model against the paper's
+ * reported values (Table 5 and Section 6.4.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/power_model.hh"
+
+namespace pageforge
+{
+namespace
+{
+
+TEST(PowerModel, ScanTableMatchesTable5)
+{
+    // 260 B table, conservatively modelled as a 512 B structure.
+    ComponentEstimate est =
+        PowerModel::sramStructure("Scan table", 260,
+                                  DeviceType::HighPerformance);
+    EXPECT_NEAR(est.areaMm2, 0.010, 0.001);
+    EXPECT_NEAR(est.powerW, 0.028, 0.002);
+}
+
+TEST(PowerModel, AluMatchesTable5)
+{
+    ComponentEstimate est = PowerModel::comparatorAlu();
+    EXPECT_NEAR(est.areaMm2, 0.019, 0.001);
+    EXPECT_NEAR(est.powerW, 0.009, 0.001);
+}
+
+TEST(PowerModel, PageForgeTotalMatchesTable5)
+{
+    ComponentEstimate est = PowerModel::pageForge(260);
+    EXPECT_NEAR(est.areaMm2, 0.029, 0.002);
+    EXPECT_NEAR(est.powerW, 0.037, 0.003);
+}
+
+TEST(PowerModel, A9CoreMatchesSection642)
+{
+    ComponentEstimate est = PowerModel::simpleInOrderCore();
+    EXPECT_NEAR(est.areaMm2, 0.77, 0.03);
+    EXPECT_NEAR(est.powerW, 0.37, 0.02);
+}
+
+TEST(PowerModel, ServerChipMatchesSection642)
+{
+    ComponentEstimate est =
+        PowerModel::serverChip(10, 32ull * 1024 * 1024, 2);
+    EXPECT_NEAR(est.areaMm2, 138.6, 1.0);
+    EXPECT_NEAR(est.powerW, 164.0, 1.0);
+}
+
+TEST(PowerModel, PageForgeIsOrdersOfMagnitudeBelowACore)
+{
+    // The paper's headline comparison: PageForge needs negligible
+    // area and an order of magnitude less power than even a simple
+    // in-order core.
+    ComponentEstimate pf = PowerModel::pageForge(260);
+    ComponentEstimate core = PowerModel::simpleInOrderCore();
+    EXPECT_LT(pf.areaMm2 * 10, core.areaMm2);
+    EXPECT_LT(pf.powerW * 9, core.powerW);
+}
+
+TEST(PowerModel, LargerScanTablesCostMore)
+{
+    ComponentEstimate small = PowerModel::pageForge(260);
+    ComponentEstimate big = PowerModel::pageForge(4096);
+    EXPECT_GT(big.areaMm2, small.areaMm2);
+    EXPECT_GT(big.powerW, small.powerW);
+}
+
+TEST(PowerModel, Table5BreakdownHasThreeRows)
+{
+    auto rows = PowerModel::table5Breakdown(260);
+    ASSERT_EQ(rows.size(), 3u);
+    EXPECT_EQ(rows[0].name, "Scan table");
+    EXPECT_EQ(rows[1].name, "ALU");
+    EXPECT_EQ(rows[2].name, "Total PageForge");
+    EXPECT_NEAR(rows[0].areaMm2 + rows[1].areaMm2, rows[2].areaMm2,
+                1e-12);
+}
+
+} // namespace
+} // namespace pageforge

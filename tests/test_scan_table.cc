@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Unit tests for the Scan Table and its index/token encoding.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/scan_table.hh"
+
+namespace pageforge
+{
+namespace
+{
+
+TEST(ScanIndexTokens, RoundTripAbsent)
+{
+    for (unsigned idx : {0u, 5u, 30u}) {
+        for (bool more : {false, true}) {
+            ScanIndex token = makeAbsentToken(idx, more);
+            EXPECT_TRUE(isAbsentToken(token));
+            EXPECT_FALSE(isContinueToken(token));
+            EXPECT_EQ(tokenEntry(token), idx);
+            EXPECT_EQ(tokenMoreSide(token), more);
+        }
+    }
+}
+
+TEST(ScanIndexTokens, RoundTripContinue)
+{
+    for (unsigned idx : {0u, 12u, 30u}) {
+        for (bool more : {false, true}) {
+            ScanIndex token = makeContinueToken(idx, more);
+            EXPECT_TRUE(isContinueToken(token));
+            EXPECT_FALSE(isAbsentToken(token));
+            EXPECT_EQ(tokenEntry(token), idx);
+            EXPECT_EQ(tokenMoreSide(token), more);
+        }
+    }
+}
+
+TEST(ScanIndexTokens, PlainIndicesAreNeither)
+{
+    EXPECT_FALSE(isAbsentToken(0));
+    EXPECT_FALSE(isContinueToken(0));
+    EXPECT_FALSE(isAbsentToken(30));
+    EXPECT_FALSE(isContinueToken(scanIndexNone));
+    EXPECT_FALSE(isAbsentToken(scanIndexNone));
+}
+
+TEST(ScanTable, DefaultGeometryMatchesTable2)
+{
+    ScanTable table;
+    EXPECT_EQ(table.numOtherPages(), 31u);
+    // Table 2: "Scan table size ~= 260B".
+    EXPECT_GE(table.sizeBytes(), 250u);
+    EXPECT_LE(table.sizeBytes(), 290u);
+}
+
+TEST(ScanTable, InsertPpnFillsEntry)
+{
+    ScanTable table;
+    table.setOther(3, 77, 1, 2);
+    const OtherPageEntry &entry = table.other(3);
+    EXPECT_TRUE(entry.valid);
+    EXPECT_EQ(entry.ppn, 77u);
+    EXPECT_EQ(entry.less, 1u);
+    EXPECT_EQ(entry.more, 2u);
+    EXPECT_FALSE(table.other(4).valid);
+}
+
+TEST(ScanTable, PfeLifecycle)
+{
+    ScanTable table;
+    table.setPfe(42, false, 0);
+    EXPECT_TRUE(table.pfe().valid);
+    EXPECT_EQ(table.pfe().ppn, 42u);
+    EXPECT_FALSE(table.pfe().scanned);
+    EXPECT_FALSE(table.pfe().lastRefill);
+
+    table.pfe().scanned = true;
+    table.pfe().duplicate = true;
+    table.updatePfe(true, 5);
+    // update_PFE clears the completion bits for the refilled batch.
+    EXPECT_FALSE(table.pfe().scanned);
+    EXPECT_FALSE(table.pfe().duplicate);
+    EXPECT_TRUE(table.pfe().lastRefill);
+    EXPECT_EQ(table.pfe().ptr, 5u);
+}
+
+TEST(ScanTable, ValidTargetRequiresValidEntry)
+{
+    ScanTable table;
+    EXPECT_FALSE(table.isValidTarget(0));
+    table.setOther(0, 9, scanIndexNone, scanIndexNone);
+    EXPECT_TRUE(table.isValidTarget(0));
+    EXPECT_FALSE(table.isValidTarget(31));
+    EXPECT_FALSE(table.isValidTarget(scanIndexNone));
+    EXPECT_FALSE(table.isValidTarget(makeAbsentToken(0, false)));
+    EXPECT_FALSE(table.isValidTarget(makeContinueToken(0, true)));
+}
+
+TEST(ScanTable, ClearOthersInvalidatesAll)
+{
+    ScanTable table;
+    for (unsigned i = 0; i < table.numOtherPages(); ++i)
+        table.setOther(i, i, scanIndexNone, scanIndexNone);
+    table.clearOthers();
+    for (unsigned i = 0; i < table.numOtherPages(); ++i)
+        EXPECT_FALSE(table.other(i).valid);
+}
+
+TEST(ScanTable, CustomSizesSupported)
+{
+    ScanTable small(7);
+    EXPECT_EQ(small.numOtherPages(), 7u);
+    ScanTable large(63);
+    EXPECT_EQ(large.numOtherPages(), 63u);
+    EXPECT_GT(large.sizeBytes(), small.sizeBytes());
+}
+
+TEST(ScanTable, UpdatePfeWithoutCandidatePanics)
+{
+    ScanTable table;
+    EXPECT_DEATH(table.updatePfe(false, 0), "no candidate");
+}
+
+} // namespace
+} // namespace pageforge

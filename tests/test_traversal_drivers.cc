@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Tests for the generality drivers (Section 4.2): arbitrary-set scan
+ * and graph traversal on the PageForge hardware.
+ */
+
+#include "sim_fixture.hh"
+
+#include "core/traversal_drivers.hh"
+
+namespace pageforge
+{
+namespace
+{
+
+class TraversalTest : public SmallMachine
+{
+  protected:
+    TraversalTest()
+        : module("pf", eq, mc, hier, PageForgeConfig{}), api(module)
+    {
+    }
+
+    FrameId
+    frameWithSeed(std::uint64_t seed)
+    {
+        FrameId frame = mem.allocFrame();
+        Rng rng(seed);
+        for (std::uint32_t i = 0; i < pageSize; ++i)
+            mem.data(frame)[i] = static_cast<std::uint8_t>(rng.next());
+        return frame;
+    }
+
+    PageForgeModule module;
+    PageForgeApi api;
+};
+
+TEST_F(TraversalTest, ArbitrarySetFindsMatch)
+{
+    ArbitrarySetScanner scanner(api);
+    FrameId cand = frameWithSeed(1);
+
+    std::vector<FrameId> set;
+    for (int i = 0; i < 10; ++i)
+        set.push_back(frameWithSeed(100 + i));
+    set[7] = frameWithSeed(1); // the twin
+
+    auto result = scanner.findDuplicate(cand, set);
+    EXPECT_EQ(result.matchIndex, 7);
+    EXPECT_EQ(result.batches, 1u);
+}
+
+TEST_F(TraversalTest, ArbitrarySetNoMatch)
+{
+    ArbitrarySetScanner scanner(api);
+    FrameId cand = frameWithSeed(2);
+    std::vector<FrameId> set;
+    for (int i = 0; i < 5; ++i)
+        set.push_back(frameWithSeed(200 + i));
+
+    auto result = scanner.findDuplicate(cand, set);
+    EXPECT_EQ(result.matchIndex, -1);
+    EXPECT_TRUE(result.hashReady); // last batch forces completion
+}
+
+TEST_F(TraversalTest, ArbitrarySetBatchesBeyondTableSize)
+{
+    ArbitrarySetScanner scanner(api);
+    FrameId cand = frameWithSeed(3);
+
+    std::vector<FrameId> set;
+    for (int i = 0; i < 70; ++i)
+        set.push_back(frameWithSeed(300 + i));
+    set[65] = frameWithSeed(3);
+
+    auto result = scanner.findDuplicate(cand, set);
+    EXPECT_EQ(result.matchIndex, 65);
+    EXPECT_EQ(result.batches, 3u); // 31 + 31 + remainder
+}
+
+TEST_F(TraversalTest, ArbitrarySetEmptySet)
+{
+    ArbitrarySetScanner scanner(api);
+    FrameId cand = frameWithSeed(4);
+    auto result = scanner.findDuplicate(cand, {});
+    EXPECT_EQ(result.matchIndex, -1);
+    EXPECT_EQ(result.batches, 0u);
+}
+
+TEST_F(TraversalTest, GraphTraversalFollowsCompareEdges)
+{
+    GraphScanner scanner(api);
+
+    // Ordered contents: node i holds value (i+1)*20.
+    std::vector<GraphScanner::GraphNode> graph(5);
+    for (int i = 0; i < 5; ++i) {
+        FrameId frame = mem.allocFrame();
+        std::memset(mem.data(frame),
+                    static_cast<std::uint8_t>((i + 1) * 20), pageSize);
+        graph[i].ppn = frame;
+    }
+    // A BST-shaped graph: 2 is the root; smaller -> 1 -> 0; larger ->
+    // 3 -> 4.
+    graph[2].less = 1;
+    graph[2].more = 3;
+    graph[1].less = 0;
+    graph[3].more = 4;
+
+    FrameId cand = mem.allocFrame();
+    std::memset(mem.data(cand), 20, pageSize); // equals node 0
+
+    auto result = scanner.traverse(cand, graph, 2);
+    EXPECT_EQ(result.matchNode, 0);
+}
+
+TEST_F(TraversalTest, GraphTraversalNoMatch)
+{
+    GraphScanner scanner(api);
+    std::vector<GraphScanner::GraphNode> graph(3);
+    for (int i = 0; i < 3; ++i)
+        graph[i].ppn = frameWithSeed(400 + i);
+    graph[0].less = 1;
+    graph[0].more = 2;
+
+    FrameId cand = frameWithSeed(500);
+    auto result = scanner.traverse(cand, graph, 0);
+    EXPECT_EQ(result.matchNode, -1);
+}
+
+TEST_F(TraversalTest, GraphWithCycleTerminates)
+{
+    GraphScanner scanner(api);
+    std::vector<GraphScanner::GraphNode> graph(2);
+    graph[0].ppn = frameWithSeed(600);
+    graph[1].ppn = frameWithSeed(601);
+    // A cycle: 0 -> 1 -> 0 on both edges.
+    graph[0].less = graph[0].more = 1;
+    graph[1].less = graph[1].more = 0;
+
+    FrameId cand = frameWithSeed(700);
+    auto result = scanner.traverse(cand, graph, 0);
+    EXPECT_EQ(result.matchNode, -1);
+    EXPECT_LE(result.batches, 2u);
+}
+
+TEST_F(TraversalTest, GraphInvalidStartIsNoMatch)
+{
+    GraphScanner scanner(api);
+    std::vector<GraphScanner::GraphNode> graph(1);
+    graph[0].ppn = frameWithSeed(800);
+    EXPECT_EQ(scanner.traverse(frameWithSeed(801), graph, -1).matchNode,
+              -1);
+    EXPECT_EQ(scanner.traverse(frameWithSeed(802), graph, 5).matchNode,
+              -1);
+}
+
+} // namespace
+} // namespace pageforge

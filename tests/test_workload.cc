@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Tests for the workload layer: application profiles, content
+ * generation (duplication statistics), query generation and latency
+ * collection, and churn behaviour.
+ */
+
+#include "sim_fixture.hh"
+
+#include "ecc/jhash.hh"
+#include "workload/app_profile.hh"
+#include "workload/content_gen.hh"
+#include "workload/latency_stats.hh"
+#include "workload/query_gen.hh"
+
+namespace pageforge
+{
+namespace
+{
+
+TEST(AppProfile, RegistryHasTheFivePaperApps)
+{
+    const auto &apps = tailbenchApps();
+    ASSERT_EQ(apps.size(), 5u);
+
+    // Table 3 QPS values.
+    EXPECT_DOUBLE_EQ(appByName("img_dnn").qps, 500);
+    EXPECT_DOUBLE_EQ(appByName("masstree").qps, 500);
+    EXPECT_DOUBLE_EQ(appByName("moses").qps, 100);
+    EXPECT_DOUBLE_EQ(appByName("silo").qps, 2000);
+    EXPECT_DOUBLE_EQ(appByName("sphinx").qps, 1);
+}
+
+TEST(AppProfile, DuplicationFractionsAreSane)
+{
+    for (const auto &app : tailbenchApps()) {
+        EXPECT_GT(app.dup.uniqueFraction(), 0.0) << app.name;
+        EXPECT_LT(app.dup.dupFraction, 1.0) << app.name;
+        EXPECT_GT(app.dup.dupFraction, 0.0) << app.name;
+    }
+    // Figure 7 averages: ~45% unmergeable, ~5% zero, ~50% duplicated.
+    double zero = 0.0;
+    double dup = 0.0;
+    for (const auto &app : tailbenchApps()) {
+        zero += app.dup.zeroFraction;
+        dup += app.dup.dupFraction;
+    }
+    EXPECT_NEAR(zero / 5.0, 0.05, 0.015);
+    EXPECT_NEAR(dup / 5.0, 0.50, 0.03);
+}
+
+TEST(AppProfile, UnknownNameIsFatal)
+{
+    EXPECT_DEATH(appByName("notarealapp"), "unknown application");
+}
+
+TEST(AppProfile, ScaleShrinksFootprint)
+{
+    const AppProfile &silo = appByName("silo");
+    AppProfile small = scaleProfile(silo, 0.1);
+    EXPECT_LT(small.footprintPages, silo.footprintPages);
+    EXPECT_LE(small.workingSetPages, small.footprintPages);
+    EXPECT_DOUBLE_EQ(small.qps, silo.qps); // load is unchanged
+}
+
+class ContentGenTest : public SmallMachine
+{
+};
+
+TEST_F(ContentGenTest, ReplicasShareDupBlockContent)
+{
+    ContentGenerator gen(hyper, 7);
+    AppProfile app = scaleProfile(appByName("img_dnn"), 0.05);
+
+    VmLayout a = gen.deployVm(app, 0);
+    VmLayout b = gen.deployVm(app, 1);
+    ASSERT_EQ(a.dupCount, b.dupCount);
+    ASSERT_GT(a.dupCount, 0u);
+
+    // Same dup page across replicas: identical bytes, different frames.
+    GuestPageNum gpn = a.dupStart + a.dupCount / 2;
+    FrameId fa = hyper.frameOf(a.vm, gpn);
+    FrameId fb = hyper.frameOf(b.vm, gpn);
+    EXPECT_NE(fa, fb);
+    EXPECT_TRUE(mem.framesEqual(fa, fb));
+
+    // Unique block differs between replicas.
+    GuestPageNum ugpn = a.uniqueStart;
+    EXPECT_FALSE(mem.framesEqual(hyper.frameOf(a.vm, ugpn),
+                                 hyper.frameOf(b.vm, ugpn)));
+
+    // Zero block is zero.
+    if (a.zeroCount > 0) {
+        EXPECT_TRUE(mem.isZeroFrame(hyper.frameOf(a.vm, a.zeroStart)));
+    }
+}
+
+TEST_F(ContentGenTest, DupAnalysisMatchesProfile)
+{
+    ContentGenerator gen(hyper, 11);
+    AppProfile app = scaleProfile(appByName("moses"), 0.05);
+
+    for (unsigned v = 0; v < 3; ++v)
+        gen.deployVm(app, v);
+
+    DupAnalysis analysis = hyper.analyzeDuplication();
+    double total = static_cast<double>(analysis.mappedPages);
+    EXPECT_NEAR(analysis.mergeableZero / total, app.dup.zeroFraction,
+                0.02);
+    EXPECT_NEAR(analysis.mergeableNonZero / total, app.dup.dupFraction,
+                0.02);
+}
+
+TEST_F(ContentGenTest, CanonicalRestoreReproducesBytes)
+{
+    ContentGenerator gen(hyper, 13);
+    AppProfile app = scaleProfile(appByName("silo"), 0.05);
+    VmLayout layout = gen.deployVm(app, 0);
+
+    GuestPageNum gpn = layout.dupStart;
+    std::vector<std::uint8_t> before(
+        hyper.pageData(layout.vm, gpn),
+        hyper.pageData(layout.vm, gpn) + pageSize);
+
+    // Dirty, then restore: bytes must be exactly canonical again.
+    std::uint8_t junk = 0xAB;
+    hyper.writeToPage(layout.vm, gpn, 123, &junk, 1);
+    EXPECT_NE(hyper.pageData(layout.vm, gpn)[123], before[123]);
+
+    gen.fillCanonical(layout, gpn);
+    EXPECT_EQ(std::memcmp(hyper.pageData(layout.vm, gpn), before.data(),
+                          pageSize),
+              0);
+}
+
+TEST(LatencyStatsTest, GeoMeansAcrossVms)
+{
+    LatencyStats stats(2);
+    stats.record(0, 100);
+    stats.record(0, 100);
+    stats.record(1, 400);
+    stats.record(1, 400);
+
+    // geomean(100, 400) = 200.
+    EXPECT_NEAR(stats.geoMeanOfMeans(), 200.0, 1e-9);
+    EXPECT_EQ(stats.queries(), 4u);
+
+    stats.reset();
+    EXPECT_EQ(stats.queries(), 0u);
+}
+
+class QueryGenTest : public SmallMachine
+{
+  protected:
+    QueryGenTest() : gen(hyper, 17), latency(numCores) {}
+
+    ContentGenerator gen;
+    LatencyStats latency;
+};
+
+TEST_F(QueryGenTest, QueriesCompleteAndRecordSojourn)
+{
+    AppProfile app = scaleProfile(appByName("silo"), 0.05);
+    app.dirtyPagesPerSec = 0; // isolate query behaviour
+    VmLayout layout = gen.deployVm(app, 0);
+
+    TailBenchApp bench("app0", eq, hyper, hier, *cores[0], gen, layout,
+                       app, latency, Rng(5));
+    bench.start();
+    eq.runUntil(msToTicks(20));
+    bench.stop();
+
+    EXPECT_GT(bench.queriesCompleted(), 10u);
+    EXPECT_GT(latency.queries(), 10u);
+    // Sojourn includes service: must be positive and beyond compute.
+    EXPECT_GT(latency.aggregate().mean(),
+              static_cast<double>(app.computeCyclesPerQuery));
+}
+
+TEST_F(QueryGenTest, BusyCoreQueuesQueries)
+{
+    AppProfile app = scaleProfile(appByName("silo"), 0.05);
+    app.dirtyPagesPerSec = 0;
+    VmLayout layout = gen.deployVm(app, 0);
+
+    TailBenchApp bench("app0", eq, hyper, hier, *cores[0], gen, layout,
+                       app, latency, Rng(6));
+    bench.start();
+
+    // Occupy the core for 10 ms: queries arriving meanwhile queue up
+    // and their sojourn grows far beyond an idle-system service time.
+    cores[0]->submitFront(CoreTask{
+        [](Tick) { return msToTicks(10); }, nullptr, Requester::Ksm});
+    eq.runUntil(msToTicks(14));
+    bench.stop();
+
+    ASSERT_GT(latency.queries(), 0u);
+    EXPECT_GT(latency.aggregate().maxSample(),
+              static_cast<double>(msToTicks(5)));
+}
+
+TEST_F(QueryGenTest, WritesToMergedPagesBreakCow)
+{
+    AppProfile app = scaleProfile(appByName("masstree"), 0.05);
+    app.dirtyPagesPerSec = 0;
+    VmLayout l0 = gen.deployVm(app, 0);
+    VmLayout l1 = gen.deployVm(app, 1);
+
+    // Merge every dup page pair by hand.
+    for (unsigned i = 0; i < l0.dupCount; ++i) {
+        GuestPageNum gpn = l0.dupStart + i;
+        hyper.mergePair(PageKey{l0.vm, gpn}, PageKey{l1.vm, gpn});
+    }
+    std::uint64_t breaks_before = hyper.cowBreaks();
+
+    TailBenchApp bench("app0", eq, hyper, hier, *cores[0], gen, l0, app,
+                       latency, Rng(7));
+    bench.start();
+    eq.runUntil(msToTicks(40));
+    bench.stop();
+
+    // Masstree writes 30% of accesses; ~2% of writes hit the shared
+    // block, so some CoW breaks must have occurred.
+    EXPECT_GT(hyper.cowBreaks(), breaks_before);
+    EXPECT_EQ(hyper.cowBreaks() - breaks_before,
+              bench.cowBreaksTaken());
+}
+
+TEST_F(QueryGenTest, ChurnDirtiesAndRestores)
+{
+    AppProfile app = scaleProfile(appByName("silo"), 0.05);
+    app.qps = 1; // almost no queries; churn dominates
+    app.dirtyPagesPerSec = 2000;
+    app.restoreDelay = msToTicks(1);
+    VmLayout layout = gen.deployVm(app, 0);
+
+    // Snapshot canonical contents of the dup block.
+    std::vector<std::uint64_t> canonical;
+    for (unsigned i = 0; i < layout.dupCount; ++i) {
+        GuestPageNum gpn = layout.dupStart + i;
+        canonical.push_back(
+            fnv1a64(hyper.pageData(layout.vm, gpn), pageSize));
+    }
+
+    TailBenchApp bench("app0", eq, hyper, hier, *cores[0], gen, layout,
+                       app, latency, Rng(8));
+    bench.start();
+    eq.runUntil(msToTicks(30));
+    bench.stop();
+    // Drain pending restores.
+    eq.runUntil(eq.curTick() + msToTicks(5));
+
+    unsigned restored = 0;
+    for (unsigned i = 0; i < layout.dupCount; ++i) {
+        GuestPageNum gpn = layout.dupStart + i;
+        if (fnv1a64(hyper.pageData(layout.vm, gpn), pageSize) ==
+            canonical[i]) {
+            ++restored;
+        }
+    }
+    // Nearly every dirtied page must have been restored to canonical.
+    EXPECT_GT(restored, layout.dupCount * 9 / 10);
+}
+
+} // namespace
+} // namespace pageforge

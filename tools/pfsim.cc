@@ -1,0 +1,214 @@
+/**
+ * @file
+ * pfsim: command-line driver for single simulations.
+ *
+ * Runs one (application, configuration) experiment and prints the
+ * result plus, optionally, the full hierarchical statistics dump of
+ * the machine — the way gem5 prints stats.txt.
+ *
+ *   pfsim --app=silo --mode=pageforge --scale=0.2 --window-ms=200
+ *         [--seed=42] [--dump-stats] [--placement=sticky|rr|random|pinned]
+ */
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "stats/table.hh"
+#include "system/system.hh"
+
+using namespace pageforge;
+
+namespace
+{
+
+struct Options
+{
+    std::string app = "masstree";
+    DedupMode mode = DedupMode::PageForge;
+    double scale = 0.2;
+    double windowMs = 200.0;
+    double settleMs = 30.0;
+    unsigned warmupPasses = 6;
+    std::uint64_t seed = 42;
+    bool dumpStats = false;
+    KsmPlacement placement = KsmPlacement::Sticky;
+};
+
+[[noreturn]] void
+usage(const char *prog)
+{
+    std::cerr
+        << "usage: " << prog << " [options]\n"
+        << "  --app=NAME          img_dnn|masstree|moses|silo|sphinx\n"
+        << "  --mode=MODE         baseline|ksm|pageforge\n"
+        << "  --scale=X           memory-image scale (default 0.2)\n"
+        << "  --window-ms=N       measurement window (default 200)\n"
+        << "  --settle-ms=N       settling time (default 30)\n"
+        << "  --warmup-passes=N   dedup fast-forward passes (default 6)\n"
+        << "  --seed=S            experiment seed (default 42)\n"
+        << "  --placement=P       ksmd placement: sticky|rr|random|pinned\n"
+        << "  --dump-stats        print the full component stats dump\n";
+    std::exit(1);
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options opts;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&](const char *prefix) -> const char * {
+            std::size_t len = std::strlen(prefix);
+            return arg.rfind(prefix, 0) == 0 ? arg.c_str() + len
+                                             : nullptr;
+        };
+        if (const char *v = value("--app=")) {
+            opts.app = v;
+        } else if (const char *v = value("--mode=")) {
+            std::string mode = v;
+            if (mode == "baseline")
+                opts.mode = DedupMode::None;
+            else if (mode == "ksm")
+                opts.mode = DedupMode::Ksm;
+            else if (mode == "pageforge")
+                opts.mode = DedupMode::PageForge;
+            else
+                usage(argv[0]);
+        } else if (const char *v = value("--scale=")) {
+            opts.scale = std::atof(v);
+        } else if (const char *v = value("--window-ms=")) {
+            opts.windowMs = std::atof(v);
+        } else if (const char *v = value("--settle-ms=")) {
+            opts.settleMs = std::atof(v);
+        } else if (const char *v = value("--warmup-passes=")) {
+            opts.warmupPasses = static_cast<unsigned>(std::atoi(v));
+        } else if (const char *v = value("--seed=")) {
+            opts.seed = std::strtoull(v, nullptr, 10);
+        } else if (const char *v = value("--placement=")) {
+            std::string p = v;
+            if (p == "sticky")
+                opts.placement = KsmPlacement::Sticky;
+            else if (p == "rr")
+                opts.placement = KsmPlacement::RoundRobin;
+            else if (p == "random")
+                opts.placement = KsmPlacement::Random;
+            else if (p == "pinned")
+                opts.placement = KsmPlacement::Pinned;
+            else
+                usage(argv[0]);
+        } else if (arg == "--dump-stats") {
+            opts.dumpStats = true;
+        } else {
+            usage(argv[0]);
+        }
+    }
+    return opts;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts = parse(argc, argv);
+
+    SystemConfig config;
+    config.mode = opts.mode;
+    config.memScale = opts.scale;
+    config.seed = opts.seed;
+    config.ksmPlacement = opts.placement;
+    // Keep the footprint/cache ratio in the paper's regime, as the
+    // experiment runner does.
+    if (opts.scale < 1.0) {
+        config.l2.sizeBytes = std::max<std::uint32_t>(
+            64 * 1024,
+            static_cast<std::uint32_t>(config.l2.sizeBytes * opts.scale *
+                                       2));
+        config.l3.sizeBytes = std::max<std::uint32_t>(
+            1024 * 1024,
+            static_cast<std::uint32_t>(config.l3.sizeBytes * opts.scale /
+                                       2));
+    }
+
+    const AppProfile &app = appByName(opts.app);
+    System system(config, app);
+    system.deploy();
+
+    DupAnalysis before = system.hypervisor().analyzeDuplication();
+    if (opts.mode != DedupMode::None)
+        system.warmupDedup(opts.warmupPasses);
+
+    system.startLoad();
+    system.run(msToTicks(opts.settleMs));
+    system.resetMeasurement();
+    Tick window = msToTicks(opts.windowMs);
+    Tick start = system.eventq().curTick();
+    system.run(window);
+
+    // ---- report ----
+    DupAnalysis after = system.hypervisor().analyzeDuplication();
+    const Sampler &lat = system.latency().aggregate();
+
+    TablePrinter table("pfsim: " + opts.app + " / " +
+                       dedupModeName(opts.mode));
+    table.setHeader({"Metric", "Value"});
+    table.addRow({"queries completed", std::to_string(lat.count())});
+    table.addRow({"mean sojourn (ms)",
+                  TablePrinter::fmt(ticksToMs(Tick(lat.mean())), 3)});
+    table.addRow({"p95 sojourn (ms)",
+                  TablePrinter::fmt(ticksToMs(Tick(lat.p95())), 3)});
+    table.addRow({"p99 sojourn (ms)",
+                  TablePrinter::fmt(
+                      ticksToMs(Tick(lat.quantile(0.99))), 3)});
+    table.addRow({"guest pages", std::to_string(after.mappedPages)});
+    table.addRow({"frames before merging",
+                  std::to_string(before.framesUsed)});
+    table.addRow({"frames now", std::to_string(after.framesUsed)});
+    table.addRow({"footprint savings",
+                  TablePrinter::pct(1.0 - after.footprintRatio())});
+    table.addRow({"merges", std::to_string(system.hypervisor().merges())});
+    table.addRow({"CoW breaks",
+                  std::to_string(system.hypervisor().cowBreaks())});
+    table.addRow({"L3 miss rate",
+                  TablePrinter::pct(system.hierarchy().l3MissRate())});
+    table.addRow(
+        {"mean DRAM bandwidth (GB/s)",
+         TablePrinter::fmt(system.memController().dram().bandwidth().meanGBps(
+             start, system.eventq().curTick()))});
+
+    if (opts.mode == DedupMode::Ksm) {
+        Tick busy = 0;
+        for (unsigned c = 0; c < system.numCores(); ++c)
+            busy += system.core(c).busyTicks(Requester::Ksm);
+        table.addRow({"ksmd duty (one-core equiv.)",
+                      TablePrinter::pct(static_cast<double>(busy) /
+                                        static_cast<double>(window))});
+    }
+    if (opts.mode == DedupMode::PageForge) {
+        table.addRow({"PF batches",
+                      std::to_string(system.pfDriver()->refills())});
+        table.addRow({"PF avg batch cycles",
+                      TablePrinter::fmt(
+                          system.pfModule()->tableProcessCycles().mean(),
+                          0)});
+        table.addRow({"PF OS checks",
+                      std::to_string(system.pfDriver()->osChecks())});
+    }
+    table.print(std::cout);
+
+    if (opts.dumpStats) {
+        std::cout << "\n---- component statistics ----\n";
+        system.memory().stats().dump(std::cout);
+        system.memController().stats().dump(std::cout);
+        system.hierarchy().stats().dump(std::cout);
+        system.hierarchy().l3().stats().dump(std::cout);
+        system.hierarchy().bus().stats().dump(std::cout);
+        system.hypervisor().stats().dump(std::cout);
+        for (unsigned c = 0; c < system.numCores(); ++c)
+            system.core(c).stats().dump(std::cout);
+        if (system.pfModule())
+            system.pfModule()->stats().dump(std::cout);
+    }
+    return 0;
+}
