@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_alternatives.dir/bench_ablation_alternatives.cc.o"
+  "CMakeFiles/bench_ablation_alternatives.dir/bench_ablation_alternatives.cc.o.d"
+  "bench_ablation_alternatives"
+  "bench_ablation_alternatives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_alternatives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

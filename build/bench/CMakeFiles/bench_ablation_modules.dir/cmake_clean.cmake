@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_modules.dir/bench_ablation_modules.cc.o"
+  "CMakeFiles/bench_ablation_modules.dir/bench_ablation_modules.cc.o.d"
+  "bench_ablation_modules"
+  "bench_ablation_modules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_modules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_scantable.dir/bench_ablation_scantable.cc.o"
+  "CMakeFiles/bench_ablation_scantable.dir/bench_ablation_scantable.cc.o.d"
+  "bench_ablation_scantable"
+  "bench_ablation_scantable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_scantable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_bandwidth.dir/bench_fig11_bandwidth.cc.o"
+  "CMakeFiles/bench_fig11_bandwidth.dir/bench_fig11_bandwidth.cc.o.d"
+  "bench_fig11_bandwidth"
+  "bench_fig11_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

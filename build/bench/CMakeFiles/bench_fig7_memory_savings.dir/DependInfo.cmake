@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig7_memory_savings.cc" "bench/CMakeFiles/bench_fig7_memory_savings.dir/bench_fig7_memory_savings.cc.o" "gcc" "bench/CMakeFiles/bench_fig7_memory_savings.dir/bench_fig7_memory_savings.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pf_system.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pf_ksm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pf_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pf_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pf_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pf_hyper.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pf_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pf_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pf_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pf_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pf_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

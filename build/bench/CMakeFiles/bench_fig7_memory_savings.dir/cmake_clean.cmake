@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_memory_savings.dir/bench_fig7_memory_savings.cc.o"
+  "CMakeFiles/bench_fig7_memory_savings.dir/bench_fig7_memory_savings.cc.o.d"
+  "bench_fig7_memory_savings"
+  "bench_fig7_memory_savings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_memory_savings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

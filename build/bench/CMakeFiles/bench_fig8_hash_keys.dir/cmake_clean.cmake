@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_hash_keys.dir/bench_fig8_hash_keys.cc.o"
+  "CMakeFiles/bench_fig8_hash_keys.dir/bench_fig8_hash_keys.cc.o.d"
+  "bench_fig8_hash_keys"
+  "bench_fig8_hash_keys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_hash_keys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

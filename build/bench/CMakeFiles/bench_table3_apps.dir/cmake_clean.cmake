@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_apps.dir/bench_table3_apps.cc.o"
+  "CMakeFiles/bench_table3_apps.dir/bench_table3_apps.cc.o.d"
+  "bench_table3_apps"
+  "bench_table3_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_ksm_characterization.dir/bench_table4_ksm_characterization.cc.o"
+  "CMakeFiles/bench_table4_ksm_characterization.dir/bench_table4_ksm_characterization.cc.o.d"
+  "bench_table4_ksm_characterization"
+  "bench_table4_ksm_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_ksm_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

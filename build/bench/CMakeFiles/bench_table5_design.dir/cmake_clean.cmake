@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_design.dir/bench_table5_design.cc.o"
+  "CMakeFiles/bench_table5_design.dir/bench_table5_design.cc.o.d"
+  "bench_table5_design"
+  "bench_table5_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

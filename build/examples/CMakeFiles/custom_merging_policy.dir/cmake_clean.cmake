@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_merging_policy.dir/custom_merging_policy.cpp.o"
+  "CMakeFiles/custom_merging_policy.dir/custom_merging_policy.cpp.o.d"
+  "custom_merging_policy"
+  "custom_merging_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_merging_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

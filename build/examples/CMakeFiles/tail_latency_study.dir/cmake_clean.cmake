@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tail_latency_study.dir/tail_latency_study.cpp.o"
+  "CMakeFiles/tail_latency_study.dir/tail_latency_study.cpp.o.d"
+  "tail_latency_study"
+  "tail_latency_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tail_latency_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

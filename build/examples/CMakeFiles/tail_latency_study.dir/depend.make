@@ -1,0 +1,2 @@
+# Empty dependencies file for tail_latency_study.
+# This may be replaced when dependencies are built.

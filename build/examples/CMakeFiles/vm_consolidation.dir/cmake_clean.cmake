@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_consolidation.dir/vm_consolidation.cpp.o"
+  "CMakeFiles/vm_consolidation.dir/vm_consolidation.cpp.o.d"
+  "vm_consolidation"
+  "vm_consolidation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_consolidation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for vm_consolidation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pf_cache.dir/cache/bus.cc.o"
+  "CMakeFiles/pf_cache.dir/cache/bus.cc.o.d"
+  "CMakeFiles/pf_cache.dir/cache/cache.cc.o"
+  "CMakeFiles/pf_cache.dir/cache/cache.cc.o.d"
+  "CMakeFiles/pf_cache.dir/cache/hierarchy.cc.o"
+  "CMakeFiles/pf_cache.dir/cache/hierarchy.cc.o.d"
+  "CMakeFiles/pf_cache.dir/cache/mshr.cc.o"
+  "CMakeFiles/pf_cache.dir/cache/mshr.cc.o.d"
+  "libpf_cache.a"
+  "libpf_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pf_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pf_core.dir/core/pageforge_api.cc.o"
+  "CMakeFiles/pf_core.dir/core/pageforge_api.cc.o.d"
+  "CMakeFiles/pf_core.dir/core/pageforge_driver.cc.o"
+  "CMakeFiles/pf_core.dir/core/pageforge_driver.cc.o.d"
+  "CMakeFiles/pf_core.dir/core/pageforge_module.cc.o"
+  "CMakeFiles/pf_core.dir/core/pageforge_module.cc.o.d"
+  "CMakeFiles/pf_core.dir/core/scan_table.cc.o"
+  "CMakeFiles/pf_core.dir/core/scan_table.cc.o.d"
+  "CMakeFiles/pf_core.dir/core/traversal_drivers.cc.o"
+  "CMakeFiles/pf_core.dir/core/traversal_drivers.cc.o.d"
+  "libpf_core.a"
+  "libpf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

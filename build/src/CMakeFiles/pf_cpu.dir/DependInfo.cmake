@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/core.cc" "src/CMakeFiles/pf_cpu.dir/cpu/core.cc.o" "gcc" "src/CMakeFiles/pf_cpu.dir/cpu/core.cc.o.d"
+  "/root/repo/src/cpu/scheduler.cc" "src/CMakeFiles/pf_cpu.dir/cpu/scheduler.cc.o" "gcc" "src/CMakeFiles/pf_cpu.dir/cpu/scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pf_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pf_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pf_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pf_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pf_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pf_cpu.dir/cpu/core.cc.o"
+  "CMakeFiles/pf_cpu.dir/cpu/core.cc.o.d"
+  "CMakeFiles/pf_cpu.dir/cpu/scheduler.cc.o"
+  "CMakeFiles/pf_cpu.dir/cpu/scheduler.cc.o.d"
+  "libpf_cpu.a"
+  "libpf_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pf_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

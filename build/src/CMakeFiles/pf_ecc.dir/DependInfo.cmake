@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ecc/ecc_hash_key.cc" "src/CMakeFiles/pf_ecc.dir/ecc/ecc_hash_key.cc.o" "gcc" "src/CMakeFiles/pf_ecc.dir/ecc/ecc_hash_key.cc.o.d"
+  "/root/repo/src/ecc/hamming7264.cc" "src/CMakeFiles/pf_ecc.dir/ecc/hamming7264.cc.o" "gcc" "src/CMakeFiles/pf_ecc.dir/ecc/hamming7264.cc.o.d"
+  "/root/repo/src/ecc/jhash.cc" "src/CMakeFiles/pf_ecc.dir/ecc/jhash.cc.o" "gcc" "src/CMakeFiles/pf_ecc.dir/ecc/jhash.cc.o.d"
+  "/root/repo/src/ecc/line_ecc.cc" "src/CMakeFiles/pf_ecc.dir/ecc/line_ecc.cc.o" "gcc" "src/CMakeFiles/pf_ecc.dir/ecc/line_ecc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pf_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pf_ecc.dir/ecc/ecc_hash_key.cc.o"
+  "CMakeFiles/pf_ecc.dir/ecc/ecc_hash_key.cc.o.d"
+  "CMakeFiles/pf_ecc.dir/ecc/hamming7264.cc.o"
+  "CMakeFiles/pf_ecc.dir/ecc/hamming7264.cc.o.d"
+  "CMakeFiles/pf_ecc.dir/ecc/jhash.cc.o"
+  "CMakeFiles/pf_ecc.dir/ecc/jhash.cc.o.d"
+  "CMakeFiles/pf_ecc.dir/ecc/line_ecc.cc.o"
+  "CMakeFiles/pf_ecc.dir/ecc/line_ecc.cc.o.d"
+  "libpf_ecc.a"
+  "libpf_ecc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pf_ecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

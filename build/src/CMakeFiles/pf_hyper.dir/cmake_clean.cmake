@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pf_hyper.dir/hyper/hypervisor.cc.o"
+  "CMakeFiles/pf_hyper.dir/hyper/hypervisor.cc.o.d"
+  "CMakeFiles/pf_hyper.dir/hyper/vm.cc.o"
+  "CMakeFiles/pf_hyper.dir/hyper/vm.cc.o.d"
+  "libpf_hyper.a"
+  "libpf_hyper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pf_hyper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for pf_hyper.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ksm/content_tree.cc" "src/CMakeFiles/pf_ksm.dir/ksm/content_tree.cc.o" "gcc" "src/CMakeFiles/pf_ksm.dir/ksm/content_tree.cc.o.d"
+  "/root/repo/src/ksm/cost_model.cc" "src/CMakeFiles/pf_ksm.dir/ksm/cost_model.cc.o" "gcc" "src/CMakeFiles/pf_ksm.dir/ksm/cost_model.cc.o.d"
+  "/root/repo/src/ksm/ksmd.cc" "src/CMakeFiles/pf_ksm.dir/ksm/ksmd.cc.o" "gcc" "src/CMakeFiles/pf_ksm.dir/ksm/ksmd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pf_hyper.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pf_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pf_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pf_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pf_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pf_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pf_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pf_ksm.dir/ksm/content_tree.cc.o"
+  "CMakeFiles/pf_ksm.dir/ksm/content_tree.cc.o.d"
+  "CMakeFiles/pf_ksm.dir/ksm/cost_model.cc.o"
+  "CMakeFiles/pf_ksm.dir/ksm/cost_model.cc.o.d"
+  "CMakeFiles/pf_ksm.dir/ksm/ksmd.cc.o"
+  "CMakeFiles/pf_ksm.dir/ksm/ksmd.cc.o.d"
+  "libpf_ksm.a"
+  "libpf_ksm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pf_ksm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

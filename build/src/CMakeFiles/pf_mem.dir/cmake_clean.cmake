@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pf_mem.dir/mem/dram_model.cc.o"
+  "CMakeFiles/pf_mem.dir/mem/dram_model.cc.o.d"
+  "CMakeFiles/pf_mem.dir/mem/mem_controller.cc.o"
+  "CMakeFiles/pf_mem.dir/mem/mem_controller.cc.o.d"
+  "CMakeFiles/pf_mem.dir/mem/phys_memory.cc.o"
+  "CMakeFiles/pf_mem.dir/mem/phys_memory.cc.o.d"
+  "libpf_mem.a"
+  "libpf_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pf_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

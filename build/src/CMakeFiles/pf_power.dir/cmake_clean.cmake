@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pf_power.dir/power/power_model.cc.o"
+  "CMakeFiles/pf_power.dir/power/power_model.cc.o.d"
+  "libpf_power.a"
+  "libpf_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pf_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pf_sim.dir/sim/event_queue.cc.o"
+  "CMakeFiles/pf_sim.dir/sim/event_queue.cc.o.d"
+  "CMakeFiles/pf_sim.dir/sim/logging.cc.o"
+  "CMakeFiles/pf_sim.dir/sim/logging.cc.o.d"
+  "CMakeFiles/pf_sim.dir/sim/rng.cc.o"
+  "CMakeFiles/pf_sim.dir/sim/rng.cc.o.d"
+  "CMakeFiles/pf_sim.dir/sim/sim_object.cc.o"
+  "CMakeFiles/pf_sim.dir/sim/sim_object.cc.o.d"
+  "libpf_sim.a"
+  "libpf_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pf_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

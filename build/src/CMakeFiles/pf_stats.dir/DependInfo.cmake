@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/histogram.cc" "src/CMakeFiles/pf_stats.dir/stats/histogram.cc.o" "gcc" "src/CMakeFiles/pf_stats.dir/stats/histogram.cc.o.d"
+  "/root/repo/src/stats/sampler.cc" "src/CMakeFiles/pf_stats.dir/stats/sampler.cc.o" "gcc" "src/CMakeFiles/pf_stats.dir/stats/sampler.cc.o.d"
+  "/root/repo/src/stats/stat_group.cc" "src/CMakeFiles/pf_stats.dir/stats/stat_group.cc.o" "gcc" "src/CMakeFiles/pf_stats.dir/stats/stat_group.cc.o.d"
+  "/root/repo/src/stats/table.cc" "src/CMakeFiles/pf_stats.dir/stats/table.cc.o" "gcc" "src/CMakeFiles/pf_stats.dir/stats/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pf_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

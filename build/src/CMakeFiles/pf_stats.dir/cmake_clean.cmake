@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pf_stats.dir/stats/histogram.cc.o"
+  "CMakeFiles/pf_stats.dir/stats/histogram.cc.o.d"
+  "CMakeFiles/pf_stats.dir/stats/sampler.cc.o"
+  "CMakeFiles/pf_stats.dir/stats/sampler.cc.o.d"
+  "CMakeFiles/pf_stats.dir/stats/stat_group.cc.o"
+  "CMakeFiles/pf_stats.dir/stats/stat_group.cc.o.d"
+  "CMakeFiles/pf_stats.dir/stats/table.cc.o"
+  "CMakeFiles/pf_stats.dir/stats/table.cc.o.d"
+  "libpf_stats.a"
+  "libpf_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pf_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

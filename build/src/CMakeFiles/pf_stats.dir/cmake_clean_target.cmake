@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpf_stats.a"
+)

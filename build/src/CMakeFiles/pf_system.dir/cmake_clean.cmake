@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pf_system.dir/system/config.cc.o"
+  "CMakeFiles/pf_system.dir/system/config.cc.o.d"
+  "CMakeFiles/pf_system.dir/system/experiment.cc.o"
+  "CMakeFiles/pf_system.dir/system/experiment.cc.o.d"
+  "CMakeFiles/pf_system.dir/system/system.cc.o"
+  "CMakeFiles/pf_system.dir/system/system.cc.o.d"
+  "libpf_system.a"
+  "libpf_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pf_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pf_workload.dir/workload/app_profile.cc.o"
+  "CMakeFiles/pf_workload.dir/workload/app_profile.cc.o.d"
+  "CMakeFiles/pf_workload.dir/workload/content_gen.cc.o"
+  "CMakeFiles/pf_workload.dir/workload/content_gen.cc.o.d"
+  "CMakeFiles/pf_workload.dir/workload/latency_stats.cc.o"
+  "CMakeFiles/pf_workload.dir/workload/latency_stats.cc.o.d"
+  "CMakeFiles/pf_workload.dir/workload/query_gen.cc.o"
+  "CMakeFiles/pf_workload.dir/workload/query_gen.cc.o.d"
+  "libpf_workload.a"
+  "libpf_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pf_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_bus.cc" "tests/CMakeFiles/pf_tests.dir/test_bus.cc.o" "gcc" "tests/CMakeFiles/pf_tests.dir/test_bus.cc.o.d"
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/pf_tests.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/pf_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_content_tree.cc" "tests/CMakeFiles/pf_tests.dir/test_content_tree.cc.o" "gcc" "tests/CMakeFiles/pf_tests.dir/test_content_tree.cc.o.d"
+  "/root/repo/tests/test_core.cc" "tests/CMakeFiles/pf_tests.dir/test_core.cc.o" "gcc" "tests/CMakeFiles/pf_tests.dir/test_core.cc.o.d"
+  "/root/repo/tests/test_dram.cc" "tests/CMakeFiles/pf_tests.dir/test_dram.cc.o" "gcc" "tests/CMakeFiles/pf_tests.dir/test_dram.cc.o.d"
+  "/root/repo/tests/test_ecc_hash_key.cc" "tests/CMakeFiles/pf_tests.dir/test_ecc_hash_key.cc.o" "gcc" "tests/CMakeFiles/pf_tests.dir/test_ecc_hash_key.cc.o.d"
+  "/root/repo/tests/test_event_queue.cc" "tests/CMakeFiles/pf_tests.dir/test_event_queue.cc.o" "gcc" "tests/CMakeFiles/pf_tests.dir/test_event_queue.cc.o.d"
+  "/root/repo/tests/test_experiment.cc" "tests/CMakeFiles/pf_tests.dir/test_experiment.cc.o" "gcc" "tests/CMakeFiles/pf_tests.dir/test_experiment.cc.o.d"
+  "/root/repo/tests/test_hamming.cc" "tests/CMakeFiles/pf_tests.dir/test_hamming.cc.o" "gcc" "tests/CMakeFiles/pf_tests.dir/test_hamming.cc.o.d"
+  "/root/repo/tests/test_hierarchy.cc" "tests/CMakeFiles/pf_tests.dir/test_hierarchy.cc.o" "gcc" "tests/CMakeFiles/pf_tests.dir/test_hierarchy.cc.o.d"
+  "/root/repo/tests/test_hypervisor.cc" "tests/CMakeFiles/pf_tests.dir/test_hypervisor.cc.o" "gcc" "tests/CMakeFiles/pf_tests.dir/test_hypervisor.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/pf_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/pf_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_jhash.cc" "tests/CMakeFiles/pf_tests.dir/test_jhash.cc.o" "gcc" "tests/CMakeFiles/pf_tests.dir/test_jhash.cc.o.d"
+  "/root/repo/tests/test_ksmd.cc" "tests/CMakeFiles/pf_tests.dir/test_ksmd.cc.o" "gcc" "tests/CMakeFiles/pf_tests.dir/test_ksmd.cc.o.d"
+  "/root/repo/tests/test_logging.cc" "tests/CMakeFiles/pf_tests.dir/test_logging.cc.o" "gcc" "tests/CMakeFiles/pf_tests.dir/test_logging.cc.o.d"
+  "/root/repo/tests/test_mem_controller.cc" "tests/CMakeFiles/pf_tests.dir/test_mem_controller.cc.o" "gcc" "tests/CMakeFiles/pf_tests.dir/test_mem_controller.cc.o.d"
+  "/root/repo/tests/test_mshr.cc" "tests/CMakeFiles/pf_tests.dir/test_mshr.cc.o" "gcc" "tests/CMakeFiles/pf_tests.dir/test_mshr.cc.o.d"
+  "/root/repo/tests/test_pageforge_api.cc" "tests/CMakeFiles/pf_tests.dir/test_pageforge_api.cc.o" "gcc" "tests/CMakeFiles/pf_tests.dir/test_pageforge_api.cc.o.d"
+  "/root/repo/tests/test_pageforge_driver.cc" "tests/CMakeFiles/pf_tests.dir/test_pageforge_driver.cc.o" "gcc" "tests/CMakeFiles/pf_tests.dir/test_pageforge_driver.cc.o.d"
+  "/root/repo/tests/test_pageforge_module.cc" "tests/CMakeFiles/pf_tests.dir/test_pageforge_module.cc.o" "gcc" "tests/CMakeFiles/pf_tests.dir/test_pageforge_module.cc.o.d"
+  "/root/repo/tests/test_phys_memory.cc" "tests/CMakeFiles/pf_tests.dir/test_phys_memory.cc.o" "gcc" "tests/CMakeFiles/pf_tests.dir/test_phys_memory.cc.o.d"
+  "/root/repo/tests/test_power_model.cc" "tests/CMakeFiles/pf_tests.dir/test_power_model.cc.o" "gcc" "tests/CMakeFiles/pf_tests.dir/test_power_model.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/pf_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/pf_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_rng.cc" "tests/CMakeFiles/pf_tests.dir/test_rng.cc.o" "gcc" "tests/CMakeFiles/pf_tests.dir/test_rng.cc.o.d"
+  "/root/repo/tests/test_scan_table.cc" "tests/CMakeFiles/pf_tests.dir/test_scan_table.cc.o" "gcc" "tests/CMakeFiles/pf_tests.dir/test_scan_table.cc.o.d"
+  "/root/repo/tests/test_scheduler.cc" "tests/CMakeFiles/pf_tests.dir/test_scheduler.cc.o" "gcc" "tests/CMakeFiles/pf_tests.dir/test_scheduler.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/pf_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/pf_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_system.cc" "tests/CMakeFiles/pf_tests.dir/test_system.cc.o" "gcc" "tests/CMakeFiles/pf_tests.dir/test_system.cc.o.d"
+  "/root/repo/tests/test_traversal_drivers.cc" "tests/CMakeFiles/pf_tests.dir/test_traversal_drivers.cc.o" "gcc" "tests/CMakeFiles/pf_tests.dir/test_traversal_drivers.cc.o.d"
+  "/root/repo/tests/test_workload.cc" "tests/CMakeFiles/pf_tests.dir/test_workload.cc.o" "gcc" "tests/CMakeFiles/pf_tests.dir/test_workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pf_system.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pf_ksm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pf_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pf_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pf_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pf_hyper.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pf_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pf_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pf_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pf_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pf_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfsim.dir/pfsim.cc.o"
+  "CMakeFiles/pfsim.dir/pfsim.cc.o.d"
+  "pfsim"
+  "pfsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
