@@ -7,6 +7,11 @@
  *   --scale=X      memory-image scale factor (default 0.25)
  *   --queries=N    target queries per measurement window
  *   --seed=S       experiment seed
+ *   --jobs=N       parallel campaign workers (default: all cores)
+ *
+ * Harnesses that sweep the (app x mode) matrix obtain their rows from
+ * the parallel campaign runner (system/campaign.hh), so wall-clock
+ * scales with the host's core count instead of the matrix size.
  *
  * Absolute numbers depend on the synthetic substrate; the harnesses
  * reproduce the *shape* of the paper's results (who wins, by roughly
@@ -22,7 +27,9 @@
 #include <string>
 #include <vector>
 
+#include "sim/logging.hh"
 #include "stats/table.hh"
+#include "system/campaign.hh"
 #include "system/experiment.hh"
 
 namespace pageforge
@@ -36,6 +43,7 @@ struct BenchOptions
     unsigned warmupPasses = 6;
     std::uint64_t seed = 42;
     bool quick = false;
+    unsigned jobs = 0; //!< campaign workers; 0 = hardware concurrency
 
     ExperimentConfig
     experimentConfig() const
@@ -75,10 +83,13 @@ parseBenchOptions(int argc, char **argv)
                                                nullptr, 10);
         } else if (arg.rfind("--seed=", 0) == 0) {
             opts.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+        } else if (arg.rfind("--jobs=", 0) == 0) {
+            opts.jobs = static_cast<unsigned>(
+                std::atoi(arg.c_str() + 7));
         } else if (arg == "--help" || arg == "-h") {
             std::fprintf(stderr,
                          "usage: %s [--quick] [--scale=X] "
-                         "[--queries=N] [--seed=S]\n",
+                         "[--queries=N] [--seed=S] [--jobs=N]\n",
                          argv[0]);
             std::exit(0);
         } else {
@@ -102,6 +113,39 @@ runOne(const AppProfile &app, DedupMode mode, const BenchOptions &opts)
 {
     progress(app.name + " / " + dedupModeName(mode));
     return runExperiment(app, mode, opts.experimentConfig());
+}
+
+/**
+ * Run the (all apps x @p modes) matrix through the parallel campaign
+ * runner. A bench needs every row of its table, so any failed cell is
+ * fatal here.
+ */
+inline CampaignReport
+runBenchCampaign(const BenchOptions &opts, std::vector<DedupMode> modes)
+{
+    CampaignSpec spec;
+    spec.modes = std::move(modes);
+    spec.experiment = opts.experimentConfig();
+    spec.jobs = opts.jobs;
+    spec.progress = [](const CellOutcome &outcome, std::size_t done,
+                       std::size_t total) {
+        progress("[" + std::to_string(done) + "/" +
+                 std::to_string(total) + "] " + outcome.cell.app +
+                 " / " + dedupModeName(outcome.cell.mode) +
+                 (outcome.ok ? "" : ": " + outcome.error));
+    };
+
+    CampaignReport report = runCampaign(spec);
+    progress("campaign: " + std::to_string(report.cells.size()) +
+             " cells in " + TablePrinter::fmt(report.wallSeconds, 1) +
+             " s (" + std::to_string(report.jobs) + " jobs)");
+    for (const CellOutcome &outcome : report.cells)
+        if (!outcome.ok)
+            fatal("campaign cell %s/%s failed: %s",
+                  outcome.cell.app.c_str(),
+                  dedupModeName(outcome.cell.mode),
+                  outcome.error.c_str());
+    return report;
 }
 
 } // namespace pageforge

@@ -29,10 +29,14 @@ main(int argc, char **argv)
     std::string ksm_max_app;
     unsigned counted = 0;
 
+    CampaignReport report = runBenchCampaign(
+        opts, {DedupMode::None, DedupMode::Ksm, DedupMode::PageForge});
     for (const AppProfile &app : tailbenchApps()) {
-        ExperimentResult base = runOne(app, DedupMode::None, opts);
-        ExperimentResult ksm = runOne(app, DedupMode::Ksm, opts);
-        ExperimentResult pf = runOne(app, DedupMode::PageForge, opts);
+        const ExperimentResult &base =
+            report.at(app.name, DedupMode::None);
+        const ExperimentResult &ksm = report.at(app.name, DedupMode::Ksm);
+        const ExperimentResult &pf =
+            report.at(app.name, DedupMode::PageForge);
 
         double ksm_norm = ksm.p95SojournMs / base.p95SojournMs;
         double pf_norm = pf.p95SojournMs / base.p95SojournMs;

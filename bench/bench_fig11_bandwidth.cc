@@ -27,10 +27,14 @@ main(int argc, char **argv)
     table.setHeader({"Application", "Baseline", "KSM", "PageForge"});
 
     double sums[3] = {};
+    CampaignReport report = runBenchCampaign(
+        opts, {DedupMode::None, DedupMode::Ksm, DedupMode::PageForge});
     for (const AppProfile &app : tailbenchApps()) {
-        ExperimentResult base = runOne(app, DedupMode::None, opts);
-        ExperimentResult ksm = runOne(app, DedupMode::Ksm, opts);
-        ExperimentResult pf = runOne(app, DedupMode::PageForge, opts);
+        const ExperimentResult &base =
+            report.at(app.name, DedupMode::None);
+        const ExperimentResult &ksm = report.at(app.name, DedupMode::Ksm);
+        const ExperimentResult &pf =
+            report.at(app.name, DedupMode::PageForge);
 
         // For Baseline there is no dedup phase; its mean demand over
         // the window is the reference, as in the figure.

@@ -11,7 +11,6 @@
 #include <iostream>
 
 #include "bench_common.hh"
-#include "system/system.hh"
 
 using namespace pageforge;
 
@@ -33,18 +32,19 @@ main(int argc, char **argv)
     double sum_after = 0.0;
     double sum_total_after = 0.0;
 
-    for (const AppProfile &app : tailbenchApps()) {
-        progress("fig7 " + app.name);
-        SystemConfig sys_cfg;
-        sys_cfg.mode = DedupMode::Ksm;
-        sys_cfg.memScale = opts.memScale;
-        sys_cfg.seed = opts.seed;
-        System system(sys_cfg, app);
-        system.deploy();
+    // Warm-up passes stop early once a pass stops producing merges,
+    // so a couple of extra passes guarantee steady state without
+    // costing anything once it is reached.
+    BenchOptions fig_opts = opts;
+    fig_opts.warmupPasses = opts.warmupPasses + 4;
+    CampaignReport report =
+        runBenchCampaign(fig_opts, {DedupMode::Ksm});
 
-        DupAnalysis before = system.hypervisor().analyzeDuplication();
-        system.warmupDedup(opts.warmupPasses + 4);
-        DupAnalysis after = system.hypervisor().analyzeDuplication();
+    for (const AppProfile &app : tailbenchApps()) {
+        const ExperimentResult &result =
+            report.at(app.name, DedupMode::Ksm);
+        const DupAnalysis &before = result.dupBefore;
+        const DupAnalysis &after = result.dupWarm;
 
         double total = static_cast<double>(before.mappedPages);
         double unmerg = before.unmergeable / total;

@@ -24,9 +24,12 @@ main(int argc, char **argv)
                      "L3 miss (Base)"});
 
     double sums[6] = {};
+    CampaignReport report =
+        runBenchCampaign(opts, {DedupMode::None, DedupMode::Ksm});
     for (const AppProfile &app : tailbenchApps()) {
-        ExperimentResult ksm = runOne(app, DedupMode::Ksm, opts);
-        ExperimentResult base = runOne(app, DedupMode::None, opts);
+        const ExperimentResult &ksm = report.at(app.name, DedupMode::Ksm);
+        const ExperimentResult &base =
+            report.at(app.name, DedupMode::None);
 
         // L3 rates are application-traffic-only, isolating pollution
         // (see ExperimentResult::l3AppMissRate).

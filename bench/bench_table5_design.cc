@@ -27,8 +27,11 @@ main(int argc, char **argv)
     std::uint64_t check_period = 0;
     std::size_t table_bytes = 0;
 
+    CampaignReport report =
+        runBenchCampaign(opts, {DedupMode::PageForge});
     for (const AppProfile &app : tailbenchApps()) {
-        ExperimentResult result = runOne(app, DedupMode::PageForge, opts);
+        const ExperimentResult &result =
+            report.at(app.name, DedupMode::PageForge);
         per_app_means.push_back(result.pfBatchCyclesAvg);
         total_mean += result.pfBatchCyclesAvg;
         SystemConfig cfg;

@@ -1,5 +1,6 @@
 #include "sim/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
@@ -8,27 +9,33 @@ namespace pageforge
 
 namespace
 {
-LogLevel global_level = LogLevel::Warn;
+// Atomic so concurrent simulations (campaign workers) can consult the
+// level without a data race; writes are expected only during setup.
+std::atomic<LogLevel> global_level{LogLevel::Warn};
 
 void
 vreport(const char *tag, const char *fmt, va_list args)
 {
-    std::fprintf(stderr, "%s: ", tag);
-    std::vfprintf(stderr, fmt, args);
-    std::fprintf(stderr, "\n");
+    // Format into one buffer and emit with a single stdio call so
+    // messages from parallel campaign workers do not interleave.
+    char buf[4096];
+    int off = std::snprintf(buf, sizeof(buf), "%s: ", tag);
+    if (off > 0 && static_cast<std::size_t>(off) < sizeof(buf))
+        std::vsnprintf(buf + off, sizeof(buf) - off, fmt, args);
+    std::fprintf(stderr, "%s\n", buf);
 }
 } // namespace
 
 void
 setLogLevel(LogLevel level)
 {
-    global_level = level;
+    global_level.store(level, std::memory_order_relaxed);
 }
 
 LogLevel
 logLevel()
 {
-    return global_level;
+    return global_level.load(std::memory_order_relaxed);
 }
 
 void
@@ -61,7 +68,7 @@ fatal(const char *fmt, ...)
 void
 warn(const char *fmt, ...)
 {
-    if (global_level < LogLevel::Warn)
+    if (logLevel() < LogLevel::Warn)
         return;
     va_list args;
     va_start(args, fmt);
@@ -72,7 +79,7 @@ warn(const char *fmt, ...)
 void
 inform(const char *fmt, ...)
 {
-    if (global_level < LogLevel::Inform)
+    if (logLevel() < LogLevel::Inform)
         return;
     va_list args;
     va_start(args, fmt);

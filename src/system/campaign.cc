@@ -1,0 +1,360 @@
+#include "system/campaign.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <ostream>
+#include <thread>
+
+#include "sim/logging.hh"
+#include "workload/app_profile.hh"
+
+namespace pageforge
+{
+
+std::vector<CampaignCell>
+CampaignSpec::cells() const
+{
+    std::vector<std::string> app_names = apps;
+    if (app_names.empty())
+        for (const AppProfile &app : tailbenchApps())
+            app_names.push_back(app.name);
+
+    std::vector<DedupMode> mode_list = modes;
+    if (mode_list.empty())
+        mode_list = {DedupMode::None, DedupMode::Ksm,
+                     DedupMode::PageForge};
+
+    unsigned seeds = std::max(1u, numSeeds);
+
+    std::vector<CampaignCell> matrix;
+    matrix.reserve(app_names.size() * mode_list.size() * seeds);
+    for (const std::string &app : app_names)
+        for (DedupMode mode : mode_list)
+            for (unsigned s = 0; s < seeds; ++s)
+                matrix.push_back({app, mode, experiment.seed + s});
+    return matrix;
+}
+
+std::size_t
+CampaignReport::failures() const
+{
+    return static_cast<std::size_t>(
+        std::count_if(cells.begin(), cells.end(),
+                      [](const CellOutcome &c) { return !c.ok; }));
+}
+
+const CellOutcome *
+CampaignReport::find(const std::string &app, DedupMode mode,
+                     std::uint64_t seed) const
+{
+    for (const CellOutcome &outcome : cells)
+        if (outcome.cell.app == app && outcome.cell.mode == mode &&
+            outcome.cell.seed == seed)
+            return &outcome;
+    return nullptr;
+}
+
+const ExperimentResult &
+CampaignReport::at(const std::string &app, DedupMode mode,
+                   std::size_t seed_index) const
+{
+    std::size_t matched = 0;
+    for (const CellOutcome &outcome : cells) {
+        if (outcome.cell.app != app || outcome.cell.mode != mode)
+            continue;
+        if (matched++ != seed_index)
+            continue;
+        if (!outcome.ok)
+            fatal("campaign cell %s/%s (seed %llu) failed: %s",
+                  app.c_str(), dedupModeName(mode),
+                  static_cast<unsigned long long>(outcome.cell.seed),
+                  outcome.error.c_str());
+        return outcome.result;
+    }
+    fatal("campaign has no cell %s/%s (seed index %zu)", app.c_str(),
+          dedupModeName(mode), seed_index);
+}
+
+CampaignReport
+runCampaign(const CampaignSpec &spec)
+{
+    std::vector<CampaignCell> matrix = spec.cells();
+
+    // Reject unknown applications before any worker starts (and warm
+    // the profile table's one-time initialization on this thread).
+    if (!spec.runner)
+        for (const CampaignCell &cell : matrix)
+            (void)appByName(cell.app);
+
+    CellRunner runner = spec.runner;
+    if (!runner) {
+        ExperimentConfig base_cfg = spec.experiment;
+        SystemConfig sys = spec.sysTemplate;
+        runner = [base_cfg, sys](const CampaignCell &cell) {
+            ExperimentConfig cfg = base_cfg;
+            cfg.seed = cell.seed;
+            return runExperiment(appByName(cell.app), cell.mode, cfg,
+                                 sys);
+        };
+    }
+
+    CampaignReport report;
+    report.cells.resize(matrix.size());
+
+    unsigned jobs = spec.jobs;
+    if (jobs == 0)
+        jobs = std::max(1u, std::thread::hardware_concurrency());
+    jobs = static_cast<unsigned>(std::min<std::size_t>(
+        jobs, std::max<std::size_t>(matrix.size(), 1)));
+    report.jobs = jobs;
+
+    auto start = std::chrono::steady_clock::now();
+
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex progress_mutex;
+
+    auto work = [&]() {
+        for (;;) {
+            std::size_t idx = next.fetch_add(1);
+            if (idx >= matrix.size())
+                return;
+            CellOutcome &outcome = report.cells[idx];
+            outcome.cell = matrix[idx];
+            try {
+                outcome.result = runner(matrix[idx]);
+                outcome.ok = true;
+            } catch (const std::exception &e) {
+                outcome.error = e.what();
+            } catch (...) {
+                outcome.error = "unknown exception";
+            }
+            std::size_t so_far = done.fetch_add(1) + 1;
+            if (spec.progress) {
+                std::lock_guard<std::mutex> lock(progress_mutex);
+                spec.progress(outcome, so_far, matrix.size());
+            }
+        }
+    };
+
+    if (jobs <= 1) {
+        work();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(jobs);
+        for (unsigned j = 0; j < jobs; ++j)
+            pool.emplace_back(work);
+        for (std::thread &worker : pool)
+            worker.join();
+    }
+
+    report.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    return report;
+}
+
+namespace
+{
+
+bool
+sameBits(double a, double b)
+{
+    return std::bit_cast<std::uint64_t>(a) ==
+        std::bit_cast<std::uint64_t>(b);
+}
+
+bool
+sameDup(const DupAnalysis &a, const DupAnalysis &b)
+{
+    return a.mappedPages == b.mappedPages &&
+        a.unmergeable == b.unmergeable &&
+        a.mergeableZero == b.mergeableZero &&
+        a.mergeableNonZero == b.mergeableNonZero &&
+        a.framesUsed == b.framesUsed &&
+        a.framesIfFullyMerged == b.framesIfFullyMerged;
+}
+
+bool
+sameHashStats(const HashKeyStats &a, const HashKeyStats &b)
+{
+    return a.jhashMatches == b.jhashMatches &&
+        a.jhashMismatches == b.jhashMismatches &&
+        a.jhashFalseMatches == b.jhashFalseMatches &&
+        a.eccMatches == b.eccMatches &&
+        a.eccMismatches == b.eccMismatches &&
+        a.eccFalseMatches == b.eccFalseMatches;
+}
+
+// ---- JSON helpers (minimal, stable field order) ----
+
+void
+jsonString(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            os << "\\\"";
+            break;
+          case '\\':
+            os << "\\\\";
+            break;
+          case '\n':
+            os << "\\n";
+            break;
+          case '\t':
+            os << "\\t";
+            break;
+          case '\r':
+            os << "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+void
+jsonDouble(std::ostream &os, double v)
+{
+    // max_digits10 so a JSON round trip preserves the exact value.
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    os << buf;
+}
+
+void
+jsonDup(std::ostream &os, const DupAnalysis &dup)
+{
+    os << "{\"mapped_pages\":" << dup.mappedPages
+       << ",\"unmergeable\":" << dup.unmergeable
+       << ",\"mergeable_zero\":" << dup.mergeableZero
+       << ",\"mergeable_non_zero\":" << dup.mergeableNonZero
+       << ",\"frames_used\":" << dup.framesUsed
+       << ",\"frames_if_fully_merged\":" << dup.framesIfFullyMerged
+       << "}";
+}
+
+void
+jsonResult(std::ostream &os, const ExperimentResult &r)
+{
+    os << "{\"mean_sojourn_ms\":";
+    jsonDouble(os, r.meanSojournMs);
+    os << ",\"p95_sojourn_ms\":";
+    jsonDouble(os, r.p95SojournMs);
+    os << ",\"queries\":" << r.queries;
+    os << ",\"dup\":";
+    jsonDup(os, r.dup);
+    os << ",\"dup_before\":";
+    jsonDup(os, r.dupBefore);
+    os << ",\"dup_warm\":";
+    jsonDup(os, r.dupWarm);
+    os << ",\"l3_miss_rate\":";
+    jsonDouble(os, r.l3MissRate);
+    os << ",\"l3_app_miss_rate\":";
+    jsonDouble(os, r.l3AppMissRate);
+    os << ",\"ksm_cycle_frac_avg\":";
+    jsonDouble(os, r.ksmCycleFracAvg);
+    os << ",\"ksm_cycle_frac_max\":";
+    jsonDouble(os, r.ksmCycleFracMax);
+    os << ",\"ksm_compare_frac\":";
+    jsonDouble(os, r.ksmCompareFrac);
+    os << ",\"ksm_hash_frac\":";
+    jsonDouble(os, r.ksmHashFrac);
+    os << ",\"hash\":{\"jhash_matches\":" << r.hashStats.jhashMatches
+       << ",\"jhash_mismatches\":" << r.hashStats.jhashMismatches
+       << ",\"jhash_false_matches\":" << r.hashStats.jhashFalseMatches
+       << ",\"ecc_matches\":" << r.hashStats.eccMatches
+       << ",\"ecc_mismatches\":" << r.hashStats.eccMismatches
+       << ",\"ecc_false_matches\":" << r.hashStats.eccFalseMatches
+       << "}";
+    os << ",\"baseline_phase_bw_gbps\":";
+    jsonDouble(os, r.baselinePhaseBwGBps);
+    os << ",\"dedup_phase_bw_gbps\":";
+    jsonDouble(os, r.dedupPhaseBwGBps);
+    os << ",\"pf_batch_cycles_avg\":";
+    jsonDouble(os, r.pfBatchCyclesAvg);
+    os << ",\"pf_batch_cycles_stddev\":";
+    jsonDouble(os, r.pfBatchCyclesStddev);
+    os << ",\"pf_refills\":" << r.pfRefills;
+    os << ",\"pf_os_checks\":" << r.pfOsChecks;
+    os << ",\"pf_pages_scanned\":" << r.pfPagesScanned;
+    os << ",\"merges\":" << r.merges;
+    os << ",\"cow_breaks\":" << r.cowBreaks;
+    os << "}";
+}
+
+} // namespace
+
+bool
+identicalResults(const ExperimentResult &a, const ExperimentResult &b)
+{
+    return a.app == b.app && a.mode == b.mode &&
+        sameBits(a.meanSojournMs, b.meanSojournMs) &&
+        sameBits(a.p95SojournMs, b.p95SojournMs) &&
+        a.queries == b.queries && sameDup(a.dup, b.dup) &&
+        sameDup(a.dupBefore, b.dupBefore) &&
+        sameDup(a.dupWarm, b.dupWarm) &&
+        sameBits(a.l3MissRate, b.l3MissRate) &&
+        sameBits(a.l3AppMissRate, b.l3AppMissRate) &&
+        sameBits(a.ksmCycleFracAvg, b.ksmCycleFracAvg) &&
+        sameBits(a.ksmCycleFracMax, b.ksmCycleFracMax) &&
+        sameBits(a.ksmCompareFrac, b.ksmCompareFrac) &&
+        sameBits(a.ksmHashFrac, b.ksmHashFrac) &&
+        sameHashStats(a.hashStats, b.hashStats) &&
+        sameBits(a.baselinePhaseBwGBps, b.baselinePhaseBwGBps) &&
+        sameBits(a.dedupPhaseBwGBps, b.dedupPhaseBwGBps) &&
+        sameBits(a.pfBatchCyclesAvg, b.pfBatchCyclesAvg) &&
+        sameBits(a.pfBatchCyclesStddev, b.pfBatchCyclesStddev) &&
+        a.pfRefills == b.pfRefills && a.pfOsChecks == b.pfOsChecks &&
+        a.pfPagesScanned == b.pfPagesScanned && a.merges == b.merges &&
+        a.cowBreaks == b.cowBreaks;
+}
+
+void
+writeCampaignJson(const CampaignReport &report, std::ostream &os)
+{
+    os << "{\"schema\":\"pageforge-campaign-v1\"";
+    os << ",\"jobs\":" << report.jobs;
+    os << ",\"wall_seconds\":";
+    jsonDouble(os, report.wallSeconds);
+    os << ",\"failures\":" << report.failures();
+    os << ",\"cells\":[";
+    for (std::size_t i = 0; i < report.cells.size(); ++i) {
+        const CellOutcome &outcome = report.cells[i];
+        if (i)
+            os << ",";
+        os << "{\"app\":";
+        jsonString(os, outcome.cell.app);
+        os << ",\"mode\":";
+        jsonString(os, dedupModeName(outcome.cell.mode));
+        os << ",\"seed\":" << outcome.cell.seed;
+        os << ",\"ok\":" << (outcome.ok ? "true" : "false");
+        if (outcome.ok) {
+            os << ",\"result\":";
+            jsonResult(os, outcome.result);
+        } else {
+            os << ",\"error\":";
+            jsonString(os, outcome.error);
+        }
+        os << "}";
+    }
+    os << "]}\n";
+}
+
+} // namespace pageforge

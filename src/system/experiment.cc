@@ -48,10 +48,12 @@ runExperiment(const AppProfile &app, DedupMode mode,
 
     System system(sys_cfg, app);
     system.deploy();
+    DupAnalysis dup_before = system.hypervisor().analyzeDuplication();
 
     // ---- steady-state warm-up ----
     if (mode != DedupMode::None)
         system.warmupDedup(cfg.warmupPasses);
+    DupAnalysis dup_warm = system.hypervisor().analyzeDuplication();
 
     system.startLoad();
     system.run(cfg.settleTime);
@@ -79,6 +81,8 @@ runExperiment(const AppProfile &app, DedupMode mode,
     result.queries = lat.queries();
 
     result.dup = system.hypervisor().analyzeDuplication();
+    result.dupBefore = dup_before;
+    result.dupWarm = dup_warm;
     result.l3MissRate = system.hierarchy().l3MissRate();
     std::uint64_t app_acc = system.hierarchy().l3Accesses(Requester::App);
     std::uint64_t app_miss = system.hierarchy().l3Misses(Requester::App);

@@ -64,7 +64,9 @@ struct ExperimentResult
     std::uint64_t queries = 0;
 
     // Memory (Figure 7).
-    DupAnalysis dup;
+    DupAnalysis dup;       //!< at the end of the measurement window
+    DupAnalysis dupBefore; //!< right after deployment (pre-merge)
+    DupAnalysis dupWarm;   //!< after warm-up merging, before the load
 
     // Cache behaviour (Table 4).
     double l3MissRate = 0.0;    //!< all requesters

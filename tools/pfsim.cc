@@ -1,20 +1,31 @@
 /**
  * @file
- * pfsim: command-line driver for single simulations.
+ * pfsim: command-line driver for single simulations and parallel
+ * experiment campaigns.
  *
- * Runs one (application, configuration) experiment and prints the
- * result plus, optionally, the full hierarchical statistics dump of
- * the machine — the way gem5 prints stats.txt.
+ * Single mode runs one (application, configuration) experiment and
+ * prints the result plus, optionally, the full hierarchical
+ * statistics dump of the machine — the way gem5 prints stats.txt:
  *
  *   pfsim --app=silo --mode=pageforge --scale=0.2 --window-ms=200
  *         [--seed=42] [--dump-stats] [--placement=sticky|rr|random|pinned]
+ *
+ * Campaign mode fans the whole (app x mode x seed) evaluation matrix
+ * out across worker threads and prints one summary row per cell:
+ *
+ *   pfsim --campaign [--jobs=8] [--seeds=3] [--json=FILE]
+ *         [--apps=silo,moses] [--modes=baseline,ksm] [--queries=1500]
  */
 
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "stats/table.hh"
+#include "system/campaign.hh"
 #include "system/system.hh"
 
 using namespace pageforge;
@@ -33,7 +44,28 @@ struct Options
     std::uint64_t seed = 42;
     bool dumpStats = false;
     KsmPlacement placement = KsmPlacement::Sticky;
+
+    // ---- campaign mode ----
+    bool campaign = false;
+    unsigned jobs = 0;  //!< 0 = hardware concurrency
+    unsigned seeds = 1; //!< seeds per (app, mode) cell
+    std::uint64_t queries = 1500;
+    std::string jsonPath;
+    std::vector<std::string> apps;  //!< empty = all TailBench apps
+    std::vector<DedupMode> modes;   //!< empty = all three modes
 };
+
+std::vector<std::string>
+splitList(const std::string &csv)
+{
+    std::vector<std::string> items;
+    std::stringstream ss(csv);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        if (!item.empty())
+            items.push_back(item);
+    return items;
+}
 
 [[noreturn]] void
 usage(const char *prog)
@@ -48,7 +80,16 @@ usage(const char *prog)
         << "  --warmup-passes=N   dedup fast-forward passes (default 6)\n"
         << "  --seed=S            experiment seed (default 42)\n"
         << "  --placement=P       ksmd placement: sticky|rr|random|pinned\n"
-        << "  --dump-stats        print the full component stats dump\n";
+        << "  --dump-stats        print the full component stats dump\n"
+        << "campaign mode:\n"
+        << "  --campaign          run the (app x mode x seed) matrix\n"
+        << "  --jobs=N            worker threads (default: all cores)\n"
+        << "  --seeds=K           seeds per cell (default 1)\n"
+        << "  --json=FILE         write the full report as JSON\n"
+        << "  --apps=A,B,...      subset of apps (default: all five)\n"
+        << "  --modes=M,N,...     subset of modes (default: all three)\n"
+        << "  --queries=N         target queries per window (default "
+           "1500)\n";
     std::exit(1);
 }
 
@@ -99,11 +140,112 @@ parse(int argc, char **argv)
                 usage(argv[0]);
         } else if (arg == "--dump-stats") {
             opts.dumpStats = true;
+        } else if (arg == "--campaign") {
+            opts.campaign = true;
+        } else if (const char *v = value("--jobs=")) {
+            opts.jobs = static_cast<unsigned>(std::atoi(v));
+        } else if (const char *v = value("--seeds=")) {
+            opts.seeds = static_cast<unsigned>(std::atoi(v));
+            if (opts.seeds == 0)
+                usage(argv[0]);
+        } else if (const char *v = value("--json=")) {
+            opts.jsonPath = v;
+        } else if (const char *v = value("--apps=")) {
+            opts.apps = splitList(v);
+        } else if (const char *v = value("--modes=")) {
+            for (const std::string &m : splitList(v)) {
+                if (m == "baseline")
+                    opts.modes.push_back(DedupMode::None);
+                else if (m == "ksm")
+                    opts.modes.push_back(DedupMode::Ksm);
+                else if (m == "pageforge")
+                    opts.modes.push_back(DedupMode::PageForge);
+                else
+                    usage(argv[0]);
+            }
+        } else if (const char *v = value("--queries=")) {
+            opts.queries = std::strtoull(v, nullptr, 10);
         } else {
             usage(argv[0]);
         }
     }
     return opts;
+}
+
+/** Run the evaluation matrix in parallel and print a summary table. */
+int
+runCampaignMode(const Options &opts)
+{
+    CampaignSpec spec;
+    spec.apps = opts.apps;
+    spec.modes = opts.modes;
+    spec.numSeeds = opts.seeds;
+    spec.jobs = opts.jobs;
+    spec.experiment.memScale = opts.scale;
+    spec.experiment.warmupPasses = opts.warmupPasses;
+    spec.experiment.seed = opts.seed;
+    spec.experiment.targetQueries = opts.queries;
+    spec.experiment.settleTime = msToTicks(opts.settleMs);
+    spec.sysTemplate.ksmPlacement = opts.placement;
+    spec.progress = [](const CellOutcome &outcome, std::size_t done,
+                       std::size_t total) {
+        std::fprintf(stderr, "[%zu/%zu] %s / %s (seed %llu): %s\n",
+                     done, total, outcome.cell.app.c_str(),
+                     dedupModeName(outcome.cell.mode),
+                     static_cast<unsigned long long>(outcome.cell.seed),
+                     outcome.ok ? "ok" : outcome.error.c_str());
+    };
+
+    CampaignReport report = runCampaign(spec);
+
+    TablePrinter table("pfsim campaign: " +
+                       std::to_string(report.cells.size()) +
+                       " cells, " + std::to_string(report.jobs) +
+                       " jobs, " +
+                       TablePrinter::fmt(report.wallSeconds, 1) + " s");
+    table.setHeader({"Application", "Mode", "Seed", "Mean (ms)",
+                     "p95 (ms)", "Savings", "Merges", "Status"});
+    for (const CellOutcome &outcome : report.cells) {
+        if (outcome.ok) {
+            const ExperimentResult &r = outcome.result;
+            table.addRow(
+                {outcome.cell.app, dedupModeName(outcome.cell.mode),
+                 std::to_string(outcome.cell.seed),
+                 TablePrinter::fmt(r.meanSojournMs, 3),
+                 TablePrinter::fmt(r.p95SojournMs, 3),
+                 TablePrinter::pct(1.0 - r.dup.footprintRatio()),
+                 std::to_string(r.merges), "ok"});
+        } else {
+            table.addRow(
+                {outcome.cell.app, dedupModeName(outcome.cell.mode),
+                 std::to_string(outcome.cell.seed), "-", "-", "-", "-",
+                 "FAILED"});
+        }
+    }
+    table.print(std::cout);
+
+    if (std::size_t failed = report.failures()) {
+        std::cout << "\n" << failed << " cell(s) failed:\n";
+        for (const CellOutcome &outcome : report.cells)
+            if (!outcome.ok)
+                std::cout << "  " << outcome.cell.app << " / "
+                          << dedupModeName(outcome.cell.mode)
+                          << " (seed " << outcome.cell.seed
+                          << "): " << outcome.error << "\n";
+    }
+
+    if (!opts.jsonPath.empty()) {
+        std::ofstream json(opts.jsonPath);
+        if (!json) {
+            std::cerr << "cannot open " << opts.jsonPath
+                      << " for writing\n";
+            return 1;
+        }
+        writeCampaignJson(report, json);
+        std::cerr << "wrote " << opts.jsonPath << "\n";
+    }
+
+    return report.failures() ? 1 : 0;
 }
 
 } // namespace
@@ -112,6 +254,9 @@ int
 main(int argc, char **argv)
 {
     Options opts = parse(argc, argv);
+
+    if (opts.campaign)
+        return runCampaignMode(opts);
 
     SystemConfig config;
     config.mode = opts.mode;
