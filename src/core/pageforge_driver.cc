@@ -19,11 +19,63 @@ PageForgeDriver::PageForgeDriver(std::string name, EventQueue &eq,
 {
     pf_assert(!_cores.empty(), "driver with no cores");
     _api.module().setEccOffsets(config.eccOffsets);
+    _destroyToken = _hyper.addVmDestroyListener(
+        [this](VmId vm_id) { onVmDestroyed(vm_id); });
+    _pinToken = _hyper.addPinProvider([this] {
+        return static_cast<std::uint64_t>(_stable.size()) +
+            _pinnedFrames.size() +
+            (_candidateFrame != invalidFrame ? 1 : 0);
+    });
 }
 
 PageForgeDriver::~PageForgeDriver()
 {
+    _hyper.removeVmDestroyListener(_destroyToken);
+    _hyper.removePinProvider(_pinToken);
     _stable.clear([this](PageHandle handle) { onStablePrune(handle); });
+}
+
+void
+PageForgeDriver::purgeVm(VmId vm_id)
+{
+    std::size_t kept_before_cursor = 0;
+    std::vector<PageKey> kept;
+    kept.reserve(_scanList.size());
+    for (std::size_t i = 0; i < _scanList.size(); ++i) {
+        if (_scanList[i].vm == vm_id)
+            continue;
+        if (i < _cursor)
+            ++kept_before_cursor;
+        kept.push_back(_scanList[i]);
+    }
+    _scanList = std::move(kept);
+    _cursor = kept_before_cursor;
+
+    _unstable.eraseIf([vm_id](PageHandle handle) {
+        return isGuestHandle(handle) && handleGuest(handle).vm == vm_id;
+    });
+    _stable.eraseIf(
+        [this](PageHandle handle) {
+            return _stableAcc.resolve(handle) == nullptr;
+        },
+        [this](PageHandle handle) { onStablePrune(handle); });
+}
+
+void
+PageForgeDriver::onVmDestroyed(VmId vm_id)
+{
+    if (_candidateFrame != invalidFrame) {
+        // A candidate is in flight: the programmed batch and the
+        // saved stable insertion point hold raw tree-node pointers,
+        // so the trees cannot be purged yet. Abandon the candidate
+        // and purge once the hardware reports the batch done (the
+        // batch's frames stay pinned until then, so the Scan Table
+        // never reads freed memory).
+        _abortCandidate = true;
+        _pendingPurges.push_back(vm_id);
+        return;
+    }
+    purgeVm(vm_id);
 }
 
 void
@@ -468,6 +520,15 @@ PageForgeDriver::advance()
     unpinBatch();
     unpinCandidate();
 
+    // Safe point: no batch is programmed and no saved node pointers
+    // are live, so deferred VM purges can run now.
+    _abortCandidate = false;
+    if (!_pendingPurges.empty()) {
+        for (VmId vm_id : _pendingPurges)
+            purgeVm(vm_id);
+        _pendingPurges.clear();
+    }
+
     for (;;) {
         if (!pickNextCandidate()) {
             if (_running)
@@ -531,6 +592,16 @@ PageForgeDriver::onCheckTaskDone()
         return;
     }
 
+    if (_abortCandidate) {
+        // A VM died while this batch was in the hardware: the batch's
+        // node pointers may reference entries of the dead VM, so the
+        // whole candidate is flushed instead of interpreted.
+        ++_batchesFlushed;
+        ++_mergeStats.pagesDropped;
+        advance();
+        return;
+    }
+
     Action action = onBatchComplete(info);
     if (action == Action::RunBatch) {
         dispatchProgramTask();
@@ -581,6 +652,7 @@ PageForgeDriver::resetStats()
     _refills.reset();
     _osChecks.reset();
     _hwHashRaces.reset();
+    _batchesFlushed.reset();
 }
 
 } // namespace pageforge

@@ -89,6 +89,15 @@ class PageForgeDriver : public SimObject
      */
     std::uint64_t hwHashRaces() const { return _hwHashRaces.value(); }
 
+    /**
+     * In-flight candidates abandoned because a VM in the batch (or
+     * the candidate itself) was destroyed mid-scan.
+     */
+    std::uint64_t batchesFlushed() const
+    {
+        return _batchesFlushed.value();
+    }
+
     ContentTree &stableTree() { return _stable; }
     ContentTree &unstableTree() { return _unstable; }
 
@@ -152,11 +161,21 @@ class PageForgeDriver : public SimObject
     Tick _pendingDriverCycles = 0;
     unsigned _checkCore = 0;
 
+    // VM-destroy handling: while a candidate is in flight, the batch
+    // and the saved stable insertion point hold raw tree-node
+    // pointers, so tree purges are deferred until the candidate is
+    // abandoned in advance().
+    bool _abortCandidate = false;
+    std::vector<VmId> _pendingPurges;
+    int _destroyToken = -1;
+    int _pinToken = -1;
+
     MergeStats _mergeStats;
     HashKeyStats _hashStats;
     Counter _refills;
     Counter _osChecks;
     Counter _hwHashRaces;
+    Counter _batchesFlushed;
 
     // ---- pass / candidate selection ----
     void startPass();
@@ -204,6 +223,12 @@ class PageForgeDriver : public SimObject
     void chargeCore(Tick cycles);
 
     void onStablePrune(PageHandle handle);
+
+    /** VM-destroy listener: purge or schedule purge of stale state. */
+    void onVmDestroyed(VmId vm_id);
+
+    /** Drop a dead VM's entries from both trees and the scan list. */
+    void purgeVm(VmId vm_id);
 };
 
 } // namespace pageforge

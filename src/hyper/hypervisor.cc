@@ -17,6 +17,12 @@ Hypervisor::Hypervisor(std::string name, EventQueue &eq,
                       _softFaults);
     _stats.addCounter("cow_breaks", "copy-on-write un-merges", _cowBreaks);
     _stats.addCounter("merges", "page merge operations", _merges);
+    _stats.addCounter("vm_clones", "VMs cloned from a template",
+                      _vmClones);
+    _stats.addCounter("vm_destroys", "VMs torn down", _vmDestroys);
+    _stats.addCounter("frames_reclaimed",
+                      "frames freed by destroy/reclaim",
+                      _framesReclaimed);
 }
 
 VmId
@@ -26,6 +32,209 @@ Hypervisor::createVm(std::string vm_name, std::size_t num_pages)
     _vms.push_back(std::make_unique<VirtualMachine>(
         id, std::move(vm_name), num_pages));
     return id;
+}
+
+VmId
+Hypervisor::cloneVm(std::string vm_name, VmId source)
+{
+    VirtualMachine &src = vm(source);
+    pf_assert(src.alive(), "cloning a dead VM %u", source);
+
+    VmId id = createVm(std::move(vm_name), src.numPages());
+    VirtualMachine &dst = vm(id);
+
+    for (GuestPageNum gpn = 0; gpn < src.numPages(); ++gpn) {
+        PageState &from = src.page(gpn);
+        if (!from.mapped)
+            continue;
+        // Share the template frame copy-on-write, exactly like a
+        // merge: both sides fault a private copy on their next write.
+        _mem.setWriteProtected(from.frame, true);
+        _mem.addRef(from.frame);
+        from.cow = true;
+
+        PageState &to = dst.page(gpn);
+        to.frame = from.frame;
+        to.mapped = true;
+        to.cow = true;
+        to.mergeable = from.mergeable;
+    }
+
+    ++_vmClones;
+    maybeAudit("cloneVm");
+    return id;
+}
+
+void
+Hypervisor::unmapPage(PageState &page, ReclaimOutcome &outcome)
+{
+    if (_mem.refCount(page.frame) > 1)
+        ++outcome.sharedUnshared;
+    if (_mem.decRef(page.frame)) {
+        ++outcome.framesFreed;
+        ++_framesReclaimed;
+    }
+    ++outcome.pagesUnmapped;
+    page = PageState{};
+}
+
+ReclaimOutcome
+Hypervisor::destroyVm(VmId vm_id)
+{
+    VirtualMachine &machine = vm(vm_id);
+    pf_assert(machine.alive(), "destroying dead VM %u", vm_id);
+
+    ReclaimOutcome outcome;
+    for (GuestPageNum gpn = 0; gpn < machine.numPages(); ++gpn) {
+        PageState &page = machine.page(gpn);
+        if (page.mapped)
+            unmapPage(page, outcome);
+    }
+    machine.setAlive(false);
+    ++_vmDestroys;
+
+    // Notify the merging daemons after the mappings are gone so their
+    // stale-entry resolution sees the pages as dead. A stable-tree
+    // prune here may free further frames whose only remaining
+    // reference was the tree's pin.
+    for (const auto &[token, fn] : _destroyListeners)
+        fn(vm_id);
+
+    maybeAudit("destroyVm");
+    return outcome;
+}
+
+ReclaimOutcome
+Hypervisor::reclaimPage(VmId vm_id, GuestPageNum gpn)
+{
+    ReclaimOutcome outcome;
+    PageState &page = stateOf(vm_id, gpn);
+    if (page.mapped) {
+        unmapPage(page, outcome);
+        maybeAudit("reclaimPage");
+    }
+    return outcome;
+}
+
+bool
+Hypervisor::vmAlive(VmId vm_id) const
+{
+    return vm_id < _vms.size() && _vms[vm_id]->alive();
+}
+
+std::uint64_t
+Hypervisor::mappedPageCount() const
+{
+    std::uint64_t n = 0;
+    for (const auto &machine : _vms)
+        n += machine->mappedPages();
+    return n;
+}
+
+int
+Hypervisor::addVmDestroyListener(std::function<void(VmId)> fn)
+{
+    int token = _nextToken++;
+    _destroyListeners.emplace_back(token, std::move(fn));
+    return token;
+}
+
+void
+Hypervisor::removeVmDestroyListener(int token)
+{
+    std::erase_if(_destroyListeners,
+                  [token](const auto &entry) {
+                      return entry.first == token;
+                  });
+}
+
+int
+Hypervisor::addPinProvider(std::function<std::uint64_t()> fn)
+{
+    int token = _nextToken++;
+    _pinProviders.emplace_back(token, std::move(fn));
+    return token;
+}
+
+void
+Hypervisor::removePinProvider(int token)
+{
+    std::erase_if(_pinProviders,
+                  [token](const auto &entry) {
+                      return entry.first == token;
+                  });
+}
+
+FrameAuditReport
+Hypervisor::auditFrames() const
+{
+    FrameAuditReport report;
+
+    // Count guest mappings per frame across live VMs.
+    std::unordered_map<FrameId, std::uint64_t> mappings;
+    for (const auto &machine : _vms) {
+        for (GuestPageNum gpn = 0; gpn < machine->numPages(); ++gpn) {
+            const PageState &page = machine->page(gpn);
+            if (!page.mapped)
+                continue;
+            ++report.mappingsAudited;
+            if (!_mem.isAllocated(page.frame)) {
+                report.ok = false;
+                report.problem = "vm " +
+                    std::to_string(machine->id()) + " gpn " +
+                    std::to_string(gpn) + " maps free frame " +
+                    std::to_string(page.frame);
+                return report;
+            }
+            ++mappings[page.frame];
+        }
+    }
+
+    // Every allocated frame must carry at least its mapping count;
+    // the surplus across all frames must equal the daemons' pins
+    // (stable-tree nodes, in-flight Scan Table batches).
+    std::uint64_t surplus = 0;
+    _mem.forEachAllocatedFrame(
+        [&](FrameId frame, std::uint32_t refs) {
+            ++report.framesAudited;
+            if (!report.ok)
+                return;
+            auto it = mappings.find(frame);
+            std::uint64_t mapped =
+                it == mappings.end() ? 0 : it->second;
+            if (refs < mapped) {
+                report.ok = false;
+                report.problem = "frame " + std::to_string(frame) +
+                    " refs " + std::to_string(refs) + " < mappings " +
+                    std::to_string(mapped);
+                return;
+            }
+            surplus += refs - mapped;
+        });
+    if (!report.ok)
+        return report;
+
+    std::uint64_t pins = 0;
+    for (const auto &[token, fn] : _pinProviders)
+        pins += fn();
+    if (surplus != pins) {
+        report.ok = false;
+        report.problem = "unaccounted frame references: surplus " +
+            std::to_string(surplus) + " != daemon pins " +
+            std::to_string(pins);
+    }
+    return report;
+}
+
+void
+Hypervisor::maybeAudit(const char *where)
+{
+    if (!_invariantChecks)
+        return;
+    FrameAuditReport report = auditFrames();
+    if (!report.ok)
+        panic("frame invariant violated after %s: %s", where,
+              report.problem.c_str());
 }
 
 VirtualMachine &
@@ -88,6 +297,7 @@ Hypervisor::writeToPage(VmId vm_id, GuestPageNum gpn,
         page.cow = false;
         outcome.cowBroken = true;
         ++_cowBreaks;
+        maybeAudit("cowBreak");
     }
 
     std::memcpy(_mem.data(page.frame) + offset, src, len);
@@ -157,6 +367,7 @@ Hypervisor::mergeIntoFrame(const PageKey &candidate, FrameId target)
     page.frame = target;
     page.cow = true;
     ++_merges;
+    maybeAudit("mergeIntoFrame");
     return true;
 }
 

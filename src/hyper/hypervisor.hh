@@ -15,7 +15,9 @@
 #ifndef PF_HYPER_HYPERVISOR_HH
 #define PF_HYPER_HYPERVISOR_HH
 
+#include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "hyper/vm.hh"
@@ -54,6 +56,24 @@ struct DupAnalysis
     }
 };
 
+/** What unmapping guest pages gave back (destroyVm / reclaimPage). */
+struct ReclaimOutcome
+{
+    std::uint64_t pagesUnmapped = 0;  //!< guest mappings torn down
+    std::uint64_t framesFreed = 0;    //!< frames returned to the pool
+    std::uint64_t sharedUnshared = 0; //!< mappings that left a shared
+                                      //!< frame behind (refs > 1)
+};
+
+/** Result of the frame/mapping invariant audit. */
+struct FrameAuditReport
+{
+    bool ok = true;
+    std::string problem;              //!< first violation found
+    std::uint64_t framesAudited = 0;
+    std::uint64_t mappingsAudited = 0;
+};
+
 /** The hypervisor. */
 class Hypervisor : public SimObject
 {
@@ -62,6 +82,63 @@ class Hypervisor : public SimObject
 
     /** Deploy a VM with @p num_pages of guest-physical memory. */
     VmId createVm(std::string vm_name, std::size_t num_pages);
+
+    /**
+     * Clone a VM from a template: the clone's guest pages share the
+     * template's frames copy-on-write, so every mapped page starts out
+     * byte-identical (and instantly mergeable where the template page
+     * was advised mergeable).
+     */
+    VmId cloneVm(std::string vm_name, VmId source);
+
+    /**
+     * Tear a VM down: every mapped page is unmapped, shared-frame
+     * refcounts are decremented, and sole-owner frames go back to the
+     * free pool. The VM slot stays (ids are stable) but is marked
+     * dead; registered destroy listeners (the merging daemons) are
+     * notified so they can drop stale tree/Scan-Table entries.
+     */
+    ReclaimOutcome destroyVm(VmId vm_id);
+
+    /** Unmap a single guest page (ballooning). No-op when unmapped. */
+    ReclaimOutcome reclaimPage(VmId vm_id, GuestPageNum gpn);
+
+    /** True for a valid, not-yet-destroyed VM id. */
+    bool vmAlive(VmId vm_id) const;
+
+    /** Mapped guest pages across all live VMs. */
+    std::uint64_t mappedPageCount() const;
+
+    /**
+     * Register a callback run after a VM's pages were unmapped in
+     * destroyVm. @return a token for removeVmDestroyListener.
+     */
+    int addVmDestroyListener(std::function<void(VmId)> fn);
+    void removeVmDestroyListener(int token);
+
+    /**
+     * Register a source of daemon-held frame pins (stable-tree nodes,
+     * in-flight Scan Table batches) so the audit can account for
+     * references that have no guest mapping.
+     * @return a token for removePinProvider
+     */
+    int addPinProvider(std::function<std::uint64_t()> fn);
+    void removePinProvider(int token);
+
+    /**
+     * Check that every allocated frame's refcount equals its guest
+     * mappings plus daemon pins, and that every mapping points at an
+     * allocated frame.
+     */
+    FrameAuditReport auditFrames() const;
+
+    /**
+     * Debug-level invariant checking: when enabled, auditFrames runs
+     * after every merge, CoW break, and reclaim, and panics on a
+     * violation. Off by default (it walks all of physical memory).
+     */
+    void setInvariantChecking(bool on) { _invariantChecks = on; }
+    bool invariantChecking() const { return _invariantChecks; }
 
     unsigned numVms() const { return static_cast<unsigned>(_vms.size()); }
     VirtualMachine &vm(VmId id);
@@ -136,6 +213,18 @@ class Hypervisor : public SimObject
     /** Total first-touch zero-fill faults. */
     std::uint64_t softFaults() const { return _softFaults.value(); }
 
+    /** Total VM clones performed. */
+    std::uint64_t vmClones() const { return _vmClones.value(); }
+
+    /** Total VM destroys performed. */
+    std::uint64_t vmDestroys() const { return _vmDestroys.value(); }
+
+    /** Total frames returned to the pool by destroy/reclaim. */
+    std::uint64_t framesReclaimed() const
+    {
+        return _framesReclaimed.value();
+    }
+
     /** Classify every guest page for the Figure 7 breakdown. */
     DupAnalysis analyzeDuplication() const;
 
@@ -145,12 +234,28 @@ class Hypervisor : public SimObject
     PhysicalMemory &_mem;
     std::vector<std::unique_ptr<VirtualMachine>> _vms;
 
+    std::vector<std::pair<int, std::function<void(VmId)>>>
+        _destroyListeners;
+    std::vector<std::pair<int, std::function<std::uint64_t()>>>
+        _pinProviders;
+    int _nextToken = 0;
+    bool _invariantChecks = false;
+
     Counter _softFaults;
     Counter _cowBreaks;
     Counter _merges;
+    Counter _vmClones;
+    Counter _vmDestroys;
+    Counter _framesReclaimed;
     StatGroup _stats;
 
     PageState &stateOf(VmId vm_id, GuestPageNum gpn);
+
+    /** Unmap one mapped page into @p outcome (no audit, no listeners). */
+    void unmapPage(PageState &page, ReclaimOutcome &outcome);
+
+    /** Run the audit and panic on violation (when checking is on). */
+    void maybeAudit(const char *where);
 };
 
 } // namespace pageforge

@@ -71,6 +71,10 @@ class VirtualMachine
     const std::string &name() const { return _name; }
     std::size_t numPages() const { return _pages.size(); }
 
+    /** False once the VM has been destroyed; its slot stays around. */
+    bool alive() const { return _alive; }
+    void setAlive(bool alive) { _alive = alive; }
+
     PageState &page(GuestPageNum gpn);
     const PageState &page(GuestPageNum gpn) const;
 
@@ -81,6 +85,7 @@ class VirtualMachine
     VmId _id;
     std::string _name;
     std::vector<PageState> _pages;
+    bool _alive = true;
 };
 
 } // namespace pageforge

@@ -1,6 +1,7 @@
 #include "ksm/content_tree.hh"
 
 #include <cstring>
+#include <vector>
 
 #include "sim/logging.hh"
 
@@ -307,6 +308,33 @@ ContentTree::erase(Node *z)
     delete z;
     --_size;
     _nil->parent = _nil; // eraseFixup may have dirtied the sentinel
+}
+
+std::size_t
+ContentTree::eraseIf(const std::function<bool(PageHandle)> &pred,
+                     const PruneHook &prune)
+{
+    // Collect first: erase(z) removes exactly node z (transplant moves
+    // pointers, handles are never copied between nodes), so collected
+    // pointers stay valid while the tree rebalances around them.
+    std::vector<Node *> victims;
+    std::function<void(Node *)> walk = [&](Node *node) {
+        if (node == _nil)
+            return;
+        walk(node->left);
+        if (pred(node->handle))
+            victims.push_back(node);
+        walk(node->right);
+    };
+    walk(_root);
+
+    for (Node *node : victims) {
+        PageHandle handle = node->handle;
+        erase(node);
+        if (prune)
+            prune(handle);
+    }
+    return victims.size();
 }
 
 void

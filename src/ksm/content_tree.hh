@@ -130,6 +130,14 @@ class ContentTree
     /** Detach and free a node. */
     void erase(Node *node);
 
+    /**
+     * Erase every node whose handle satisfies @p pred (used to purge
+     * entries of a destroyed VM), calling @p prune for each.
+     * @return number of nodes erased
+     */
+    std::size_t eraseIf(const std::function<bool(PageHandle)> &pred,
+                        const PruneHook &prune = {});
+
     /** Drop all nodes (the unstable tree's end-of-pass reset). */
     void clear(const PruneHook &prune = {});
 

@@ -17,12 +17,52 @@ Ksmd::Ksmd(std::string name, EventQueue &eq, Hypervisor &hyper,
       _stable(_stableAcc), _unstable(_guestAcc)
 {
     pf_assert(!_cores.empty(), "ksmd with no cores");
+    _destroyToken = _hyper.addVmDestroyListener(
+        [this](VmId vm_id) { onVmDestroyed(vm_id); });
+    _pinToken = _hyper.addPinProvider(
+        [this] { return static_cast<std::uint64_t>(_stable.size()); });
 }
 
 Ksmd::~Ksmd()
 {
+    _hyper.removeVmDestroyListener(_destroyToken);
+    _hyper.removePinProvider(_pinToken);
     // Release the stable tree's frame references.
     _stable.clear([this](PageHandle handle) { onStablePrune(handle); });
+}
+
+void
+Ksmd::onVmDestroyed(VmId vm_id)
+{
+    // Drop the dead VM's pages from the scan snapshot, keeping the
+    // cursor on the same next page.
+    std::size_t kept_before_cursor = 0;
+    std::vector<PageKey> kept;
+    kept.reserve(_scanList.size());
+    for (std::size_t i = 0; i < _scanList.size(); ++i) {
+        if (_scanList[i].vm == vm_id)
+            continue;
+        if (i < _cursor)
+            ++kept_before_cursor;
+        kept.push_back(_scanList[i]);
+    }
+    _scanList = std::move(kept);
+    _cursor = kept_before_cursor;
+
+    // Unstable nodes reference the VM's guest pages directly.
+    _unstable.eraseIf([vm_id](PageHandle handle) {
+        return isGuestHandle(handle) && handleGuest(handle).vm == vm_id;
+    });
+
+    // Stable nodes reference frames, not VMs; the teardown's decRefs
+    // just made the nodes whose frame lost its last guest mapping
+    // resolve to nullptr. Prune them now, releasing the tree's pin so
+    // the frames actually return to the free pool.
+    _stable.eraseIf(
+        [this](PageHandle handle) {
+            return _stableAcc.resolve(handle) == nullptr;
+        },
+        [this](PageHandle handle) { onStablePrune(handle); });
 }
 
 void

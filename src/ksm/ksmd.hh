@@ -109,6 +109,9 @@ class Ksmd : public SimObject
     std::size_t _cursor = 0;
     bool _running = false;
 
+    int _destroyToken = -1;
+    int _pinToken = -1;
+
     MergeStats _mergeStats;
     DaemonCycleStats _cycleStats;
     HashKeyStats _hashStats;
@@ -137,6 +140,9 @@ class Ksmd : public SimObject
 
     /** Begin a new pass: reset the unstable tree, resnapshot pages. */
     void startPass();
+
+    /** Purge scan list and tree entries of a destroyed VM. */
+    void onVmDestroyed(VmId vm_id);
 
     /** Tree prune hook releasing the stable tree's frame reference. */
     void onStablePrune(PageHandle handle);

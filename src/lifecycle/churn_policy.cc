@@ -1,0 +1,95 @@
+#include "lifecycle/churn_policy.hh"
+
+#include <cmath>
+
+namespace pageforge
+{
+
+const char *
+churnKindName(ChurnKind kind)
+{
+    switch (kind) {
+      case ChurnKind::None:
+        return "none";
+      case ChurnKind::Poisson:
+        return "poisson";
+      case ChurnKind::Burst:
+        return "burst";
+      case ChurnKind::Rotate:
+        return "rotate";
+    }
+    return "?";
+}
+
+bool
+parseChurnKind(const std::string &text, ChurnKind &kind)
+{
+    if (text == "none") {
+        kind = ChurnKind::None;
+    } else if (text == "poisson") {
+        kind = ChurnKind::Poisson;
+    } else if (text == "burst") {
+        kind = ChurnKind::Burst;
+    } else if (text == "rotate") {
+        kind = ChurnKind::Rotate;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+namespace
+{
+
+bool
+badRate(double rate)
+{
+    return !std::isfinite(rate) || rate < 0.0;
+}
+
+} // namespace
+
+std::string
+ChurnConfig::problem() const
+{
+    if (kind == ChurnKind::None)
+        return "";
+    if (badRate(arrivalsPerSec) || arrivalsPerSec == 0.0)
+        return "churn arrivalsPerSec must be positive";
+    if (badRate(departuresPerSec))
+        return "churn departuresPerSec must be non-negative";
+    if (burstSize == 0)
+        return "churn burstSize must be at least 1";
+    if (burstInterval == 0)
+        return "churn burstInterval must be non-zero";
+    if (meanLifetime == 0)
+        return "churn meanLifetime must be non-zero";
+    if (rotateInterval == 0)
+        return "churn rotateInterval must be non-zero";
+    if (badRate(balloonsPerSec))
+        return "churn balloonsPerSec must be non-negative";
+    if (!std::isfinite(balloonFraction) || balloonFraction <= 0.0 ||
+        balloonFraction > 1.0)
+        return "churn balloonFraction must be in (0, 1]";
+    if (maxDynamicVms == 0)
+        return "churn maxDynamicVms must be at least 1";
+    if (!std::isfinite(cloneFraction) || cloneFraction < 0.0 ||
+        cloneFraction > 1.0)
+        return "churn cloneFraction must be in [0, 1]";
+    return "";
+}
+
+std::string
+LifecycleConfig::problem() const
+{
+    if (recoveryPollInterval == 0)
+        return "lifecycle recoveryPollInterval must be non-zero";
+    if (!std::isfinite(recoveryThreshold) || recoveryThreshold <= 0.0 ||
+        recoveryThreshold > 1.0)
+        return "lifecycle recoveryThreshold must be in (0, 1]";
+    if (recoveryTimeout == 0)
+        return "lifecycle recoveryTimeout must be non-zero";
+    return "";
+}
+
+} // namespace pageforge

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Churn-policy and lifecycle tunables.
+ *
+ * The PageForge evaluation runs a static fleet; real consolidated
+ * servers see VMs arrive and depart continuously, and it is exactly
+ * that churn that creates (and destroys) the duplication same-page
+ * merging harvests. A ChurnConfig describes *when* VMs come and go; a
+ * LifecycleConfig describes *how much* each transition costs. Both
+ * live in this header (separate from the manager) so the system-level
+ * configuration can embed them without pulling in the workload layer.
+ */
+
+#ifndef PF_LIFECYCLE_CHURN_POLICY_HH
+#define PF_LIFECYCLE_CHURN_POLICY_HH
+
+#include <string>
+
+#include "sim/types.hh"
+
+namespace pageforge
+{
+
+/** How VM arrivals and departures are scheduled. */
+enum class ChurnKind
+{
+    None,    //!< static fleet (the paper's configuration)
+    Poisson, //!< independent Poisson arrivals and departures
+    Burst,   //!< serverless-style bursts of short-lived instances
+    Rotate,  //!< steady rotation: retire the oldest, admit a fresh one
+};
+
+/** Human-readable policy name. */
+const char *churnKindName(ChurnKind kind);
+
+/**
+ * Parse a policy name ("none", "poisson", "burst", "rotate").
+ * @return true on success
+ */
+bool parseChurnKind(const std::string &text, ChurnKind &kind);
+
+/** When and how often VMs arrive, depart, and balloon. */
+struct ChurnConfig
+{
+    ChurnKind kind = ChurnKind::None;
+
+    // ---- Poisson policy ----
+    double arrivalsPerSec = 20.0;
+    double departuresPerSec = 20.0;
+
+    // ---- Burst policy ----
+    unsigned burstSize = 4;              //!< instances per burst
+    Tick burstInterval = msToTicks(60);  //!< time between bursts
+    Tick meanLifetime = msToTicks(40);   //!< exp. instance lifetime
+
+    // ---- Rotate policy ----
+    Tick rotateInterval = msToTicks(50); //!< retire/admit period
+
+    // ---- ballooning (any policy) ----
+    double balloonsPerSec = 0.0;   //!< balloon toggles per second
+    double balloonFraction = 0.25; //!< share of unique pages reclaimed
+
+    // ---- shared knobs ----
+    unsigned maxDynamicVms = 16; //!< cap on live dynamic instances
+    double cloneFraction = 0.5;  //!< arrivals cloned (vs. booted)
+
+    /** Profile of dynamic VMs; empty = the experiment's app. */
+    std::string templateApp;
+
+    /** @return a description of the first invalid field, or empty. */
+    std::string problem() const;
+};
+
+/** Cost and pacing of the lifecycle transitions themselves. */
+struct LifecycleConfig
+{
+    Tick cloneLatency = usToTicks(200); //!< fork-from-template setup
+    Tick bootLatency = msToTicks(2);    //!< fresh-image boot time
+    Tick drainDelay = msToTicks(2);     //!< stop-to-destroy grace
+
+    /** Page-table teardown cost per unmapped page. */
+    Tick reclaimCyclesPerPage = 300;
+
+    // Merge-recovery measurement: after an arrival, poll until the
+    // VM's mergeable image is shared again (or give up).
+    Tick recoveryPollInterval = msToTicks(1);
+    double recoveryThreshold = 0.9; //!< merged fraction counted done
+    Tick recoveryTimeout = msToTicks(500);
+
+    /** @return a description of the first invalid field, or empty. */
+    std::string problem() const;
+};
+
+} // namespace pageforge
+
+#endif // PF_LIFECYCLE_CHURN_POLICY_HH

@@ -1,0 +1,24 @@
+#include "lifecycle/lifecycle_stats.hh"
+
+namespace pageforge
+{
+
+void
+LifecycleStats::reset()
+{
+    clones = 0;
+    boots = 0;
+    shutdowns = 0;
+    balloonShrinks = 0;
+    balloonGrows = 0;
+    skippedArrivals = 0;
+    pagesReclaimed = 0;
+    framesFreed = 0;
+    recoveryTimeouts = 0;
+    reclaimLatencyUs.reset();
+    unmergeStorm.reset();
+    mergeRecoveryMs.reset();
+    balloonPages.reset();
+}
+
+} // namespace pageforge

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Statistics of the VM lifecycle subsystem.
+ *
+ * The interesting quantities under churn are not just counts: how
+ * long a fresh VM's image takes to merge back to steady state
+ * (merge-recovery), how many shared mappings a teardown rips apart
+ * (the unmerge storm), and what reclaiming a departed VM's frames
+ * costs. These feed bench_churn_recovery's KSM-vs-PageForge
+ * comparison.
+ */
+
+#ifndef PF_LIFECYCLE_LIFECYCLE_STATS_HH
+#define PF_LIFECYCLE_LIFECYCLE_STATS_HH
+
+#include <cstdint>
+
+#include "stats/sampler.hh"
+
+namespace pageforge
+{
+
+/** Counters and distributions of the lifecycle manager. */
+struct LifecycleStats
+{
+    std::uint64_t clones = 0;    //!< arrivals cloned from the template
+    std::uint64_t boots = 0;     //!< arrivals booted with fresh images
+    std::uint64_t shutdowns = 0; //!< completed teardowns
+    std::uint64_t balloonShrinks = 0;
+    std::uint64_t balloonGrows = 0;
+
+    /** Arrivals skipped because the dynamic-VM cap was reached. */
+    std::uint64_t skippedArrivals = 0;
+
+    std::uint64_t pagesReclaimed = 0; //!< mappings torn down
+    std::uint64_t framesFreed = 0;    //!< frames returned to the pool
+
+    /** Arrivals whose image never reached the recovery threshold. */
+    std::uint64_t recoveryTimeouts = 0;
+
+    /** Per-teardown page-table reclaim cost (us). */
+    Sampler reclaimLatencyUs;
+
+    /** Shared mappings broken per teardown (unmerge storm size). */
+    Sampler unmergeStorm;
+
+    /** Arrival to merged-image time (ms), per recovered arrival. */
+    Sampler mergeRecoveryMs;
+
+    /** Pages reclaimed per balloon shrink. */
+    Sampler balloonPages;
+
+    void reset();
+};
+
+} // namespace pageforge
+
+#endif // PF_LIFECYCLE_LIFECYCLE_STATS_HH

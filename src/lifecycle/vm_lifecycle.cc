@@ -1,0 +1,456 @@
+#include "lifecycle/vm_lifecycle.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/logging.hh"
+#include "workload/query_gen.hh"
+
+namespace pageforge
+{
+
+const char *
+vmStateName(VmState state)
+{
+    switch (state) {
+      case VmState::Template:
+        return "Template";
+      case VmState::Cloning:
+        return "Cloning";
+      case VmState::Running:
+        return "Running";
+      case VmState::Ballooning:
+        return "Ballooning";
+      case VmState::Draining:
+        return "Draining";
+      case VmState::Dead:
+        return "Dead";
+    }
+    return "?";
+}
+
+LifecycleManager::LifecycleManager(std::string name, EventQueue &eq,
+                                   Hypervisor &hyper,
+                                   ContentGenerator &content,
+                                   VmHost &host, AppProfile profile,
+                                   const ChurnConfig &churn,
+                                   const LifecycleConfig &config,
+                                   Rng rng)
+    : SimObject(std::move(name), eq), _hyper(hyper), _content(content),
+      _host(host), _profile(std::move(profile)), _churn(churn),
+      _config(config), _rng(rng)
+{
+}
+
+void
+LifecycleManager::setTemplate(const VmLayout &layout)
+{
+    _template = layout;
+    _haveTemplate = true;
+}
+
+LifecycleManager::Instance *
+LifecycleManager::findInstance(VmId vm_id)
+{
+    for (Instance &inst : _instances) {
+        if (inst.vm == vm_id)
+            return &inst;
+    }
+    return nullptr;
+}
+
+const LifecycleManager::Instance *
+LifecycleManager::findInstance(VmId vm_id) const
+{
+    for (const Instance &inst : _instances) {
+        if (inst.vm == vm_id)
+            return &inst;
+    }
+    return nullptr;
+}
+
+VmState
+LifecycleManager::state(VmId vm_id) const
+{
+    if (_haveTemplate && vm_id == _template.vm)
+        return VmState::Template;
+    if (const Instance *inst = findInstance(vm_id))
+        return inst->state;
+    // Not managed here: the static fleet is Running while it exists.
+    return _hyper.vmAlive(vm_id) ? VmState::Running : VmState::Dead;
+}
+
+unsigned
+LifecycleManager::liveDynamicVms() const
+{
+    unsigned n = 0;
+    for (const Instance &inst : _instances) {
+        if (inst.state != VmState::Dead)
+            ++n;
+    }
+    return n;
+}
+
+// ---------------------------------------------------------------------
+// Transitions
+// ---------------------------------------------------------------------
+
+VmId
+LifecycleManager::admitInstance()
+{
+    if (liveDynamicVms() >= _churn.maxDynamicVms) {
+        ++_stats.skippedArrivals;
+        return static_cast<VmId>(_hyper.numVms());
+    }
+    return _rng.chance(_churn.cloneFraction) ? cloneInstance()
+                                             : bootInstance();
+}
+
+VmId
+LifecycleManager::cloneInstance()
+{
+    pf_assert(_haveTemplate, "clone without a template image");
+
+    unsigned seq = _arrivalSeq++;
+    VmId vm_id = _hyper.cloneVm(
+        _profile.name + ".clone" + std::to_string(seq), _template.vm);
+
+    // The clone's canonical content is the template's: same replica
+    // index and app seed, so fillCanonical restores reproduce the
+    // template's bytes (and stay mergeable with it).
+    Instance inst;
+    inst.vm = vm_id;
+    inst.layout = _template;
+    inst.layout.vm = vm_id;
+    ++_stats.clones;
+    beginArrival(std::move(inst), _config.cloneLatency);
+    return vm_id;
+}
+
+VmId
+LifecycleManager::bootInstance()
+{
+    // Fresh image with its own unique-block seed: replica indices of
+    // booted instances start far above the static fleet's.
+    unsigned seq = _arrivalSeq++;
+    Instance inst;
+    inst.layout = _content.deployVm(_profile, 1000 + seq);
+    inst.vm = inst.layout.vm;
+    ++_stats.boots;
+    VmId vm_id = inst.vm;
+    beginArrival(std::move(inst), _config.bootLatency);
+    return vm_id;
+}
+
+void
+LifecycleManager::beginArrival(Instance inst, Tick latency)
+{
+    inst.state = VmState::Cloning;
+    inst.bornAt = curTick();
+    _instances.push_back(inst);
+
+    VmId vm_id = inst.vm;
+    std::uint64_t epoch = inst.epoch;
+    eventq().scheduleIn(latency, [this, vm_id, epoch] {
+        finishArrival(vm_id, epoch);
+    });
+}
+
+void
+LifecycleManager::finishArrival(VmId vm_id, std::uint64_t epoch)
+{
+    Instance *inst = findInstance(vm_id);
+    if (!inst || inst->epoch != epoch ||
+        inst->state != VmState::Cloning)
+        return;
+
+    inst->state = VmState::Running;
+    TailBenchApp *app = _host.attachApp(inst->layout, _profile);
+    if (app)
+        app->start();
+    trackRecovery(vm_id, inst->epoch, curTick());
+}
+
+void
+LifecycleManager::shutdownInstance(VmId vm_id)
+{
+    Instance *inst = findInstance(vm_id);
+    if (!inst)
+        return;
+
+    if (inst->state == VmState::Cloning) {
+        // Arrived and departed within the boot latency: finish the
+        // arrival first, then drain.
+        eventq().scheduleIn(_config.bootLatency,
+                            [this, vm_id] { shutdownInstance(vm_id); });
+        return;
+    }
+    if (inst->state != VmState::Running &&
+        inst->state != VmState::Ballooning)
+        return;
+
+    inst->state = VmState::Draining;
+    ++inst->epoch;
+    _host.detachApp(vm_id);
+
+    std::uint64_t epoch = inst->epoch;
+    eventq().scheduleIn(_config.drainDelay, [this, vm_id, epoch] {
+        finishShutdown(vm_id, epoch);
+    });
+}
+
+void
+LifecycleManager::finishShutdown(VmId vm_id, std::uint64_t epoch)
+{
+    Instance *inst = findInstance(vm_id);
+    if (!inst || inst->epoch != epoch ||
+        inst->state != VmState::Draining)
+        return;
+
+    ReclaimOutcome out = _hyper.destroyVm(vm_id);
+    inst->state = VmState::Dead;
+
+    ++_stats.shutdowns;
+    _stats.pagesReclaimed += out.pagesUnmapped;
+    _stats.framesFreed += out.framesFreed;
+    _stats.reclaimLatencyUs.sample(ticksToUs(
+        out.pagesUnmapped * _config.reclaimCyclesPerPage));
+    _stats.unmergeStorm.sample(
+        static_cast<double>(out.sharedUnshared));
+}
+
+void
+LifecycleManager::balloonInstance(VmId vm_id)
+{
+    Instance *inst = findInstance(vm_id);
+    if (!inst)
+        return;
+
+    if (inst->state == VmState::Running) {
+        // Shrink: reclaim the tail of the unique block (the pages a
+        // balloon driver would hand back first — nothing shares them).
+        unsigned count = static_cast<unsigned>(
+            inst->layout.uniqueCount * _churn.balloonFraction);
+        if (count == 0)
+            return;
+        ReclaimOutcome total;
+        for (unsigned i = 0; i < count; ++i) {
+            GuestPageNum gpn = inst->layout.uniqueStart +
+                inst->layout.uniqueCount - 1 - i;
+            ReclaimOutcome out = _hyper.reclaimPage(vm_id, gpn);
+            total.pagesUnmapped += out.pagesUnmapped;
+            total.framesFreed += out.framesFreed;
+        }
+        inst->balloonedPages = count;
+        inst->state = VmState::Ballooning;
+        ++_stats.balloonShrinks;
+        _stats.balloonPages.sample(static_cast<double>(count));
+        _stats.pagesReclaimed += total.pagesUnmapped;
+        _stats.framesFreed += total.framesFreed;
+        return;
+    }
+
+    if (inst->state == VmState::Ballooning) {
+        // Grow back: restore the reclaimed pages' canonical contents
+        // and re-advise them mergeable.
+        for (unsigned i = 0; i < inst->balloonedPages; ++i) {
+            GuestPageNum gpn = inst->layout.uniqueStart +
+                inst->layout.uniqueCount - 1 - i;
+            _content.fillCanonical(inst->layout, gpn);
+            _hyper.markMergeable(vm_id, gpn, 1);
+        }
+        inst->balloonedPages = 0;
+        inst->state = VmState::Running;
+        ++_stats.balloonGrows;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Merge-recovery tracking
+// ---------------------------------------------------------------------
+
+double
+LifecycleManager::mergedFraction(const Instance &inst) const
+{
+    // The mergeable part of the image is the zero and dup blocks; the
+    // unique block never finds a partner.
+    const VmLayout &layout = inst.layout;
+    unsigned total = layout.zeroCount + layout.dupCount;
+    if (total == 0)
+        return 1.0;
+
+    const PhysicalMemory &mem = _hyper.memory();
+    const VirtualMachine &machine = _hyper.vm(inst.vm);
+    unsigned merged = 0;
+    for (unsigned i = 0; i < total; ++i) {
+        const PageState &page =
+            machine.page(layout.zeroStart + static_cast<GuestPageNum>(i));
+        if (page.mapped && mem.refCount(page.frame) > 1)
+            ++merged;
+    }
+    return static_cast<double>(merged) / total;
+}
+
+void
+LifecycleManager::trackRecovery(VmId vm_id, std::uint64_t epoch,
+                                Tick started)
+{
+    eventq().scheduleIn(_config.recoveryPollInterval,
+                        [this, vm_id, epoch, started] {
+        Instance *inst = findInstance(vm_id);
+        if (!inst || inst->epoch != epoch ||
+            (inst->state != VmState::Running &&
+             inst->state != VmState::Ballooning))
+            return; // departed before recovering; not sampled
+
+        if (mergedFraction(*inst) >= _config.recoveryThreshold) {
+            _stats.mergeRecoveryMs.sample(
+                ticksToMs(curTick() - started));
+            return;
+        }
+        if (curTick() - started >= _config.recoveryTimeout) {
+            ++_stats.recoveryTimeouts;
+            return;
+        }
+        trackRecovery(vm_id, epoch, started);
+    });
+}
+
+// ---------------------------------------------------------------------
+// Policies
+// ---------------------------------------------------------------------
+
+void
+LifecycleManager::start()
+{
+    pf_assert(!_running, "lifecycle manager started twice");
+    if (_churn.kind == ChurnKind::None)
+        return;
+    _running = true;
+
+    switch (_churn.kind) {
+      case ChurnKind::Poisson:
+        schedulePoissonArrival();
+        if (_churn.departuresPerSec > 0.0)
+            schedulePoissonDeparture();
+        break;
+      case ChurnKind::Burst:
+        scheduleBurst();
+        break;
+      case ChurnKind::Rotate:
+        scheduleRotate();
+        break;
+      case ChurnKind::None:
+        break;
+    }
+    if (_churn.balloonsPerSec > 0.0)
+        scheduleBalloon();
+}
+
+Tick
+LifecycleManager::expDelay(double per_sec)
+{
+    double mean = static_cast<double>(ticksPerSec) / per_sec;
+    return std::max<Tick>(1, static_cast<Tick>(
+        _rng.nextExponential(mean)));
+}
+
+LifecycleManager::Instance *
+LifecycleManager::pickRandom(VmState state)
+{
+    std::vector<std::size_t> eligible;
+    for (std::size_t i = 0; i < _instances.size(); ++i) {
+        if (_instances[i].state == state)
+            eligible.push_back(i);
+    }
+    if (eligible.empty())
+        return nullptr;
+    return &_instances[eligible[_rng.nextBounded(eligible.size())]];
+}
+
+void
+LifecycleManager::schedulePoissonArrival()
+{
+    eventq().scheduleIn(expDelay(_churn.arrivalsPerSec), [this] {
+        if (!_running)
+            return;
+        admitInstance();
+        schedulePoissonArrival();
+    });
+}
+
+void
+LifecycleManager::schedulePoissonDeparture()
+{
+    eventq().scheduleIn(expDelay(_churn.departuresPerSec), [this] {
+        if (!_running)
+            return;
+        if (Instance *inst = pickRandom(VmState::Running))
+            shutdownInstance(inst->vm);
+        schedulePoissonDeparture();
+    });
+}
+
+void
+LifecycleManager::scheduleBalloon()
+{
+    eventq().scheduleIn(expDelay(_churn.balloonsPerSec), [this] {
+        if (!_running)
+            return;
+        // Prefer re-growing a shrunk instance so the footprint keeps
+        // oscillating instead of ratcheting down.
+        Instance *inst = pickRandom(VmState::Ballooning);
+        if (!inst)
+            inst = pickRandom(VmState::Running);
+        if (inst)
+            balloonInstance(inst->vm);
+        scheduleBalloon();
+    });
+}
+
+void
+LifecycleManager::scheduleBurst()
+{
+    eventq().scheduleIn(_churn.burstInterval, [this] {
+        if (!_running)
+            return;
+        for (unsigned i = 0; i < _churn.burstSize; ++i) {
+            VmId vm_id = admitInstance();
+            if (vm_id >= _hyper.numVms())
+                continue;
+            // Each burst instance lives an exponential lifetime.
+            Tick life = std::max<Tick>(1, static_cast<Tick>(
+                _rng.nextExponential(
+                    static_cast<double>(_churn.meanLifetime))));
+            eventq().scheduleIn(life, [this, vm_id] {
+                shutdownInstance(vm_id);
+            });
+        }
+        scheduleBurst();
+    });
+}
+
+void
+LifecycleManager::scheduleRotate()
+{
+    eventq().scheduleIn(_churn.rotateInterval, [this] {
+        if (!_running)
+            return;
+        // Retire the oldest running dynamic instance, admit a fresh
+        // one: constant-rate steady churn.
+        Instance *oldest = nullptr;
+        for (Instance &inst : _instances) {
+            if (inst.state != VmState::Running &&
+                inst.state != VmState::Ballooning)
+                continue;
+            if (!oldest || inst.bornAt < oldest->bornAt)
+                oldest = &inst;
+        }
+        if (oldest)
+            shutdownInstance(oldest->vm);
+        admitInstance();
+        scheduleRotate();
+    });
+}
+
+} // namespace pageforge

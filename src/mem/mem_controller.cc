@@ -53,7 +53,9 @@ MemController::lineBytes(Addr line_addr) const
     FrameId frame = addrToFrame(line_addr);
     std::uint32_t offset =
         static_cast<std::uint32_t>(line_addr % pageSize);
-    return _mem.data(frame) + offset;
+    // rawData, not data: stale cached lines of a frame freed by a VM
+    // teardown are still written back / read through this path.
+    return _mem.rawData(frame) + offset;
 }
 
 void

@@ -118,6 +118,14 @@ PhysicalMemory::data(FrameId frame) const
     return f.bytes.get();
 }
 
+const std::uint8_t *
+PhysicalMemory::rawData(FrameId frame) const
+{
+    static const std::uint8_t zeroes[pageSize] = {};
+    const Frame &f = frameAt(frame);
+    return f.bytes ? f.bytes.get() : zeroes;
+}
+
 void
 PhysicalMemory::setWriteProtected(FrameId frame, bool wp)
 {
@@ -128,6 +136,16 @@ bool
 PhysicalMemory::isWriteProtected(FrameId frame) const
 {
     return frameAt(frame).writeProtected;
+}
+
+void
+PhysicalMemory::forEachAllocatedFrame(
+    const std::function<void(FrameId, std::uint32_t)> &fn) const
+{
+    for (std::size_t i = 0; i < _frames.size(); ++i) {
+        if (_frames[i].allocated)
+            fn(static_cast<FrameId>(i), _frames[i].refs);
+    }
 }
 
 bool

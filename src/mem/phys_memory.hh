@@ -15,6 +15,7 @@
 #define PF_MEM_PHYS_MEMORY_HH
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -69,6 +70,15 @@ class PhysicalMemory
         return data(frame) + line_idx * lineSize;
     }
 
+    /**
+     * Backing data of a frame whether or not it is allocated. DRAM
+     * cells outlive the allocator's bookkeeping: after a VM teardown
+     * frees a frame, its dirty lines can still be written back from
+     * the caches, and the memory controller's data path (ECC model)
+     * must tolerate that. Never-touched frames read as zeroes.
+     */
+    const std::uint8_t *rawData(FrameId frame) const;
+
     /** Mark a frame read-only (CoW protection after merging). */
     void setWriteProtected(FrameId frame, bool wp);
 
@@ -80,6 +90,10 @@ class PhysicalMemory
 
     /** True when every byte of the frame is zero. */
     bool isZeroFrame(FrameId frame) const;
+
+    /** Visit every allocated frame with its current mapping count. */
+    void forEachAllocatedFrame(
+        const std::function<void(FrameId, std::uint32_t)> &fn) const;
 
     /** Frames currently allocated. */
     std::size_t framesInUse() const { return _inUse; }

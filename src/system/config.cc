@@ -1,7 +1,32 @@
 #include "system/config.hh"
 
+#include <cmath>
+
 namespace pageforge
 {
+
+void
+SystemConfig::validate() const
+{
+    if (numCores == 0)
+        throw ConfigError("numCores must be at least 1");
+    if (numVms == 0)
+        throw ConfigError("numVms must be at least 1");
+    if (numVms > numCores)
+        throw ConfigError(
+            "each VM needs its own core (" + std::to_string(numVms) +
+            " VMs, " + std::to_string(numCores) + " cores)");
+    if (!std::isfinite(memScale) || memScale <= 0.0)
+        throw ConfigError("memScale must be positive and finite");
+    if (!(ksmStickiness >= 0.0 && ksmStickiness <= 1.0))
+        throw ConfigError("ksmStickiness must be in [0, 1]");
+    std::string churn_problem = churn.problem();
+    if (!churn_problem.empty())
+        throw ConfigError(churn_problem);
+    std::string lifecycle_problem = lifecycle.problem();
+    if (!lifecycle_problem.empty())
+        throw ConfigError(lifecycle_problem);
+}
 
 const char *
 dedupModeName(DedupMode mode)

@@ -6,16 +6,34 @@
 #ifndef PF_SYSTEM_CONFIG_HH
 #define PF_SYSTEM_CONFIG_HH
 
+#include <stdexcept>
+#include <string>
+
 #include "cache/bus.hh"
 #include "cache/cache.hh"
 #include "core/pageforge_driver.hh"
 #include "core/pageforge_module.hh"
 #include "cpu/scheduler.hh"
 #include "ksm/ksmd.hh"
+#include "lifecycle/churn_policy.hh"
 #include "mem/dram_model.hh"
 
 namespace pageforge
 {
+
+/**
+ * Thrown for nonsensical configuration values (0 VMs, negative
+ * scales, empty app names, ...). A distinct exception type so tests
+ * and the campaign runner can tell user errors from simulator bugs.
+ */
+class ConfigError : public std::runtime_error
+{
+  public:
+    explicit ConfigError(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
+};
 
 /** Which same-page-merging configuration the system runs. */
 enum class DedupMode
@@ -60,6 +78,15 @@ struct SystemConfig
 
     /** Scale factor on per-VM footprint/working set (1.0 = default). */
     double memScale = 1.0;
+
+    /** VM churn policy (lifecycle subsystem); None = static fleet. */
+    ChurnConfig churn{};
+
+    /** Lifecycle transition costs and recovery measurement knobs. */
+    LifecycleConfig lifecycle{};
+
+    /** Throw ConfigError on nonsensical values. */
+    void validate() const;
 };
 
 } // namespace pageforge

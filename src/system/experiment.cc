@@ -18,15 +18,44 @@ ExperimentConfig::measureWindow(const AppProfile &app,
     return std::clamp(window, minMeasure, maxMeasure);
 }
 
+void
+ExperimentConfig::validate(const AppProfile &app) const
+{
+    if (app.name.empty())
+        throw ConfigError("application profile has an empty name");
+    if (app.footprintPages == 0)
+        throw ConfigError("app '" + app.name +
+                          "' has a zero-page footprint");
+    if (!(app.qps > 0.0))
+        throw ConfigError("app '" + app.name +
+                          "' must have positive QPS");
+    if (!std::isfinite(memScale) || memScale <= 0.0)
+        throw ConfigError("memScale must be positive and finite");
+    if (targetQueries == 0)
+        throw ConfigError("targetQueries must be at least 1");
+    if (minMeasure > maxMeasure)
+        throw ConfigError("minMeasure exceeds maxMeasure");
+    std::string churn_problem = churn.problem();
+    if (!churn_problem.empty())
+        throw ConfigError(churn_problem);
+    std::string lifecycle_problem = lifecycle.problem();
+    if (!lifecycle_problem.empty())
+        throw ConfigError(lifecycle_problem);
+}
+
 ExperimentResult
 runExperiment(const AppProfile &app, DedupMode mode,
               const ExperimentConfig &cfg,
               const SystemConfig &sys_template)
 {
+    cfg.validate(app);
+
     SystemConfig sys_cfg = sys_template;
     sys_cfg.mode = mode;
     sys_cfg.memScale = cfg.memScale;
     sys_cfg.seed = cfg.seed;
+    sys_cfg.churn = cfg.churn;
+    sys_cfg.lifecycle = cfg.lifecycle;
 
     // Keep the footprint-to-cache ratio in the paper's regime (see
     // ExperimentConfig::scaleCaches). Only applied to untouched
@@ -65,13 +94,30 @@ runExperiment(const AppProfile &app, DedupMode mode,
 
     Tick window = cfg.measureWindow(system.profile(), sys_cfg.numVms);
     Tick window_start = system.eventq().curTick();
-    system.run(window);
-    Tick window_end = system.eventq().curTick();
 
     // ---- collect ----
     ExperimentResult result;
     result.app = app.name;
     result.mode = mode;
+
+    if (system.lifecycle()) {
+        // Under churn, memory state moves during the window; sample a
+        // few cheap snapshots so results show the trajectory, not just
+        // the endpoint.
+        constexpr unsigned slices = 8;
+        for (unsigned s = 0; s < slices; ++s) {
+            system.run(window / slices);
+            result.phases.push_back(PhaseSnapshot{
+                system.eventq().curTick(),
+                system.memory().framesInUse(),
+                system.hypervisor().mappedPageCount(),
+                sys_cfg.numVms + system.lifecycle()->liveDynamicVms()});
+        }
+        system.run(window - (window / slices) * slices);
+    } else {
+        system.run(window);
+    }
+    Tick window_end = system.eventq().curTick();
 
     LatencyStats &lat = system.latency();
     result.meanSojournMs = ticksToMs(
@@ -140,6 +186,21 @@ runExperiment(const AppProfile &app, DedupMode mode,
 
     result.merges = system.hypervisor().merges() - merges_before;
     result.cowBreaks = system.hypervisor().cowBreaks() - cow_before;
+
+    if (LifecycleManager *lc = system.lifecycle()) {
+        const LifecycleStats &ls = lc->stats();
+        result.lifecycle.enabled = true;
+        result.lifecycle.clones = ls.clones;
+        result.lifecycle.boots = ls.boots;
+        result.lifecycle.shutdowns = ls.shutdowns;
+        result.lifecycle.skippedArrivals = ls.skippedArrivals;
+        result.lifecycle.framesFreed = ls.framesFreed;
+        result.lifecycle.meanUnmergeStorm = ls.unmergeStorm.mean();
+        result.lifecycle.meanReclaimUs = ls.reclaimLatencyUs.mean();
+        result.lifecycle.meanRecoveryMs = ls.mergeRecoveryMs.mean();
+        result.lifecycle.p95RecoveryMs = ls.mergeRecoveryMs.p95();
+        result.lifecycle.recoveryTimeouts = ls.recoveryTimeouts;
+    }
     return result;
 }
 

@@ -48,8 +48,45 @@ struct ExperimentConfig
 
     std::uint64_t seed = 42;
 
+    /** VM churn during the run (lifecycle subsystem); None = static. */
+    ChurnConfig churn{};
+
+    /** Lifecycle latencies and recovery measurement knobs. */
+    LifecycleConfig lifecycle{};
+
     /** Compute the window length for an application's load. */
     Tick measureWindow(const AppProfile &app, unsigned num_vms) const;
+
+    /**
+     * Throw ConfigError on nonsensical values (including the
+     * application profile the experiment will run).
+     */
+    void validate(const AppProfile &app) const;
+};
+
+/** Coarse memory state sampled at one point of the window. */
+struct PhaseSnapshot
+{
+    Tick tick = 0;                  //!< absolute simulated time
+    std::uint64_t framesUsed = 0;   //!< physical frames allocated
+    std::uint64_t mappedPages = 0;  //!< guest pages mapped (live VMs)
+    unsigned liveVms = 0;           //!< static fleet + live dynamic
+};
+
+/** Lifecycle activity over the measurement window (churn runs). */
+struct LifecycleSummary
+{
+    bool enabled = false;
+    std::uint64_t clones = 0;
+    std::uint64_t boots = 0;
+    std::uint64_t shutdowns = 0;
+    std::uint64_t skippedArrivals = 0;
+    std::uint64_t framesFreed = 0;
+    double meanUnmergeStorm = 0.0;   //!< shared pages unshared/shutdown
+    double meanReclaimUs = 0.0;      //!< modelled teardown reclaim cost
+    double meanRecoveryMs = 0.0;     //!< clone/boot to merged steady state
+    double p95RecoveryMs = 0.0;
+    std::uint64_t recoveryTimeouts = 0;
 };
 
 /** Everything a bench needs to print its table/figure rows. */
@@ -102,6 +139,10 @@ struct ExperimentResult
 
     std::uint64_t merges = 0;
     std::uint64_t cowBreaks = 0;
+
+    // Churn runs: memory state across the window + lifecycle activity.
+    std::vector<PhaseSnapshot> phases;
+    LifecycleSummary lifecycle;
 };
 
 /**

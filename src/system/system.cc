@@ -12,15 +12,16 @@ System::System(const SystemConfig &config, const AppProfile &app)
     : _config(config), _app(scaleProfile(app, config.memScale)),
       _rng(config.seed)
 {
-    pf_assert(_config.numVms <= _config.numCores,
-              "each VM needs its own core (%u VMs, %u cores)",
-              _config.numVms, _config.numCores);
+    _config.validate();
 
     std::size_t frames = _config.memFrames;
     if (frames == 0) {
-        // Auto-size: footprint of all VMs plus CoW/zero headroom.
-        frames = static_cast<std::size_t>(_config.numVms) *
-                _app.footprintPages * 2 + 8192;
+        // Auto-size: footprint of all VMs plus CoW/zero headroom,
+        // with room for the dynamic instances churn can admit.
+        std::size_t peak_vms = _config.numVms;
+        if (_config.churn.kind != ChurnKind::None)
+            peak_vms += _config.churn.maxDynamicVms;
+        frames = peak_vms * _app.footprintPages * 2 + 8192;
     }
 
     _mem = std::make_unique<PhysicalMemory>(frames);
@@ -68,6 +69,19 @@ System::System(const SystemConfig &config, const AppProfile &app)
             _config.pfDriver);
         break;
     }
+
+    if (_config.churn.kind != ChurnKind::None) {
+        // Dynamic instances run the template app (defaulting to the
+        // static fleet's), scaled like everything else.
+        AppProfile churn_app = _config.churn.templateApp.empty()
+            ? _app
+            : scaleProfile(appByName(_config.churn.templateApp),
+                           _config.memScale);
+        _lifecycle = std::make_unique<LifecycleManager>(
+            "lifecycle", _eq, *_hyper, *_content, *this, churn_app,
+            _config.churn, _config.lifecycle,
+            Rng(_config.seed ^ 0x6c696665ULL));
+    }
 }
 
 System::~System() = default;
@@ -86,6 +100,32 @@ System::deploy()
             *_hierarchy, *_cores[v], *_content, layout, _app,
             *_latency,
             Rng(_config.seed * 0x9e3779b97f4a7c15ULL + v + 1)));
+    }
+
+    if (_lifecycle)
+        _lifecycle->setTemplate(_layouts[0]);
+}
+
+TailBenchApp *
+System::attachApp(const VmLayout &layout, const AppProfile &profile)
+{
+    // Dynamic VMs share cores round-robin with the static fleet; the
+    // app object is kept for the lifetime of the run (only stopped on
+    // detach) because in-flight events capture it.
+    Core &core = *_cores[layout.vm % _config.numCores];
+    _apps.push_back(std::make_unique<TailBenchApp>(
+        profile.name + ".app" + std::to_string(layout.vm), _eq, *_hyper,
+        *_hierarchy, core, *_content, layout, profile, *_latency,
+        Rng(_config.seed * 0x9e3779b97f4a7c15ULL + layout.vm + 0x1000)));
+    return _apps.back().get();
+}
+
+void
+System::detachApp(VmId vm)
+{
+    for (auto &app : _apps) {
+        if (app->vmId() == vm && app->isRunning())
+            app->stop();
     }
 }
 
@@ -140,6 +180,8 @@ System::startLoad()
         _ksmd->start();
     if (_pfDriver)
         _pfDriver->start();
+    if (_lifecycle)
+        _lifecycle->start();
 }
 
 void
@@ -162,6 +204,8 @@ System::resetMeasurement()
         _pfDriver->resetStats();
     if (_pfModule)
         _pfModule->resetStats();
+    if (_lifecycle)
+        _lifecycle->resetStats();
 }
 
 const MergeStats &

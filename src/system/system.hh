@@ -16,6 +16,7 @@
 #include <memory>
 #include <vector>
 
+#include "lifecycle/vm_lifecycle.hh"
 #include "system/config.hh"
 #include "workload/content_gen.hh"
 #include "workload/query_gen.hh"
@@ -24,7 +25,7 @@ namespace pageforge
 {
 
 /** The whole simulated machine. */
-class System
+class System : public VmHost
 {
   public:
     /**
@@ -71,6 +72,14 @@ class System
     const AppProfile &profile() const { return _app; }
     const SystemConfig &config() const { return _config; }
 
+    /** Null unless a churn policy is configured. */
+    LifecycleManager *lifecycle() { return _lifecycle.get(); }
+
+    // ---- VmHost (called by the lifecycle manager) ----
+    TailBenchApp *attachApp(const VmLayout &layout,
+                            const AppProfile &profile) override;
+    void detachApp(VmId vm) override;
+
     /** Null unless mode == Ksm. */
     Ksmd *ksmd() { return _ksmd.get(); }
 
@@ -99,6 +108,7 @@ class System
     std::unique_ptr<ContentGenerator> _content;
     std::unique_ptr<LatencyStats> _latency;
 
+    std::unique_ptr<LifecycleManager> _lifecycle;
     std::unique_ptr<KsmScheduler> _ksmSched;
     std::unique_ptr<Ksmd> _ksmd;
     std::unique_ptr<PageForgeModule> _pfModule;

@@ -63,6 +63,11 @@ ContentGenerator::fillCanonical(const VmLayout &layout, GuestPageNum gpn)
 {
     pf_assert(gpn < layout.totalPages(), "gpn outside layout");
 
+    // Restores may be scheduled before a VM is torn down and fire
+    // after; writing would remap pages on the dead VM.
+    if (!_hyper.vmAlive(layout.vm))
+        return;
+
     if (gpn < layout.dupStart) {
         // Zero block: first touch zero-fills; later restores must
         // explicitly write zeroes over whatever is there.

@@ -15,7 +15,9 @@ LatencyStats::LatencyStats(unsigned num_vms) : _perVm(num_vms)
 void
 LatencyStats::record(VmId vm, Tick sojourn)
 {
-    pf_assert(vm < _perVm.size(), "record for unknown VM %u", vm);
+    // VMs appear mid-run under churn; grow the per-VM table on demand.
+    if (vm >= _perVm.size())
+        _perVm.resize(vm + 1);
     _perVm[vm].sample(static_cast<double>(sojourn));
     _aggregate.sample(static_cast<double>(sojourn));
 }

@@ -44,7 +44,7 @@ TailBenchApp::scheduleArrival()
 void
 TailBenchApp::onArrival()
 {
-    if (!_running)
+    if (!_running || !_hyper.vmAlive(_layout.vm))
         return;
     scheduleArrival();
     ++_issued;
@@ -126,6 +126,12 @@ TailBenchApp::chargeCowCopy(Tick now, FrameId src_frame,
 Tick
 TailBenchApp::executeQuery(Tick start)
 {
+    // The VM may have been destroyed while this query sat in the run
+    // queue; touching its pages now would resurrect mappings on a
+    // dead VM and leak the frames.
+    if (!_hyper.vmAlive(_layout.vm))
+        return 1;
+
     Tick now = start;
 
     double jitter = 1.0 +
@@ -198,7 +204,7 @@ TailBenchApp::scheduleChurn()
 void
 TailBenchApp::onChurn()
 {
-    if (!_running)
+    if (!_running || !_hyper.vmAlive(_layout.vm))
         return;
     scheduleChurn();
     if (_layout.dupCount == 0)

@@ -45,6 +45,8 @@ class TailBenchApp : public SimObject
     /** Stop issuing new arrivals; in-flight queries complete. */
     void stop() { _running = false; }
 
+    bool isRunning() const { return _running; }
+
     VmId vmId() const { return _layout.vm; }
     const AppProfile &profile() const { return _profile; }
 

@@ -37,6 +37,9 @@ class SmallMachine : public ::testing::Test
                BusConfig{}, mc),
           hyper("hv", eq, mem)
     {
+        // Audit frame refcounts against guest mappings after every
+        // merge / CoW break / reclaim in every test on this fixture.
+        hyper.setInvariantChecking(true);
         for (unsigned c = 0; c < numCores; ++c) {
             cores.push_back(std::make_unique<Core>(
                 "core" + std::to_string(c), eq,

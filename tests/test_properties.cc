@@ -16,11 +16,16 @@
 #include <gtest/gtest.h>
 
 #include "cache/cache.hh"
+#include "cache/hierarchy.hh"
 #include "core/scan_table.hh"
+#include "cpu/core.hh"
+#include "cpu/scheduler.hh"
 #include "ecc/ecc_hash_key.hh"
 #include "ecc/hamming7264.hh"
 #include "ksm/content_tree.hh"
+#include "ksm/ksmd.hh"
 #include "mem/dram_model.hh"
+#include "mem/mem_controller.hh"
 #include "sim/rng.hh"
 
 namespace pageforge
@@ -381,6 +386,109 @@ INSTANTIATE_TEST_SUITE_P(
                       std::array<std::uint8_t, 4>{3, 7, 11, 13},
                       std::array<std::uint8_t, 4>{15, 15, 15, 15},
                       std::array<std::uint8_t, 4>{1, 14, 2, 13}));
+
+// ---------------------------------------------------------------------
+// CoW-break storm: fully merge two identical VMs, then write every
+// page of one of them in random order. Whatever the order, the merged
+// footprint must return to the unmerged one (savings ~ 0), refcounts
+// must balance (audit), and no frame may leak.
+// ---------------------------------------------------------------------
+
+class CowStormSweep : public ::testing::TestWithParam<std::uint64_t>
+{
+  protected:
+    static constexpr unsigned numCores = 2;
+    static constexpr std::size_t pages = 48;
+
+    CowStormSweep()
+        : mem(2048), mc("mc0", eq, mem, DramConfig{}),
+          hier("chip", eq, numCores,
+               CacheConfig{"l1", 2 * 1024, 2, 2, 4},
+               CacheConfig{"l2", 8 * 1024, 4, 6, 8},
+               CacheConfig{"l3", 128 * 1024, 16, 20, 16},
+               BusConfig{}, mc),
+          hyper("hv", eq, mem),
+          sched("sched", eq, numCores, KsmPlacement::RoundRobin, 0.0,
+                Rng(1)),
+          core0("core0", eq, 0), core1("core1", eq, 1),
+          ksmd("ksmd", eq, hyper, hier,
+               std::vector<Core *>{&core0, &core1}, sched, KsmConfig{})
+    {
+        hyper.setInvariantChecking(true);
+    }
+
+    EventQueue eq;
+    PhysicalMemory mem;
+    MemController mc;
+    Hierarchy hier;
+    Hypervisor hyper;
+    KsmScheduler sched;
+    Core core0, core1;
+    Ksmd ksmd;
+};
+
+TEST_P(CowStormSweep, FullStormUnsharesEverythingWithoutLeaks)
+{
+    Rng rng(GetParam());
+
+    auto fill = [&](VmId vm, GuestPageNum gpn, std::uint64_t seed) {
+        Rng prng(seed);
+        std::uint8_t buf[pageSize];
+        for (auto &byte : buf)
+            byte = static_cast<std::uint8_t>(prng.next());
+        hyper.writeToPage(vm, gpn, 0, buf, pageSize);
+    };
+
+    VmId keeper = hyper.createVm("keeper", pages);
+    VmId storm = hyper.createVm("storm", pages);
+    for (GuestPageNum gpn = 0; gpn < pages; ++gpn) {
+        hyper.touchPage(keeper, gpn);
+        hyper.touchPage(storm, gpn);
+        std::uint64_t seed = 0xc0ffee + gpn;
+        fill(keeper, gpn, seed);
+        fill(storm, gpn, seed); // identical twin
+    }
+    hyper.markMergeable(keeper, 0, pages);
+    hyper.markMergeable(storm, 0, pages);
+    std::size_t unmerged = mem.framesInUse();
+
+    for (int pass = 0; pass < 4; ++pass)
+        ksmd.runOnePassNow();
+    ASSERT_EQ(mem.framesInUse(), unmerged - pages); // fully merged
+
+    // The storm: dirty every page of one VM in a random order.
+    std::vector<GuestPageNum> order(pages);
+    for (GuestPageNum gpn = 0; gpn < pages; ++gpn)
+        order[gpn] = gpn;
+    for (std::size_t i = order.size(); i > 1; --i)
+        std::swap(order[i - 1], order[rng.nextBounded(i)]);
+
+    std::uint64_t breaks_before = hyper.cowBreaks();
+    for (GuestPageNum gpn : order) {
+        std::uint64_t junk = rng.next();
+        std::uint32_t offset = static_cast<std::uint32_t>(
+            rng.nextBounded(linesPerPage)) * lineSize;
+        hyper.writeToPage(storm, gpn, offset, &junk, sizeof(junk));
+    }
+
+    // Every write hit a shared frame, so every page took a CoW break
+    // and the footprint is back to the unmerged one: savings ~ 0.
+    EXPECT_EQ(hyper.cowBreaks() - breaks_before, pages);
+    EXPECT_EQ(mem.framesInUse(), unmerged);
+    for (GuestPageNum gpn = 0; gpn < pages; ++gpn)
+        EXPECT_NE(hyper.frameOf(storm, gpn), hyper.frameOf(keeper, gpn));
+
+    // No leaks: tearing both VMs down returns every frame, and the
+    // stable tree releases its pins on the way out.
+    hyper.destroyVm(storm);
+    hyper.destroyVm(keeper);
+    EXPECT_EQ(mem.framesInUse(), 0u);
+    FrameAuditReport audit = hyper.auditFrames();
+    EXPECT_TRUE(audit.ok) << audit.problem;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CowStormSweep,
+                         ::testing::Values(2u, 19u, 83u, 424242u));
 
 } // namespace
 } // namespace pageforge

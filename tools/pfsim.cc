@@ -45,6 +45,9 @@ struct Options
     bool dumpStats = false;
     KsmPlacement placement = KsmPlacement::Sticky;
 
+    // ---- VM churn ----
+    ChurnConfig churn{};
+
     // ---- campaign mode ----
     bool campaign = false;
     unsigned jobs = 0;  //!< 0 = hardware concurrency
@@ -80,6 +83,10 @@ usage(const char *prog)
         << "  --warmup-passes=N   dedup fast-forward passes (default 6)\n"
         << "  --seed=S            experiment seed (default 42)\n"
         << "  --placement=P       ksmd placement: sticky|rr|random|pinned\n"
+        << "  --churn=POLICY      VM churn: none|poisson|burst|rotate\n"
+        << "  --churn-rate=X      arrivals and departures per second\n"
+        << "  --template-app=A    app profile for churned VMs "
+           "(default: --app)\n"
         << "  --dump-stats        print the full component stats dump\n"
         << "campaign mode:\n"
         << "  --campaign          run the (app x mode x seed) matrix\n"
@@ -138,6 +145,15 @@ parse(int argc, char **argv)
                 opts.placement = KsmPlacement::Pinned;
             else
                 usage(argv[0]);
+        } else if (const char *v = value("--churn=")) {
+            if (!parseChurnKind(v, opts.churn.kind))
+                usage(argv[0]);
+        } else if (const char *v = value("--churn-rate=")) {
+            double rate = std::atof(v);
+            opts.churn.arrivalsPerSec = rate;
+            opts.churn.departuresPerSec = rate;
+        } else if (const char *v = value("--template-app=")) {
+            opts.churn.templateApp = v;
         } else if (arg == "--dump-stats") {
             opts.dumpStats = true;
         } else if (arg == "--campaign") {
@@ -186,6 +202,7 @@ runCampaignMode(const Options &opts)
     spec.experiment.seed = opts.seed;
     spec.experiment.targetQueries = opts.queries;
     spec.experiment.settleTime = msToTicks(opts.settleMs);
+    spec.experiment.churn = opts.churn;
     spec.sysTemplate.ksmPlacement = opts.placement;
     spec.progress = [](const CellOutcome &outcome, std::size_t done,
                        std::size_t total) {
@@ -263,6 +280,7 @@ main(int argc, char **argv)
     config.memScale = opts.scale;
     config.seed = opts.seed;
     config.ksmPlacement = opts.placement;
+    config.churn = opts.churn;
     // Keep the footprint/cache ratio in the paper's regime, as the
     // experiment runner does.
     if (opts.scale < 1.0) {
@@ -277,6 +295,12 @@ main(int argc, char **argv)
     }
 
     const AppProfile &app = appByName(opts.app);
+    try {
+        config.validate();
+    } catch (const ConfigError &err) {
+        std::cerr << "pfsim: bad configuration: " << err.what() << "\n";
+        return 1;
+    }
     System system(config, app);
     system.deploy();
 
@@ -339,6 +363,24 @@ main(int argc, char **argv)
                           0)});
         table.addRow({"PF OS checks",
                       std::to_string(system.pfDriver()->osChecks())});
+    }
+    if (LifecycleManager *lc = system.lifecycle()) {
+        const LifecycleStats &ls = lc->stats();
+        table.addRow({"VM clones", std::to_string(ls.clones)});
+        table.addRow({"VM boots", std::to_string(ls.boots)});
+        table.addRow({"VM shutdowns", std::to_string(ls.shutdowns)});
+        table.addRow({"live dynamic VMs",
+                      std::to_string(lc->liveDynamicVms())});
+        table.addRow({"frames reclaimed (freed)",
+                      std::to_string(ls.framesFreed)});
+        table.addRow({"mean unmerge storm (pages)",
+                      TablePrinter::fmt(ls.unmergeStorm.mean(), 1)});
+        table.addRow({"mean reclaim cost (us)",
+                      TablePrinter::fmt(ls.reclaimLatencyUs.mean(), 1)});
+        table.addRow({"mean merge recovery (ms)",
+                      TablePrinter::fmt(ls.mergeRecoveryMs.mean(), 2)});
+        table.addRow({"recovery timeouts",
+                      std::to_string(ls.recoveryTimeouts)});
     }
     table.print(std::cout);
 
