@@ -23,7 +23,8 @@ mesiName(MesiState state)
 
 Cache::Cache(const CacheConfig &config)
     : _config(config), _numSets(config.numSets()),
-      _lines(static_cast<std::size_t>(_numSets) * config.ways),
+      _tags(static_cast<std::size_t>(_numSets) * config.ways, 0),
+      _lastUsed(static_cast<std::size_t>(_numSets) * config.ways, 0),
       _stats(config.name)
 {
     pf_assert(_numSets > 0, "cache '%s' has no sets",
@@ -36,122 +37,72 @@ Cache::Cache(const CacheConfig &config)
                    [this] { return 1.0 - hitRate(); });
 }
 
-std::uint32_t
-Cache::setIndex(Addr line_addr) const
-{
-    std::uint64_t line = line_addr / lineSize;
-    // Power-of-two set counts index with a mask; others (e.g. the
-    // 20-way L3 of Table 2) fall back to modulo.
-    if (_setsPow2)
-        return static_cast<std::uint32_t>(line & (_numSets - 1));
-    return static_cast<std::uint32_t>(line % _numSets);
-}
-
-Cache::Line *
-Cache::findLine(Addr line_addr)
-{
-    std::size_t base =
-        static_cast<std::size_t>(setIndex(line_addr)) * _config.ways;
-    for (std::uint32_t w = 0; w < _config.ways; ++w) {
-        Line &line = _lines[base + w];
-        if (line.state != MesiState::Invalid && line.addr == line_addr)
-            return &line;
-    }
-    return nullptr;
-}
-
-const Cache::Line *
-Cache::findLine(Addr line_addr) const
-{
-    return const_cast<Cache *>(this)->findLine(line_addr);
-}
-
-MesiState
-Cache::access(Addr line_addr)
-{
-    Line *line = findLine(line_addr);
-    if (line) {
-        line->lastUsed = ++_useClock;
-        ++_hits;
-        return line->state;
-    }
-    ++_misses;
-    return MesiState::Invalid;
-}
-
-MesiState
-Cache::probe(Addr line_addr) const
-{
-    const Line *line = findLine(line_addr);
-    return line ? line->state : MesiState::Invalid;
-}
-
-bool
-Cache::contains(Addr line_addr) const
-{
-    return findLine(line_addr) != nullptr;
-}
-
 Victim
 Cache::insert(Addr line_addr, MesiState state)
 {
     pf_assert(state != MesiState::Invalid, "inserting an invalid line");
 
-    if (Line *line = findLine(line_addr)) {
-        // Refill of a resident line: just update state and recency.
-        line->state = state;
-        line->lastUsed = ++_useClock;
-        return {};
-    }
-
+    // One pass over the set finds a resident copy, the first invalid
+    // way, and the LRU victim all at once (insert is on the fill path
+    // of every modelled access, so the set is scanned exactly once).
     std::size_t base =
         static_cast<std::size_t>(setIndex(line_addr)) * _config.ways;
-    Line *victim_line = nullptr;
+    std::size_t invalid_idx = npos;
+    std::size_t lru_idx = npos;
     for (std::uint32_t w = 0; w < _config.ways; ++w) {
-        Line &line = _lines[base + w];
-        if (line.state == MesiState::Invalid) {
-            victim_line = &line;
-            break;
+        std::size_t idx = base + w;
+        std::uint64_t tag = _tags[idx];
+        if ((tag & ~stateMask) == line_addr && (tag & stateMask)) {
+            // Refill of a resident line: just update state and recency.
+            _tags[idx] = makeTag(line_addr, state);
+            _lastUsed[idx] = ++_useClock;
+            return {};
         }
-        if (!victim_line || line.lastUsed < victim_line->lastUsed)
-            victim_line = &line;
+        if (!(tag & stateMask)) {
+            if (invalid_idx == npos)
+                invalid_idx = idx;
+        } else if (lru_idx == npos ||
+                   _lastUsed[idx] < _lastUsed[lru_idx]) {
+            lru_idx = idx;
+        }
     }
 
+    std::size_t victim_idx = invalid_idx != npos ? invalid_idx : lru_idx;
     Victim victim;
-    if (victim_line->state != MesiState::Invalid) {
+    std::uint64_t old_tag = _tags[victim_idx];
+    if (old_tag & stateMask) {
         victim.valid = true;
-        victim.addr = victim_line->addr;
-        victim.dirty = victim_line->state == MesiState::Modified;
+        victim.addr = old_tag & ~stateMask;
+        victim.dirty = tagState(old_tag) == MesiState::Modified;
         ++_evictions;
     }
 
-    victim_line->addr = line_addr;
-    victim_line->state = state;
-    victim_line->lastUsed = ++_useClock;
+    _tags[victim_idx] = makeTag(line_addr, state);
+    _lastUsed[victim_idx] = ++_useClock;
     return victim;
 }
 
 void
 Cache::setState(Addr line_addr, MesiState state)
 {
-    Line *line = findLine(line_addr);
-    pf_assert(line, "setState on absent line %llx in %s",
+    std::size_t idx = findIdx(line_addr);
+    pf_assert(idx != npos, "setState on absent line %llx in %s",
               static_cast<unsigned long long>(line_addr),
               _config.name.c_str());
     if (state == MesiState::Invalid)
-        line->state = MesiState::Invalid;
+        _tags[idx] = 0;
     else
-        line->state = state;
+        _tags[idx] = makeTag(line_addr, state);
 }
 
 bool
 Cache::invalidate(Addr line_addr)
 {
-    Line *line = findLine(line_addr);
-    if (!line)
+    std::size_t idx = findIdx(line_addr);
+    if (idx == npos)
         return false;
-    bool dirty = line->state == MesiState::Modified;
-    line->state = MesiState::Invalid;
+    bool dirty = tagState(_tags[idx]) == MesiState::Modified;
+    _tags[idx] = 0;
     return dirty;
 }
 
@@ -159,8 +110,8 @@ std::size_t
 Cache::residentLines() const
 {
     std::size_t n = 0;
-    for (const auto &line : _lines) {
-        if (line.state != MesiState::Invalid)
+    for (std::uint64_t tag : _tags) {
+        if (tag & stateMask)
             ++n;
     }
     return n;

@@ -71,13 +71,33 @@ class Cache
      * Look up a line and update LRU on hit.
      * @return the line's state, Invalid on miss
      */
-    MesiState access(Addr line_addr);
+    MesiState
+    access(Addr line_addr)
+    {
+        std::size_t idx = findIdx(line_addr);
+        if (idx != npos) {
+            _lastUsed[idx] = ++_useClock;
+            ++_hits;
+            return tagState(_tags[idx]);
+        }
+        ++_misses;
+        return MesiState::Invalid;
+    }
 
     /** Look up without disturbing LRU (snoops, invariants, tests). */
-    MesiState probe(Addr line_addr) const;
+    MesiState
+    probe(Addr line_addr) const
+    {
+        std::size_t idx = findIdx(line_addr);
+        return idx != npos ? tagState(_tags[idx]) : MesiState::Invalid;
+    }
 
     /** True when the line is present in any valid state. */
-    bool contains(Addr line_addr) const;
+    bool
+    contains(Addr line_addr) const
+    {
+        return findIdx(line_addr) != npos;
+    }
 
     /**
      * Fill a line, evicting the set's LRU victim if needed.
@@ -113,17 +133,42 @@ class Cache
     void resetStats();
 
   private:
-    struct Line
+    /**
+     * The tag array is a structure of arrays: one packed 64-bit tag
+     * word per way plus a parallel LRU timestamp array. Line addresses
+     * are 64 B aligned, so the MESI state lives in the tag's low two
+     * bits (the enum's values) and an Invalid way stores 0 — a set's
+     * ways occupy one or two cache lines on the host, against three
+     * for the old array-of-structs, and the lookup loop carries no
+     * padding. The tag array is the hottest data in the simulator
+     * (every modelled memory access probes one or more levels).
+     */
+    static constexpr std::uint64_t stateMask = 0x3;
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+    static_assert(static_cast<unsigned>(MesiState::Invalid) == 0 &&
+                      static_cast<unsigned>(MesiState::Modified) <= stateMask,
+                  "MESI states must pack into the tag's low bits");
+    static_assert(lineSize > stateMask,
+                  "line alignment must leave room for the state bits");
+
+    static std::uint64_t
+    makeTag(Addr line_addr, MesiState state)
     {
-        Addr addr = 0;
-        MesiState state = MesiState::Invalid;
-        std::uint64_t lastUsed = 0;
-    };
+        return line_addr | static_cast<std::uint64_t>(state);
+    }
+
+    static MesiState
+    tagState(std::uint64_t tag)
+    {
+        return static_cast<MesiState>(tag & stateMask);
+    }
 
     CacheConfig _config;
     std::uint32_t _numSets;
     bool _setsPow2 = true;
-    std::vector<Line> _lines; // numSets x ways
+    std::vector<std::uint64_t> _tags;     // numSets x ways
+    std::vector<std::uint64_t> _lastUsed; // numSets x ways
     std::uint64_t _useClock = 0;
 
     Counter _hits;
@@ -131,9 +176,32 @@ class Cache
     Counter _evictions;
     StatGroup _stats;
 
-    std::uint32_t setIndex(Addr line_addr) const;
-    Line *findLine(Addr line_addr);
-    const Line *findLine(Addr line_addr) const;
+    std::uint32_t
+    setIndex(Addr line_addr) const
+    {
+        std::uint64_t line = line_addr / lineSize;
+        // Power-of-two set counts index with a mask; others (e.g. the
+        // 20-way L3 of Table 2) fall back to modulo.
+        if (_setsPow2)
+            return static_cast<std::uint32_t>(line & (_numSets - 1));
+        return static_cast<std::uint32_t>(line % _numSets);
+    }
+
+    /** Index of the way holding @p line_addr, or npos when absent. */
+    std::size_t
+    findIdx(Addr line_addr) const
+    {
+        std::size_t base =
+            static_cast<std::size_t>(setIndex(line_addr)) * _config.ways;
+        for (std::uint32_t w = 0; w < _config.ways; ++w) {
+            std::uint64_t tag = _tags[base + w];
+            // One compare finds the address in any valid state: a
+            // match needs the address bits equal and a nonzero state.
+            if ((tag & ~stateMask) == line_addr && (tag & stateMask))
+                return base + w;
+        }
+        return npos;
+    }
 };
 
 } // namespace pageforge

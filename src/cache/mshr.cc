@@ -19,11 +19,13 @@ Mshr::Mshr(std::string name, std::uint32_t capacity)
 void
 Mshr::prune(Tick now)
 {
-    for (auto it = _entries.begin(); it != _entries.end();) {
-        if (it->second <= now)
-            it = _entries.erase(it);
-        else
-            ++it;
+    for (std::size_t i = 0; i < _entries.size();) {
+        if (_entries[i].second <= now) {
+            _entries[i] = _entries.back();
+            _entries.pop_back();
+        } else {
+            ++i;
+        }
     }
 }
 
@@ -39,15 +41,18 @@ Mshr::earliestRetire() const
 std::optional<Tick>
 Mshr::pendingFill(Addr line_addr, Tick now)
 {
-    auto it = _entries.find(line_addr);
-    if (it == _entries.end())
-        return std::nullopt;
-    if (it->second <= now) {
-        _entries.erase(it);
-        return std::nullopt;
+    for (std::size_t i = 0; i < _entries.size(); ++i) {
+        if (_entries[i].first != line_addr)
+            continue;
+        if (_entries[i].second <= now) {
+            _entries[i] = _entries.back();
+            _entries.pop_back();
+            return std::nullopt;
+        }
+        ++_coalesced;
+        return _entries[i].second;
     }
-    ++_coalesced;
-    return it->second;
+    return std::nullopt;
 }
 
 Tick
@@ -69,7 +74,13 @@ void
 Mshr::insertFill(Addr line_addr, Tick ready)
 {
     ++_allocs;
-    _entries[line_addr] = ready;
+    for (auto &[addr, retire] : _entries) {
+        if (addr == line_addr) {
+            retire = ready;
+            return;
+        }
+    }
+    _entries.push_back({line_addr, ready});
 }
 
 std::size_t

@@ -13,7 +13,8 @@
 
 #include <optional>
 #include <string>
-#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "sim/types.hh"
 #include "stats/stat_group.hh"
@@ -64,7 +65,14 @@ class Mshr
 
   private:
     std::uint32_t _capacity;
-    std::unordered_map<Addr, Tick> _entries;
+
+    /**
+     * Outstanding misses, unordered. The file holds at most `capacity`
+     * entries (a couple dozen), so linear scans of a flat array beat
+     * hashing; every operation is a key lookup or an aggregate
+     * (min / count), so element order never matters.
+     */
+    std::vector<std::pair<Addr, Tick>> _entries;
 
     Counter _allocs;
     Counter _coalesced;

@@ -1,6 +1,6 @@
 #include "core/pageforge_driver.hh"
 
-#include <unordered_map>
+#include <algorithm>
 #include <utility>
 
 #include "sim/logging.hh"
@@ -15,7 +15,8 @@ PageForgeDriver::PageForgeDriver(std::string name, EventQueue &eq,
     : SimObject(std::move(name), eq), _hyper(hyper), _api(api),
       _cores(std::move(cores)), _config(config),
       _stableAcc(hyper.memory()), _guestAcc(hyper),
-      _stable(_stableAcc), _unstable(_guestAcc)
+      _stable(_stableAcc, /*immutable_contents=*/true),
+      _unstable(_guestAcc)
 {
     pf_assert(!_cores.empty(), "driver with no cores");
     _api.module().setEccOffsets(config.eccOffsets);
@@ -216,10 +217,6 @@ restart:
         }
     }
 
-    std::unordered_map<const ContentTree::Node *, unsigned> index;
-    for (unsigned i = 0; i < nodes.size(); ++i)
-        index[nodes[i]] = i;
-
     _batch = PendingBatch{};
     _batch.nodes = nodes;
     _batch.startPtr = 0;
@@ -240,9 +237,14 @@ restart:
                           bool more) -> ScanIndex {
             if (!child)
                 return makeAbsentToken(i, more);
-            auto it = index.find(child);
-            if (it != index.end())
-                return static_cast<ScanIndex>(it->second);
+            // A BFS child is either one of the (at most capacity)
+            // collected nodes or a continuation; a linear scan of the
+            // small vector beats building a hash map per batch. The
+            // child of nodes[i] can only appear after position i.
+            auto it = std::find(nodes.begin() + (i + 1), nodes.end(),
+                                child);
+            if (it != nodes.end())
+                return static_cast<ScanIndex>(it - nodes.begin());
             has_continuation = true;
             return makeContinueToken(i, more);
         };

@@ -49,6 +49,13 @@ PageForgeModule::fetchLine(FrameId frame, std::uint32_t line_idx,
     ++_linesFetched;
     Addr addr = lineAddr(frame, line_idx);
 
+    // Only materialize the ECC code's value when the accumulator would
+    // actually capture this line; offer() ignores everything else, so
+    // the gating is behaviour-preserving while skipping nearly all of
+    // the host-side Hamming work. The modelled encode/decode always
+    // happens (and is counted) either way.
+    bool need_ecc = snatch_ecc && _hashAcc.wants(line_idx);
+
     // Issue to the on-chip network first (Section 3.2.2).
     SnoopResult snoop = _hierarchy.snoopForMc(addr, now);
     Tick done;
@@ -57,17 +64,17 @@ PageForgeModule::fetchLine(FrameId frame, std::uint32_t line_idx,
         ++_snoopHits;
         // The response passes through the memory controller, whose
         // ECC circuitry generates the line's code (Section 3.3.2).
-        ecc = _mc.encodeLine(addr);
+        ecc = _mc.encodeLine(addr, need_ecc);
         done = snoop.done;
     } else {
         McReadResult rr =
-            _mc.readLine(addr, snoop.done, Requester::PageForge);
+            _mc.readLine(addr, snoop.done, Requester::PageForge, need_ecc);
         ++_dramReads;
         ecc = rr.ecc;
         done = rr.done;
     }
 
-    if (snatch_ecc)
+    if (need_ecc)
         _hashAcc.offer(line_idx, ecc);
     return done;
 }
@@ -90,8 +97,8 @@ PageForgeModule::process(Tick start, BatchResult &result)
         // more entries than the table holds (Less/More form a DAG).
         // Malformed software-provided indices must not hang the FSM.
         if (++steps > _table.numOtherPages()) {
-            warn("scan table walk exceeded %u steps; stopping",
-                 _table.numOtherPages());
+            pf_warn("scan table walk exceeded %u steps; stopping",
+                    _table.numOtherPages());
             break;
         }
         const OtherPageEntry &entry = _table.other(cur);

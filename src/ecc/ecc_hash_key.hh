@@ -81,6 +81,21 @@ class EccHashAccumulator
      */
     bool offer(std::uint32_t line_idx, const LineEccCode &code);
 
+    /**
+     * Would offer() capture this line? The same predicate offer()
+     * applies, with no state change — lets the caller skip computing
+     * an ECC code the accumulator would ignore anyway.
+     */
+    bool
+    wants(std::uint32_t line_idx) const
+    {
+        for (unsigned s = 0; s < eccHashSections; ++s) {
+            if (!_have[s] && _offsets.lineIndex(s) == line_idx)
+                return true;
+        }
+        return false;
+    }
+
     /** True once all minikeys have been captured. */
     bool ready() const { return _captured == eccHashSections; }
 

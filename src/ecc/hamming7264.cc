@@ -73,6 +73,39 @@ parity64(std::uint64_t v)
     return static_cast<unsigned>(std::popcount(v) & 1);
 }
 
+/**
+ * Byte-sliced encode tables: for each of the 8 data-byte positions, a
+ * 256-entry table whose entry packs that byte value's contribution to
+ * the 7 check bits (bits 0-6) and to the overall data parity (bit 7).
+ * Since every check bit is a parity (XOR) over data bits, the encode
+ * of a word is just the XOR of 8 table lookups. Derived from the same
+ * check_masks the bit-serial encode used, so outputs are identical.
+ */
+struct EncodeTables
+{
+    std::array<std::array<std::uint8_t, 256>, 8> table{};
+
+    constexpr EncodeTables()
+    {
+        for (unsigned byte_pos = 0; byte_pos < 8; ++byte_pos) {
+            for (unsigned value = 0; value < 256; ++value) {
+                std::uint64_t bits = static_cast<std::uint64_t>(value)
+                    << (8 * byte_pos);
+                std::uint8_t contrib = 0;
+                for (unsigned i = 0; i < 7; ++i) {
+                    if (std::popcount(bits & check_masks.mask[i]) & 1)
+                        contrib |= static_cast<std::uint8_t>(1U << i);
+                }
+                if (std::popcount(bits) & 1)
+                    contrib |= 0x80;
+                table[byte_pos][value] = contrib;
+            }
+        }
+    }
+};
+
+constexpr EncodeTables encode_tables;
+
 } // namespace
 
 unsigned
@@ -84,15 +117,16 @@ Hamming7264::dataBitPosition(unsigned data_bit)
 std::uint8_t
 Hamming7264::encode(std::uint64_t data)
 {
-    std::uint8_t check = 0;
-    for (unsigned i = 0; i < 7; ++i) {
-        if (parity64(data & check_masks.mask[i]))
-            check |= static_cast<std::uint8_t>(1U << i);
+    std::uint8_t acc = 0;
+    for (unsigned byte_pos = 0; byte_pos < 8; ++byte_pos) {
+        acc ^= encode_tables.table[byte_pos]
+            [static_cast<std::uint8_t>(data >> (8 * byte_pos))];
     }
-    // Overall even parity over data + 7 Hamming check bits.
-    unsigned overall = parity64(data) ^
+    std::uint8_t check = acc & 0x7f;
+    // Overall even parity over data (acc bit 7) + 7 Hamming check bits.
+    unsigned overall = static_cast<unsigned>(acc >> 7) ^
         static_cast<unsigned>(std::popcount(
-            static_cast<unsigned>(check & 0x7f)) & 1);
+            static_cast<unsigned>(check)) & 1);
     if (overall)
         check |= 0x80;
     return check;

@@ -49,6 +49,19 @@ std::uint32_t ksmPageHash(const std::uint8_t *page,
  */
 std::uint64_t fnv1a64(const std::uint8_t *data, std::size_t len);
 
+/**
+ * Fast 64-bit whole-page fingerprint for *equality-only* uses (bucket
+ * keys in duplication analysis, strong-fingerprint change detection).
+ * Processes the page eight bytes at a time with a mix cheap enough to
+ * pipeline, unlike the byte-serial multiply chain of fnv1a64. The
+ * specific hash values differ from fnv1a64 — only swap it in where the
+ * value is compared for equality or used as a map key, never where the
+ * numeric value itself is simulation-visible.
+ *
+ * @param data pointer to @p len bytes (len need not be word-aligned)
+ */
+std::uint64_t pageFingerprint64(const std::uint8_t *data, std::size_t len);
+
 } // namespace pageforge
 
 #endif // PF_ECC_JHASH_HH

@@ -423,7 +423,7 @@ Hypervisor::analyzeDuplication() const
             frames[page.frame] = true;
 
             const std::uint8_t *data = _mem.data(page.frame);
-            std::uint64_t fp = fnv1a64(data, pageSize);
+            std::uint64_t fp = pageFingerprint64(data, pageSize);
             Group &group = groups[fp];
             if (group.pages == 0)
                 group.zero = _mem.isZeroFrame(page.frame);

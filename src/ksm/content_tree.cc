@@ -1,5 +1,6 @@
 #include "ksm/content_tree.hh"
 
+#include <algorithm>
 #include <cstring>
 #include <vector>
 
@@ -9,25 +10,33 @@ namespace pageforge
 {
 
 PageCompare
-comparePages(const std::uint8_t *a, const std::uint8_t *b)
+comparePagesFrom(const std::uint8_t *a, const std::uint8_t *b,
+                 std::uint32_t known_equal)
 {
-    // Word-wise scan to the first difference, then byte-wise inside
-    // the word, mirroring an optimized memcmp.
-    const std::uint32_t words = pageSize / 8;
-    for (std::uint32_t w = 0; w < words; ++w) {
-        std::uint64_t wa, wb;
-        std::memcpy(&wa, a + w * 8, 8);
-        std::memcpy(&wb, b + w * 8, 8);
-        if (wa == wb)
+    // Chunked memcmp (vectorized by the library) to locate the first
+    // differing chunk, then a byte scan inside it. Because the first
+    // difference can only lie at or after known_equal, starting there
+    // yields the same sign and divergence offset as a scan from 0.
+    constexpr std::uint32_t chunk = 256;
+    std::uint32_t pos = known_equal;
+    while (pos < pageSize) {
+        std::uint32_t n = std::min(chunk, pageSize - pos);
+        if (std::memcmp(a + pos, b + pos, n) == 0) {
+            pos += n;
             continue;
-        for (std::uint32_t i = 0; i < 8; ++i) {
-            std::uint32_t off = w * 8 + i;
-            if (a[off] != b[off]) {
+        }
+        for (std::uint32_t off = pos;; ++off) {
+            if (a[off] != b[off])
                 return {a[off] < b[off] ? -1 : 1, off + 1};
-            }
         }
     }
     return {0, pageSize};
+}
+
+PageCompare
+comparePages(const std::uint8_t *a, const std::uint8_t *b)
+{
+    return comparePagesFrom(a, b, 0);
 }
 
 struct ContentTree::Node
@@ -39,9 +48,17 @@ struct ContentTree::Node
     bool red = false;
 };
 
-ContentTree::ContentTree(PageAccessor &accessor) : _accessor(accessor)
+namespace
 {
-    _nil = new Node();
+/** Nodes per pool slab; 256 x 40 B keeps slabs around 10 KB. */
+constexpr std::size_t poolChunkNodes = 256;
+} // namespace
+
+ContentTree::ContentTree(PageAccessor &accessor, bool immutable_contents)
+    : _accessor(accessor), _immutableContents(immutable_contents)
+{
+    _nil = nullptr; // makeNode links new nodes to _nil; fixed up below
+    _nil = makeNode(0);
     _nil->red = false;
     _nil->parent = _nil->left = _nil->right = _nil;
     _root = _nil;
@@ -50,13 +67,23 @@ ContentTree::ContentTree(PageAccessor &accessor) : _accessor(accessor)
 ContentTree::~ContentTree()
 {
     clear();
-    delete _nil;
+    // _nil and all recycled nodes are owned by _chunks.
 }
 
 ContentTree::Node *
 ContentTree::makeNode(PageHandle handle)
 {
-    Node *node = new Node();
+    Node *node;
+    if (_freeNodes) {
+        node = _freeNodes;
+        _freeNodes = node->parent; // intrusive next-free link
+    } else {
+        if (_chunks.empty() || _chunkUsed == poolChunkNodes) {
+            _chunks.push_back(std::make_unique<Node[]>(poolChunkNodes));
+            _chunkUsed = 0;
+        }
+        node = &_chunks.back()[_chunkUsed++];
+    }
     node->handle = handle;
     node->parent = node->left = node->right = _nil;
     node->red = true;
@@ -64,15 +91,43 @@ ContentTree::makeNode(PageHandle handle)
 }
 
 void
+ContentTree::freeNode(Node *node)
+{
+    node->parent = _freeNodes;
+    _freeNodes = node;
+}
+
+void
 ContentTree::destroySubtree(Node *node, const PruneHook &prune)
 {
     if (node == _nil)
         return;
-    destroySubtree(node->left, prune);
-    destroySubtree(node->right, prune);
-    if (prune)
-        prune(node->handle);
-    delete node;
+    // Explicit stack: recursion depth equals tree height, and while a
+    // healthy red-black tree is logarithmic, churn workloads tear down
+    // large trees often enough that we refuse to bet the host stack on
+    // it. Prune order must stay post-order (left, right, node) — hooks
+    // release simulated resources, and release order is visible to the
+    // deterministic allocator.
+    std::vector<std::pair<Node *, bool>> stack;
+    stack.push_back({node, false});
+    while (!stack.empty()) {
+        auto &[top, expanded] = stack.back();
+        if (!expanded) {
+            expanded = true;
+            Node *right = top->right;
+            Node *left = top->left;
+            if (right != _nil)
+                stack.push_back({right, false});
+            if (left != _nil)
+                stack.push_back({left, false});
+        } else {
+            Node *cur = top;
+            stack.pop_back();
+            if (prune)
+                prune(cur->handle);
+            freeNode(cur);
+        }
+    }
 }
 
 void
@@ -94,6 +149,15 @@ restart:
     Node *parent = _nil;
     bool went_left = false;
 
+    // Longest common prefix of the probe with the tightest lower and
+    // upper neighbours passed on the way down. Any node in the current
+    // subtree orders between those neighbours, so its lcp with the
+    // probe is at least min(lcp_low, lcp_high) (see header) and the
+    // comparison can skip that many bytes. The bounds reset on restart
+    // because the pruned tree may place different neighbours.
+    std::uint32_t lcp_low = 0;
+    std::uint32_t lcp_high = 0;
+
     while (cur != _nil) {
         const std::uint8_t *node_data = _accessor.resolve(cur->handle);
         if (!node_data) {
@@ -107,7 +171,9 @@ restart:
             goto restart;
         }
 
-        PageCompare cmp = comparePages(probe, node_data);
+        std::uint32_t skip =
+            _immutableContents ? std::min(lcp_low, lcp_high) : 0;
+        PageCompare cmp = comparePagesFrom(probe, node_data, skip);
         ++result.nodesVisited;
         result.bytesCompared += cmp.bytesExamined;
         if (hook)
@@ -120,6 +186,12 @@ restart:
         }
         parent = cur;
         went_left = cmp.sign < 0;
+        // The first difference sits at bytesExamined - 1, so exactly
+        // bytesExamined - 1 leading bytes match this node.
+        if (went_left)
+            lcp_high = cmp.bytesExamined - 1;
+        else
+            lcp_low = cmp.bytesExamined - 1;
         cur = went_left ? cur->left : cur->right;
     }
 
@@ -305,7 +377,7 @@ ContentTree::erase(Node *z)
     if (!y_was_red)
         eraseFixup(x);
 
-    delete z;
+    freeNode(z);
     --_size;
     _nil->parent = _nil; // eraseFixup may have dirtied the sentinel
 }
@@ -317,16 +389,21 @@ ContentTree::eraseIf(const std::function<bool(PageHandle)> &pred,
     // Collect first: erase(z) removes exactly node z (transplant moves
     // pointers, handles are never copied between nodes), so collected
     // pointers stay valid while the tree rebalances around them.
+    // Iterative in-order walk, same rationale as destroySubtree.
     std::vector<Node *> victims;
-    std::function<void(Node *)> walk = [&](Node *node) {
-        if (node == _nil)
-            return;
-        walk(node->left);
-        if (pred(node->handle))
-            victims.push_back(node);
-        walk(node->right);
-    };
-    walk(_root);
+    std::vector<Node *> stack;
+    Node *walk = _root;
+    while (walk != _nil || !stack.empty()) {
+        while (walk != _nil) {
+            stack.push_back(walk);
+            walk = walk->left;
+        }
+        walk = stack.back();
+        stack.pop_back();
+        if (pred(walk->handle))
+            victims.push_back(walk);
+        walk = walk->right;
+    }
 
     for (Node *node : victims) {
         PageHandle handle = node->handle;
@@ -444,7 +521,7 @@ ContentTree::validateNode(Node *node, int &black_height)
     }
 
     if (node->red && (node->left->red || node->right->red)) {
-        warn("red-red violation");
+        pf_warn("red-red violation");
         return false;
     }
 
@@ -453,7 +530,7 @@ ContentTree::validateNode(Node *node, int &black_height)
     if (!validateNode(node->left, lh) || !validateNode(node->right, rh))
         return false;
     if (lh != rh) {
-        warn("black height mismatch: %d vs %d", lh, rh);
+        pf_warn("black height mismatch: %d vs %d", lh, rh);
         return false;
     }
 
@@ -466,7 +543,7 @@ ContentTree::validateNode(Node *node, int &black_height)
         if (node->left != _nil) {
             const std::uint8_t *ld = _accessor.resolve(node->left->handle);
             if (ld && comparePages(ld, node_data).sign >= 0) {
-                warn("ordering violation (left)");
+                pf_warn("ordering violation (left)");
                 return false;
             }
         }
@@ -474,7 +551,7 @@ ContentTree::validateNode(Node *node, int &black_height)
             const std::uint8_t *rd =
                 _accessor.resolve(node->right->handle);
             if (rd && comparePages(rd, node_data).sign <= 0) {
-                warn("ordering violation (right)");
+                pf_warn("ordering violation (right)");
                 return false;
             }
         }
@@ -490,7 +567,7 @@ ContentTree::validate()
     if (_root == _nil)
         return true;
     if (_root->red) {
-        warn("red root");
+        pf_warn("red root");
         return false;
     }
     int height = 0;

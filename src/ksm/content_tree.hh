@@ -20,6 +20,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <vector>
 
 #include "sim/types.hh"
 
@@ -63,6 +65,19 @@ struct PageCompare
 /** Compare two full pages, reporting the divergence point. */
 PageCompare comparePages(const std::uint8_t *a, const std::uint8_t *b);
 
+/**
+ * Compare two pages whose first @p known_equal bytes are already known
+ * to match, skipping straight to the undecided suffix. The result is
+ * *semantic*: sign and bytesExamined are identical to what
+ * comparePages(a, b) returns, so callers can charge the full modelled
+ * comparison cost while the host does only the residual work.
+ *
+ * @pre bytes [0, known_equal) of @p a and @p b are equal
+ */
+PageCompare comparePagesFrom(const std::uint8_t *a,
+                             const std::uint8_t *b,
+                             std::uint32_t known_equal);
+
 /** The red-black tree. */
 class ContentTree
 {
@@ -85,7 +100,20 @@ class ContentTree
      */
     using PruneHook = std::function<void(PageHandle node_handle)>;
 
-    explicit ContentTree(PageAccessor &accessor);
+    /**
+     * @param immutable_contents promise that a live (resolvable)
+     *        node's page bytes never change while the node is in the
+     *        tree — true for stable trees, whose frames are CoW
+     *        write-protected. It licenses the prefix-bounded descent
+     *        in search(): the BST ordering provably holds on current
+     *        contents, so ancestor compare outcomes bound the common
+     *        prefix of everything deeper. Unstable trees must leave
+     *        this false: their contents drift after insertion, the
+     *        ordering can rot, and a skipped prefix could hide a real
+     *        difference.
+     */
+    explicit ContentTree(PageAccessor &accessor,
+                         bool immutable_contents = false);
     ~ContentTree();
 
     ContentTree(const ContentTree &) = delete;
@@ -104,6 +132,15 @@ class ContentTree
     /**
      * Search for a page with contents equal to @p probe.
      * Stale nodes encountered are erased and the search restarts.
+     *
+     * The descent is prefix-bounded: after comparing against a node,
+     * the position of the first difference bounds the longest common
+     * prefix of the probe with everything on the taken side, so
+     * deeper comparisons skip the prefix already proven equal
+     * (lcp(probe, y) >= min(lcp(probe, low), lcp(probe, high)) for
+     * any y between the tightest bounds low < y < high seen so far).
+     * Reported statistics and hook charges are unaffected: they count
+     * semantic bytes from offset 0, as an uninformed comparison would.
      */
     SearchResult search(const std::uint8_t *probe,
                         const CompareHook &hook = {},
@@ -163,11 +200,23 @@ class ContentTree
 
   private:
     PageAccessor &_accessor;
+    bool _immutableContents;
     Node *_nil;  //!< shared black sentinel
     Node *_root;
     std::size_t _size = 0;
 
+    /**
+     * Node pool: nodes are carved from chunked slabs and recycled
+     * through an intrusive free list (the parent pointer doubles as
+     * the next-free link), so tree churn performs no per-node heap
+     * traffic and nodes inserted together stay close in memory.
+     */
+    std::vector<std::unique_ptr<Node[]>> _chunks;
+    std::size_t _chunkUsed = 0; //!< nodes used in the newest chunk
+    Node *_freeNodes = nullptr;
+
     Node *makeNode(PageHandle handle);
+    void freeNode(Node *node);
     void destroySubtree(Node *node, const PruneHook &prune);
 
     void rotateLeft(Node *x);

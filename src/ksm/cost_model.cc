@@ -14,7 +14,7 @@ checkPageHashes(const std::uint8_t *data, PageState &page,
     HashCheckOutcome outcome;
     outcome.jhashKey = ksmPageHash(data);
     outcome.eccKey = eccPageHash(data, offsets);
-    std::uint64_t strong = fnv1a64(data, pageSize);
+    std::uint64_t strong = pageFingerprint64(data, pageSize);
 
     outcome.firstScan = !page.jhashValid || !page.eccKeyValid;
     outcome.trulyChanged =

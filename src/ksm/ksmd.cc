@@ -14,7 +14,8 @@ Ksmd::Ksmd(std::string name, EventQueue &eq, Hypervisor &hyper,
       _hierarchy(hierarchy), _cores(std::move(cores)),
       _scheduler(scheduler), _config(config),
       _stableAcc(hyper.memory()), _guestAcc(hyper),
-      _stable(_stableAcc), _unstable(_guestAcc)
+      _stable(_stableAcc, /*immutable_contents=*/true),
+      _unstable(_guestAcc)
 {
     pf_assert(!_cores.empty(), "ksmd with no cores");
     _destroyToken = _hyper.addVmDestroyListener(

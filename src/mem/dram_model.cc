@@ -12,6 +12,17 @@ BandwidthTracker::BandwidthTracker(Tick window) : _window(window)
     pf_assert(window > 0, "zero bandwidth window");
 }
 
+BandwidthTracker::Window &
+BandwidthTracker::windowAt(std::size_t idx)
+{
+    std::size_t c = idx / chunkWindows;
+    if (c >= _chunks.size())
+        _chunks.resize(c + 1);
+    if (!_chunks[c])
+        _chunks[c] = std::make_unique<WindowChunk>();
+    return (*_chunks[c])[idx % chunkWindows];
+}
+
 void
 BandwidthTracker::record(Tick now, std::uint32_t bytes, Requester req)
 {
@@ -20,10 +31,9 @@ BandwidthTracker::record(Tick now, std::uint32_t bytes, Requester req)
     std::size_t idx = now >= _baseTick
         ? static_cast<std::size_t>((now - _baseTick) / _window)
         : 0;
-    if (idx >= _windows.size())
-        _windows.resize(idx + 1);
-    _windows[idx].total += bytes;
-    _windows[idx].perReq[static_cast<unsigned>(req)] += bytes;
+    Window &w = windowAt(idx);
+    w.total += bytes;
+    w.perReq[static_cast<unsigned>(req)] += bytes;
     _reqTotals[static_cast<unsigned>(req)] += bytes;
 }
 
@@ -43,8 +53,16 @@ BandwidthTracker::meanGBps(Tick from, Tick to) const
     std::size_t lo = static_cast<std::size_t>((from - _baseTick) / _window);
     std::size_t hi = static_cast<std::size_t>((to - _baseTick) / _window);
     std::uint64_t bytes = 0;
-    for (std::size_t i = lo; i <= hi && i < _windows.size(); ++i)
-        bytes += _windows[i].total;
+    for (std::size_t c = lo / chunkWindows;
+         c < _chunks.size() && c <= hi / chunkWindows; ++c) {
+        if (!_chunks[c])
+            continue;
+        std::size_t first = std::max(lo, c * chunkWindows);
+        std::size_t last =
+            std::min(hi, c * chunkWindows + (chunkWindows - 1));
+        for (std::size_t i = first; i <= last; ++i)
+            bytes += (*_chunks[c])[i % chunkWindows].total;
+    }
     double secs = ticksToSec(to - from);
     return static_cast<double>(bytes) / secs / 1e9;
 }
@@ -53,8 +71,12 @@ double
 BandwidthTracker::peakGBps() const
 {
     std::uint64_t peak = 0;
-    for (const auto &w : _windows)
-        peak = std::max(peak, w.total);
+    for (const auto &chunk : _chunks) {
+        if (!chunk)
+            continue;
+        for (const Window &w : *chunk)
+            peak = std::max(peak, w.total);
+    }
     return bytesToGBps(peak);
 }
 
@@ -62,9 +84,13 @@ double
 BandwidthTracker::peakGBpsWhenActive(Requester req) const
 {
     std::uint64_t peak = 0;
-    for (const auto &w : _windows) {
-        if (w.perReq[static_cast<unsigned>(req)] > 0)
-            peak = std::max(peak, w.total);
+    for (const auto &chunk : _chunks) {
+        if (!chunk)
+            continue;
+        for (const Window &w : *chunk) {
+            if (w.perReq[static_cast<unsigned>(req)] > 0)
+                peak = std::max(peak, w.total);
+        }
     }
     return bytesToGBps(peak);
 }
@@ -74,10 +100,14 @@ BandwidthTracker::meanGBpsWhenActive(Requester req) const
 {
     std::uint64_t bytes = 0;
     std::uint64_t windows = 0;
-    for (const auto &w : _windows) {
-        if (w.perReq[static_cast<unsigned>(req)] > 0) {
-            bytes += w.total;
-            ++windows;
+    for (const auto &chunk : _chunks) {
+        if (!chunk)
+            continue;
+        for (const Window &w : *chunk) {
+            if (w.perReq[static_cast<unsigned>(req)] > 0) {
+                bytes += w.total;
+                ++windows;
+            }
         }
     }
     if (windows == 0)
@@ -94,7 +124,7 @@ BandwidthTracker::totalBytes(Requester req) const
 void
 BandwidthTracker::reset(Tick anchor)
 {
-    _windows.clear();
+    _chunks.clear();
     for (auto &total : _reqTotals)
         total = 0;
     _baseTick = anchor;

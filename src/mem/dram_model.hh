@@ -17,7 +17,9 @@
 #ifndef PF_MEM_DRAM_MODEL_HH
 #define PF_MEM_DRAM_MODEL_HH
 
+#include <array>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "mem/request.hh"
@@ -103,10 +105,26 @@ class BandwidthTracker
         std::uint64_t perReq[numRequesters] = {};
     };
 
+    /**
+     * Windows live in lazily-allocated fixed-size chunks indexed by
+     * window number. Warm-up fast-forwards advance local clocks far
+     * into the virtual future, so the window index space is sparse
+     * with huge gaps; a dense vector spent more time zero-filling gap
+     * windows than the DRAM model spent on everything else. A null
+     * chunk reads as chunkWindows all-zero windows, which every
+     * consumer already ignores (zero totals add nothing to sums,
+     * maxima, or "active" window counts).
+     */
+    static constexpr std::size_t chunkWindows = 1024;
+    using WindowChunk = std::array<Window, chunkWindows>;
+
     Tick _window;
-    std::vector<Window> _windows;
+    std::vector<std::unique_ptr<WindowChunk>> _chunks;
     std::uint64_t _reqTotals[numRequesters] = {};
     Tick _baseTick = 0;
+
+    /** The window at @p idx, materializing its chunk if needed. */
+    Window &windowAt(std::size_t idx);
 
     double bytesToGBps(std::uint64_t bytes) const;
 };

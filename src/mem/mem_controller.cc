@@ -87,20 +87,28 @@ MemController::injectBitFlip(Addr line_addr, unsigned bit)
 }
 
 McReadResult
-MemController::readLine(Addr line_addr, Tick now, Requester req)
+MemController::readLine(Addr line_addr, Tick now, Requester req,
+                        bool want_ecc)
 {
     pf_assert(line_addr % lineSize == 0, "unaligned line address");
     ++_readReqs;
 
-    // ECC decode happens on every read response regardless of source.
+    // ECC decode happens on every read response regardless of source
+    // (and is counted as such), but the code's value is only
+    // materialized when a consumer asked for it or a fault decode
+    // needs the pristine code.
     ++_eccDecodes;
-    LineEccCode ecc = LineEcc::encode(lineBytes(line_addr));
+    LineEccCode ecc{};
+    if (want_ecc)
+        ecc = LineEcc::encode(lineBytes(line_addr));
 
     // Apply injected DRAM faults: the stored ECC corresponds to the
     // original data; decode sees the corrupted bits and corrects or
     // flags them, exactly as the real read path would.
     if (auto fault = _injectedFaults.find(line_addr);
         fault != _injectedFaults.end()) {
+        if (!want_ecc)
+            ecc = LineEcc::encode(lineBytes(line_addr));
         std::uint8_t corrupted[lineSize];
         std::memcpy(corrupted, lineBytes(line_addr), lineSize);
         for (unsigned bit : fault->second)
@@ -110,8 +118,8 @@ MemController::readLine(Addr line_addr, Tick now, Requester req)
         LineEcc::LineDecodeResult decode = LineEcc::decode(corrupted, ecc);
         if (!decode.ok) {
             ++_uncorrectable;
-            warn("uncorrectable ECC error at %llx",
-                 static_cast<unsigned long long>(line_addr));
+            pf_warn("uncorrectable ECC error at %llx",
+                    static_cast<unsigned long long>(line_addr));
         } else if (decode.corrected > 0) {
             _corrected += decode.corrected;
             // Corrected data matches the pristine copy; the scrub
@@ -150,9 +158,11 @@ MemController::writeLine(Addr line_addr, Tick now, Requester req)
 }
 
 LineEccCode
-MemController::encodeLine(Addr line_addr)
+MemController::encodeLine(Addr line_addr, bool compute)
 {
     ++_eccEncodes;
+    if (!compute)
+        return LineEccCode{};
     return LineEcc::encode(lineBytes(line_addr));
 }
 

@@ -43,14 +43,20 @@ class MemController : public SimObject
     /**
      * Read a 64 B line from DRAM.
      *
-     * The returned ECC code is what the decoder emits for the line;
-     * PageForge snatches it for hash key generation (Section 3.3.2).
+     * The ECC decoder runs on every read (and is counted), but the
+     * modelled code's *value* only matters to PageForge, which snatches
+     * it for hash key generation (Section 3.3.2). Computing the 8-way
+     * Hamming encode per line dominated simulation time, so the value
+     * is materialized only when @p want_ecc is set; otherwise the
+     * returned ecc field is zero and must not be consumed.
      *
      * @param line_addr line-aligned host physical address
      * @param now request arrival tick
      * @param req requester class
+     * @param want_ecc materialize the line's ECC code in the result
      */
-    McReadResult readLine(Addr line_addr, Tick now, Requester req);
+    McReadResult readLine(Addr line_addr, Tick now, Requester req,
+                          bool want_ecc = false);
 
     /**
      * Write a 64 B line to DRAM (posted write through the write data
@@ -64,8 +70,12 @@ class MemController : public SimObject
      * on-chip network rather than the DRAM. "If the line comes from a
      * cache, the circuitry in the memory controller quickly generates
      * the line's ECC code" (Section 3.3.1).
+     *
+     * The encode is always counted (the hardware always runs); pass
+     * @p compute = false when the caller will discard the value to
+     * skip the host-side Hamming work and get a zero code back.
      */
-    LineEccCode encodeLine(Addr line_addr);
+    LineEccCode encodeLine(Addr line_addr, bool compute = true);
 
     /**
      * Fault injection: flip @p bit (0..511) of the stored copy of a

@@ -1,17 +1,26 @@
 #include "mem/phys_memory.hh"
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
-
-#include "sim/logging.hh"
 
 namespace pageforge
 {
 
 PhysicalMemory::PhysicalMemory(std::size_t total_frames)
-    : _frames(total_frames), _stats("phys_mem")
+    : _meta(total_frames), _stats("phys_mem")
 {
     pf_assert(total_frames > 0, "zero-sized physical memory");
+
+    // calloc, not new[]: the OS maps the arena as copy-on-write zero
+    // pages, so untouched frames cost no host RSS and arrive already
+    // zeroed (allocFrame skips the memset on first use).
+    _arena = static_cast<std::uint8_t *>(
+        std::calloc(total_frames, pageSize));
+    if (!_arena)
+        fatal("cannot allocate %zu-frame physical memory arena",
+              total_frames);
+
     _freeList.reserve(total_frames);
     // Allocate low frame numbers first, like a simple buddy allocator
     // handing out the bottom of the free list.
@@ -26,38 +35,45 @@ PhysicalMemory::PhysicalMemory(std::size_t total_frames)
                    [this] { return static_cast<double>(_peakInUse); });
 }
 
-PhysicalMemory::Frame &
-PhysicalMemory::frameAt(FrameId frame)
+PhysicalMemory::~PhysicalMemory()
 {
-    pf_assert(frame < _frames.size(), "frame %u out of range", frame);
-    return _frames[frame];
+    std::free(_arena);
 }
 
-const PhysicalMemory::Frame &
+PhysicalMemory::FrameMeta &
+PhysicalMemory::frameAt(FrameId frame)
+{
+    pf_assert(frame < _meta.size(), "frame %u out of range", frame);
+    return _meta[frame];
+}
+
+const PhysicalMemory::FrameMeta &
 PhysicalMemory::frameAt(FrameId frame) const
 {
-    pf_assert(frame < _frames.size(), "frame %u out of range", frame);
-    return _frames[frame];
+    pf_assert(frame < _meta.size(), "frame %u out of range", frame);
+    return _meta[frame];
 }
 
 FrameId
 PhysicalMemory::allocFrame(bool zero)
 {
     if (_freeList.empty())
-        fatal("physical memory exhausted (%zu frames)", _frames.size());
+        fatal("physical memory exhausted (%zu frames)", _meta.size());
 
     FrameId id = _freeList.back();
     _freeList.pop_back();
 
-    Frame &frame = _frames[id];
-    pf_assert(!frame.allocated, "free list returned a live frame");
-    if (!frame.bytes)
-        frame.bytes = std::make_unique<std::uint8_t[]>(pageSize);
-    if (zero)
-        std::memset(frame.bytes.get(), 0, pageSize);
-    frame.refs = 1;
-    frame.allocated = true;
-    frame.writeProtected = false;
+    FrameMeta &meta = _meta[id];
+    pf_assert(!meta.allocated, "free list returned a live frame");
+    // A never-used frame is still in its pristine calloc state; only
+    // recycled frames may carry stale bytes that need clearing.
+    if (zero && meta.everUsed)
+        std::memset(_arena + static_cast<std::size_t>(id) * pageSize, 0,
+                    pageSize);
+    meta.refs = 1;
+    meta.allocated = true;
+    meta.writeProtected = false;
+    meta.everUsed = true;
 
     ++_allocs;
     ++_inUse;
@@ -68,7 +84,7 @@ PhysicalMemory::allocFrame(bool zero)
 void
 PhysicalMemory::addRef(FrameId frame)
 {
-    Frame &f = frameAt(frame);
+    FrameMeta &f = frameAt(frame);
     pf_assert(f.allocated, "addRef on free frame %u", frame);
     ++f.refs;
 }
@@ -76,7 +92,7 @@ PhysicalMemory::addRef(FrameId frame)
 bool
 PhysicalMemory::decRef(FrameId frame)
 {
-    Frame &f = frameAt(frame);
+    FrameMeta &f = frameAt(frame);
     pf_assert(f.allocated && f.refs > 0, "decRef on free frame %u", frame);
     if (--f.refs > 0)
         return false;
@@ -92,38 +108,30 @@ PhysicalMemory::decRef(FrameId frame)
 std::uint32_t
 PhysicalMemory::refCount(FrameId frame) const
 {
-    const Frame &f = frameAt(frame);
+    const FrameMeta &f = frameAt(frame);
     return f.allocated ? f.refs : 0;
 }
 
 bool
 PhysicalMemory::isAllocated(FrameId frame) const
 {
-    return frame < _frames.size() && _frames[frame].allocated;
+    return frame < _meta.size() && _meta[frame].allocated;
 }
 
 std::uint8_t *
 PhysicalMemory::data(FrameId frame)
 {
-    Frame &f = frameAt(frame);
-    pf_assert(f.allocated, "data access to free frame %u", frame);
-    return f.bytes.get();
+    pf_assert(frameAt(frame).allocated, "data access to free frame %u",
+              frame);
+    return _arena + static_cast<std::size_t>(frame) * pageSize;
 }
 
 const std::uint8_t *
 PhysicalMemory::data(FrameId frame) const
 {
-    const Frame &f = frameAt(frame);
-    pf_assert(f.allocated, "data access to free frame %u", frame);
-    return f.bytes.get();
-}
-
-const std::uint8_t *
-PhysicalMemory::rawData(FrameId frame) const
-{
-    static const std::uint8_t zeroes[pageSize] = {};
-    const Frame &f = frameAt(frame);
-    return f.bytes ? f.bytes.get() : zeroes;
+    pf_assert(frameAt(frame).allocated, "data access to free frame %u",
+              frame);
+    return _arena + static_cast<std::size_t>(frame) * pageSize;
 }
 
 void
@@ -142,9 +150,9 @@ void
 PhysicalMemory::forEachAllocatedFrame(
     const std::function<void(FrameId, std::uint32_t)> &fn) const
 {
-    for (std::size_t i = 0; i < _frames.size(); ++i) {
-        if (_frames[i].allocated)
-            fn(static_cast<FrameId>(i), _frames[i].refs);
+    for (std::size_t i = 0; i < _meta.size(); ++i) {
+        if (_meta[i].allocated)
+            fn(static_cast<FrameId>(i), _meta[i].refs);
     }
 }
 
@@ -158,8 +166,10 @@ bool
 PhysicalMemory::isZeroFrame(FrameId frame) const
 {
     const std::uint8_t *bytes = data(frame);
-    for (std::uint32_t i = 0; i < pageSize; ++i) {
-        if (bytes[i] != 0)
+    for (std::uint32_t off = 0; off < pageSize; off += 8) {
+        std::uint64_t word;
+        std::memcpy(&word, bytes + off, 8);
+        if (word != 0)
             return false;
     }
     return true;

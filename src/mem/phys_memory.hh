@@ -9,6 +9,13 @@
  *
  * Frames are reference-counted: a frame shared by several guest pages
  * after merging is freed only when the last mapping goes away.
+ *
+ * All frame data lives in one contiguous arena of
+ * totalFrames() * pageSize bytes: data() is pure pointer arithmetic,
+ * adjacent frames are adjacent in host memory (page-compare loops
+ * stream instead of pointer-chasing per-frame allocations), and the
+ * arena is obtained zeroed from the OS so first-touch frames need no
+ * memset.
  */
 
 #ifndef PF_MEM_PHYS_MEMORY_HH
@@ -16,9 +23,9 @@
 
 #include <cstdint>
 #include <functional>
-#include <memory>
 #include <vector>
 
+#include "sim/logging.hh"
 #include "sim/types.hh"
 #include "stats/stat_group.hh"
 
@@ -33,6 +40,10 @@ class PhysicalMemory
      * @param total_frames capacity of the machine in 4 KB frames
      */
     explicit PhysicalMemory(std::size_t total_frames);
+    ~PhysicalMemory();
+
+    PhysicalMemory(const PhysicalMemory &) = delete;
+    PhysicalMemory &operator=(const PhysicalMemory &) = delete;
 
     /**
      * Allocate a frame with refcount 1.
@@ -77,7 +88,12 @@ class PhysicalMemory
      * the caches, and the memory controller's data path (ECC model)
      * must tolerate that. Never-touched frames read as zeroes.
      */
-    const std::uint8_t *rawData(FrameId frame) const;
+    const std::uint8_t *
+    rawData(FrameId frame) const
+    {
+        pf_assert(frame < _meta.size(), "frame %u out of range", frame);
+        return _arena + static_cast<std::size_t>(frame) * pageSize;
+    }
 
     /** Mark a frame read-only (CoW protection after merging). */
     void setWriteProtected(FrameId frame, bool wp);
@@ -102,20 +118,21 @@ class PhysicalMemory
     std::size_t peakFramesInUse() const { return _peakInUse; }
 
     /** Machine capacity in frames. */
-    std::size_t totalFrames() const { return _frames.size(); }
+    std::size_t totalFrames() const { return _meta.size(); }
 
     StatGroup &stats() { return _stats; }
 
   private:
-    struct Frame
+    struct FrameMeta
     {
-        std::unique_ptr<std::uint8_t[]> bytes;
         std::uint32_t refs = 0;
         bool allocated = false;
         bool writeProtected = false;
+        bool everUsed = false; //!< handed out at least once since boot
     };
 
-    std::vector<Frame> _frames;
+    std::uint8_t *_arena = nullptr; //!< totalFrames * pageSize bytes
+    std::vector<FrameMeta> _meta;
     std::vector<FrameId> _freeList;
     std::size_t _inUse = 0;
     std::size_t _peakInUse = 0;
@@ -124,8 +141,8 @@ class PhysicalMemory
     Counter _frees;
     StatGroup _stats;
 
-    Frame &frameAt(FrameId frame);
-    const Frame &frameAt(FrameId frame) const;
+    FrameMeta &frameAt(FrameId frame);
+    const FrameMeta &frameAt(FrameId frame) const;
 };
 
 } // namespace pageforge

@@ -1,11 +1,21 @@
 #include "sim/event_queue.hh"
 
+#include <algorithm>
 #include <utility>
 
 #include "sim/logging.hh"
 
 namespace pageforge
 {
+
+namespace
+{
+// 4-ary layout: children of i at 4i+1..4i+4, parent at (i-1)/4. The
+// wider fan-out halves the tree depth versus a binary heap, trading a
+// few extra sibling compares (all within one cache line of 16-byte
+// entries) for fewer levels of memory traffic per push/pop.
+constexpr std::size_t heapArity = 4;
+} // namespace
 
 void
 EventQueue::schedule(Tick when, Callback cb)
@@ -15,27 +25,86 @@ EventQueue::schedule(Tick when, Callback cb)
               static_cast<unsigned long long>(when),
               static_cast<unsigned long long>(_curTick));
     }
-    _events.push(Event{when, _nextSeq++, std::move(cb)});
+
+    std::uint32_t slot;
+    if (!_freeSlots.empty()) {
+        slot = _freeSlots.back();
+        _freeSlots.pop_back();
+        _slots[slot] = std::move(cb);
+    } else {
+        slot = static_cast<std::uint32_t>(_slots.size());
+        pf_assert(slot < (1u << 24), "event slot space exhausted");
+        _slots.push_back(std::move(cb));
+    }
+
+    _heap.push_back(HeapEntry{when, _nextSeq++, slot});
+    siftUp(_heap.size() - 1);
+}
+
+void
+EventQueue::siftUp(std::size_t i)
+{
+    HeapEntry entry = _heap[i];
+    while (i > 0) {
+        std::size_t parent = (i - 1) / heapArity;
+        if (!earlier(entry, _heap[parent]))
+            break;
+        _heap[i] = _heap[parent];
+        i = parent;
+    }
+    _heap[i] = entry;
+}
+
+void
+EventQueue::siftDown(std::size_t i)
+{
+    const std::size_t n = _heap.size();
+    HeapEntry entry = _heap[i];
+    for (;;) {
+        std::size_t first = heapArity * i + 1;
+        if (first >= n)
+            break;
+        std::size_t last = std::min(first + heapArity, n);
+        std::size_t best = first;
+        for (std::size_t c = first + 1; c < last; ++c) {
+            if (earlier(_heap[c], _heap[best]))
+                best = c;
+        }
+        if (!earlier(_heap[best], entry))
+            break;
+        _heap[i] = _heap[best];
+        i = best;
+    }
+    _heap[i] = entry;
 }
 
 Tick
 EventQueue::nextEventTick() const
 {
-    return _events.empty() ? maxTick : _events.top().when;
+    return _heap.empty() ? maxTick : _heap.front().when;
 }
 
 bool
 EventQueue::step()
 {
-    if (_events.empty())
+    if (_heap.empty())
         return false;
-    // priority_queue::top() is const; move out via const_cast, which is
-    // safe because pop() immediately destroys the source.
-    auto &top = const_cast<Event &>(_events.top());
-    Tick when = top.when;
-    Callback cb = std::move(top.cb);
-    _events.pop();
-    _curTick = when;
+
+    HeapEntry top = _heap.front();
+    HeapEntry tail = _heap.back();
+    _heap.pop_back();
+    if (!_heap.empty()) {
+        _heap.front() = tail;
+        siftDown(0);
+    }
+
+    // Move the callback out before invoking: the callback may schedule
+    // further events, which can grow (reallocate) _slots.
+    std::uint32_t slot = static_cast<std::uint32_t>(top.slot);
+    SmallCallback cb = std::move(_slots[slot]);
+    _freeSlots.push_back(slot);
+
+    _curTick = top.when;
     ++_dispatched;
     cb();
     return true;
@@ -45,7 +114,7 @@ std::uint64_t
 EventQueue::runUntil(Tick limit, bool advance_to_limit)
 {
     std::uint64_t n = 0;
-    while (!_events.empty() && _events.top().when <= limit) {
+    while (!_heap.empty() && _heap.front().when <= limit) {
         step();
         ++n;
     }

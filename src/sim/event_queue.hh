@@ -6,16 +6,21 @@
  * machine. Events are arbitrary callables scheduled at absolute ticks;
  * ties are broken by insertion order so the simulation is fully
  * deterministic.
+ *
+ * The queue is a 4-ary heap over slim (when, seq, slot) records; the
+ * callables themselves live in a free-listed side array of
+ * SmallCallback cells. Heap maintenance therefore shuffles 16-byte
+ * PODs instead of type-erased closures, and scheduling an event that
+ * fits SmallCallback's inline buffer performs no heap allocation.
  */
 
 #ifndef PF_SIM_EVENT_QUEUE_HH
 #define PF_SIM_EVENT_QUEUE_HH
 
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
+#include "sim/small_callback.hh"
 #include "sim/types.hh"
 
 namespace pageforge
@@ -31,7 +36,7 @@ namespace pageforge
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = SmallCallback;
 
     EventQueue() = default;
     EventQueue(const EventQueue &) = delete;
@@ -42,7 +47,8 @@ class EventQueue
 
     /**
      * Schedule @p cb to run at absolute tick @p when.
-     * @pre when >= curTick()
+     * @pre when >= curTick() — violating this panics: an event in the
+     *      simulated past can never be dispatched in order.
      */
     void schedule(Tick when, Callback cb);
 
@@ -52,10 +58,10 @@ class EventQueue
     }
 
     /** True when no events remain. */
-    bool empty() const { return _events.empty(); }
+    bool empty() const { return _heap.empty(); }
 
     /** Number of pending events. */
-    std::size_t size() const { return _events.size(); }
+    std::size_t size() const { return _heap.size(); }
 
     /** Tick of the next pending event; maxTick when empty. */
     Tick nextEventTick() const;
@@ -80,25 +86,32 @@ class EventQueue
     std::uint64_t eventsDispatched() const { return _dispatched; }
 
   private:
-    struct Event
+    /**
+     * Heap record: dispatch key plus the index of the callback's cell
+     * in _slots. seq disambiguates equal ticks (insertion order), so
+     * the (when, seq) pair is a total order and dispatch is
+     * deterministic.
+     */
+    struct HeapEntry
     {
         Tick when;
-        std::uint64_t seq;
-        Callback cb;
+        std::uint64_t seq : 40; //!< 2^40 schedules ≈ years of sim time
+        std::uint64_t slot : 24;
     };
 
-    struct Later
+    static bool
+    earlier(const HeapEntry &a, const HeapEntry &b)
     {
-        bool
-        operator()(const Event &a, const Event &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
-        }
-    };
+        return a.when != b.when ? a.when < b.when : a.seq < b.seq;
+    }
 
-    std::priority_queue<Event, std::vector<Event>, Later> _events;
+    void siftUp(std::size_t i);
+    void siftDown(std::size_t i);
+
+    std::vector<HeapEntry> _heap;       //!< 4-ary min-heap
+    std::vector<SmallCallback> _slots;  //!< callback cells, slot-indexed
+    std::vector<std::uint32_t> _freeSlots;
+
     Tick _curTick = 0;
     std::uint64_t _nextSeq = 0;
     std::uint64_t _dispatched = 0;

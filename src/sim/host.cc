@@ -1,0 +1,60 @@
+#include "sim/host.hh"
+
+#ifdef __linux__
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#endif
+
+namespace pageforge
+{
+
+namespace
+{
+
+#ifdef __linux__
+/** Read a "VmXXX:  <n> kB" field from /proc/self/status. */
+std::uint64_t
+procStatusKb(const char *field)
+{
+    std::FILE *f = std::fopen("/proc/self/status", "r");
+    if (!f)
+        return 0;
+    std::uint64_t value = 0;
+    char line[256];
+    std::size_t field_len = std::strlen(field);
+    while (std::fgets(line, sizeof(line), f)) {
+        if (std::strncmp(line, field, field_len) == 0 &&
+            line[field_len] == ':') {
+            value = std::strtoull(line + field_len + 1, nullptr, 10);
+            break;
+        }
+    }
+    std::fclose(f);
+    return value;
+}
+#endif
+
+} // namespace
+
+std::uint64_t
+hostCurrentRssKb()
+{
+#ifdef __linux__
+    return procStatusKb("VmRSS");
+#else
+    return 0;
+#endif
+}
+
+std::uint64_t
+hostPeakRssKb()
+{
+#ifdef __linux__
+    return procStatusKb("VmHWM");
+#else
+    return 0;
+#endif
+}
+
+} // namespace pageforge

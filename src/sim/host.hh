@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Host-side process introspection for simulation-speed reporting.
+ *
+ * These report on the *simulator process* (resident set size), not on
+ * anything simulated; they feed BENCH_simspeed.json and --perf-report
+ * and must never influence simulated results.
+ */
+
+#ifndef PF_SIM_HOST_HH
+#define PF_SIM_HOST_HH
+
+#include <cstdint>
+
+namespace pageforge
+{
+
+/**
+ * Current resident set size of this process in KB (Linux: VmRSS from
+ * /proc/self/status). Returns 0 on platforms without the interface.
+ */
+std::uint64_t hostCurrentRssKb();
+
+/**
+ * Peak resident set size of this process in KB (Linux: VmHWM).
+ * Returns 0 on platforms without the interface.
+ */
+std::uint64_t hostPeakRssKb();
+
+} // namespace pageforge
+
+#endif // PF_SIM_HOST_HH

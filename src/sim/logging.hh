@@ -50,6 +50,29 @@ void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 void assertFailed(const char *cond, const char *file, int line);
 
 /**
+ * Level-guarded logging macros.
+ *
+ * warn()/inform() check the level inside the callee, which means the
+ * caller has already evaluated every argument expression — fine on
+ * error paths, but a hot loop that logs a formatted diagnostic pays
+ * for the formatting arguments even when the message is dropped. The
+ * macros hoist the level check to the call site so suppressed calls
+ * evaluate nothing. Use these anywhere a log call sits on a simulation
+ * fast path.
+ */
+#define pf_warn(...)                                                    \
+    do {                                                                \
+        if (::pageforge::logLevel() >= ::pageforge::LogLevel::Warn)     \
+            ::pageforge::warn(__VA_ARGS__);                             \
+    } while (0)
+
+#define pf_inform(...)                                                  \
+    do {                                                                \
+        if (::pageforge::logLevel() >= ::pageforge::LogLevel::Inform)   \
+            ::pageforge::inform(__VA_ARGS__);                           \
+    } while (0)
+
+/**
  * panic() if @p cond does not hold.
  * A lightweight always-on assert for simulator invariants; takes a
  * printf-style message describing the violated invariant.

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Small-buffer-optimized move-only callable.
+ *
+ * The event queue schedules millions of short-lived lambdas; wrapping
+ * each in std::function costs a heap allocation (libstdc++ inlines only
+ * up to 16 bytes) plus a double-indirect dispatch. SmallCallback stores
+ * callables up to `inlineSize` bytes directly in the event record and
+ * keeps a single pointer to a static per-type operations table, so
+ * scheduling an event touches no allocator and moving an event record
+ * moves at most `inlineSize` bytes. Oversized or throwing-move
+ * callables fall back to one boxed allocation, preserving generality.
+ */
+
+#ifndef PF_SIM_SMALL_CALLBACK_HH
+#define PF_SIM_SMALL_CALLBACK_HH
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace pageforge
+{
+
+/** Move-only type-erased void() callable with inline storage. */
+class SmallCallback
+{
+  public:
+    /**
+     * Inline capacity. 48 bytes covers the largest callback the
+     * simulator schedules today (a captured this-pointer, a moved-in
+     * std::function continuation and a Tick); measure before shrinking.
+     */
+    static constexpr std::size_t inlineSize = 48;
+
+    SmallCallback() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, SmallCallback> &&
+                  std::is_invocable_r_v<void, std::decay_t<F> &>>>
+    SmallCallback(F &&fn) // NOLINT: implicit by design, like std::function
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (sizeof(Fn) <= inlineSize &&
+                      alignof(Fn) <= alignof(std::max_align_t) &&
+                      std::is_nothrow_move_constructible_v<Fn>) {
+            ::new (static_cast<void *>(_buf)) Fn(std::forward<F>(fn));
+            _ops = &inlineOps<Fn>;
+        } else {
+            // Boxed fallback: store a pointer to a heap-allocated copy.
+            ::new (static_cast<void *>(_buf))
+                Fn *(new Fn(std::forward<F>(fn)));
+            _ops = &boxedOps<Fn>;
+        }
+    }
+
+    SmallCallback(SmallCallback &&other) noexcept : _ops(other._ops)
+    {
+        if (_ops) {
+            _ops->moveTo(other._buf, _buf);
+            other._ops = nullptr;
+        }
+    }
+
+    SmallCallback &
+    operator=(SmallCallback &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            _ops = other._ops;
+            if (_ops) {
+                _ops->moveTo(other._buf, _buf);
+                other._ops = nullptr;
+            }
+        }
+        return *this;
+    }
+
+    SmallCallback(const SmallCallback &) = delete;
+    SmallCallback &operator=(const SmallCallback &) = delete;
+
+    ~SmallCallback() { reset(); }
+
+    explicit operator bool() const { return _ops != nullptr; }
+
+    void
+    operator()()
+    {
+        _ops->invoke(_buf);
+    }
+
+    void
+    reset()
+    {
+        if (_ops) {
+            _ops->destroy(_buf);
+            _ops = nullptr;
+        }
+    }
+
+  private:
+    struct Ops
+    {
+        void (*invoke)(void *storage);
+        void (*moveTo)(void *from, void *to);
+        void (*destroy)(void *storage);
+    };
+
+    template <typename Fn>
+    static constexpr Ops inlineOps = {
+        [](void *s) { (*std::launder(static_cast<Fn *>(s)))(); },
+        [](void *from, void *to) {
+            Fn *src = std::launder(static_cast<Fn *>(from));
+            ::new (to) Fn(std::move(*src));
+            src->~Fn();
+        },
+        [](void *s) { std::launder(static_cast<Fn *>(s))->~Fn(); },
+    };
+
+    template <typename Fn>
+    static constexpr Ops boxedOps = {
+        [](void *s) { (**std::launder(static_cast<Fn **>(s)))(); },
+        [](void *from, void *to) {
+            Fn **src = std::launder(static_cast<Fn **>(from));
+            ::new (to) Fn *(*src);
+        },
+        [](void *s) { delete *std::launder(static_cast<Fn **>(s)); },
+    };
+
+    alignas(std::max_align_t) unsigned char _buf[inlineSize];
+    const Ops *_ops = nullptr;
+};
+
+} // namespace pageforge
+
+#endif // PF_SIM_SMALL_CALLBACK_HH

@@ -9,6 +9,7 @@
 #include <ostream>
 #include <thread>
 
+#include "sim/host.hh"
 #include "sim/logging.hh"
 #include "workload/app_profile.hh"
 
@@ -133,6 +134,7 @@ runCampaign(const CampaignSpec &spec)
             } catch (...) {
                 outcome.error = "unknown exception";
             }
+            outcome.peakRssKb = hostPeakRssKb();
             std::size_t so_far = done.fetch_add(1) + 1;
             if (spec.progress) {
                 std::lock_guard<std::mutex> lock(progress_mutex);
@@ -296,6 +298,10 @@ jsonResult(std::ostream &os, const ExperimentResult &r)
     os << ",\"pf_pages_scanned\":" << r.pfPagesScanned;
     os << ",\"merges\":" << r.merges;
     os << ",\"cow_breaks\":" << r.cowBreaks;
+    os << ",\"sim_events\":" << r.simEvents;
+    os << ",\"pages_scanned\":" << r.pagesScanned;
+    os << ",\"host_seconds\":";
+    jsonDouble(os, r.hostSeconds);
     os << "}";
 }
 
@@ -323,13 +329,15 @@ identicalResults(const ExperimentResult &a, const ExperimentResult &b)
         sameBits(a.pfBatchCyclesStddev, b.pfBatchCyclesStddev) &&
         a.pfRefills == b.pfRefills && a.pfOsChecks == b.pfOsChecks &&
         a.pfPagesScanned == b.pfPagesScanned && a.merges == b.merges &&
-        a.cowBreaks == b.cowBreaks;
+        a.cowBreaks == b.cowBreaks && a.simEvents == b.simEvents &&
+        a.pagesScanned == b.pagesScanned;
+    // hostSeconds is host wall-clock, never part of result identity.
 }
 
 void
 writeCampaignJson(const CampaignReport &report, std::ostream &os)
 {
-    os << "{\"schema\":\"pageforge-campaign-v1\"";
+    os << "{\"schema\":\"pageforge-campaign-v2\"";
     os << ",\"jobs\":" << report.jobs;
     os << ",\"wall_seconds\":";
     jsonDouble(os, report.wallSeconds);
@@ -352,6 +360,78 @@ writeCampaignJson(const CampaignReport &report, std::ostream &os)
             os << ",\"error\":";
             jsonString(os, outcome.error);
         }
+        os << "}";
+    }
+    os << "]}\n";
+}
+
+void
+writePerfReport(const CampaignReport &report, std::ostream &os,
+                double baseline_seconds)
+{
+    std::uint64_t total_events = 0;
+    std::uint64_t total_pages = 0;
+    std::uint64_t peak_rss = 0;
+    for (const CellOutcome &outcome : report.cells) {
+        if (outcome.ok) {
+            total_events += outcome.result.simEvents;
+            total_pages += outcome.result.pagesScanned;
+        }
+        peak_rss = std::max(peak_rss, outcome.peakRssKb);
+    }
+
+    os << "{\"schema\":\"pageforge-simspeed-v1\"";
+    os << ",\"jobs\":" << report.jobs;
+    os << ",\"wall_seconds\":";
+    jsonDouble(os, report.wallSeconds);
+    if (baseline_seconds > 0.0) {
+        os << ",\"baseline_wall_seconds\":";
+        jsonDouble(os, baseline_seconds);
+        os << ",\"speedup\":";
+        jsonDouble(os, baseline_seconds / report.wallSeconds);
+    }
+    os << ",\"total_sim_events\":" << total_events;
+    os << ",\"total_pages_scanned\":" << total_pages;
+    if (report.wallSeconds > 0.0) {
+        os << ",\"events_per_sec\":";
+        jsonDouble(os, static_cast<double>(total_events) /
+                           report.wallSeconds);
+        os << ",\"pages_scanned_per_sec\":";
+        jsonDouble(os, static_cast<double>(total_pages) /
+                           report.wallSeconds);
+    }
+    os << ",\"peak_rss_kb\":" << peak_rss;
+    os << ",\"failures\":" << report.failures();
+    os << ",\"cells\":[";
+    for (std::size_t i = 0; i < report.cells.size(); ++i) {
+        const CellOutcome &outcome = report.cells[i];
+        if (i)
+            os << ",";
+        os << "{\"app\":";
+        jsonString(os, outcome.cell.app);
+        os << ",\"mode\":";
+        jsonString(os, dedupModeName(outcome.cell.mode));
+        os << ",\"seed\":" << outcome.cell.seed;
+        os << ",\"ok\":" << (outcome.ok ? "true" : "false");
+        if (outcome.ok) {
+            const ExperimentResult &r = outcome.result;
+            os << ",\"host_ms\":";
+            jsonDouble(os, r.hostSeconds * 1e3);
+            os << ",\"sim_events\":" << r.simEvents;
+            os << ",\"pages_scanned\":" << r.pagesScanned;
+            if (r.hostSeconds > 0.0) {
+                os << ",\"events_per_sec\":";
+                jsonDouble(os, static_cast<double>(r.simEvents) /
+                               r.hostSeconds);
+                os << ",\"pages_scanned_per_sec\":";
+                jsonDouble(os, static_cast<double>(r.pagesScanned) /
+                               r.hostSeconds);
+            }
+        } else {
+            os << ",\"error\":";
+            jsonString(os, outcome.error);
+        }
+        os << ",\"peak_rss_kb\":" << outcome.peakRssKb;
         os << "}";
     }
     os << "]}\n";

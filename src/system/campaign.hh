@@ -45,6 +45,14 @@ struct CellOutcome
     bool ok = false;
     std::string error;       //!< what() of the escaped exception
     ExperimentResult result; //!< meaningful only when ok
+
+    /**
+     * Process-wide peak RSS (KB) sampled right after the cell
+     * finished. Host-side accounting only — like hostSeconds it is a
+     * property of this run of the simulator, not of the simulation,
+     * and never enters identicalResults().
+     */
+    std::uint64_t peakRssKb = 0;
 };
 
 /** Runs one cell; the default wraps runExperiment(). */
@@ -134,10 +142,24 @@ void writeCampaignJson(const CampaignReport &report, std::ostream &os);
 
 /**
  * Field-exact equality of two results (doubles compared bit-wise):
- * the determinism contract parallel execution must preserve.
+ * the determinism contract parallel execution must preserve. Host
+ * wall-clock fields (hostSeconds) are deliberately excluded — they
+ * differ between any two runs.
  */
 bool identicalResults(const ExperimentResult &a,
                       const ExperimentResult &b);
+
+/**
+ * Serialize a simulation-speed report (BENCH_simspeed.json): one row
+ * per cell with host wall-clock, events/sec, pages-scanned/sec and
+ * peak RSS, plus campaign totals. Shared by `pfsim --perf-report`
+ * and the bench_simspeed harness.
+ *
+ * @param baseline_seconds pre-optimization wall-clock of the same
+ *        matrix for the speedup field; <= 0 omits the comparison.
+ */
+void writePerfReport(const CampaignReport &report, std::ostream &os,
+                     double baseline_seconds = 0.0);
 
 } // namespace pageforge
 

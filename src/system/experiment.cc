@@ -1,6 +1,7 @@
 #include "system/experiment.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "sim/logging.hh"
@@ -49,6 +50,8 @@ runExperiment(const AppProfile &app, DedupMode mode,
               const SystemConfig &sys_template)
 {
     cfg.validate(app);
+
+    auto host_start = std::chrono::steady_clock::now();
 
     SystemConfig sys_cfg = sys_template;
     sys_cfg.mode = mode;
@@ -201,6 +204,23 @@ runExperiment(const AppProfile &app, DedupMode mode,
         result.lifecycle.p95RecoveryMs = ls.mergeRecoveryMs.p95();
         result.lifecycle.recoveryTimeouts = ls.recoveryTimeouts;
     }
+
+    result.simEvents = system.eventq().eventsDispatched();
+    switch (mode) {
+      case DedupMode::Ksm:
+        result.pagesScanned = system.ksmd()->mergeStats().pagesScanned;
+        break;
+      case DedupMode::PageForge:
+        result.pagesScanned =
+            system.pfDriver()->mergeStats().pagesScanned;
+        break;
+      case DedupMode::None:
+        break;
+    }
+    result.hostSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      host_start)
+            .count();
     return result;
 }
 

@@ -140,6 +140,14 @@ struct ExperimentResult
     std::uint64_t merges = 0;
     std::uint64_t cowBreaks = 0;
 
+    // Simulation-speed accounting (BENCH_simspeed / --perf-report).
+    // simEvents and pagesScanned are simulated quantities (stable for
+    // a given seed); hostSeconds is host wall-clock and must never
+    // enter any result-identity comparison.
+    std::uint64_t simEvents = 0;    //!< events dispatched over the run
+    std::uint64_t pagesScanned = 0; //!< daemon pages scanned (mode-dependent)
+    double hostSeconds = 0.0;       //!< host wall-clock of the whole run
+
     // Churn runs: memory state across the window + lifecycle activity.
     std::vector<PhaseSnapshot> phases;
     LifecycleSummary lifecycle;

@@ -249,8 +249,10 @@ TEST(CampaignJsonTest, ReportSerializesEveryCellAndEscapesErrors)
     writeCampaignJson(report, os);
     std::string json = os.str();
 
-    EXPECT_NE(json.find("\"schema\":\"pageforge-campaign-v1\""),
+    EXPECT_NE(json.find("\"schema\":\"pageforge-campaign-v2\""),
               std::string::npos);
+    EXPECT_NE(json.find("\"sim_events\":"), std::string::npos);
+    EXPECT_NE(json.find("\"pages_scanned\":"), std::string::npos);
     EXPECT_NE(json.find("\"app\":\"good\""), std::string::npos);
     EXPECT_NE(json.find("\"mode\":\"PageForge\""), std::string::npos);
     EXPECT_NE(json.find("\"failures\":1"), std::string::npos);
@@ -276,6 +278,62 @@ TEST(CampaignIdenticalTest, DetectsAnyFieldDifference)
     b = a;
     b.dupWarm.framesUsed += 1;
     EXPECT_FALSE(identicalResults(a, b));
+
+    b = a;
+    b.simEvents += 1;
+    EXPECT_FALSE(identicalResults(a, b));
+
+    b = a;
+    b.pagesScanned += 1;
+    EXPECT_FALSE(identicalResults(a, b));
+
+    // Host wall-clock differs between any two runs; it must never
+    // break the determinism contract.
+    b = a;
+    b.hostSeconds = a.hostSeconds + 1.0;
+    EXPECT_TRUE(identicalResults(a, b));
+}
+
+TEST(CampaignPerfReportTest, PerfReportHasRatesAndSpeedup)
+{
+    CampaignSpec spec;
+    spec.apps = {"good", "bad"};
+    spec.modes = {DedupMode::Ksm};
+    spec.jobs = 1;
+    spec.runner = [](const CampaignCell &cell) -> ExperimentResult {
+        if (cell.app == "bad")
+            throw std::runtime_error("boom");
+        ExperimentResult result = fakeResult(cell);
+        result.simEvents = 1000;
+        result.pagesScanned = 200;
+        result.hostSeconds = 0.5;
+        return result;
+    };
+
+    CampaignReport report = runCampaign(spec);
+    report.wallSeconds = 2.0; // pin for a deterministic speedup field
+
+    std::ostringstream os;
+    writePerfReport(report, os, /*baseline_seconds=*/4.0);
+    std::string json = os.str();
+
+    EXPECT_NE(json.find("\"schema\":\"pageforge-simspeed-v1\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"baseline_wall_seconds\":4"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"speedup\":2"), std::string::npos);
+    EXPECT_NE(json.find("\"total_sim_events\":1000"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"events_per_sec\":2000"), std::string::npos);
+    EXPECT_NE(json.find("\"pages_scanned_per_sec\":400"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"error\":\"boom\""), std::string::npos);
+
+    // Without a baseline the comparison fields are omitted entirely.
+    std::ostringstream plain;
+    writePerfReport(report, plain);
+    EXPECT_EQ(plain.str().find("speedup"), std::string::npos);
+    EXPECT_EQ(plain.str().find("baseline"), std::string::npos);
 }
 
 } // namespace

@@ -94,6 +94,136 @@ TEST(ComparePages, DivergenceDeepInPage)
     EXPECT_EQ(cmp.linesExamined(), (3001 + lineSize - 1) / lineSize);
 }
 
+TEST(ComparePages, MatchesMemcmpOracleOnRandomPages)
+{
+    // comparePages must agree with memcmp in sign, and report the
+    // 1-based position of the first differing byte. Random pages plus
+    // targeted single-byte flips cover first/last bytes and word-width
+    // boundaries the vectorized implementation could get wrong.
+    Rng rng(99);
+    std::vector<std::uint8_t> a(pageSize);
+    std::vector<std::uint8_t> b(pageSize);
+
+    auto check = [&](std::uint32_t expect_examined) {
+        int mem = std::memcmp(a.data(), b.data(), pageSize);
+        PageCompare cmp = comparePages(a.data(), b.data());
+        EXPECT_EQ(cmp.sign < 0, mem < 0);
+        EXPECT_EQ(cmp.sign > 0, mem > 0);
+        EXPECT_EQ(cmp.sign == 0, mem == 0);
+        EXPECT_EQ(cmp.bytesExamined, expect_examined);
+    };
+
+    for (int trial = 0; trial < 20; ++trial) {
+        for (std::uint32_t i = 0; i < pageSize; ++i)
+            a[i] = static_cast<std::uint8_t>(rng.next());
+        b = a;
+        check(pageSize); // equal copies
+
+        // Flip one byte at positions around every word/line boundary
+        // in the first couple of lines, plus first/last of the page.
+        std::uint32_t positions[] = {0,  1,  7,  8,  9,  15, 16, 17,
+                                     31, 32, 33, 63, 64, 65,
+                                     pageSize - 2, pageSize - 1};
+        for (std::uint32_t pos : positions) {
+            b = a;
+            b[pos] = static_cast<std::uint8_t>(b[pos] + 1);
+            check(pos + 1);
+        }
+
+        // Random flip position.
+        std::uint32_t pos =
+            static_cast<std::uint32_t>(rng.next() % pageSize);
+        b = a;
+        b[pos] ^= 0x80;
+        check(pos + 1);
+    }
+}
+
+TEST(ComparePages, ComparePagesFromMatchesFullCompare)
+{
+    // With a valid known-equal prefix, comparePagesFrom must return
+    // the exact same semantic result as the uninformed comparison.
+    Rng rng(7);
+    std::vector<std::uint8_t> a(pageSize);
+    for (std::uint32_t i = 0; i < pageSize; ++i)
+        a[i] = static_cast<std::uint8_t>(rng.next());
+
+    for (std::uint32_t diff_at :
+         {0u, 1u, 63u, 64u, 100u, 2048u, pageSize - 1}) {
+        std::vector<std::uint8_t> b = a;
+        b[diff_at] = static_cast<std::uint8_t>(b[diff_at] + 1);
+        PageCompare full = comparePages(a.data(), b.data());
+
+        // Every prefix up to the divergence point is known-equal.
+        for (std::uint32_t known :
+             {0u, diff_at / 2, diff_at}) {
+            PageCompare from =
+                comparePagesFrom(a.data(), b.data(), known);
+            EXPECT_EQ(from.sign, full.sign) << diff_at << "@" << known;
+            EXPECT_EQ(from.bytesExamined, full.bytesExamined);
+        }
+    }
+
+    // Equal pages with the whole page known equal.
+    PageCompare eq = comparePagesFrom(a.data(), a.data(), pageSize);
+    EXPECT_EQ(eq.sign, 0);
+    EXPECT_EQ(eq.bytesExamined, pageSize);
+}
+
+TEST(ContentTree, PrefixBoundedSearchMatchesUninformedSearch)
+{
+    // An immutable-contents (stable) tree may skip prefixes already
+    // proven equal, but its *reported* statistics and outcomes must be
+    // exactly those of a plain tree holding the same pages: same
+    // match/miss, same insertion point, same nodes visited, same
+    // semantic bytes compared.
+    PoolAccessor pool;
+    ContentTree fast(pool, /*immutable_contents=*/true);
+    ContentTree plain(pool, /*immutable_contents=*/false);
+
+    // Pages sharing a long common prefix force the prefix-bounded
+    // descent to actually kick in (everything differs late).
+    Rng rng(1234);
+    std::vector<PageHandle> handles;
+    for (int i = 0; i < 60; ++i) {
+        PageHandle h = pool.addPage(42); // identical bytes...
+        auto *bytes = const_cast<std::uint8_t *>(pool.resolve(h));
+        // ...then a distinct suffix in the last line.
+        bytes[pageSize - 40] = static_cast<std::uint8_t>(i);
+        bytes[pageSize - 39] =
+            static_cast<std::uint8_t>(rng.next() & 0xff);
+        handles.push_back(h);
+    }
+    for (PageHandle h : handles) {
+        fast.insert(h);
+        plain.insert(h);
+    }
+    ASSERT_EQ(fast.size(), plain.size());
+    EXPECT_TRUE(fast.validate());
+
+    // Probe with every inserted page (hits) and fresh variants
+    // (misses); the two trees must report identical searches.
+    auto probe_both = [&](const std::uint8_t *probe) {
+        auto rf = fast.search(probe);
+        auto rp = plain.search(probe);
+        EXPECT_EQ(rf.match != nullptr, rp.match != nullptr);
+        if (rf.match && rp.match)
+            EXPECT_EQ(fast.handle(rf.match), plain.handle(rp.match));
+        EXPECT_EQ(rf.nodesVisited, rp.nodesVisited);
+        EXPECT_EQ(rf.bytesCompared, rp.bytesCompared);
+        EXPECT_EQ(rf.insertLeft, rp.insertLeft);
+    };
+
+    for (PageHandle h : handles)
+        probe_both(pool.resolve(h));
+    for (int i = 0; i < 30; ++i) {
+        PageHandle h = pool.addPage(42);
+        auto *bytes = const_cast<std::uint8_t *>(pool.resolve(h));
+        bytes[pageSize - 40] = static_cast<std::uint8_t>(200 + i);
+        probe_both(pool.resolve(h));
+    }
+}
+
 TEST(ContentTree, InsertAndFind)
 {
     PoolAccessor pool;

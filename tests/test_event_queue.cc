@@ -5,6 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 #include "sim/event_queue.hh"
 
 namespace pageforge
@@ -94,6 +98,50 @@ TEST(EventQueue, SchedulingInThePastPanics)
     eq.schedule(50, [] {});
     eq.runAll();
     EXPECT_DEATH(eq.schedule(10, [] {}), "past");
+}
+
+TEST(EventQueue, SchedulingAtTheCurrentTickIsAllowed)
+{
+    // Boundary of the no-past precondition: tick == curTick() is a
+    // legal zero-delay event, not "the past".
+    EventQueue eq;
+    eq.schedule(50, [] {});
+    eq.runAll();
+    ASSERT_EQ(eq.curTick(), 50u);
+
+    bool fired = false;
+    eq.schedule(50, [&] { fired = true; });
+    eq.runAll();
+    EXPECT_TRUE(fired);
+    EXPECT_EQ(eq.curTick(), 50u);
+}
+
+TEST(EventQueue, DispatchOrderMatchesSortedReference)
+{
+    // The d-ary heap must dispatch in exactly (tick, insertion order)
+    // — the order a stable sort of the schedule produces. Pseudo-
+    // random ticks with many duplicates exercise sift-up/down paths a
+    // handful of hand-written events never reach.
+    EventQueue eq;
+    std::vector<std::pair<Tick, int>> reference;
+    std::vector<int> dispatched;
+
+    std::uint64_t lcg = 12345;
+    for (int i = 0; i < 500; ++i) {
+        lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+        Tick tick = (lcg >> 33) % 64; // few buckets -> many ties
+        reference.emplace_back(tick, i);
+        eq.schedule(tick, [&dispatched, i] { dispatched.push_back(i); });
+    }
+    std::stable_sort(reference.begin(), reference.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.first < b.first;
+                     });
+
+    eq.runAll();
+    ASSERT_EQ(dispatched.size(), reference.size());
+    for (std::size_t i = 0; i < reference.size(); ++i)
+        EXPECT_EQ(dispatched[i], reference[i].second) << "at " << i;
 }
 
 TEST(EventQueue, StepDispatchesExactlyOne)

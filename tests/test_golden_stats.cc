@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Golden-statistics regression test: the determinism contract behind
+ * the hot-path optimizations.
+ *
+ * Every performance change to the event kernel, memory arena, caches
+ * or tree search must keep simulated statistics bit-identical for a
+ * given seed. Two layers enforce that here:
+ *
+ *  1. Run the same cell twice and require field-exact equality
+ *     (identicalResults: doubles compared bit-wise) — catches any
+ *     nondeterminism within one build.
+ *
+ *  2. Pin a handful of integer statistics to golden literals —
+ *     catches changes that are deterministic but silently alter
+ *     simulated behaviour (the failure mode "it still converges, the
+ *     numbers just moved"). If one of these fails after an
+ *     intentional model change, re-record the literals in the same
+ *     commit and say why; if it fails after a performance-only
+ *     change, the change is wrong.
+ */
+
+#include <gtest/gtest.h>
+
+#include "system/campaign.hh"
+#include "system/experiment.hh"
+
+namespace pageforge
+{
+namespace
+{
+
+/** Small fixed cell: full pipeline, sub-second runtime. */
+ExperimentResult
+runGoldenCell(DedupMode mode)
+{
+    ExperimentConfig cfg;
+    cfg.memScale = 0.03;
+    cfg.warmupPasses = 2;
+    cfg.settleTime = msToTicks(2);
+    cfg.targetQueries = 50;
+    cfg.minMeasure = msToTicks(10);
+    cfg.maxMeasure = msToTicks(20);
+    cfg.seed = 42;
+
+    SystemConfig sys;
+    sys.numCores = 2;
+    sys.numVms = 2;
+    sys.l1 = CacheConfig{"l1", 4 * 1024, 2, 2, 4};
+    sys.l2 = CacheConfig{"l2", 16 * 1024, 4, 6, 8};
+    sys.l3 = CacheConfig{"l3", 128 * 1024, 16, 20, 16};
+
+    return runExperiment(appByName("silo"), mode, cfg, sys);
+}
+
+TEST(GoldenStats, SameSeedIsBitIdentical)
+{
+    for (DedupMode mode :
+         {DedupMode::None, DedupMode::Ksm, DedupMode::PageForge}) {
+        ExperimentResult first = runGoldenCell(mode);
+        ExperimentResult second = runGoldenCell(mode);
+        EXPECT_TRUE(identicalResults(first, second))
+            << "mode " << dedupModeName(mode);
+    }
+}
+
+TEST(GoldenStats, KsmCellMatchesGoldenSnapshot)
+{
+    ExperimentResult r = runGoldenCell(DedupMode::Ksm);
+    EXPECT_EQ(r.queries, 45u);
+    EXPECT_EQ(r.merges, 0u);
+    EXPECT_EQ(r.cowBreaks, 16u);
+    EXPECT_EQ(r.dup.framesUsed, 153u);
+    EXPECT_EQ(r.dupWarm.framesUsed, 136u);
+    EXPECT_EQ(r.hashStats.jhashMatches, 33u);
+    EXPECT_EQ(r.simEvents, 129u);
+    EXPECT_EQ(r.pagesScanned, 167u);
+}
+
+TEST(GoldenStats, PageForgeCellMatchesGoldenSnapshot)
+{
+    ExperimentResult r = runGoldenCell(DedupMode::PageForge);
+    EXPECT_EQ(r.queries, 56u);
+    EXPECT_EQ(r.merges, 0u);
+    EXPECT_EQ(r.cowBreaks, 22u);
+    EXPECT_EQ(r.dup.framesUsed, 151u);
+    EXPECT_EQ(r.pfRefills, 724u);
+    EXPECT_EQ(r.pfPagesScanned, 447u);
+    EXPECT_EQ(r.simEvents, 3086u);
+    EXPECT_EQ(r.pagesScanned, 447u);
+}
+
+} // namespace
+} // namespace pageforge

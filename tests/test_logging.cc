@@ -49,6 +49,31 @@ TEST(Logging, LevelsAreSticky)
     setLogLevel(before);
 }
 
+TEST(Logging, GuardedMacrosSkipArgumentEvaluation)
+{
+    // The whole point of pf_warn/pf_inform over warn()/inform(): when
+    // the level filters the message out, the argument expressions must
+    // not run at all (hot paths pass formatting work as arguments).
+    LogLevel before = logLevel();
+    int evaluated = 0;
+    auto touch = [&evaluated]() { return ++evaluated; };
+
+    setLogLevel(LogLevel::Silent);
+    pf_warn("suppressed %d", touch());
+    pf_inform("suppressed %d", touch());
+    EXPECT_EQ(evaluated, 0);
+
+    // Warn level: warn passes (arguments evaluated), inform filtered.
+    setLogLevel(LogLevel::Warn);
+    ::testing::internal::CaptureStderr();
+    pf_warn("emitted %d", touch());
+    pf_inform("suppressed %d", touch());
+    ::testing::internal::GetCapturedStderr();
+    EXPECT_EQ(evaluated, 1);
+
+    setLogLevel(before);
+}
+
 TEST(SimObjectTest, NameAndClockAccess)
 {
     EventQueue eq;

@@ -36,13 +36,25 @@ class MemControllerTest : public ::testing::Test
 TEST_F(MemControllerTest, ReadReturnsEccOfCurrentData)
 {
     Addr addr = lineAddr(frame, 3);
-    McReadResult result = mc.readLine(addr, 0, Requester::App);
+    McReadResult result =
+        mc.readLine(addr, 0, Requester::App, /*want_ecc=*/true);
     EXPECT_GT(result.done, 0u);
     EXPECT_FALSE(result.coalesced);
 
     LineEccCode expected = LineEcc::encode(mem.data(frame) + 3 * lineSize);
     EXPECT_EQ(result.ecc, expected);
     EXPECT_EQ(mc.eccDecodes(), 1u);
+}
+
+TEST_F(MemControllerTest, ReadWithoutWantEccStillCountsDecode)
+{
+    // The decode counter models the hardware, which always runs; only
+    // the host-side materialization of the code's value is skipped.
+    Addr addr = lineAddr(frame, 3);
+    McReadResult result = mc.readLine(addr, 0, Requester::App);
+    EXPECT_GT(result.done, 0u);
+    EXPECT_EQ(mc.eccDecodes(), 1u);
+    EXPECT_EQ(result.ecc, LineEccCode{});
 }
 
 TEST_F(MemControllerTest, SecondReadOfPendingLineCoalesces)
@@ -89,7 +101,8 @@ TEST_F(MemControllerTest, EncodeLineMatchesReadPathEcc)
 {
     Addr addr = lineAddr(frame, 7);
     LineEccCode from_encode = mc.encodeLine(addr);
-    McReadResult from_read = mc.readLine(addr, 0, Requester::App);
+    McReadResult from_read =
+        mc.readLine(addr, 0, Requester::App, /*want_ecc=*/true);
     EXPECT_EQ(from_encode, from_read.ecc);
 }
 

@@ -54,6 +54,9 @@ struct Options
     unsigned seeds = 1; //!< seeds per (app, mode) cell
     std::uint64_t queries = 1500;
     std::string jsonPath;
+    bool perfReport = false;
+    std::string perfReportPath = "BENCH_simspeed.json";
+    double baselineSeconds = 0.0;
     std::vector<std::string> apps;  //!< empty = all TailBench apps
     std::vector<DedupMode> modes;   //!< empty = all three modes
 };
@@ -96,7 +99,11 @@ usage(const char *prog)
         << "  --apps=A,B,...      subset of apps (default: all five)\n"
         << "  --modes=M,N,...     subset of modes (default: all three)\n"
         << "  --queries=N         target queries per window (default "
-           "1500)\n";
+           "1500)\n"
+        << "  --perf-report[=F]   write a simulation-speed report "
+           "(default BENCH_simspeed.json)\n"
+        << "  --baseline-seconds=X  reference wall-clock for the "
+           "report's speedup field\n";
     std::exit(1);
 }
 
@@ -181,6 +188,13 @@ parse(int argc, char **argv)
             }
         } else if (const char *v = value("--queries=")) {
             opts.queries = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--perf-report") {
+            opts.perfReport = true;
+        } else if (const char *v = value("--perf-report=")) {
+            opts.perfReport = true;
+            opts.perfReportPath = v;
+        } else if (const char *v = value("--baseline-seconds=")) {
+            opts.baselineSeconds = std::atof(v);
         } else {
             usage(argv[0]);
         }
@@ -260,6 +274,17 @@ runCampaignMode(const Options &opts)
         }
         writeCampaignJson(report, json);
         std::cerr << "wrote " << opts.jsonPath << "\n";
+    }
+
+    if (opts.perfReport) {
+        std::ofstream perf(opts.perfReportPath);
+        if (!perf) {
+            std::cerr << "cannot open " << opts.perfReportPath
+                      << " for writing\n";
+            return 1;
+        }
+        writePerfReport(report, perf, opts.baselineSeconds);
+        std::cerr << "wrote " << opts.perfReportPath << "\n";
     }
 
     return report.failures() ? 1 : 0;
