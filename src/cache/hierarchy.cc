@@ -280,6 +280,15 @@ Hierarchy::l3MissRate() const
     return acc ? static_cast<double>(miss) / static_cast<double>(acc) : 0.0;
 }
 
+std::size_t
+Hierarchy::l2MshrOccupancy(Tick now)
+{
+    std::size_t total = 0;
+    for (auto &mshr : _l2Mshr)
+        total += mshr->occupancy(now);
+    return total;
+}
+
 void
 Hierarchy::resetTiming()
 {

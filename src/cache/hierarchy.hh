@@ -101,6 +101,13 @@ class Hierarchy : public SimObject
     /** Overall local L3 miss rate across all requesters. */
     double l3MissRate() const;
 
+    /**
+     * Outstanding misses summed over every core's L2 MSHR at @p now.
+     * Read-only with respect to simulated outcomes (retired entries
+     * are pruned lazily), so the metrics sampler can poll it.
+     */
+    std::size_t l2MshrOccupancy(Tick now);
+
     StatGroup &stats() { return _stats; }
 
     /** Reset per-level and attribution counters. */

@@ -110,6 +110,8 @@ PageForgeDriver::startPass()
     _scanList = _hyper.mergeablePages();
     _cursor = 0;
     ++_mergeStats.fullPasses;
+    probe().instant("pass-start", curTick(),
+                    {"pages", static_cast<double>(_scanList.size())});
 }
 
 bool
@@ -280,12 +282,16 @@ PageForgeDriver::programBatch()
         _pinnedFrames.push_back(entry.ppn);
     }
     if (_firstBatch) {
+        probe().instant(
+            "pfe-swap", curTick(),
+            {"frame", static_cast<double>(_candidateFrame)});
         _api.insertPfe(_candidateFrame, _batch.lastRefill,
                        _batch.startPtr);
         _firstBatch = false;
     } else {
         _api.updatePfe(_batch.lastRefill, _batch.startPtr);
     }
+    _batchStart = curTick();
     ++_refills;
 }
 
@@ -594,10 +600,15 @@ PageForgeDriver::onCheckTaskDone()
         return;
     }
 
+    probe().span("batch", _batchStart, curTick(),
+                 {"entries", static_cast<double>(_batch.entries.size())},
+                 {"duplicate", info.duplicate ? 1.0 : 0.0});
+
     if (_abortCandidate) {
         // A VM died while this batch was in the hardware: the batch's
         // node pointers may reference entries of the dead VM, so the
         // whole candidate is flushed instead of interpreted.
+        probe().instant("batch-flush", curTick());
         ++_batchesFlushed;
         ++_mergeStats.pagesDropped;
         advance();

@@ -149,6 +149,7 @@ class PageForgeDriver : public SimObject
     PageKey _candidate{};
     FrameId _candidateFrame = invalidFrame;
     bool _firstBatch = true;
+    Tick _batchStart = 0; //!< program time of the in-flight batch (trace)
     Phase _phase = Phase::Stable;
 
     // Saved stable-tree insertion point for the candidate.

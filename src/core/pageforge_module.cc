@@ -97,7 +97,7 @@ PageForgeModule::process(Tick start, BatchResult &result)
         // more entries than the table holds (Less/More form a DAG).
         // Malformed software-provided indices must not hang the FSM.
         if (++steps > _table.numOtherPages()) {
-            pf_warn("scan table walk exceeded %u steps; stopping",
+            pf_warn(ScanTable, "scan table walk exceeded %u steps; stopping",
                     _table.numOtherPages());
             break;
         }
@@ -174,7 +174,10 @@ PageForgeModule::trigger()
     _busy = true;
 
     BatchResult result;
-    Tick done = process(curTick(), result);
+    Tick start = curTick();
+    Tick done = process(start, result);
+    probe().span("table-process", start, done,
+                 {"duplicate", result.duplicate ? 1.0 : 0.0});
     eventq().schedule(done, [this, result] {
         applyResult(result);
         _busy = false;

@@ -137,6 +137,18 @@ class ScanTable
 
     const OtherPageEntry &other(unsigned index) const;
 
+    /** Number of valid Other Pages entries (current occupancy). */
+    unsigned
+    validOthers() const
+    {
+        unsigned count = 0;
+        for (const OtherPageEntry &entry : _others) {
+            if (entry.valid)
+                ++count;
+        }
+        return count;
+    }
+
     /** Does this Ptr value name a valid Other Pages entry? */
     bool isValidTarget(ScanIndex ptr) const;
 

@@ -297,6 +297,9 @@ Hypervisor::writeToPage(VmId vm_id, GuestPageNum gpn,
         page.cow = false;
         outcome.cowBroken = true;
         ++_cowBreaks;
+        probe().instant("cow-break", curTick(),
+                        {"vm", static_cast<double>(vm_id)},
+                        {"frame", static_cast<double>(copy)});
         maybeAudit("cowBreak");
     }
 
@@ -367,6 +370,9 @@ Hypervisor::mergeIntoFrame(const PageKey &candidate, FrameId target)
     page.frame = target;
     page.cow = true;
     ++_merges;
+    probe().instant("merge", curTick(),
+                    {"vm", static_cast<double>(candidate.vm)},
+                    {"frame", static_cast<double>(target)});
     maybeAudit("mergeIntoFrame");
     return true;
 }

@@ -521,7 +521,7 @@ ContentTree::validateNode(Node *node, int &black_height)
     }
 
     if (node->red && (node->left->red || node->right->red)) {
-        pf_warn("red-red violation");
+        pf_warn(Ksm, "red-red violation");
         return false;
     }
 
@@ -530,7 +530,7 @@ ContentTree::validateNode(Node *node, int &black_height)
     if (!validateNode(node->left, lh) || !validateNode(node->right, rh))
         return false;
     if (lh != rh) {
-        pf_warn("black height mismatch: %d vs %d", lh, rh);
+        pf_warn(Ksm, "black height mismatch: %d vs %d", lh, rh);
         return false;
     }
 
@@ -543,7 +543,7 @@ ContentTree::validateNode(Node *node, int &black_height)
         if (node->left != _nil) {
             const std::uint8_t *ld = _accessor.resolve(node->left->handle);
             if (ld && comparePages(ld, node_data).sign >= 0) {
-                pf_warn("ordering violation (left)");
+                pf_warn(Ksm, "ordering violation (left)");
                 return false;
             }
         }
@@ -551,7 +551,7 @@ ContentTree::validateNode(Node *node, int &black_height)
             const std::uint8_t *rd =
                 _accessor.resolve(node->right->handle);
             if (rd && comparePages(rd, node_data).sign <= 0) {
-                pf_warn("ordering violation (right)");
+                pf_warn(Ksm, "ordering violation (right)");
                 return false;
             }
         }
@@ -567,7 +567,7 @@ ContentTree::validate()
     if (_root == _nil)
         return true;
     if (_root->red) {
-        pf_warn("red root");
+        pf_warn(Ksm, "red root");
         return false;
     }
     int height = 0;

@@ -133,6 +133,8 @@ Ksmd::startPass()
     _scanList = _hyper.mergeablePages();
     _cursor = 0;
     ++_mergeStats.fullPasses;
+    probe().instant("pass-start", curTick(),
+                    {"pages", static_cast<double>(_scanList.size())});
 }
 
 Tick
@@ -153,6 +155,8 @@ Ksmd::scanSlice(CoreId core, Tick start)
         --_intervalPagesLeft;
         now = scanOne(core, key, now);
     }
+    probe().span("scan-slice", start, now,
+                 {"core", static_cast<double>(core)});
     return now - start;
 }
 

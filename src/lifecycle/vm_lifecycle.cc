@@ -165,6 +165,8 @@ LifecycleManager::finishArrival(VmId vm_id, std::uint64_t epoch)
         return;
 
     inst->state = VmState::Running;
+    probe().span("arrival", inst->bornAt, curTick(),
+                 {"vm", static_cast<double>(vm_id)});
     TailBenchApp *app = _host.attachApp(inst->layout, _profile);
     if (app)
         app->start();
@@ -190,6 +192,8 @@ LifecycleManager::shutdownInstance(VmId vm_id)
         return;
 
     inst->state = VmState::Draining;
+    probe().instant("drain-start", curTick(),
+                    {"vm", static_cast<double>(vm_id)});
     ++inst->epoch;
     _host.detachApp(vm_id);
 
@@ -209,6 +213,10 @@ LifecycleManager::finishShutdown(VmId vm_id, std::uint64_t epoch)
 
     ReclaimOutcome out = _hyper.destroyVm(vm_id);
     inst->state = VmState::Dead;
+    probe().instant("vm-dead", curTick(),
+                    {"vm", static_cast<double>(vm_id)},
+                    {"frames-freed",
+                     static_cast<double>(out.framesFreed)});
 
     ++_stats.shutdowns;
     _stats.pagesReclaimed += out.pagesUnmapped;
@@ -243,6 +251,9 @@ LifecycleManager::balloonInstance(VmId vm_id)
         }
         inst->balloonedPages = count;
         inst->state = VmState::Ballooning;
+        probe().instant("balloon-shrink", curTick(),
+                        {"vm", static_cast<double>(vm_id)},
+                        {"pages", static_cast<double>(count)});
         ++_stats.balloonShrinks;
         _stats.balloonPages.sample(static_cast<double>(count));
         _stats.pagesReclaimed += total.pagesUnmapped;
@@ -261,6 +272,8 @@ LifecycleManager::balloonInstance(VmId vm_id)
         }
         inst->balloonedPages = 0;
         inst->state = VmState::Running;
+        probe().instant("balloon-grow", curTick(),
+                        {"vm", static_cast<double>(vm_id)});
         ++_stats.balloonGrows;
     }
 }
@@ -306,6 +319,9 @@ LifecycleManager::trackRecovery(VmId vm_id, std::uint64_t epoch,
         if (mergedFraction(*inst) >= _config.recoveryThreshold) {
             _stats.mergeRecoveryMs.sample(
                 ticksToMs(curTick() - started));
+            probe().instant("merge-recovered", curTick(),
+                            {"vm", static_cast<double>(vm_id)},
+                            {"ms", ticksToMs(curTick() - started)});
             return;
         }
         if (curTick() - started >= _config.recoveryTimeout) {

@@ -118,7 +118,9 @@ MemController::readLine(Addr line_addr, Tick now, Requester req,
         LineEcc::LineDecodeResult decode = LineEcc::decode(corrupted, ecc);
         if (!decode.ok) {
             ++_uncorrectable;
-            pf_warn("uncorrectable ECC error at %llx",
+            probe().instant("uncorrectable-ecc", curTick(),
+                            {"addr", static_cast<double>(line_addr)});
+            pf_warn(DramBw, "uncorrectable ECC error at %llx",
                     static_cast<unsigned long long>(line_addr));
         } else if (decode.corrected > 0) {
             _corrected += decode.corrected;

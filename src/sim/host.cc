@@ -1,6 +1,7 @@
 #include "sim/host.hh"
 
 #ifdef __linux__
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -17,9 +18,17 @@ namespace
 std::uint64_t
 procStatusKb(const char *field)
 {
-    std::FILE *f = std::fopen("/proc/self/status", "r");
-    if (!f)
+    // /proc may be unmounted (containers, chroots). Remember the first
+    // failure so a long campaign does not retry the open — and does
+    // not warn — on every RSS sample; callers treat 0 as "unknown".
+    static std::atomic<bool> proc_unavailable{false};
+    if (proc_unavailable.load(std::memory_order_relaxed))
         return 0;
+    std::FILE *f = std::fopen("/proc/self/status", "r");
+    if (!f) {
+        proc_unavailable.store(true, std::memory_order_relaxed);
+        return 0;
+    }
     std::uint64_t value = 0;
     char line[256];
     std::size_t field_len = std::strlen(field);

@@ -14,12 +14,16 @@ namespace
 std::atomic<LogLevel> global_level{LogLevel::Warn};
 
 void
-vreport(const char *tag, const char *fmt, va_list args)
+vreport(const char *tag, const char *comp, const char *fmt,
+        va_list args)
 {
     // Format into one buffer and emit with a single stdio call so
     // messages from parallel campaign workers do not interleave.
     char buf[4096];
-    int off = std::snprintf(buf, sizeof(buf), "%s: ", tag);
+    int off = comp
+                  ? std::snprintf(buf, sizeof(buf), "%s: [%s] ", tag,
+                                  comp)
+                  : std::snprintf(buf, sizeof(buf), "%s: ", tag);
     if (off > 0 && static_cast<std::size_t>(off) < sizeof(buf))
         std::vsnprintf(buf + off, sizeof(buf) - off, fmt, args);
     std::fprintf(stderr, "%s\n", buf);
@@ -39,6 +43,28 @@ logLevel()
 }
 
 void
+warnTagged(TraceComponent comp, const char *fmt, ...)
+{
+    if (logLevel() < LogLevel::Warn || !logComponentEnabled(comp))
+        return;
+    va_list args;
+    va_start(args, fmt);
+    vreport("warn", traceComponentName(comp), fmt, args);
+    va_end(args);
+}
+
+void
+informTagged(TraceComponent comp, const char *fmt, ...)
+{
+    if (logLevel() < LogLevel::Inform || !logComponentEnabled(comp))
+        return;
+    va_list args;
+    va_start(args, fmt);
+    vreport("info", traceComponentName(comp), fmt, args);
+    va_end(args);
+}
+
+void
 assertFailed(const char *cond, const char *file, int line)
 {
     std::fprintf(stderr, "panic: assertion '%s' failed at %s:%d\n",
@@ -50,7 +76,7 @@ panic(const char *fmt, ...)
 {
     va_list args;
     va_start(args, fmt);
-    vreport("panic", fmt, args);
+    vreport("panic", nullptr, fmt, args);
     va_end(args);
     std::abort();
 }
@@ -60,7 +86,7 @@ fatal(const char *fmt, ...)
 {
     va_list args;
     va_start(args, fmt);
-    vreport("fatal", fmt, args);
+    vreport("fatal", nullptr, fmt, args);
     va_end(args);
     std::exit(1);
 }
@@ -72,7 +98,7 @@ warn(const char *fmt, ...)
         return;
     va_list args;
     va_start(args, fmt);
-    vreport("warn", fmt, args);
+    vreport("warn", nullptr, fmt, args);
     va_end(args);
 }
 
@@ -83,7 +109,7 @@ inform(const char *fmt, ...)
         return;
     va_list args;
     va_start(args, fmt);
-    vreport("info", fmt, args);
+    vreport("info", nullptr, fmt, args);
     va_end(args);
 }
 

@@ -13,6 +13,8 @@
 #include <cstdarg>
 #include <string>
 
+#include "trace/component.hh"
+
 namespace pageforge
 {
 
@@ -46,11 +48,19 @@ void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 /** Informative status message. */
 void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
+/** Warn tagged with the emitting component ("warn: [ksm] ..."). */
+void warnTagged(TraceComponent comp, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+/** Inform tagged with the emitting component ("info: [ksm] ..."). */
+void informTagged(TraceComponent comp, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
 /** Internal: report a failed assertion's location before panicking. */
 void assertFailed(const char *cond, const char *file, int line);
 
 /**
- * Level-guarded logging macros.
+ * Level-guarded, component-tagged logging macros.
  *
  * warn()/inform() check the level inside the callee, which means the
  * caller has already evaluated every argument expression — fine on
@@ -59,17 +69,28 @@ void assertFailed(const char *cond, const char *file, int line);
  * macros hoist the level check to the call site so suppressed calls
  * evaluate nothing. Use these anywhere a log call sits on a simulation
  * fast path.
+ *
+ * The first argument names the emitting TraceComponent (unqualified:
+ * `pf_warn(Ksm, "...")`). Log lines carry the component tag and obey
+ * the log component mask, so log filtering and --trace-filter share
+ * one vocabulary.
  */
-#define pf_warn(...)                                                    \
+#define pf_warn(comp, ...)                                              \
     do {                                                                \
-        if (::pageforge::logLevel() >= ::pageforge::LogLevel::Warn)     \
-            ::pageforge::warn(__VA_ARGS__);                             \
+        if (::pageforge::logLevel() >= ::pageforge::LogLevel::Warn &&   \
+            ::pageforge::logComponentEnabled(                           \
+                ::pageforge::TraceComponent::comp))                     \
+            ::pageforge::warnTagged(                                    \
+                ::pageforge::TraceComponent::comp, __VA_ARGS__);        \
     } while (0)
 
-#define pf_inform(...)                                                  \
+#define pf_inform(comp, ...)                                            \
     do {                                                                \
-        if (::pageforge::logLevel() >= ::pageforge::LogLevel::Inform)   \
-            ::pageforge::inform(__VA_ARGS__);                           \
+        if (::pageforge::logLevel() >= ::pageforge::LogLevel::Inform && \
+            ::pageforge::logComponentEnabled(                           \
+                ::pageforge::TraceComponent::comp))                     \
+            ::pageforge::informTagged(                                  \
+                ::pageforge::TraceComponent::comp, __VA_ARGS__);        \
     } while (0)
 
 /**

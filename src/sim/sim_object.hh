@@ -10,6 +10,7 @@
 
 #include "sim/event_queue.hh"
 #include "sim/types.hh"
+#include "trace/probe.hh"
 
 namespace pageforge
 {
@@ -39,9 +40,24 @@ class SimObject
     /** Current simulated time. */
     Tick curTick() const { return _eq.curTick(); }
 
+    /**
+     * This object's trace probe. Inactive until the object is enrolled
+     * in a ProbeRegistry with an attached sink; firing it while
+     * inactive is one pointer-null check.
+     */
+    Probe &probe() { return _probe; }
+
+    /** Enroll this object's probe under the given component track. */
+    void
+    attachProbe(ProbeRegistry &registry, TraceComponent comp)
+    {
+        registry.enroll(_probe, comp);
+    }
+
   private:
     std::string _name;
     EventQueue &_eq;
+    Probe _probe;
 };
 
 } // namespace pageforge

@@ -12,6 +12,11 @@ void
 StatGroup::addStat(std::string stat_name, std::string desc,
                    std::function<double()> getter)
 {
+    // A silent duplicate would make value()/dump() report only the
+    // first registration; fail loudly at registration time instead.
+    if (hasStat(stat_name))
+        panic("duplicate stat '%s' in group '%s'", stat_name.c_str(),
+              _name.c_str());
     _entries.push_back(
         Entry{std::move(stat_name), std::move(desc), std::move(getter)});
 }

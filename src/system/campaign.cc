@@ -98,6 +98,10 @@ runCampaign(const CampaignSpec &spec)
         runner = [base_cfg, sys](const CampaignCell &cell) {
             ExperimentConfig cfg = base_cfg;
             cfg.seed = cell.seed;
+            // A TraceSink is single-simulation state; parallel cells
+            // must not share one. Campaigns keep metrics sampling
+            // (per-cell, shared-nothing) and drop event tracing.
+            cfg.traceSink = nullptr;
             return runExperiment(appByName(cell.app), cell.mode, cfg,
                                  sys);
         };
@@ -302,6 +306,12 @@ jsonResult(std::ostream &os, const ExperimentResult &r)
     os << ",\"pages_scanned\":" << r.pagesScanned;
     os << ",\"host_seconds\":";
     jsonDouble(os, r.hostSeconds);
+    // Only present when the cell sampled metrics, so default-config
+    // campaign JSON stays byte-identical to earlier versions.
+    if (!r.metrics.empty()) {
+        os << ",\"metrics\":";
+        r.metrics.writeJson(os);
+    }
     os << "}";
 }
 
@@ -332,6 +342,10 @@ identicalResults(const ExperimentResult &a, const ExperimentResult &b)
         a.cowBreaks == b.cowBreaks && a.simEvents == b.simEvents &&
         a.pagesScanned == b.pagesScanned;
     // hostSeconds is host wall-clock, never part of result identity.
+    // The metrics series is also excluded: it is observability output
+    // whose presence depends on the sampling interval, and the
+    // metrics-on/off identity contract is exactly "everything else
+    // matches" (MetricsDoNotPerturbResults).
 }
 
 void

@@ -21,6 +21,8 @@
 namespace pageforge
 {
 
+class TraceSink;
+
 /**
  * Thrown for nonsensical configuration values (0 VMs, negative
  * scales, empty app names, ...). A distinct exception type so tests
@@ -84,6 +86,23 @@ struct SystemConfig
 
     /** Lifecycle transition costs and recovery measurement knobs. */
     LifecycleConfig lifecycle{};
+
+    /**
+     * Observability (src/trace). A non-null sink attaches every
+     * component probe when the load starts; null (the default) keeps
+     * probes inactive — a pointer-null check per fire site, verified
+     * bit-identical by the golden-stats suite. Non-owning, and only
+     * valid for a single-run System: campaign workers must not share
+     * one sink.
+     */
+    TraceSink *traceSink = nullptr;
+
+    /**
+     * Metrics sampling period in ticks; 0 disables the sampler unless
+     * a trace sink is attached, in which case it defaults to 1 ms of
+     * simulated time so counter tracks always appear in the trace.
+     */
+    Tick metricsInterval = 0;
 
     /** Throw ConfigError on nonsensical values. */
     void validate() const;

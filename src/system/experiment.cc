@@ -59,6 +59,8 @@ runExperiment(const AppProfile &app, DedupMode mode,
     sys_cfg.seed = cfg.seed;
     sys_cfg.churn = cfg.churn;
     sys_cfg.lifecycle = cfg.lifecycle;
+    sys_cfg.traceSink = cfg.traceSink;
+    sys_cfg.metricsInterval = cfg.metricsInterval;
 
     // Keep the footprint-to-cache ratio in the paper's regime (see
     // ExperimentConfig::scaleCaches). Only applied to untouched
@@ -204,6 +206,9 @@ runExperiment(const AppProfile &app, DedupMode mode,
         result.lifecycle.p95RecoveryMs = ls.mergeRecoveryMs.p95();
         result.lifecycle.recoveryTimeouts = ls.recoveryTimeouts;
     }
+
+    if (system.metrics())
+        result.metrics = system.metrics()->series();
 
     result.simEvents = system.eventq().eventsDispatched();
     switch (mode) {

@@ -54,6 +54,15 @@ struct ExperimentConfig
     /** Lifecycle latencies and recovery measurement knobs. */
     LifecycleConfig lifecycle{};
 
+    /**
+     * Observability passthrough (see SystemConfig): optional trace
+     * sink and metrics sampling period. Off by default — neither may
+     * perturb simulated outcomes (sampling adds events, so only
+     * simEvents differs).
+     */
+    TraceSink *traceSink = nullptr;
+    Tick metricsInterval = 0;
+
     /** Compute the window length for an application's load. */
     Tick measureWindow(const AppProfile &app, unsigned num_vms) const;
 
@@ -151,6 +160,13 @@ struct ExperimentResult
     // Churn runs: memory state across the window + lifecycle activity.
     std::vector<PhaseSnapshot> phases;
     LifecycleSummary lifecycle;
+
+    /**
+     * Sampled metric trajectory (empty unless metricsInterval was
+     * set). Excluded from identicalResults(): the same cell with and
+     * without sampling must agree on everything else.
+     */
+    MetricsSeries metrics;
 };
 
 /**

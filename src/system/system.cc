@@ -1,6 +1,7 @@
 #include "system/system.hh"
 
 #include "sim/logging.hh"
+#include "trace/trace_sink.hh"
 
 namespace pageforge
 {
@@ -81,6 +82,106 @@ System::System(const SystemConfig &config, const AppProfile &app)
             "lifecycle", _eq, *_hyper, *_content, *this, churn_app,
             _config.churn, _config.lifecycle,
             Rng(_config.seed ^ 0x6c696665ULL));
+    }
+
+    setupObservability();
+}
+
+void
+System::setupObservability()
+{
+    // Enroll every component under its track. The registry stays
+    // detached for now: the sink (if any) attaches in startLoad(), so
+    // synchronous warm-up passes never pollute the trace and a run
+    // without a sink costs one null check per fire site.
+    _mc->attachProbe(_probes, TraceComponent::DramBw);
+    _hierarchy->attachProbe(_probes, TraceComponent::Cache);
+    _hyper->attachProbe(_probes, TraceComponent::Ksm);
+    if (_ksmd)
+        _ksmd->attachProbe(_probes, TraceComponent::Ksm);
+    if (_pfModule)
+        _pfModule->attachProbe(_probes, TraceComponent::ScanTable);
+    if (_pfDriver)
+        _pfDriver->attachProbe(_probes, TraceComponent::ScanTable);
+    if (_lifecycle)
+        _lifecycle->attachProbe(_probes, TraceComponent::Lifecycle);
+
+    Tick interval = _config.metricsInterval;
+    if (interval == 0 && _config.traceSink)
+        interval = msToTicks(1.0);
+    if (interval == 0)
+        return;
+
+    _metrics = std::make_unique<MetricsSampler>("metrics", _eq,
+                                                interval);
+
+    _metrics->add("mapped-pages", TraceComponent::Ksm, [this] {
+        return static_cast<double>(_hyper->mappedPageCount());
+    });
+    _metrics->add("frames-used", TraceComponent::Ksm, [this] {
+        return static_cast<double>(_mem->framesInUse());
+    });
+    _metrics->add("dedup-ratio", TraceComponent::Ksm, [this] {
+        std::uint64_t frames = _mem->framesInUse();
+        return frames ? static_cast<double>(_hyper->mappedPageCount()) /
+                static_cast<double>(frames)
+                      : 0.0;
+    });
+    _metrics->add("merges", TraceComponent::Ksm, [this] {
+        return static_cast<double>(_hyper->merges());
+    });
+    _metrics->add("cow-breaks", TraceComponent::Ksm, [this] {
+        return static_cast<double>(_hyper->cowBreaks());
+    });
+    if (_config.mode != DedupMode::None) {
+        _metrics->add("pages-scanned", TraceComponent::Ksm, [this] {
+            return static_cast<double>(mergeStats().pagesScanned);
+        });
+    }
+
+    // DRAM bandwidth over the last sampling interval, GB/s of
+    // simulated time. The tracker's byte counter resets at measurement
+    // boundaries; a backwards step restarts the delta instead of
+    // reporting a negative rate.
+    _metrics->add(
+        "dram-gbps", TraceComponent::DramBw,
+        [this, prev_bytes = std::uint64_t{0},
+         prev_tick = Tick{0}]() mutable {
+            std::uint64_t bytes = 0;
+            for (unsigned r = 0; r < numRequesters; ++r)
+                bytes += _mc->dram().bandwidth().totalBytes(
+                    static_cast<Requester>(r));
+            Tick now = _eq.curTick();
+            double gbps = 0.0;
+            if (bytes >= prev_bytes && now > prev_tick) {
+                double secs = ticksToSec(now - prev_tick);
+                gbps = static_cast<double>(bytes - prev_bytes) / secs /
+                    1e9;
+            }
+            prev_bytes = bytes;
+            prev_tick = now;
+            return gbps;
+        });
+
+    _metrics->add("mshr-occupancy", TraceComponent::Cache, [this] {
+        return static_cast<double>(
+            _hierarchy->l2MshrOccupancy(_eq.curTick()));
+    });
+    _metrics->add("l3-miss-rate", TraceComponent::Cache,
+                  [this] { return _hierarchy->l3MissRate(); });
+
+    if (_pfModule) {
+        _metrics->add("scan-table-occupancy",
+                      TraceComponent::ScanTable, [this] {
+            return static_cast<double>(
+                _pfModule->table().validOthers());
+        });
+    }
+    if (_lifecycle) {
+        _metrics->add("live-vms", TraceComponent::Lifecycle, [this] {
+            return static_cast<double>(_config.numVms +
+                                       _lifecycle->liveDynamicVms());
+        });
     }
 }
 
@@ -175,6 +276,13 @@ System::startLoad()
 
     for (auto &app : _apps)
         app->start();
+
+    if (_config.traceSink)
+        _probes.attach(*_config.traceSink);
+    if (_metrics) {
+        _metrics->setBackend(_config.traceSink);
+        _metrics->start();
+    }
 
     if (_ksmd)
         _ksmd->start();

@@ -18,6 +18,7 @@
 
 #include "lifecycle/vm_lifecycle.hh"
 #include "system/config.hh"
+#include "trace/metrics_sampler.hh"
 #include "workload/content_gen.hh"
 #include "workload/query_gen.hh"
 
@@ -75,6 +76,12 @@ class System : public VmHost
     /** Null unless a churn policy is configured. */
     LifecycleManager *lifecycle() { return _lifecycle.get(); }
 
+    /** Every component probe; a sink can be attached at any time. */
+    ProbeRegistry &probes() { return _probes; }
+
+    /** Null unless metrics sampling is configured (see SystemConfig). */
+    MetricsSampler *metrics() { return _metrics.get(); }
+
     // ---- VmHost (called by the lifecycle manager) ----
     TailBenchApp *attachApp(const VmLayout &layout,
                             const AppProfile &profile) override;
@@ -115,6 +122,9 @@ class System : public VmHost
     std::unique_ptr<PageForgeApi> _pfApi;
     std::unique_ptr<PageForgeDriver> _pfDriver;
 
+    ProbeRegistry _probes;
+    std::unique_ptr<MetricsSampler> _metrics;
+
     std::vector<VmLayout> _layouts;
     std::vector<std::unique_ptr<TailBenchApp>> _apps;
 
@@ -123,6 +133,9 @@ class System : public VmHost
 
     /** Clear timing debris left by synchronous warm-up passes. */
     void finishWarmup();
+
+    /** Enroll component probes and build the metrics sampler. */
+    void setupObservability();
 
     static const MergeStats emptyMergeStats;
     static const HashKeyStats emptyHashStats;

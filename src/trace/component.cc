@@ -1,0 +1,77 @@
+#include "trace/component.hh"
+
+#include <atomic>
+#include <stdexcept>
+
+namespace pageforge
+{
+
+namespace
+{
+
+const char *const component_names[numTraceComponents] = {
+    "sim", "scan-table", "ksm", "dram-bw", "cache", "lifecycle",
+};
+
+// Atomic for the same reason as the log level: campaign workers read
+// it concurrently while writes only happen during setup.
+std::atomic<std::uint32_t> log_component_mask{allComponentsMask};
+
+} // namespace
+
+const char *
+traceComponentName(TraceComponent comp)
+{
+    unsigned index = static_cast<unsigned>(comp);
+    if (index >= numTraceComponents)
+        return "unknown";
+    return component_names[index];
+}
+
+std::uint32_t
+parseComponentList(const std::string &csv)
+{
+    std::uint32_t mask = 0;
+    std::size_t pos = 0;
+    while (pos < csv.size()) {
+        std::size_t comma = csv.find(',', pos);
+        if (comma == std::string::npos)
+            comma = csv.size();
+        std::string token = csv.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (token.empty())
+            continue;
+        bool found = false;
+        for (unsigned i = 0; i < numTraceComponents; ++i) {
+            if (token == component_names[i]) {
+                mask |= 1u << i;
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            throw std::invalid_argument("unknown component '" + token +
+                                        "' (see --trace-filter)");
+    }
+    return mask;
+}
+
+void
+setLogComponentMask(std::uint32_t mask)
+{
+    log_component_mask.store(mask, std::memory_order_relaxed);
+}
+
+std::uint32_t
+logComponentMask()
+{
+    return log_component_mask.load(std::memory_order_relaxed);
+}
+
+bool
+logComponentEnabled(TraceComponent comp)
+{
+    return (logComponentMask() & componentBit(comp)) != 0;
+}
+
+} // namespace pageforge

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Component vocabulary shared by tracing and logging.
+ *
+ * Every trace track and every tagged log line names one of these
+ * components. Keeping a single registry means `--trace-filter` and the
+ * log component filter accept the same spellings, and a Perfetto track
+ * called "scan-table" corresponds to log lines tagged `[scan-table]`.
+ */
+
+#ifndef PF_TRACE_COMPONENT_HH
+#define PF_TRACE_COMPONENT_HH
+
+#include <cstdint>
+#include <string>
+
+namespace pageforge
+{
+
+/**
+ * Simulated components that can emit trace events and log lines.
+ *
+ * The enumerators index bit positions in a component mask, so there is
+ * room for 32 components before the mask type needs widening.
+ */
+enum class TraceComponent : std::uint8_t
+{
+    Sim,       //!< simulator core (queues, experiment harness)
+    ScanTable, //!< PageForge module + driver: batches, PFE swaps
+    Ksm,       //!< software scanning + merge/CoW activity (ksm/, hyper/)
+    DramBw,    //!< memory controller and DRAM bandwidth
+    Cache,     //!< cache hierarchy and MSHR occupancy
+    Lifecycle, //!< VM lifecycle transitions
+};
+
+/** Number of registered components (mask width). */
+constexpr unsigned numTraceComponents = 6;
+
+/** Mask with every component enabled. */
+constexpr std::uint32_t allComponentsMask =
+    (1u << numTraceComponents) - 1;
+
+/** Bit for one component in a component mask. */
+constexpr std::uint32_t
+componentBit(TraceComponent comp)
+{
+    return 1u << static_cast<unsigned>(comp);
+}
+
+/** Stable short name ("scan-table", "ksm", ...); track + log tag. */
+const char *traceComponentName(TraceComponent comp);
+
+/**
+ * Parse a comma-separated component list ("ksm,dram-bw") into a mask.
+ * Throws std::invalid_argument naming the bad token on unknown names;
+ * an empty string yields an empty mask.
+ */
+std::uint32_t parseComponentList(const std::string &csv);
+
+/**
+ * Component filter applied to tagged log lines (pf_warn/pf_inform).
+ * Defaults to all-enabled; setLogComponentMask(parseComponentList(...))
+ * narrows it to the same component set a trace filter would.
+ */
+void setLogComponentMask(std::uint32_t mask);
+
+/** Current log component mask. */
+std::uint32_t logComponentMask();
+
+/** Is this component's logging enabled? Cheap (one relaxed load). */
+bool logComponentEnabled(TraceComponent comp);
+
+} // namespace pageforge
+
+#endif // PF_TRACE_COMPONENT_HH

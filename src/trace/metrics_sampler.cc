@@ -1,0 +1,105 @@
+#include "trace/metrics_sampler.hh"
+
+#include <cstdio>
+
+#include "sim/logging.hh"
+
+namespace pageforge
+{
+
+void
+MetricsSeries::writeCsv(std::ostream &os) const
+{
+    os << "tick";
+    for (const std::string &name : names)
+        os << "," << name;
+    os << "\n";
+    char buf[32];
+    for (std::size_t i = 0; i < ticks.size(); ++i) {
+        os << ticks[i];
+        for (double value : rows[i]) {
+            std::snprintf(buf, sizeof(buf), "%.6g", value);
+            os << "," << buf;
+        }
+        os << "\n";
+    }
+}
+
+void
+MetricsSeries::writeJson(std::ostream &os) const
+{
+    os << "{\"names\":[";
+    for (std::size_t i = 0; i < names.size(); ++i)
+        os << (i ? "," : "") << "\"" << names[i] << "\"";
+    os << "],\"ticks\":[";
+    for (std::size_t i = 0; i < ticks.size(); ++i)
+        os << (i ? "," : "") << ticks[i];
+    os << "],\"rows\":[";
+    char buf[32];
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        os << (i ? ",[" : "[");
+        for (std::size_t j = 0; j < rows[i].size(); ++j) {
+            std::snprintf(buf, sizeof(buf), "%.6g", rows[i][j]);
+            os << (j ? "," : "") << buf;
+        }
+        os << "]";
+    }
+    os << "]}";
+}
+
+MetricsSampler::MetricsSampler(std::string name, EventQueue &eq,
+                               Tick interval)
+    : SimObject(std::move(name), eq), _interval(interval)
+{
+    pf_assert(interval > 0, "metrics interval must be nonzero");
+}
+
+void
+MetricsSampler::add(std::string metric_name, TraceComponent comp,
+                    std::function<double()> getter)
+{
+    _names.push_back(std::move(metric_name));
+    _comps.push_back(comp);
+    _getters.push_back(std::move(getter));
+}
+
+void
+MetricsSampler::start()
+{
+    ++_epoch;
+    _series = MetricsSeries{};
+    _series.names = _names;
+    sampleNow();
+    scheduleNext();
+}
+
+void
+MetricsSampler::sampleNow()
+{
+    Tick now = curTick();
+    std::vector<double> row;
+    row.reserve(_getters.size());
+    for (std::size_t i = 0; i < _getters.size(); ++i) {
+        double value = _getters[i]();
+        row.push_back(value);
+        if (_backend)
+            _backend->emitCounter(_comps[i], _names[i].c_str(), now,
+                                  value);
+    }
+    _series.ticks.push_back(now);
+    _series.rows.push_back(std::move(row));
+}
+
+void
+MetricsSampler::scheduleNext()
+{
+    std::uint64_t epoch = _epoch;
+    eventq().scheduleIn(_interval, [this, epoch] {
+        if (epoch != _epoch)
+            return;
+        sampleNow();
+        scheduleNext();
+    });
+}
+
+} // namespace pageforge

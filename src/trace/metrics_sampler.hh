@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Periodic time-series sampling of simulator metrics.
+ */
+
+#ifndef PF_TRACE_METRICS_SAMPLER_HH
+#define PF_TRACE_METRICS_SAMPLER_HH
+
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/sim_object.hh"
+#include "trace/component.hh"
+#include "trace/probe.hh"
+
+namespace pageforge
+{
+
+/**
+ * A recorded metrics trajectory: one column per metric, one row per
+ * sample tick. Carried inside ExperimentResult so campaign cells can
+ * emit their time-resolved behaviour, not just end-of-run aggregates.
+ */
+struct MetricsSeries
+{
+    std::vector<std::string> names;    //!< column names
+    std::vector<Tick> ticks;           //!< sample times
+    std::vector<std::vector<double>> rows; //!< rows[i][j]: col j at tick i
+
+    bool empty() const { return ticks.empty(); }
+
+    /** "tick,name1,name2,..." header plus one CSV row per sample. */
+    void writeCsv(std::ostream &os) const;
+
+    /** A JSON object {"names":[...],"ticks":[...],"rows":[[...]]}. */
+    void writeJson(std::ostream &os) const;
+};
+
+/**
+ * Samples registered metric getters every @p interval ticks of
+ * simulated time via a self-rescheduling event, recording a
+ * MetricsSeries and (when a backend is attached) mirroring each
+ * sample onto that component's counter track.
+ *
+ * Getters must be read-only with respect to simulated state: the
+ * sampler adds events to the queue, so `simEvents` differs between
+ * metrics-on and metrics-off runs, but every simulated outcome must
+ * stay bit-identical (covered by MetricsDoNotPerturbResults).
+ */
+class MetricsSampler : public SimObject
+{
+  public:
+    MetricsSampler(std::string name, EventQueue &eq, Tick interval);
+
+    /** Register a metric column; call before start(). */
+    void add(std::string metric_name, TraceComponent comp,
+             std::function<double()> getter);
+
+    /** Mirror samples onto counter tracks of this backend. */
+    void setBackend(TraceBackend *backend) { _backend = backend; }
+
+    /**
+     * Take a first sample now and reschedule every interval. The
+     * series is cleared, so restarting after resetMeasurement()
+     * discards warmup-era samples.
+     */
+    void start();
+
+    /** Stop sampling; the pending event becomes a no-op. */
+    void stop() { ++_epoch; }
+
+    Tick interval() const { return _interval; }
+    std::size_t numMetrics() const { return _names.size(); }
+    const MetricsSeries &series() const { return _series; }
+
+    /** Take one sample immediately (also used by the periodic event). */
+    void sampleNow();
+
+  private:
+    void scheduleNext();
+
+    Tick _interval;
+    std::vector<std::string> _names;
+    std::vector<TraceComponent> _comps;
+    std::vector<std::function<double()>> _getters;
+    MetricsSeries _series;
+    TraceBackend *_backend = nullptr;
+    // Incremented by start()/stop(); in-flight events from a previous
+    // epoch see a stale value and do nothing.
+    std::uint64_t _epoch = 0;
+};
+
+} // namespace pageforge
+
+#endif // PF_TRACE_METRICS_SAMPLER_HH

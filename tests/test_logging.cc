@@ -59,19 +59,57 @@ TEST(Logging, GuardedMacrosSkipArgumentEvaluation)
     auto touch = [&evaluated]() { return ++evaluated; };
 
     setLogLevel(LogLevel::Silent);
-    pf_warn("suppressed %d", touch());
-    pf_inform("suppressed %d", touch());
+    pf_warn(Sim, "suppressed %d", touch());
+    pf_inform(Sim, "suppressed %d", touch());
     EXPECT_EQ(evaluated, 0);
 
     // Warn level: warn passes (arguments evaluated), inform filtered.
     setLogLevel(LogLevel::Warn);
     ::testing::internal::CaptureStderr();
-    pf_warn("emitted %d", touch());
-    pf_inform("suppressed %d", touch());
+    pf_warn(Sim, "emitted %d", touch());
+    pf_inform(Sim, "suppressed %d", touch());
     ::testing::internal::GetCapturedStderr();
     EXPECT_EQ(evaluated, 1);
 
     setLogLevel(before);
+}
+
+TEST(Logging, ComponentMaskFiltersTaggedCalls)
+{
+    LogLevel before = logLevel();
+    std::uint32_t mask_before = logComponentMask();
+    int evaluated = 0;
+    auto touch = [&evaluated]() { return ++evaluated; };
+
+    setLogLevel(LogLevel::Warn);
+    setLogComponentMask(componentBit(TraceComponent::Ksm));
+
+    // Filtered component: arguments must not even be evaluated.
+    pf_warn(DramBw, "suppressed %d", touch());
+    EXPECT_EQ(evaluated, 0);
+
+    // Enabled component: emitted with its tag.
+    ::testing::internal::CaptureStderr();
+    pf_warn(Ksm, "emitted %d", touch());
+    std::string err = ::testing::internal::GetCapturedStderr();
+    EXPECT_EQ(evaluated, 1);
+    EXPECT_NE(err.find("[ksm]"), std::string::npos);
+
+    setLogComponentMask(mask_before);
+    setLogLevel(before);
+}
+
+TEST(Logging, ComponentListParsing)
+{
+    EXPECT_EQ(parseComponentList(""), 0u);
+    EXPECT_EQ(parseComponentList("ksm"),
+              componentBit(TraceComponent::Ksm));
+    EXPECT_EQ(parseComponentList("scan-table,dram-bw"),
+              componentBit(TraceComponent::ScanTable) |
+                  componentBit(TraceComponent::DramBw));
+    EXPECT_THROW(parseComponentList("nope"), std::invalid_argument);
+    EXPECT_STREQ(traceComponentName(TraceComponent::Lifecycle),
+                 "lifecycle");
 }
 
 TEST(SimObjectTest, NameAndClockAccess)

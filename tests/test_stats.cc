@@ -177,5 +177,50 @@ TEST(TablePrinter, RowWidthMismatchPanics)
     EXPECT_DEATH(table.addRow({"only one"}), "cells");
 }
 
+TEST(Histogram, QuantileOfEmptyIsZero)
+{
+    Histogram h(0.0, 100.0, 10);
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.0);
+}
+
+TEST(Histogram, QuantileSingleBucketInterpolates)
+{
+    // All mass in one bucket: quantiles interpolate linearly across
+    // that bucket's width rather than collapsing to its edge.
+    Histogram h(0.0, 100.0, 10);
+    for (int i = 0; i < 4; ++i)
+        h.sample(45.0); // bucket [40, 50)
+    EXPECT_DOUBLE_EQ(h.quantile(0.25), 42.5);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 45.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 50.0);
+}
+
+TEST(Histogram, QuantileAllUnderflowReturnsLo)
+{
+    Histogram h(10.0, 20.0, 5);
+    h.sample(1.0);
+    h.sample(2.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 10.0);
+}
+
+TEST(Sampler, QuantileOfEmptyIsZero)
+{
+    Sampler s;
+    EXPECT_DOUBLE_EQ(s.quantile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(s.p95(), 0.0);
+    EXPECT_DOUBLE_EQ(s.minSample(), 0.0);
+    EXPECT_DOUBLE_EQ(s.maxSample(), 0.0);
+}
+
+TEST(StatGroup, DuplicateStatNamePanics)
+{
+    StatGroup group("dup");
+    Counter c;
+    group.addCounter("events", "", c);
+    EXPECT_DEATH(group.addCounter("events", "", c), "duplicate stat");
+}
+
 } // namespace
 } // namespace pageforge

@@ -20,6 +20,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -27,6 +28,7 @@
 #include "stats/table.hh"
 #include "system/campaign.hh"
 #include "system/system.hh"
+#include "trace/trace_sink.hh"
 
 using namespace pageforge;
 
@@ -44,6 +46,13 @@ struct Options
     std::uint64_t seed = 42;
     bool dumpStats = false;
     KsmPlacement placement = KsmPlacement::Sticky;
+
+    // ---- observability ----
+    bool trace = false;
+    std::string tracePath = "trace.json";
+    std::string traceFilter;            //!< empty = every component
+    std::uint64_t metricsInterval = 0;  //!< ticks; 0 = off/default
+    std::string metricsCsvPath;
 
     // ---- VM churn ----
     ChurnConfig churn{};
@@ -91,6 +100,15 @@ usage(const char *prog)
         << "  --template-app=A    app profile for churned VMs "
            "(default: --app)\n"
         << "  --dump-stats        print the full component stats dump\n"
+        << "observability:\n"
+        << "  --trace[=FILE]      write a Chrome/Perfetto trace of the\n"
+        << "                      measured load (default trace.json)\n"
+        << "  --trace-filter=C,C  components to trace and log: sim,\n"
+        << "                      scan-table, ksm, dram-bw, cache, "
+           "lifecycle\n"
+        << "  --metrics-interval=T  sample metrics every T ticks (also\n"
+        << "                      applies per cell in campaign mode)\n"
+        << "  --metrics-csv=FILE  write the sampled series as CSV\n"
         << "campaign mode:\n"
         << "  --campaign          run the (app x mode x seed) matrix\n"
         << "  --jobs=N            worker threads (default: all cores)\n"
@@ -163,6 +181,17 @@ parse(int argc, char **argv)
             opts.churn.templateApp = v;
         } else if (arg == "--dump-stats") {
             opts.dumpStats = true;
+        } else if (arg == "--trace") {
+            opts.trace = true;
+        } else if (const char *v = value("--trace=")) {
+            opts.trace = true;
+            opts.tracePath = v;
+        } else if (const char *v = value("--trace-filter=")) {
+            opts.traceFilter = v;
+        } else if (const char *v = value("--metrics-interval=")) {
+            opts.metricsInterval = std::strtoull(v, nullptr, 10);
+        } else if (const char *v = value("--metrics-csv=")) {
+            opts.metricsCsvPath = v;
         } else if (arg == "--campaign") {
             opts.campaign = true;
         } else if (const char *v = value("--jobs=")) {
@@ -217,6 +246,12 @@ runCampaignMode(const Options &opts)
     spec.experiment.targetQueries = opts.queries;
     spec.experiment.settleTime = msToTicks(opts.settleMs);
     spec.experiment.churn = opts.churn;
+    // Event tracing is single-simulation only (the runner drops any
+    // sink); per-cell metrics sampling composes fine with workers.
+    spec.experiment.metricsInterval = opts.metricsInterval;
+    if (opts.trace)
+        std::cerr << "pfsim: --trace is ignored in campaign mode "
+                     "(per-cell metrics still recorded)\n";
     spec.sysTemplate.ksmPlacement = opts.placement;
     spec.progress = [](const CellOutcome &outcome, std::size_t done,
                        std::size_t total) {
@@ -297,8 +332,32 @@ main(int argc, char **argv)
 {
     Options opts = parse(argc, argv);
 
+    std::uint32_t component_mask = allComponentsMask;
+    if (!opts.traceFilter.empty()) {
+        try {
+            component_mask = parseComponentList(opts.traceFilter);
+        } catch (const std::invalid_argument &err) {
+            std::cerr << "pfsim: " << err.what() << "\n";
+            return 1;
+        }
+        // One vocabulary: the filter narrows tagged log output too.
+        setLogComponentMask(component_mask);
+    }
+
     if (opts.campaign)
         return runCampaignMode(opts);
+
+    std::ofstream trace_os;
+    std::unique_ptr<TraceSink> sink;
+    if (opts.trace) {
+        trace_os.open(opts.tracePath);
+        if (!trace_os) {
+            std::cerr << "cannot open " << opts.tracePath
+                      << " for writing\n";
+            return 1;
+        }
+        sink = std::make_unique<TraceSink>(trace_os, component_mask);
+    }
 
     SystemConfig config;
     config.mode = opts.mode;
@@ -306,6 +365,14 @@ main(int argc, char **argv)
     config.seed = opts.seed;
     config.ksmPlacement = opts.placement;
     config.churn = opts.churn;
+    config.traceSink = sink.get();
+    config.metricsInterval = opts.metricsInterval;
+    if (!opts.metricsCsvPath.empty() && config.metricsInterval == 0 &&
+        !sink) {
+        std::cerr << "pfsim: --metrics-csv needs --metrics-interval "
+                     "or --trace\n";
+        return 1;
+    }
     // Keep the footprint/cache ratio in the paper's regime, as the
     // experiment runner does.
     if (opts.scale < 1.0) {
@@ -421,6 +488,22 @@ main(int argc, char **argv)
             system.core(c).stats().dump(std::cout);
         if (system.pfModule())
             system.pfModule()->stats().dump(std::cout);
+    }
+
+    if (sink) {
+        sink->finish();
+        std::cerr << "wrote " << opts.tracePath << " ("
+                  << sink->totalEvents() << " events)\n";
+    }
+    if (!opts.metricsCsvPath.empty() && system.metrics()) {
+        std::ofstream csv(opts.metricsCsvPath);
+        if (!csv) {
+            std::cerr << "cannot open " << opts.metricsCsvPath
+                      << " for writing\n";
+            return 1;
+        }
+        system.metrics()->series().writeCsv(csv);
+        std::cerr << "wrote " << opts.metricsCsvPath << "\n";
     }
     return 0;
 }
