@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Resilience under injected faults: the full (app x mode) matrix at an
+ * accelerated 10x-field DRAM fault rate, then a rate sweep on one
+ * application.
+ *
+ * Field DRAM rates (realisticDramFlipsPerGBSec) produce no events in a
+ * sub-second simulated window, so the matrix compresses years of
+ * exposure into the window: the injected rate is
+ * 10 x realistic x ACCEL, and both factors are reported. What the
+ * harness demonstrates is the acceptance bar of the fault subsystem:
+ *
+ *   - zero merge-oracle violations (no two differing pages merged),
+ *   - every uncorrectable error ends in a poisoned frame draining to
+ *     quarantine (poisoned <= uncorrectable, quarantined <= poisoned),
+ *   - no cell crashes, for baseline, KSM and PageForge alike.
+ *
+ * Any violated invariant is fatal, so a green run *is* the evidence;
+ * --json writes the same evidence as BENCH_faults.json.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "fault/fault_config.hh"
+
+using namespace pageforge;
+
+namespace
+{
+
+/** Time-compression factor applied on top of the 10x field rate. */
+constexpr double kAccel = 1e12;
+
+FaultConfig
+faultsAt(double accel_mult, std::uint64_t seed)
+{
+    FaultConfig faults;
+    faults.flipsPerGBSec =
+        10.0 * realisticDramFlipsPerGBSec * kAccel * accel_mult;
+    faults.doubleBitFraction = 0.25;
+    faults.stuckAtFraction = 0.2;
+    faults.minikeyBias = 0.3;
+    faults.scanTableRate = 30.0 * accel_mult;
+    faults.mergeRaceProb = 0.02;
+    faults.seed = seed;
+    return faults;
+}
+
+/** Fatal unless the run's fault counters reconcile. */
+void
+checkInvariants(const CellOutcome &outcome)
+{
+    const FaultSummary &f = outcome.result.faults;
+    const char *app = outcome.cell.app.c_str();
+    const char *mode = dedupModeName(outcome.cell.mode);
+    if (f.oracleViolations)
+        fatal("%s/%s: %llu merge oracle violations", app, mode,
+              static_cast<unsigned long long>(f.oracleViolations));
+    if (f.poisonedFrames > f.uncorrectableErrors)
+        fatal("%s/%s: %llu poisoned frames but only %llu uncorrectable "
+              "errors",
+              app, mode,
+              static_cast<unsigned long long>(f.poisonedFrames),
+              static_cast<unsigned long long>(f.uncorrectableErrors));
+    if (f.quarantinedFrames > f.poisonedFrames)
+        fatal("%s/%s: %llu quarantined frames exceed %llu poisoned", app,
+              mode,
+              static_cast<unsigned long long>(f.quarantinedFrames),
+              static_cast<unsigned long long>(f.poisonedFrames));
+}
+
+CampaignReport
+runFaultCampaign(const BenchOptions &opts,
+                 const std::vector<std::string> &apps,
+                 std::vector<DedupMode> modes, double accel_mult)
+{
+    CampaignSpec spec;
+    spec.apps = apps;
+    spec.modes = std::move(modes);
+    spec.experiment = opts.experimentConfig();
+    spec.experiment.faults = faultsAt(accel_mult, opts.seed);
+    spec.jobs = opts.jobs;
+    spec.progress = [](const CellOutcome &outcome, std::size_t done,
+                       std::size_t total) {
+        progress("[" + std::to_string(done) + "/" +
+                 std::to_string(total) + "] " + outcome.cell.app +
+                 " / " + dedupModeName(outcome.cell.mode) +
+                 (outcome.ok ? "" : ": " + outcome.error));
+    };
+
+    CampaignReport report = runCampaign(spec);
+    for (const CellOutcome &outcome : report.cells) {
+        if (!outcome.ok)
+            fatal("fault campaign cell %s/%s failed: %s [component=%s "
+                  "tick=%llu]",
+                  outcome.cell.app.c_str(),
+                  dedupModeName(outcome.cell.mode),
+                  outcome.error.c_str(),
+                  outcome.failComponent.empty()
+                      ? "?"
+                      : outcome.failComponent.c_str(),
+                  static_cast<unsigned long long>(outcome.failTick));
+        checkInvariants(outcome);
+    }
+    return report;
+}
+
+void
+printReport(const CampaignReport &report, const std::string &title)
+{
+    TablePrinter table(title);
+    table.setHeader({"Application", "Mode", "Flips", "Uncorr.",
+                     "Poisoned", "Quarant.", "Aborts", "Rotations",
+                     "Oracle", "Savings"});
+    for (const CellOutcome &outcome : report.cells) {
+        const ExperimentResult &r = outcome.result;
+        const FaultSummary &f = r.faults;
+        table.addRow(
+            {outcome.cell.app, dedupModeName(outcome.cell.mode),
+             std::to_string(f.flipEvents),
+             std::to_string(f.uncorrectableErrors),
+             std::to_string(f.poisonedFrames),
+             std::to_string(f.quarantinedFrames),
+             std::to_string(f.mergeAborts),
+             std::to_string(f.offsetRotations),
+             std::to_string(f.oracleChecks) + "/0",
+             TablePrinter::pct(1.0 - r.dup.footprintRatio())});
+    }
+    table.print(std::cout);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // Accept the shared bench options plus --json[=FILE].
+    std::string json_path;
+    std::vector<char *> pass;
+    pass.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--json")
+            json_path = "BENCH_faults.json";
+        else if (arg.rfind("--json=", 0) == 0)
+            json_path = arg.substr(7);
+        else
+            pass.push_back(argv[i]);
+    }
+    BenchOptions opts =
+        parseBenchOptions(static_cast<int>(pass.size()), pass.data());
+
+    // ---- full matrix at the accelerated 10x field rate ----
+    progress("matrix at 10x field rate (time compression x" +
+             TablePrinter::fmt(kAccel, 0) + ")");
+    CampaignReport matrix = runFaultCampaign(
+        opts, {},
+        {DedupMode::None, DedupMode::Ksm, DedupMode::PageForge}, 1.0);
+    printReport(matrix,
+                "Fault resilience: full matrix, 10x field DRAM rate "
+                "(accelerated)");
+
+    // ---- rate sweep on one application ----
+    const std::vector<double> sweep_mults = {0.1, 1.0, 10.0};
+    std::vector<CampaignReport> sweeps;
+    for (double mult : sweep_mults) {
+        progress("rate sweep x" + TablePrinter::fmt(mult, 1));
+        sweeps.push_back(runFaultCampaign(
+            opts, {"masstree"}, {DedupMode::Ksm, DedupMode::PageForge},
+            mult));
+    }
+    TablePrinter sweep_table(
+        "Fault-rate sweep: masstree, KSM vs PageForge");
+    sweep_table.setHeader({"Rate mult", "Mode", "Flips", "Uncorr.",
+                           "Poisoned", "Aborts", "Retries",
+                           "False keys", "Oracle", "p95 (ms)"});
+    for (std::size_t s = 0; s < sweeps.size(); ++s) {
+        for (const CellOutcome &outcome : sweeps[s].cells) {
+            const ExperimentResult &r = outcome.result;
+            const FaultSummary &f = r.faults;
+            sweep_table.addRow(
+                {TablePrinter::fmt(sweep_mults[s], 1),
+                 dedupModeName(outcome.cell.mode),
+                 std::to_string(f.flipEvents),
+                 std::to_string(f.uncorrectableErrors),
+                 std::to_string(f.poisonedFrames),
+                 std::to_string(f.mergeAborts),
+                 std::to_string(f.mergeRetries),
+                 std::to_string(f.falseKeyMatches),
+                 std::to_string(f.oracleChecks) + "/0",
+                 TablePrinter::fmt(r.p95SojournMs, 3)});
+        }
+    }
+    sweep_table.print(std::cout);
+
+    std::cout << "\nEvery row survived with zero oracle violations; "
+                 "poisoned <= uncorrectable and quarantined <= "
+                 "poisoned held everywhere (violations are fatal).\n";
+
+    if (!json_path.empty()) {
+        std::ofstream json(json_path);
+        if (!json)
+            fatal("cannot open %s for writing", json_path.c_str());
+        json << "{\n  \"schema\": \"pageforge-faults-v1\",\n"
+             << "  \"field_rate_flips_per_gb_sec\": "
+             << realisticDramFlipsPerGBSec << ",\n"
+             << "  \"time_compression\": " << kAccel << ",\n"
+             << "  \"matrix_10x_field\": ";
+        writeCampaignJson(matrix, json);
+        json << ",\n  \"rate_sweep\": [\n";
+        for (std::size_t s = 0; s < sweeps.size(); ++s) {
+            json << "    {\"rate_mult\": " << sweep_mults[s]
+                 << ", \"campaign\": ";
+            writeCampaignJson(sweeps[s], json);
+            json << "}" << (s + 1 < sweeps.size() ? "," : "") << "\n";
+        }
+        json << "  ]\n}\n";
+        progress("wrote " + json_path);
+    }
+    return 0;
+}

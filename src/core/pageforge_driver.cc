@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "fault/fault_injector.hh"
 #include "sim/logging.hh"
 
 namespace pageforge
@@ -60,6 +61,10 @@ PageForgeDriver::purgeVm(VmId vm_id)
             return _stableAcc.resolve(handle) == nullptr;
         },
         [this](PageHandle handle) { onStablePrune(handle); });
+
+    std::erase_if(_retryQueue, [vm_id](const MergeRetry &retry) {
+        return retry.key.vm == vm_id;
+    });
 }
 
 void
@@ -118,6 +123,31 @@ bool
 PageForgeDriver::pickNextCandidate()
 {
     PhysicalMemory &mem = _hyper.memory();
+
+    // Aborted merges whose backoff elapsed rescan first. They do not
+    // consume the interval's page budget: retries are extra work the
+    // fault forced, not progress through the scan list.
+    while (!_retryQueue.empty()) {
+        MergeRetry retry = _retryQueue.back();
+        _retryQueue.pop_back();
+        if (retry.key.vm >= _hyper.numVms() ||
+            !_hyper.vmAlive(retry.key.vm))
+            continue;
+        const VirtualMachine &machine = _hyper.vm(retry.key.vm);
+        if (retry.key.gpn >= machine.numPages())
+            continue;
+        const PageState &page = machine.page(retry.key.gpn);
+        if (!page.mapped || !page.mergeable ||
+            mem.isPoisoned(page.frame) || mem.refCount(page.frame) > 1)
+            continue;
+        ++_mergeStats.pagesScanned;
+        _candidate = retry.key;
+        _candidateFrame = page.frame;
+        _candidateVersion = page.writeVersion;
+        _candidateAttempt = retry.attempt;
+        return true;
+    }
+
     while (_remaining > 0) {
         if (_cursor >= _scanList.size())
             startPass();
@@ -132,11 +162,15 @@ PageForgeDriver::pickNextCandidate()
         const PageState &page = machine.page(key.gpn);
         if (!page.mapped || !page.mergeable)
             continue;
+        if (mem.isPoisoned(page.frame))
+            continue; // quarantined by an uncorrectable error
         if (mem.refCount(page.frame) > 1)
             continue; // already merged, lives in the stable tree
 
         _candidate = key;
         _candidateFrame = page.frame;
+        _candidateVersion = page.writeVersion;
+        _candidateAttempt = 0;
         return true;
     }
     return false;
@@ -376,13 +410,20 @@ PageForgeDriver::onBatchComplete(const PfeInfo &info)
 PageForgeDriver::Action
 PageForgeDriver::handleStableMatch(ContentTree::Node *node)
 {
+    if (mergeRaced())
+        return abortMergedRace();
+
     FrameId target = handleFrame(_stable.handle(node));
     if (_hyper.tryMergeIntoFrame(_candidate, target)) {
         ++_mergeStats.stableMerges;
         chargeDriver(_config.mergeCycles);
+        _falseMatchStreak = 0;
     } else {
-        // The candidate changed under the scan; drop it for this pass.
+        // The candidate changed under the scan, or a corrupted key /
+        // table entry steered the hardware to a false match: either
+        // way the full compare refused it; drop it for this pass.
         ++_mergeStats.pagesDropped;
+        noteFalseKeyMatch();
     }
     return Action::CandidateDone;
 }
@@ -414,15 +455,29 @@ PageForgeDriver::stableSearchEnded(const PfeInfo &info)
         return Action::CandidateDone;
     }
     PageState &page = _hyper.vm(_candidate.vm).page(_candidate.gpn);
+    bool prev_valid = page.eccKeyValid;
+    std::uint32_t prev_key = page.lastEccKey;
     HashCheckOutcome outcome = checkPageHashes(
         mem.data(current), page, _config.eccOffsets, _hashStats);
 
     // Cross-check the hardware-assembled key against the functional
-    // one; they differ only when the page was written mid-scan.
+    // one; they differ only when the page was written mid-scan (or a
+    // fault corrupted a sampled line).
     if (info.hash != outcome.eccKey)
         ++_hwHashRaces;
 
-    if (outcome.firstScan || !outcome.unchangedByEcc) {
+    bool unchanged = outcome.unchangedByEcc;
+    if (_faults) {
+        // Under fault injection the driver must trust the key the
+        // hardware delivered — the real system has no functional
+        // shadow to consult — so a corrupted minikey is allowed to
+        // mislead this check. The full compare and the merge oracle
+        // remain the safety net behind it.
+        unchanged = prev_valid && prev_key == info.hash;
+        page.lastEccKey = info.hash;
+    }
+
+    if (outcome.firstScan || !unchanged) {
         ++_mergeStats.pagesDropped;
         return Action::CandidateDone;
     }
@@ -434,15 +489,24 @@ PageForgeDriver::stableSearchEnded(const PfeInfo &info)
 PageForgeDriver::Action
 PageForgeDriver::handleUnstableMatch(ContentTree::Node *node)
 {
+    if (mergeRaced())
+        return abortMergedRace();
+
     PhysicalMemory &mem = _hyper.memory();
     PageKey other = handleGuest(_unstable.handle(node));
     FrameId other_frame = _hyper.frameOf(other.vm, other.gpn);
     FrameId cand_frame = _hyper.frameOf(_candidate.vm, _candidate.gpn);
 
     if (other_frame == invalidFrame || cand_frame == invalidFrame ||
-        other_frame == cand_frame ||
-        !mem.framesEqual(cand_frame, other_frame)) {
+        other_frame == cand_frame) {
         ++_mergeStats.pagesDropped;
+        return Action::CandidateDone;
+    }
+    if (!mem.framesEqual(cand_frame, other_frame)) {
+        // Hardware said Duplicate; the final software compare says
+        // otherwise — a racing write or a false key match.
+        ++_mergeStats.pagesDropped;
+        noteFalseKeyMatch();
         return Action::CandidateDone;
     }
 
@@ -450,6 +514,7 @@ PageForgeDriver::handleUnstableMatch(ContentTree::Node *node)
     chargeDriver(_config.mergeCycles + 2 * _config.cowProtectCycles +
                  2 * _config.treeUpdateCycles);
     ++_mergeStats.unstableMerges;
+    _falseMatchStreak = 0;
 
     _unstable.erase(node);
 
@@ -484,6 +549,101 @@ PageForgeDriver::unstableSearchEnded(const PfeInfo &info)
     }
     chargeDriver(_config.treeUpdateCycles);
     return Action::CandidateDone;
+}
+
+// ---------------------------------------------------------------------
+// Fault degradation paths
+// ---------------------------------------------------------------------
+
+bool
+PageForgeDriver::mergeRaced()
+{
+    if (!_faults)
+        return false;
+
+    // Give the injector its window: a guest write landing between the
+    // hardware match and the merge commit.
+    _faults->maybeInjectMergeRace(_candidate);
+
+    // Write-versioning commit check: the version snapshotted when the
+    // candidate was picked must still be current. Any write since —
+    // injected or genuine — diverged the content (or CoW'd the page
+    // onto another frame), so this merge must not commit.
+    if (_candidate.vm >= _hyper.numVms() || !_hyper.vmAlive(_candidate.vm))
+        return true;
+    const VirtualMachine &machine = _hyper.vm(_candidate.vm);
+    if (_candidate.gpn >= machine.numPages())
+        return true;
+    const PageState &page = machine.page(_candidate.gpn);
+    return !page.mapped || page.writeVersion != _candidateVersion;
+}
+
+PageForgeDriver::Action
+PageForgeDriver::abortMergedRace()
+{
+    ++_mergeAborts;
+    probe().instant("merge-abort", curTick(),
+                    {"attempt", static_cast<double>(_candidateAttempt)});
+
+    unsigned attempt = _candidateAttempt + 1;
+    if (_synchronous || attempt > _config.mergeRetryMax) {
+        // Out of retries (or synchronous mode, where backoff events
+        // cannot fire): give the candidate up for this pass.
+        ++_mergeStats.pagesDropped;
+        return Action::CandidateDone;
+    }
+
+    // Capped exponential backoff, then back to the front of the scan.
+    Tick backoff = _config.mergeRetryBackoff << (attempt - 1);
+    backoff = std::min(backoff, _config.mergeRetryBackoffCap);
+    ++_mergeRetries;
+    PageKey key = _candidate;
+    eventq().schedule(curTick() + backoff, [this, key, attempt] {
+        _retryQueue.push_back(MergeRetry{key, attempt});
+    });
+    return Action::CandidateDone;
+}
+
+void
+PageForgeDriver::noteFalseKeyMatch()
+{
+    ++_falseKeyMatches;
+    if (!_faults)
+        return;
+
+    if (_candidate == _falseMatchKey) {
+        ++_falseMatchStreak;
+    } else {
+        _falseMatchKey = _candidate;
+        _falseMatchStreak = 1;
+    }
+    probe().instant("false-key-match", curTick(),
+                    {"streak", static_cast<double>(_falseMatchStreak)});
+    if (_falseMatchStreak >= _config.falseMatchRotateThreshold)
+        rotateEccOffsets();
+}
+
+void
+PageForgeDriver::rotateEccOffsets()
+{
+    // A stuck-at fault in a sampled line poisons the hash key for as
+    // long as that line stays sampled; rotating every section's offset
+    // re-keys the hash away from the bad cell (update_ECC_offset,
+    // Section 3.2). Stored last-pass keys go stale for one pass —
+    // candidates drop once, then recover under the new offsets.
+    EccOffsets rotated = _config.eccOffsets;
+    for (unsigned s = 0; s < eccHashSections; ++s)
+        rotated.offset[s] = static_cast<std::uint8_t>(
+            (rotated.offset[s] + 1) % linesPerSection);
+    _config.eccOffsets = rotated;
+    _api.updateEccOffset(rotated);
+    chargeDriver(PageForgeApi::callCycles);
+    ++_offsetRotations;
+    _falseMatchStreak = 0;
+    probe().instant("ecc-offset-rotate", curTick());
+    pf_warn(ScanTable,
+            "%u consecutive false key matches: rotating ECC offsets",
+            _config.falseMatchRotateThreshold);
 }
 
 // ---------------------------------------------------------------------
@@ -666,6 +826,10 @@ PageForgeDriver::resetStats()
     _osChecks.reset();
     _hwHashRaces.reset();
     _batchesFlushed.reset();
+    _falseKeyMatches.reset();
+    _offsetRotations.reset();
+    _mergeAborts.reset();
+    _mergeRetries.reset();
 }
 
 } // namespace pageforge

@@ -32,6 +32,8 @@
 namespace pageforge
 {
 
+class FaultInjector;
+
 /** Tunables of the PageForge driver. */
 struct PageForgeDriverConfig
 {
@@ -47,6 +49,15 @@ struct PageForgeDriverConfig
     Tick treeUpdateCycles = 200;
     Tick checkOverheadCycles = 80;
     Tick batchBuildCycles = 120;
+
+    // Fault-resilience knobs. Only consulted when a FaultInjector is
+    // wired into the driver; fault-free runs never reach these paths.
+    unsigned falseMatchRotateThreshold = 3; //!< consecutive false key
+                                            //!< matches on one PFE that
+                                            //!< trigger update_ECC_offset
+    unsigned mergeRetryMax = 4;             //!< retries after a merge abort
+    Tick mergeRetryBackoff = 4000;          //!< initial retry backoff
+    Tick mergeRetryBackoffCap = 64000;      //!< exponential backoff cap
 };
 
 /** The driver. */
@@ -98,6 +109,35 @@ class PageForgeDriver : public SimObject
         return _batchesFlushed.value();
     }
 
+    /**
+     * Wire the fault injector. Arms the degradation paths: the
+     * write-versioning commit check (racing writes abort the merge and
+     * retry with backoff), hardware-key trust for the unchanged check,
+     * and update_ECC_offset rotation after repeated false key matches.
+     */
+    void setFaultInjector(FaultInjector *faults) { _faults = faults; }
+
+    /**
+     * Hardware matches the full compare refuted — the comparator's
+     * last line of defense firing on a corrupted key or table entry.
+     */
+    std::uint64_t falseKeyMatches() const
+    {
+        return _falseKeyMatches.value();
+    }
+
+    /** update_ECC_offset rotations issued to re-key the hash. */
+    std::uint64_t offsetRotations() const
+    {
+        return _offsetRotations.value();
+    }
+
+    /** Merge commits aborted by the write-versioning check. */
+    std::uint64_t mergeAborts() const { return _mergeAborts.value(); }
+
+    /** Aborted merges rescheduled with backoff. */
+    std::uint64_t mergeRetries() const { return _mergeRetries.value(); }
+
     ContentTree &stableTree() { return _stable; }
     ContentTree &unstableTree() { return _unstable; }
 
@@ -148,6 +188,8 @@ class PageForgeDriver : public SimObject
     // Current candidate.
     PageKey _candidate{};
     FrameId _candidateFrame = invalidFrame;
+    std::uint32_t _candidateVersion = 0; //!< writeVersion at pick time
+    unsigned _candidateAttempt = 0;      //!< merge-retry attempt number
     bool _firstBatch = true;
     Tick _batchStart = 0; //!< program time of the in-flight batch (trace)
     Phase _phase = Phase::Stable;
@@ -178,6 +220,24 @@ class PageForgeDriver : public SimObject
     Counter _hwHashRaces;
     Counter _batchesFlushed;
 
+    // Fault-resilience state (inert while _faults is null).
+    FaultInjector *_faults = nullptr;
+
+    /** An aborted merge waiting out its backoff before a re-scan. */
+    struct MergeRetry
+    {
+        PageKey key;
+        unsigned attempt;
+    };
+    std::vector<MergeRetry> _retryQueue; //!< backoffs elapsed, ready
+
+    PageKey _falseMatchKey{};      //!< page of the current false-match run
+    unsigned _falseMatchStreak = 0;
+    Counter _falseKeyMatches;
+    Counter _offsetRotations;
+    Counter _mergeAborts;
+    Counter _mergeRetries;
+
     // ---- pass / candidate selection ----
     void startPass();
     bool pickNextCandidate();
@@ -190,6 +250,24 @@ class PageForgeDriver : public SimObject
     Action handleStableMatch(ContentTree::Node *node);
     Action handleUnstableMatch(ContentTree::Node *node);
     Action unstableSearchEnded(const PfeInfo &info);
+
+    // ---- fault degradation paths (no-ops while _faults is null) ----
+
+    /**
+     * Detect a guest write that landed since the candidate was picked
+     * (including injected races). @return true when the merge must
+     * abort — the abort and any retry are already recorded.
+     */
+    bool mergeRaced();
+
+    /** Abort the in-flight merge; schedule a capped-backoff retry. */
+    Action abortMergedRace();
+
+    /** Record a full-compare refutation of a hardware match. */
+    void noteFalseKeyMatch();
+
+    /** Issue update_ECC_offset with rotated per-section offsets. */
+    void rotateEccOffsets();
 
     /** Build a BFS batch under @p subtree_root into _batch. */
     void buildBatch(ContentTree::Node *subtree_root);

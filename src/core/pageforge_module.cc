@@ -114,7 +114,13 @@ PageForgeModule::process(Tick start, BatchResult &result)
                 _config.compareLineCycles;
 
             const std::uint8_t *a = mem.lineData(pfe.ppn, line);
-            const std::uint8_t *b = mem.lineData(entry.ppn, line);
+            // rawData, not lineData: a corrupted Other Pages PPN (an
+            // SRAM upset) may name a free frame. The hardware compares
+            // whatever those DRAM cells hold and the walk simply goes
+            // down the wrong path — the software full compare is the
+            // backstop, not an allocator assert here.
+            const std::uint8_t *b =
+                mem.rawData(entry.ppn) + line * lineSize;
             int cmp = std::memcmp(a, b, lineSize);
             if (cmp != 0) {
                 sign = cmp;

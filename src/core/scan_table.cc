@@ -56,6 +56,17 @@ ScanTable::other(unsigned index) const
 }
 
 bool
+ScanTable::corruptOtherPpn(unsigned index, FrameId ppn)
+{
+    pf_assert(index < _others.size(), "entry index %u out of range",
+              index);
+    if (!_others[index].valid)
+        return false;
+    _others[index].ppn = ppn;
+    return true;
+}
+
+bool
 ScanTable::isValidTarget(ScanIndex ptr) const
 {
     return ptr < _others.size() && _others[ptr].valid;

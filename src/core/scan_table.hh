@@ -137,6 +137,15 @@ class ScanTable
 
     const OtherPageEntry &other(unsigned index) const;
 
+    /**
+     * Overwrite a valid entry's PPN in place — an SRAM upset, not an
+     * architectural operation. Fault injection only: models a particle
+     * strike on the Scan Table's PPN field. The comparator's full
+     * compare is what keeps such corruption from merging wrong pages.
+     * @return false when the entry is invalid (nothing to corrupt)
+     */
+    bool corruptOtherPpn(unsigned index, FrameId ppn);
+
     /** Number of valid Other Pages entries (current occupancy). */
     unsigned
     validOthers() const

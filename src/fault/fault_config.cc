@@ -1,0 +1,90 @@
+#include "fault/fault_config.hh"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace pageforge
+{
+
+namespace
+{
+
+bool
+validFraction(double v)
+{
+    return v >= 0.0 && v <= 1.0;
+}
+
+} // namespace
+
+std::string
+FaultConfig::problem() const
+{
+    if (flipsPerGBSec < 0.0)
+        return "fault flip rate must be non-negative";
+    if (!validFraction(doubleBitFraction))
+        return "double-bit fraction must be in [0, 1]";
+    if (!validFraction(stuckAtFraction))
+        return "stuck-at fraction must be in [0, 1]";
+    if (!validFraction(minikeyBias))
+        return "minikey bias must be in [0, 1]";
+    if (scanTableRate < 0.0)
+        return "scan-table corruption rate must be non-negative";
+    if (!validFraction(mergeRaceProb))
+        return "merge-race probability must be in [0, 1]";
+    return "";
+}
+
+FaultConfig
+FaultConfig::parse(const std::string &spec)
+{
+    FaultConfig cfg;
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        std::string token = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (token.empty())
+            continue;
+
+        std::size_t eq = token.find('=');
+        if (eq == std::string::npos)
+            throw std::invalid_argument("fault spec token '" + token +
+                                        "' is not key=value");
+        std::string key = token.substr(0, eq);
+        std::string val = token.substr(eq + 1);
+        char *end = nullptr;
+        double num = std::strtod(val.c_str(), &end);
+        if (val.empty() || end == nullptr || *end != '\0')
+            throw std::invalid_argument("fault spec value '" + val +
+                                        "' for '" + key +
+                                        "' is not a number");
+
+        if (key == "rate")
+            cfg.flipsPerGBSec = num;
+        else if (key == "double")
+            cfg.doubleBitFraction = num;
+        else if (key == "stuck")
+            cfg.stuckAtFraction = num;
+        else if (key == "minikey")
+            cfg.minikeyBias = num;
+        else if (key == "scantable")
+            cfg.scanTableRate = num;
+        else if (key == "race")
+            cfg.mergeRaceProb = num;
+        else if (key == "seed")
+            cfg.seed = static_cast<std::uint64_t>(num);
+        else
+            throw std::invalid_argument("unknown fault spec key '" + key +
+                                        "'");
+    }
+
+    std::string bad = cfg.problem();
+    if (!bad.empty())
+        throw std::invalid_argument(bad);
+    return cfg;
+}
+
+} // namespace pageforge

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Configuration of the fault-injection subsystem.
+ *
+ * All knobs default to zero/off: a default FaultConfig injects
+ * nothing, schedules nothing, and leaves every simulated outcome
+ * bit-identical to a build without the subsystem.
+ */
+
+#ifndef PF_FAULT_FAULT_CONFIG_HH
+#define PF_FAULT_FAULT_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+namespace pageforge
+{
+
+/**
+ * Ballpark field DRAM corruption-event rate, in bit-flip events per
+ * GB per second (~25-75 FIT/Gbit, Schroeder et al. scale). Real rates
+ * produce no events inside a sub-second measurement window, so fault
+ * campaigns run *accelerated* rates and report the acceleration
+ * factor relative to this constant (compressing years of field
+ * exposure into the window, standard practice for injection studies).
+ */
+constexpr double realisticDramFlipsPerGBSec = 1.5e-10;
+
+/** Knobs of the fault injector; see DESIGN.md §10 for the taxonomy. */
+struct FaultConfig
+{
+    /** DRAM bit-flip events per GB of capacity per simulated second. */
+    double flipsPerGBSec = 0.0;
+
+    /**
+     * Fraction of flip events that upset two bits of one 64-bit word
+     * (detected but uncorrectable under SECDED); the rest are
+     * single-bit and corrected on read.
+     */
+    double doubleBitFraction = 0.1;
+
+    /** Fraction of flips that are stuck-at (persist across scrubs). */
+    double stuckAtFraction = 0.0;
+
+    /**
+     * Fraction of flips steered into a currently-sampled minikey
+     * source line, attacking the ECC hash-key path specifically
+     * (0 = uniform over the page's lines).
+     */
+    double minikeyBias = 0.0;
+
+    /**
+     * Scan Table entry corruptions per simulated second: a stored PPN
+     * in an Other Pages entry gets a flipped bit, steering the
+     * hardware walk at a wrong page (PageForge mode only).
+     */
+    double scanTableRate = 0.0;
+
+    /**
+     * Probability, per PageForge merge commit, that a guest write to
+     * the candidate lands between the batch match and the commit.
+     */
+    double mergeRaceProb = 0.0;
+
+    /** Extra entropy folded into the injector's dedicated RNG stream. */
+    std::uint64_t seed = 0;
+
+    /** Anything at all to inject? */
+    bool
+    enabled() const
+    {
+        return flipsPerGBSec > 0.0 || scanTableRate > 0.0 ||
+               mergeRaceProb > 0.0;
+    }
+
+    /** First nonsensical value found, or an empty string. */
+    std::string problem() const;
+
+    /**
+     * Parse a spec like
+     * "rate=2e4,double=0.3,stuck=0.2,minikey=0.3,scantable=50,race=0.05"
+     * (keys: rate, double, stuck, minikey, scantable, race, seed; any
+     * subset, any order). Throws std::invalid_argument naming the bad
+     * token.
+     */
+    static FaultConfig parse(const std::string &spec);
+};
+
+} // namespace pageforge
+
+#endif // PF_FAULT_FAULT_CONFIG_HH

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "ecc/jhash.hh"
+#include "fault/merge_oracle.hh"
 #include "sim/logging.hh"
 
 namespace pageforge
@@ -233,8 +234,9 @@ Hypervisor::maybeAudit(const char *where)
         return;
     FrameAuditReport report = auditFrames();
     if (!report.ok)
-        panic("frame invariant violated after %s: %s", where,
-              report.problem.c_str());
+        panicAt("hypervisor", curTick(),
+                "frame invariant violated after %s: %s", where,
+                report.problem.c_str());
 }
 
 VirtualMachine &
@@ -287,9 +289,12 @@ Hypervisor::writeToPage(VmId vm_id, GuestPageNum gpn,
         outcome.faulted = true;
     }
 
-    if (page.cow || _mem.refCount(page.frame) > 1) {
+    if (page.cow || _mem.refCount(page.frame) > 1 ||
+        _mem.isPoisoned(page.frame)) {
         // Copy-on-write: give the writer a private copy and leave the
-        // shared frame (and the other mappings) intact.
+        // shared frame (and the other mappings) intact. Writes also
+        // migrate guests off poisoned frames, draining them toward
+        // full quarantine.
         FrameId copy = _mem.allocFrame(false);
         std::memcpy(_mem.data(copy), _mem.data(page.frame), pageSize);
         _mem.decRef(page.frame);
@@ -304,6 +309,7 @@ Hypervisor::writeToPage(VmId vm_id, GuestPageNum gpn,
     }
 
     std::memcpy(_mem.data(page.frame) + offset, src, len);
+    ++page.writeVersion;
     outcome.frame = page.frame;
     return outcome;
 }
@@ -358,11 +364,20 @@ Hypervisor::mergeIntoFrame(const PageKey &candidate, FrameId target)
     if (page.frame == target)
         return false;
 
+    // The shadow oracle inspects the commit independently (and first,
+    // so a violation is counted even though we then refuse to merge).
+    bool equal = true;
+    if (_oracle)
+        equal = _oracle->check(_mem.data(page.frame), _mem.data(target));
+
     // Merging unequal pages would corrupt guest memory; the final
     // compare under write protection (Section 3.5) guarantees this.
-    pf_assert(_mem.framesEqual(page.frame, target),
-              "merge of non-identical pages (vm %u gpn %u -> frame %u)",
-              candidate.vm, candidate.gpn, target);
+    if (!equal || !_mem.framesEqual(page.frame, target))
+        panicAt("hypervisor", curTick(),
+                "merge of non-identical pages (vm %u gpn %llu -> "
+                "frame %u)",
+                candidate.vm,
+                static_cast<unsigned long long>(candidate.gpn), target);
 
     _mem.setWriteProtected(target, true);
     _mem.addRef(target);

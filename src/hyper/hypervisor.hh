@@ -27,6 +27,8 @@
 namespace pageforge
 {
 
+class MergeOracle;
+
 /** Result of a guest write. */
 struct WriteOutcome
 {
@@ -140,6 +142,14 @@ class Hypervisor : public SimObject
     void setInvariantChecking(bool on) { _invariantChecks = on; }
     bool invariantChecking() const { return _invariantChecks; }
 
+    /**
+     * Install the merge oracle (fault campaigns): every merge commit
+     * is shadow-checked with an independent whole-page memcmp before
+     * any mapping changes. Pass nullptr to remove.
+     */
+    void setMergeOracle(MergeOracle *oracle) { _oracle = oracle; }
+    MergeOracle *mergeOracle() { return _oracle; }
+
     unsigned numVms() const { return static_cast<unsigned>(_vms.size()); }
     VirtualMachine &vm(VmId id);
     const VirtualMachine &vm(VmId id) const;
@@ -240,6 +250,7 @@ class Hypervisor : public SimObject
         _pinProviders;
     int _nextToken = 0;
     bool _invariantChecks = false;
+    MergeOracle *_oracle = nullptr;
 
     Counter _softFaults;
     Counter _cowBreaks;

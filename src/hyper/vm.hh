@@ -46,6 +46,15 @@ struct PageState
     /** Write-protected because the frame is (or was) shared. */
     bool cow = false;
 
+    /**
+     * Bumped on every guest write to the page. The PageForge driver
+     * snapshots it when a candidate is loaded and re-checks it at
+     * merge commit: a mismatch means a write raced the in-flight
+     * batch and the merge must abort (fault campaigns inject exactly
+     * this race).
+     */
+    std::uint32_t writeVersion = 0;
+
     // --- merging-daemon bookkeeping (valid for mergeable pages) ---
 
     /** jhash-based key from the previous scan pass (KSM). */

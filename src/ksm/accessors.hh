@@ -64,7 +64,9 @@ isGuestHandle(PageHandle handle)
  * The tree holds a reference on every frame it contains, so the frame
  * stays allocated while the node exists. A frame whose only remaining
  * reference is the tree's (refcount 1) backs no guest page any more:
- * the node is stale and gets pruned.
+ * the node is stale and gets pruned. A poisoned (quarantined) frame
+ * resolves the same way: the walkers treat it as a prune, dropping
+ * the tree's pin, so no future candidate ever merges into it.
  */
 class StableAccessor : public PageAccessor
 {
@@ -75,7 +77,8 @@ class StableAccessor : public PageAccessor
     resolve(PageHandle handle) override
     {
         FrameId frame = handleFrame(handle);
-        if (!_mem.isAllocated(frame) || _mem.refCount(frame) <= 1)
+        if (!_mem.isAllocated(frame) || _mem.refCount(frame) <= 1 ||
+            _mem.isPoisoned(frame))
             return nullptr;
         return _mem.data(frame);
     }
@@ -100,7 +103,8 @@ class GuestAccessor : public PageAccessor
         if (key.gpn >= machine.numPages())
             return nullptr;
         const PageState &page = machine.page(key.gpn);
-        if (!page.mapped || !page.mergeable)
+        if (!page.mapped || !page.mergeable ||
+            _hyper.memory().isPoisoned(page.frame))
             return nullptr;
         return _hyper.memory().data(page.frame);
     }

@@ -213,6 +213,14 @@ Ksmd::scanOne(CoreId core, const PageKey &key, Tick now)
     }
 
     FrameId frame = page.frame;
+    if (mem.isPoisoned(frame)) {
+        // Quarantined by an uncorrectable error: not a candidate, not
+        // a keeper. The stable accessor prunes poisoned tree nodes on
+        // the walk itself; here we just skip.
+        now += cost.skipOverheadCycles;
+        _cycleStats.otherCycles += cost.skipOverheadCycles;
+        return now;
+    }
     if (mem.refCount(frame) > 1) {
         // Already merged: it lives in the stable tree; cheap skip.
         now += cost.skipOverheadCycles;

@@ -79,11 +79,12 @@ MemController::prunePending(Tick now)
 }
 
 void
-MemController::injectBitFlip(Addr line_addr, unsigned bit)
+MemController::injectBitFlip(Addr line_addr, unsigned bit,
+                             bool persistent)
 {
     pf_assert(line_addr % lineSize == 0, "unaligned line address");
     pf_assert(bit < lineSize * 8, "bit index %u out of line", bit);
-    _injectedFaults[line_addr].push_back(bit);
+    _injectedFaults[line_addr].push_back({bit, persistent});
 }
 
 McReadResult
@@ -111,9 +112,15 @@ MemController::readLine(Addr line_addr, Tick now, Requester req,
             ecc = LineEcc::encode(lineBytes(line_addr));
         std::uint8_t corrupted[lineSize];
         std::memcpy(corrupted, lineBytes(line_addr), lineSize);
-        for (unsigned bit : fault->second)
-            corrupted[bit / 8] ^= static_cast<std::uint8_t>(1 << (bit % 8));
-        _injectedFaults.erase(fault);
+        for (const InjectedFault &f : fault->second)
+            corrupted[f.bit / 8] ^=
+                static_cast<std::uint8_t>(1 << (f.bit % 8));
+        // The post-read scrub clears transient upsets; stuck-at cells
+        // reassert themselves on the next read.
+        std::erase_if(fault->second,
+                      [](const InjectedFault &f) { return !f.persistent; });
+        if (fault->second.empty())
+            _injectedFaults.erase(fault);
 
         LineEcc::LineDecodeResult decode = LineEcc::decode(corrupted, ecc);
         if (!decode.ok) {
@@ -122,6 +129,19 @@ MemController::readLine(Addr line_addr, Tick now, Requester req,
                             {"addr", static_cast<double>(line_addr)});
             pf_warn(DramBw, "uncorrectable ECC error at %llx",
                     static_cast<unsigned long long>(line_addr));
+            // Quarantine the frame: its current mappings keep working
+            // off the (pristine) arena copy, but the dedup machinery
+            // withdraws it and the allocator never hands it out again.
+            _mem.poisonFrame(addrToFrame(line_addr));
+            probe().instant(
+                "frame-poisoned", curTick(),
+                {"frame",
+                 static_cast<double>(addrToFrame(line_addr))});
+            // A consumer of the delivered code (PageForge's hash-key
+            // snatcher) sees a code consistent with the garbled data,
+            // not with the pristine line.
+            if (want_ecc)
+                ecc = LineEcc::encode(corrupted);
         } else if (decode.corrected > 0) {
             _corrected += decode.corrected;
             // Corrected data matches the pristine copy; the scrub
@@ -155,6 +175,15 @@ MemController::writeLine(Addr line_addr, Tick now, Requester req)
     ++_writeReqs;
     // Writes pass through the ECC encoder into the write data buffer.
     ++_eccEncodes;
+    // Writing the line replaces the cell contents: pending transient
+    // upsets are overwritten, stuck-at cells are not.
+    if (auto fault = _injectedFaults.find(line_addr);
+        fault != _injectedFaults.end()) {
+        std::erase_if(fault->second,
+                      [](const InjectedFault &f) { return !f.persistent; });
+        if (fault->second.empty())
+            _injectedFaults.erase(fault);
+    }
     return _dram.access(line_addr, now + _dram.config().frontendLat,
                         true, req);
 }

@@ -83,8 +83,14 @@ class MemController : public SimObject
      * by the SECDED decode on the read path (and counted); injecting
      * two bits into the same 64-bit word produces a detected
      * uncorrectable error.
+     *
+     * A transient fault (the default) models a radiation upset: the
+     * scrub after the first read (or a subsequent write of the line)
+     * clears it. A @p persistent fault models a stuck-at cell: it
+     * reasserts itself on every read and survives writebacks.
      */
-    void injectBitFlip(Addr line_addr, unsigned bit);
+    void injectBitFlip(Addr line_addr, unsigned bit,
+                       bool persistent = false);
 
     /** Single-bit errors corrected on the read path. */
     std::uint64_t correctedErrors() const { return _corrected.value(); }
@@ -120,8 +126,15 @@ class MemController : public SimObject
     /** Reads in flight, for coalescing: line address -> completion. */
     std::unordered_map<Addr, Tick> _pendingReads;
 
-    /** Injected faults awaiting the next DRAM read of the line. */
-    std::unordered_map<Addr, std::vector<unsigned>> _injectedFaults;
+    /** One injected fault: a flipped bit, transient or stuck-at. */
+    struct InjectedFault
+    {
+        unsigned bit;
+        bool persistent;
+    };
+
+    /** Injected faults applied when DRAM next returns the line. */
+    std::unordered_map<Addr, std::vector<InjectedFault>> _injectedFaults;
 
     Counter _eccEncodes;
     Counter _eccDecodes;

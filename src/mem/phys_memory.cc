@@ -33,6 +33,10 @@ PhysicalMemory::PhysicalMemory(std::size_t total_frames)
                    [this] { return static_cast<double>(_inUse); });
     _stats.addStat("peak_in_use", "high-water mark of allocated frames",
                    [this] { return static_cast<double>(_peakInUse); });
+    _stats.addStat("poisoned", "frames poisoned by uncorrectable errors",
+                   [this] { return static_cast<double>(_poisoned); });
+    _stats.addStat("quarantined", "poisoned frames withdrawn for good",
+                   [this] { return static_cast<double>(_quarantined); });
 }
 
 PhysicalMemory::~PhysicalMemory()
@@ -65,6 +69,7 @@ PhysicalMemory::allocFrame(bool zero)
 
     FrameMeta &meta = _meta[id];
     pf_assert(!meta.allocated, "free list returned a live frame");
+    pf_assert(!meta.poisoned, "free list returned a poisoned frame");
     // A never-used frame is still in its pristine calloc state; only
     // recycled frames may carry stale bytes that need clearing.
     if (zero && meta.everUsed)
@@ -99,9 +104,31 @@ PhysicalMemory::decRef(FrameId frame)
 
     f.allocated = false;
     f.writeProtected = false;
-    _freeList.push_back(frame);
+    if (f.poisoned)
+        ++_quarantined; // withdrawn for good: never back on the free list
+    else
+        _freeList.push_back(frame);
     ++_frees;
     --_inUse;
+    return true;
+}
+
+bool
+PhysicalMemory::poisonFrame(FrameId frame)
+{
+    FrameMeta &f = frameAt(frame);
+    if (f.poisoned)
+        return false;
+    f.poisoned = true;
+    ++_poisoned;
+    if (!f.allocated) {
+        // The frame is sitting on the free list: pull it out so it is
+        // never handed out again.
+        _freeList.erase(
+            std::remove(_freeList.begin(), _freeList.end(), frame),
+            _freeList.end());
+        ++_quarantined;
+    }
     return true;
 }
 

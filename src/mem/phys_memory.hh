@@ -95,6 +95,35 @@ class PhysicalMemory
         return _arena + static_cast<std::size_t>(frame) * pageSize;
     }
 
+    /**
+     * Quarantine a frame after an uncorrectable DRAM error. A
+     * poisoned frame keeps serving its current mappings (the arena
+     * copy is the functional ground truth; the error lives on the
+     * modelled read path), but it is withdrawn from circulation: the
+     * daemons prune it from their trees and skip it as a candidate,
+     * and once its last mapping goes away it is never re-allocated.
+     * @return true when the frame was newly poisoned
+     */
+    bool poisonFrame(FrameId frame);
+
+    /** True when the frame has been quarantined by poisonFrame(). */
+    bool
+    isPoisoned(FrameId frame) const
+    {
+        return frame < _meta.size() && _meta[frame].poisoned;
+    }
+
+    /** Frames ever poisoned (allocated or not). */
+    std::size_t poisonedFrames() const { return _poisoned; }
+
+    /**
+     * Poisoned frames fully withdrawn from the allocator (no longer
+     * allocated and permanently off the free list). The remainder up
+     * to poisonedFrames() are still mapped and drain toward
+     * quarantine as guests write (CoW migration) or unmap.
+     */
+    std::size_t quarantinedFrames() const { return _quarantined; }
+
     /** Mark a frame read-only (CoW protection after merging). */
     void setWriteProtected(FrameId frame, bool wp);
 
@@ -129,6 +158,7 @@ class PhysicalMemory
         bool allocated = false;
         bool writeProtected = false;
         bool everUsed = false; //!< handed out at least once since boot
+        bool poisoned = false; //!< quarantined by an uncorrectable error
     };
 
     std::uint8_t *_arena = nullptr; //!< totalFrames * pageSize bytes
@@ -136,6 +166,8 @@ class PhysicalMemory
     std::vector<FrameId> _freeList;
     std::size_t _inUse = 0;
     std::size_t _peakInUse = 0;
+    std::size_t _poisoned = 0;
+    std::size_t _quarantined = 0;
 
     Counter _allocs;
     Counter _frees;

@@ -81,6 +81,42 @@ panic(const char *fmt, ...)
     std::abort();
 }
 
+namespace
+{
+// Thread-local so each campaign worker arms capture for its own cells
+// without affecting sibling workers or the coordinating thread.
+thread_local bool invariant_capture = false;
+} // namespace
+
+void
+setInvariantCapture(bool on)
+{
+    invariant_capture = on;
+}
+
+bool
+invariantCapture()
+{
+    return invariant_capture;
+}
+
+void
+panicAt(const char *component, std::uint64_t tick, const char *fmt, ...)
+{
+    char msg[4096];
+    va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(msg, sizeof(msg), fmt, args);
+    va_end(args);
+
+    if (invariant_capture)
+        throw InvariantViolation(component, tick, msg);
+
+    std::fprintf(stderr, "panic: [%s] tick %llu: %s\n", component,
+                 static_cast<unsigned long long>(tick), msg);
+    std::abort();
+}
+
 void
 fatal(const char *fmt, ...)
 {

@@ -11,6 +11,8 @@
 #define PF_SIM_LOGGING_HH
 
 #include <cstdarg>
+#include <cstdint>
+#include <stdexcept>
 #include <string>
 
 #include "trace/component.hh"
@@ -58,6 +60,46 @@ void informTagged(TraceComponent comp, const char *fmt, ...)
 
 /** Internal: report a failed assertion's location before panicking. */
 void assertFailed(const char *cond, const char *file, int line);
+
+/**
+ * An invariant violation that can be caught and attributed.
+ *
+ * panicAt() throws this (instead of aborting the whole process) when
+ * the calling thread has armed invariant capture. Campaign workers arm
+ * it so one bad cell becomes a per-cell failure record carrying the
+ * faulting component and simulated tick, not a dead campaign.
+ */
+class InvariantViolation : public std::runtime_error
+{
+  public:
+    InvariantViolation(std::string comp, std::uint64_t when,
+                       const std::string &msg)
+        : std::runtime_error(msg), component(std::move(comp)), tick(when)
+    {
+    }
+
+    const std::string component; //!< component tag ("hypervisor", ...)
+    const std::uint64_t tick;    //!< simulated tick of the violation
+};
+
+/**
+ * Arm or disarm invariant capture on the calling thread. While armed,
+ * panicAt() throws InvariantViolation instead of aborting.
+ */
+void setInvariantCapture(bool on);
+
+/** Is invariant capture armed on this thread? */
+bool invariantCapture();
+
+/**
+ * panic() for invariant violations that carries the faulting
+ * component's tag and the simulated tick. Aborts like panic() unless
+ * the thread armed capture (see setInvariantCapture), in which case it
+ * throws InvariantViolation.
+ */
+[[noreturn]] void panicAt(const char *component, std::uint64_t tick,
+                          const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
 
 /**
  * Level-guarded, component-tagged logging macros.

@@ -124,6 +124,11 @@ runCampaign(const CampaignSpec &spec)
     std::mutex progress_mutex;
 
     auto work = [&]() {
+        // Arm thread-local invariant capture: a panicAt() fired by a
+        // component (merge oracle, frame audit, ...) surfaces as a
+        // typed exception with the faulting component and tick, and
+        // fails only this cell instead of aborting the campaign.
+        setInvariantCapture(true);
         for (;;) {
             std::size_t idx = next.fetch_add(1);
             if (idx >= matrix.size())
@@ -133,6 +138,10 @@ runCampaign(const CampaignSpec &spec)
             try {
                 outcome.result = runner(matrix[idx]);
                 outcome.ok = true;
+            } catch (const InvariantViolation &e) {
+                outcome.error = e.what();
+                outcome.failComponent = e.component;
+                outcome.failTick = e.tick;
             } catch (const std::exception &e) {
                 outcome.error = e.what();
             } catch (...) {
@@ -184,6 +193,30 @@ sameDup(const DupAnalysis &a, const DupAnalysis &b)
         a.mergeableNonZero == b.mergeableNonZero &&
         a.framesUsed == b.framesUsed &&
         a.framesIfFullyMerged == b.framesIfFullyMerged;
+}
+
+bool
+sameFaults(const FaultSummary &a, const FaultSummary &b)
+{
+    return a.enabled == b.enabled && a.flipEvents == b.flipEvents &&
+        a.singleBitFlips == b.singleBitFlips &&
+        a.doubleBitFlips == b.doubleBitFlips &&
+        a.stuckAtFaults == b.stuckAtFaults &&
+        a.minikeyTargeted == b.minikeyTargeted &&
+        a.tableCorruptions == b.tableCorruptions &&
+        a.raceWrites == b.raceWrites &&
+        a.skippedNoTarget == b.skippedNoTarget &&
+        a.correctedErrors == b.correctedErrors &&
+        a.uncorrectableErrors == b.uncorrectableErrors &&
+        a.poisonedFrames == b.poisonedFrames &&
+        a.quarantinedFrames == b.quarantinedFrames &&
+        a.falseKeyMatches == b.falseKeyMatches &&
+        a.offsetRotations == b.offsetRotations &&
+        a.mergeAborts == b.mergeAborts &&
+        a.mergeRetries == b.mergeRetries &&
+        a.hwHashRaces == b.hwHashRaces &&
+        a.oracleChecks == b.oracleChecks &&
+        a.oracleViolations == b.oracleViolations;
 }
 
 bool
@@ -306,6 +339,31 @@ jsonResult(std::ostream &os, const ExperimentResult &r)
     os << ",\"pages_scanned\":" << r.pagesScanned;
     os << ",\"host_seconds\":";
     jsonDouble(os, r.hostSeconds);
+    // Only present when the cell ran with fault injection, so
+    // fault-free campaign JSON stays byte-identical.
+    if (r.faults.enabled) {
+        const FaultSummary &f = r.faults;
+        os << ",\"faults\":{\"flip_events\":" << f.flipEvents
+           << ",\"single_bit_flips\":" << f.singleBitFlips
+           << ",\"double_bit_flips\":" << f.doubleBitFlips
+           << ",\"stuck_at_faults\":" << f.stuckAtFaults
+           << ",\"minikey_targeted\":" << f.minikeyTargeted
+           << ",\"table_corruptions\":" << f.tableCorruptions
+           << ",\"race_writes\":" << f.raceWrites
+           << ",\"skipped_no_target\":" << f.skippedNoTarget
+           << ",\"corrected_errors\":" << f.correctedErrors
+           << ",\"uncorrectable_errors\":" << f.uncorrectableErrors
+           << ",\"poisoned_frames\":" << f.poisonedFrames
+           << ",\"quarantined_frames\":" << f.quarantinedFrames
+           << ",\"false_key_matches\":" << f.falseKeyMatches
+           << ",\"offset_rotations\":" << f.offsetRotations
+           << ",\"merge_aborts\":" << f.mergeAborts
+           << ",\"merge_retries\":" << f.mergeRetries
+           << ",\"hw_hash_races\":" << f.hwHashRaces
+           << ",\"oracle_checks\":" << f.oracleChecks
+           << ",\"oracle_violations\":" << f.oracleViolations
+           << "}";
+    }
     // Only present when the cell sampled metrics, so default-config
     // campaign JSON stays byte-identical to earlier versions.
     if (!r.metrics.empty()) {
@@ -340,7 +398,8 @@ identicalResults(const ExperimentResult &a, const ExperimentResult &b)
         a.pfRefills == b.pfRefills && a.pfOsChecks == b.pfOsChecks &&
         a.pfPagesScanned == b.pfPagesScanned && a.merges == b.merges &&
         a.cowBreaks == b.cowBreaks && a.simEvents == b.simEvents &&
-        a.pagesScanned == b.pagesScanned;
+        a.pagesScanned == b.pagesScanned &&
+        sameFaults(a.faults, b.faults);
     // hostSeconds is host wall-clock, never part of result identity.
     // The metrics series is also excluded: it is observability output
     // whose presence depends on the sampling interval, and the
@@ -373,6 +432,13 @@ writeCampaignJson(const CampaignReport &report, std::ostream &os)
         } else {
             os << ",\"error\":";
             jsonString(os, outcome.error);
+            // Invariant violations carry the faulting component and
+            // the simulated tick it detected the problem at.
+            if (!outcome.failComponent.empty()) {
+                os << ",\"fail_component\":";
+                jsonString(os, outcome.failComponent);
+                os << ",\"fail_tick\":" << outcome.failTick;
+            }
         }
         os << "}";
     }

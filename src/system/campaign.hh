@@ -47,6 +47,14 @@ struct CellOutcome
     ExperimentResult result; //!< meaningful only when ok
 
     /**
+     * When the failure was an invariant violation (panicAt under
+     * capture), the component that detected it and the simulated tick
+     * it fired at; empty/0 for other failures.
+     */
+    std::string failComponent;
+    std::uint64_t failTick = 0;
+
+    /**
      * Process-wide peak RSS (KB) sampled right after the cell
      * finished. Host-side accounting only — like hostSeconds it is a
      * property of this run of the simulator, not of the simulation,

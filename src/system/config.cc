@@ -26,6 +26,9 @@ SystemConfig::validate() const
     std::string lifecycle_problem = lifecycle.problem();
     if (!lifecycle_problem.empty())
         throw ConfigError(lifecycle_problem);
+    std::string fault_problem = faults.problem();
+    if (!fault_problem.empty())
+        throw ConfigError(fault_problem);
 }
 
 const char *

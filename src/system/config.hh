@@ -14,6 +14,7 @@
 #include "core/pageforge_driver.hh"
 #include "core/pageforge_module.hh"
 #include "cpu/scheduler.hh"
+#include "fault/fault_config.hh"
 #include "ksm/ksmd.hh"
 #include "lifecycle/churn_policy.hh"
 #include "mem/dram_model.hh"
@@ -86,6 +87,21 @@ struct SystemConfig
 
     /** Lifecycle transition costs and recovery measurement knobs. */
     LifecycleConfig lifecycle{};
+
+    /**
+     * Fault injection (src/fault): DRAM flips, Scan Table upsets,
+     * merge-time races. All-zero rates (the default) build no injector
+     * and schedule nothing — fault-free runs stay bit-identical.
+     */
+    FaultConfig faults{};
+
+    /**
+     * Period of the opt-in frame-invariant audit in ticks; 0 (the
+     * default) disables it. When set, Hypervisor::auditFrames() runs
+     * every period once the load starts and the run fails fast with a
+     * readable report on the first violated invariant.
+     */
+    Tick auditInterval = 0;
 
     /**
      * Observability (src/trace). A non-null sink attaches every

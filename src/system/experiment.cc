@@ -4,6 +4,8 @@
 #include <chrono>
 #include <cmath>
 
+#include "fault/fault_injector.hh"
+#include "fault/merge_oracle.hh"
 #include "sim/logging.hh"
 
 namespace pageforge
@@ -42,6 +44,9 @@ ExperimentConfig::validate(const AppProfile &app) const
     std::string lifecycle_problem = lifecycle.problem();
     if (!lifecycle_problem.empty())
         throw ConfigError(lifecycle_problem);
+    std::string fault_problem = faults.problem();
+    if (!fault_problem.empty())
+        throw ConfigError(fault_problem);
 }
 
 ExperimentResult
@@ -61,6 +66,8 @@ runExperiment(const AppProfile &app, DedupMode mode,
     sys_cfg.lifecycle = cfg.lifecycle;
     sys_cfg.traceSink = cfg.traceSink;
     sys_cfg.metricsInterval = cfg.metricsInterval;
+    sys_cfg.faults = cfg.faults;
+    sys_cfg.auditInterval = cfg.auditInterval;
 
     // Keep the footprint-to-cache ratio in the paper's regime (see
     // ExperimentConfig::scaleCaches). Only applied to untouched
@@ -205,6 +212,38 @@ runExperiment(const AppProfile &app, DedupMode mode,
         result.lifecycle.meanRecoveryMs = ls.mergeRecoveryMs.mean();
         result.lifecycle.p95RecoveryMs = ls.mergeRecoveryMs.p95();
         result.lifecycle.recoveryTimeouts = ls.recoveryTimeouts;
+    }
+
+    if (FaultInjector *inj = system.faultInjector()) {
+        const FaultInjectStats &fs = inj->stats();
+        FaultSummary &sum = result.faults;
+        sum.enabled = true;
+        sum.flipEvents = fs.flipEvents;
+        sum.singleBitFlips = fs.singleBitFlips;
+        sum.doubleBitFlips = fs.doubleBitFlips;
+        sum.stuckAtFaults = fs.stuckAtFaults;
+        sum.minikeyTargeted = fs.minikeyTargeted;
+        sum.tableCorruptions = fs.tableCorruptions;
+        sum.raceWrites = fs.raceWrites;
+        sum.skippedNoTarget = fs.skippedNoTarget;
+        sum.correctedErrors =
+            system.memController().correctedErrors();
+        sum.uncorrectableErrors =
+            system.memController().uncorrectableErrors();
+        sum.poisonedFrames = system.memory().poisonedFrames();
+        sum.quarantinedFrames = system.memory().quarantinedFrames();
+        if (mode == DedupMode::PageForge) {
+            PageForgeDriver *driver = system.pfDriver();
+            sum.falseKeyMatches = driver->falseKeyMatches();
+            sum.offsetRotations = driver->offsetRotations();
+            sum.mergeAborts = driver->mergeAborts();
+            sum.mergeRetries = driver->mergeRetries();
+            sum.hwHashRaces = driver->hwHashRaces();
+        }
+        if (MergeOracle *oracle = system.mergeOracle()) {
+            sum.oracleChecks = oracle->checks();
+            sum.oracleViolations = oracle->violations();
+        }
     }
 
     if (system.metrics())

@@ -54,6 +54,12 @@ struct ExperimentConfig
     /** Lifecycle latencies and recovery measurement knobs. */
     LifecycleConfig lifecycle{};
 
+    /** Fault injection (see SystemConfig::faults); default = off. */
+    FaultConfig faults{};
+
+    /** Periodic frame-audit period in ticks; 0 = off. */
+    Tick auditInterval = 0;
+
     /**
      * Observability passthrough (see SystemConfig): optional trace
      * sink and metrics sampling period. Off by default — neither may
@@ -96,6 +102,47 @@ struct LifecycleSummary
     double meanRecoveryMs = 0.0;     //!< clone/boot to merged steady state
     double p95RecoveryMs = 0.0;
     std::uint64_t recoveryTimeouts = 0;
+};
+
+/**
+ * Fault activity and resilience outcome of one run (faults enabled).
+ * Inputs (what the injector did) and outcomes (how the system degraded
+ * and defended) side by side, so reconciliation is one glance:
+ * poisoned <= uncorrectable, quarantined <= poisoned, and
+ * oracleViolations must be zero.
+ */
+struct FaultSummary
+{
+    bool enabled = false;
+
+    // Injected inputs.
+    std::uint64_t flipEvents = 0;
+    std::uint64_t singleBitFlips = 0;
+    std::uint64_t doubleBitFlips = 0;
+    std::uint64_t stuckAtFaults = 0;
+    std::uint64_t minikeyTargeted = 0;
+    std::uint64_t tableCorruptions = 0;
+    std::uint64_t raceWrites = 0;
+    std::uint64_t skippedNoTarget = 0;
+
+    // ECC pipeline outcomes.
+    std::uint64_t correctedErrors = 0;
+    std::uint64_t uncorrectableErrors = 0;
+
+    // Frame degradation.
+    std::uint64_t poisonedFrames = 0;
+    std::uint64_t quarantinedFrames = 0;
+
+    // Driver degradation paths (PageForge mode).
+    std::uint64_t falseKeyMatches = 0;
+    std::uint64_t offsetRotations = 0;
+    std::uint64_t mergeAborts = 0;
+    std::uint64_t mergeRetries = 0;
+    std::uint64_t hwHashRaces = 0;
+
+    // Merge oracle (shadow memcmp at every merge commit).
+    std::uint64_t oracleChecks = 0;
+    std::uint64_t oracleViolations = 0;
 };
 
 /** Everything a bench needs to print its table/figure rows. */
@@ -160,6 +207,9 @@ struct ExperimentResult
     // Churn runs: memory state across the window + lifecycle activity.
     std::vector<PhaseSnapshot> phases;
     LifecycleSummary lifecycle;
+
+    // Fault runs: injected inputs and resilience outcomes.
+    FaultSummary faults;
 
     /**
      * Sampled metric trajectory (empty unless metricsInterval was

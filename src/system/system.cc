@@ -1,5 +1,7 @@
 #include "system/system.hh"
 
+#include "fault/fault_injector.hh"
+#include "fault/merge_oracle.hh"
 #include "sim/logging.hh"
 #include "trace/trace_sink.hh"
 
@@ -71,6 +73,33 @@ System::System(const SystemConfig &config, const AppProfile &app)
         break;
     }
 
+    if (_config.faults.enabled()) {
+        // The oracle shadow-checks every merge commit; the injector
+        // draws from its own stream (like content/sched/lifecycle) so
+        // the workload's randomness is untouched by fault activity.
+        _oracle = std::make_unique<MergeOracle>();
+        _hyper->setMergeOracle(_oracle.get());
+        _faults = std::make_unique<FaultInjector>(
+            "fault_injector", _eq, *_mc, *_hyper, _config.faults,
+            _config.seed ^ 0x6661756c74ULL ^ _config.faults.seed);
+        if (_pfDriver) {
+            _pfDriver->setFaultInjector(_faults.get());
+            // Minikey-targeted flips track update_ECC_offset rotations.
+            _faults->setEccOffsetsProvider(
+                [this] { return _pfDriver->config().eccOffsets; });
+        }
+        if (_pfModule) {
+            _faults->setScanTableCorruptor([this](Rng &rng) {
+                ScanTable &table = _pfModule->table();
+                unsigned index = static_cast<unsigned>(
+                    rng.nextBounded(table.numOtherPages()));
+                FrameId victim = static_cast<FrameId>(
+                    rng.nextBounded(_mem->totalFrames()));
+                return table.corruptOtherPpn(index, victim);
+            });
+        }
+    }
+
     if (_config.churn.kind != ChurnKind::None) {
         // Dynamic instances run the template app (defaulting to the
         // static fleet's), scaled like everything else.
@@ -105,6 +134,8 @@ System::setupObservability()
         _pfDriver->attachProbe(_probes, TraceComponent::ScanTable);
     if (_lifecycle)
         _lifecycle->attachProbe(_probes, TraceComponent::Lifecycle);
+    if (_faults)
+        _faults->attachProbe(_probes, TraceComponent::Fault);
 
     Tick interval = _config.metricsInterval;
     if (interval == 0 && _config.traceSink)
@@ -181,6 +212,18 @@ System::setupObservability()
         _metrics->add("live-vms", TraceComponent::Lifecycle, [this] {
             return static_cast<double>(_config.numVms +
                                        _lifecycle->liveDynamicVms());
+        });
+    }
+    if (_faults) {
+        _metrics->add("poisoned-frames", TraceComponent::Fault, [this] {
+            return static_cast<double>(_mem->poisonedFrames());
+        });
+        _metrics->add("uncorrectable-errors", TraceComponent::Fault,
+                      [this] {
+            return static_cast<double>(_mc->uncorrectableErrors());
+        });
+        _metrics->add("corrected-errors", TraceComponent::Fault, [this] {
+            return static_cast<double>(_mc->correctedErrors());
         });
     }
 }
@@ -290,6 +333,28 @@ System::startLoad()
         _pfDriver->start();
     if (_lifecycle)
         _lifecycle->start();
+    if (_faults)
+        _faults->start();
+    if (_config.auditInterval > 0)
+        scheduleAudit();
+}
+
+void
+System::scheduleAudit()
+{
+    _eq.schedule(_eq.curTick() + _config.auditInterval, [this] {
+        FrameAuditReport report = _hyper->auditFrames();
+        if (!report.ok) {
+            panicAt("hypervisor", _eq.curTick(),
+                    "periodic frame audit failed after %llu frames / "
+                    "%llu mappings: %s",
+                    static_cast<unsigned long long>(report.framesAudited),
+                    static_cast<unsigned long long>(
+                        report.mappingsAudited),
+                    report.problem.c_str());
+        }
+        scheduleAudit();
+    });
 }
 
 void

@@ -25,6 +25,9 @@
 namespace pageforge
 {
 
+class FaultInjector;
+class MergeOracle;
+
 /** The whole simulated machine. */
 class System : public VmHost
 {
@@ -94,6 +97,12 @@ class System : public VmHost
     PageForgeDriver *pfDriver() { return _pfDriver.get(); }
     PageForgeModule *pfModule() { return _pfModule.get(); }
 
+    /** Null unless fault injection is configured. */
+    FaultInjector *faultInjector() { return _faults.get(); }
+
+    /** Null unless fault injection is configured. */
+    MergeOracle *mergeOracle() { return _oracle.get(); }
+
     /** Merge statistics of whichever daemon is active (or empty). */
     const MergeStats &mergeStats() const;
     const HashKeyStats &hashStats() const;
@@ -122,6 +131,9 @@ class System : public VmHost
     std::unique_ptr<PageForgeApi> _pfApi;
     std::unique_ptr<PageForgeDriver> _pfDriver;
 
+    std::unique_ptr<MergeOracle> _oracle;
+    std::unique_ptr<FaultInjector> _faults;
+
     ProbeRegistry _probes;
     std::unique_ptr<MetricsSampler> _metrics;
 
@@ -136,6 +148,9 @@ class System : public VmHost
 
     /** Enroll component probes and build the metrics sampler. */
     void setupObservability();
+
+    /** Self-rescheduling frame-invariant audit (--audit-interval). */
+    void scheduleAudit();
 
     static const MergeStats emptyMergeStats;
     static const HashKeyStats emptyHashStats;

@@ -10,7 +10,7 @@ namespace
 {
 
 const char *const component_names[numTraceComponents] = {
-    "sim", "scan-table", "ksm", "dram-bw", "cache", "lifecycle",
+    "sim", "scan-table", "ksm", "dram-bw", "cache", "lifecycle", "fault",
 };
 
 // Atomic for the same reason as the log level: campaign workers read

@@ -31,10 +31,11 @@ enum class TraceComponent : std::uint8_t
     DramBw,    //!< memory controller and DRAM bandwidth
     Cache,     //!< cache hierarchy and MSHR occupancy
     Lifecycle, //!< VM lifecycle transitions
+    Fault,     //!< fault injection and resilience machinery
 };
 
 /** Number of registered components (mask width). */
-constexpr unsigned numTraceComponents = 6;
+constexpr unsigned numTraceComponents = 7;
 
 /** Mask with every component enabled. */
 constexpr std::uint32_t allComponentsMask =

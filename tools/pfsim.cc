@@ -25,6 +25,8 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault_injector.hh"
+#include "fault/merge_oracle.hh"
 #include "stats/table.hh"
 #include "system/campaign.hh"
 #include "system/system.hh"
@@ -56,6 +58,10 @@ struct Options
 
     // ---- VM churn ----
     ChurnConfig churn{};
+
+    // ---- fault injection ----
+    FaultConfig faults{};
+    double auditIntervalMs = 0.0;
 
     // ---- campaign mode ----
     bool campaign = false;
@@ -100,12 +106,22 @@ usage(const char *prog)
         << "  --template-app=A    app profile for churned VMs "
            "(default: --app)\n"
         << "  --dump-stats        print the full component stats dump\n"
+        << "fault injection:\n"
+        << "  --faults=SPEC       enable fault injection; SPEC is k=v\n"
+        << "                      pairs: rate (bit flips/GB/s),\n"
+        << "                      double, stuck, minikey (fractions),\n"
+        << "                      scantable, race (probabilities),\n"
+        << "                      seed. e.g.\n"
+        << "                      --faults=rate=50,double=0.2,race=0.01\n"
+        << "  --fault-seed=N      fault RNG stream seed (default 0)\n"
+        << "  --audit-interval=N  audit every frame mapping every N ms\n"
+        << "                      and fail fast on inconsistency\n"
         << "observability:\n"
         << "  --trace[=FILE]      write a Chrome/Perfetto trace of the\n"
         << "                      measured load (default trace.json)\n"
         << "  --trace-filter=C,C  components to trace and log: sim,\n"
-        << "                      scan-table, ksm, dram-bw, cache, "
-           "lifecycle\n"
+        << "                      scan-table, ksm, dram-bw, cache,\n"
+        << "                      lifecycle, fault\n"
         << "  --metrics-interval=T  sample metrics every T ticks (also\n"
         << "                      applies per cell in campaign mode)\n"
         << "  --metrics-csv=FILE  write the sampled series as CSV\n"
@@ -129,6 +145,8 @@ Options
 parse(int argc, char **argv)
 {
     Options opts;
+    bool fault_seed_set = false;
+    std::uint64_t fault_seed = 0;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         auto value = [&](const char *prefix) -> const char * {
@@ -179,6 +197,21 @@ parse(int argc, char **argv)
             opts.churn.departuresPerSec = rate;
         } else if (const char *v = value("--template-app=")) {
             opts.churn.templateApp = v;
+        } else if (const char *v = value("--faults=")) {
+            try {
+                opts.faults = FaultConfig::parse(v);
+            } catch (const std::invalid_argument &err) {
+                std::cerr << "pfsim: bad --faults spec: " << err.what()
+                          << "\n";
+                usage(argv[0]);
+            }
+        } else if (const char *v = value("--fault-seed=")) {
+            fault_seed = std::strtoull(v, nullptr, 10);
+            fault_seed_set = true;
+        } else if (const char *v = value("--audit-interval=")) {
+            opts.auditIntervalMs = std::atof(v);
+            if (!(opts.auditIntervalMs > 0.0))
+                usage(argv[0]);
         } else if (arg == "--dump-stats") {
             opts.dumpStats = true;
         } else if (arg == "--trace") {
@@ -228,6 +261,10 @@ parse(int argc, char **argv)
             usage(argv[0]);
         }
     }
+    // --fault-seed wins regardless of its position relative to
+    // --faults (whose parse() resets the whole struct).
+    if (fault_seed_set)
+        opts.faults.seed = fault_seed;
     return opts;
 }
 
@@ -246,6 +283,9 @@ runCampaignMode(const Options &opts)
     spec.experiment.targetQueries = opts.queries;
     spec.experiment.settleTime = msToTicks(opts.settleMs);
     spec.experiment.churn = opts.churn;
+    spec.experiment.faults = opts.faults;
+    if (opts.auditIntervalMs > 0.0)
+        spec.experiment.auditInterval = msToTicks(opts.auditIntervalMs);
     // Event tracing is single-simulation only (the runner drops any
     // sink); per-cell metrics sampling composes fine with workers.
     spec.experiment.metricsInterval = opts.metricsInterval;
@@ -365,6 +405,9 @@ main(int argc, char **argv)
     config.seed = opts.seed;
     config.ksmPlacement = opts.placement;
     config.churn = opts.churn;
+    config.faults = opts.faults;
+    if (opts.auditIntervalMs > 0.0)
+        config.auditInterval = msToTicks(opts.auditIntervalMs);
     config.traceSink = sink.get();
     config.metricsInterval = opts.metricsInterval;
     if (!opts.metricsCsvPath.empty() && config.metricsInterval == 0 &&
@@ -474,7 +517,78 @@ main(int argc, char **argv)
         table.addRow({"recovery timeouts",
                       std::to_string(ls.recoveryTimeouts)});
     }
+    std::uint64_t oracle_violations = 0;
+    if (FaultInjector *inj = system.faultInjector()) {
+        const FaultInjectStats &fs = inj->stats();
+        table.addRow({"fault: bit-flip events",
+                      std::to_string(fs.flipEvents)});
+        table.addRow({"fault: single/double flips",
+                      std::to_string(fs.singleBitFlips) + " / " +
+                          std::to_string(fs.doubleBitFlips)});
+        table.addRow({"fault: stuck-at faults",
+                      std::to_string(fs.stuckAtFaults)});
+        table.addRow({"fault: minikey-line targeted",
+                      std::to_string(fs.minikeyTargeted)});
+        table.addRow({"fault: scan-table corruptions",
+                      std::to_string(fs.tableCorruptions)});
+        table.addRow({"fault: merge-race writes",
+                      std::to_string(fs.raceWrites)});
+        table.addRow({"ECC corrected errors",
+                      std::to_string(
+                          system.memController().correctedErrors())});
+        table.addRow({"ECC uncorrectable errors",
+                      std::to_string(
+                          system.memController().uncorrectableErrors())});
+        table.addRow({"poisoned frames",
+                      std::to_string(system.memory().poisonedFrames())});
+        table.addRow({"quarantined frames",
+                      std::to_string(
+                          system.memory().quarantinedFrames())});
+        if (opts.mode == DedupMode::PageForge) {
+            table.addRow({"false key matches",
+                          std::to_string(
+                              system.pfDriver()->falseKeyMatches())});
+            table.addRow({"ECC offset rotations",
+                          std::to_string(
+                              system.pfDriver()->offsetRotations())});
+            table.addRow({"merge aborts / retries",
+                          std::to_string(system.pfDriver()->mergeAborts()) +
+                              " / " +
+                              std::to_string(
+                                  system.pfDriver()->mergeRetries())});
+        }
+        if (MergeOracle *oracle = system.mergeOracle()) {
+            oracle_violations = oracle->violations();
+            table.addRow({"merge oracle checks",
+                          std::to_string(oracle->checks())});
+            table.addRow({"merge oracle violations",
+                          std::to_string(oracle_violations)});
+        }
+    }
     table.print(std::cout);
+
+    if (FaultInjector *inj = system.faultInjector()) {
+        // One greppable line for CI smoke checks.
+        const FaultInjectStats &fs = inj->stats();
+        const MergeOracle *oracle = system.mergeOracle();
+        std::cout << "pfsim: fault summary:"
+                  << " flips=" << fs.flipEvents
+                  << " corrected="
+                  << system.memController().correctedErrors()
+                  << " uncorrectable="
+                  << system.memController().uncorrectableErrors()
+                  << " poisoned=" << system.memory().poisonedFrames()
+                  << " quarantined="
+                  << system.memory().quarantinedFrames()
+                  << " race_writes=" << fs.raceWrites
+                  << " merge_aborts="
+                  << (opts.mode == DedupMode::PageForge
+                          ? system.pfDriver()->mergeAborts()
+                          : 0)
+                  << " oracle_checks="
+                  << (oracle ? oracle->checks() : 0)
+                  << " oracle_violations=" << oracle_violations << "\n";
+    }
 
     if (opts.dumpStats) {
         std::cout << "\n---- component statistics ----\n";
@@ -504,6 +618,12 @@ main(int argc, char **argv)
         }
         system.metrics()->series().writeCsv(csv);
         std::cerr << "wrote " << opts.metricsCsvPath << "\n";
+    }
+    if (oracle_violations) {
+        std::cerr << "pfsim: MERGE ORACLE VIOLATION: "
+                  << oracle_violations
+                  << " merge(s) of differing pages\n";
+        return 1;
     }
     return 0;
 }
