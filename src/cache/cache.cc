@@ -42,32 +42,30 @@ Cache::insert(Addr line_addr, MesiState state)
 {
     pf_assert(state != MesiState::Invalid, "inserting an invalid line");
 
-    // One pass over the set finds a resident copy, the first invalid
-    // way, and the LRU victim all at once (insert is on the fill path
-    // of every modelled access, so the set is scanned exactly once).
+    // Staged kernel scans over the set: resident copy first, then the
+    // first invalid way, then the LRU timestamp reduction — each one
+    // short and vectorized, and the set's tags sit in one or two host
+    // cache lines so the repeat passes are register/L1 traffic. The
+    // victim chosen is identical to the old single scalar pass: the
+    // first invalid way wins, else the unique oldest timestamp (the
+    // argmin runs only when every way is valid, so stale timestamps
+    // on invalid ways can't be picked).
     std::size_t base =
         static_cast<std::size_t>(setIndex(line_addr)) * _config.ways;
-    std::size_t invalid_idx = npos;
-    std::size_t lru_idx = npos;
-    for (std::uint32_t w = 0; w < _config.ways; ++w) {
-        std::size_t idx = base + w;
-        std::uint64_t tag = _tags[idx];
-        if ((tag & ~stateMask) == line_addr && (tag & stateMask)) {
-            // Refill of a resident line: just update state and recency.
-            _tags[idx] = makeTag(line_addr, state);
-            _lastUsed[idx] = ++_useClock;
-            return {};
-        }
-        if (!(tag & stateMask)) {
-            if (invalid_idx == npos)
-                invalid_idx = idx;
-        } else if (lru_idx == npos ||
-                   _lastUsed[idx] < _lastUsed[lru_idx]) {
-            lru_idx = idx;
-        }
+    const std::uint64_t *set_tags = _tags.data() + base;
+    std::uint32_t match = simd::findTagWay(set_tags, _config.ways, line_addr);
+    if (match != simd::noWay) {
+        // Refill of a resident line: just update state and recency.
+        std::size_t idx = base + match;
+        _tags[idx] = makeTag(line_addr, state);
+        _lastUsed[idx] = ++_useClock;
+        return {};
     }
 
-    std::size_t victim_idx = invalid_idx != npos ? invalid_idx : lru_idx;
+    std::uint32_t free_way = simd::findFreeWay(set_tags, _config.ways);
+    std::size_t victim_idx = free_way != simd::noWay
+        ? base + free_way
+        : base + simd::argminU64(_lastUsed.data() + base, _config.ways);
     Victim victim;
     std::uint64_t old_tag = _tags[victim_idx];
     if (old_tag & stateMask) {
@@ -75,10 +73,14 @@ Cache::insert(Addr line_addr, MesiState state)
         victim.addr = old_tag & ~stateMask;
         victim.dirty = tagState(old_tag) == MesiState::Modified;
         ++_evictions;
+        if (_residency)
+            _residency->remove(victim.addr);
     }
 
     _tags[victim_idx] = makeTag(line_addr, state);
     _lastUsed[victim_idx] = ++_useClock;
+    if (_residency)
+        _residency->add(line_addr);
     return victim;
 }
 
@@ -89,10 +91,13 @@ Cache::setState(Addr line_addr, MesiState state)
     pf_assert(idx != npos, "setState on absent line %llx in %s",
               static_cast<unsigned long long>(line_addr),
               _config.name.c_str());
-    if (state == MesiState::Invalid)
+    if (state == MesiState::Invalid) {
         _tags[idx] = 0;
-    else
+        if (_residency)
+            _residency->remove(line_addr);
+    } else {
         _tags[idx] = makeTag(line_addr, state);
+    }
 }
 
 bool
@@ -103,6 +108,8 @@ Cache::invalidate(Addr line_addr)
         return false;
     bool dirty = tagState(_tags[idx]) == MesiState::Modified;
     _tags[idx] = 0;
+    if (_residency)
+        _residency->remove(line_addr);
     return dirty;
 }
 

@@ -17,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include "sim/logging.hh"
+#include "sim/simd.hh"
 #include "sim/types.hh"
 #include "stats/stat_group.hh"
 
@@ -57,6 +59,47 @@ struct Victim
     bool valid = false;
     Addr addr = 0;
     bool dirty = false;
+};
+
+/**
+ * Exact count of how many attached caches hold each line, shared by
+ * every cache of a hierarchy. A zero count proves the line is in no
+ * cache, letting snoop paths skip the per-cache tag probes entirely —
+ * the common case for the dedup engines, which stream lines that are
+ * rarely cached anywhere. Counts move only on the residency
+ * transitions inside Cache (fill of an empty way, eviction,
+ * invalidation), so the filter is a pure host-side accelerator: every
+ * probe it short-circuits would have returned "absent".
+ */
+class LineResidency
+{
+  public:
+    explicit LineResidency(std::size_t total_lines)
+        : _count(total_lines, 0)
+    {
+    }
+
+    /** Could any attached cache hold @p line_addr? Exact, not a guess. */
+    bool
+    holds(Addr line_addr) const
+    {
+        return _count[index(line_addr)] != 0;
+    }
+
+    void add(Addr line_addr) { ++_count[index(line_addr)]; }
+    void remove(Addr line_addr) { --_count[index(line_addr)]; }
+
+  private:
+    std::size_t
+    index(Addr line_addr) const
+    {
+        std::size_t i = static_cast<std::size_t>(line_addr / lineSize);
+        pf_assert(i < _count.size(), "line %llx beyond residency range",
+                  static_cast<unsigned long long>(line_addr));
+        return i;
+    }
+
+    std::vector<std::uint8_t> _count;
 };
 
 /** The tag array of one cache. */
@@ -132,6 +175,24 @@ class Cache
     /** Reset hit/miss/eviction counters (start of measurement). */
     void resetStats();
 
+    /**
+     * Share a residency filter with this cache; fills, evictions, and
+     * invalidations keep its counts exact from then on. Must be
+     * attached while the cache is empty.
+     */
+    void
+    attachResidency(LineResidency *residency)
+    {
+        _residency = residency;
+    }
+
+    /**
+     * Record a demand miss without scanning the set. Only valid when
+     * the caller has proven the line absent (residency count zero):
+     * access() on an absent line touches nothing but the miss counter.
+     */
+    void missFast() { ++_misses; }
+
   private:
     /**
      * The tag array is a structure of arrays: one packed 64-bit tag
@@ -170,6 +231,7 @@ class Cache
     std::vector<std::uint64_t> _tags;     // numSets x ways
     std::vector<std::uint64_t> _lastUsed; // numSets x ways
     std::uint64_t _useClock = 0;
+    LineResidency *_residency = nullptr;
 
     Counter _hits;
     Counter _misses;
@@ -194,10 +256,10 @@ class Cache
         std::size_t base =
             static_cast<std::size_t>(setIndex(line_addr)) * _config.ways;
         for (std::uint32_t w = 0; w < _config.ways; ++w) {
-            std::uint64_t tag = _tags[base + w];
-            // One compare finds the address in any valid state: a
-            // match needs the address bits equal and a nonzero state.
-            if ((tag & ~stateMask) == line_addr && (tag & stateMask))
+            // One compare finds the address in any valid state: the
+            // xor leaves exactly the packed state bits when the
+            // address bits match, so a hit is a value in {1, 2, 3}.
+            if ((_tags[base + w] ^ line_addr) - 1 < 3)
                 return base + w;
         }
         return npos;

@@ -22,6 +22,7 @@ Hierarchy::Hierarchy(std::string name, EventQueue &eq, unsigned num_cores,
                      MemController &mc)
     : SimObject(std::move(name), eq), _numCores(num_cores),
       _bus(this->name() + ".bus", eq, bus_cfg), _mc(mc),
+      _residency(mc.memory().totalFrames() * linesPerPage),
       _stats(this->name())
 {
     pf_assert(num_cores > 0, "hierarchy with no cores");
@@ -32,12 +33,15 @@ Hierarchy::Hierarchy(std::string name, EventQueue &eq, unsigned num_cores,
         l2.name = this->name() + ".l2." + std::to_string(c);
         _l1.push_back(std::make_unique<Cache>(l1));
         _l2.push_back(std::make_unique<Cache>(l2));
+        _l1.back()->attachResidency(&_residency);
+        _l2.back()->attachResidency(&_residency);
         _l2Mshr.push_back(
             std::make_unique<Mshr>(l2.name + ".mshr", l2.mshrs));
     }
     CacheConfig l3 = l3_cfg;
     l3.name = this->name() + ".l3";
     _l3 = std::make_unique<Cache>(l3);
+    _l3->attachResidency(&_residency);
 
     _stats.addCounter("upgrades", "S->M bus upgrade transactions",
                       _upgrades);
@@ -119,9 +123,18 @@ Hierarchy::access(CoreId core, Addr addr, bool write, Tick now,
     const Tick l3_lat = _l3->config().hitLatency;
 
     // ---- L1 ----
-    if (l1.access(line) != MesiState::Invalid) {
+    // The L1 probe comes before the residency check on purpose: its
+    // tag array is small enough to stay hot in the host's caches,
+    // while the residency filter is a byte load from a frames-sized
+    // array that usually misses — worth paying only once the L1 has.
+    MesiState s1 = l1.access(line);
+    if (s1 != MesiState::Invalid) {
         Tick lat = l1_lat;
-        if (write) {
+        // A line already Modified in L1 is Modified in L2 too (every
+        // path granting L1 the M state grants it to the L2 alongside),
+        // so a repeated store changes no state: skip the probe,
+        // upgrade check, and state writes outright.
+        if (write && s1 != MesiState::Modified) {
             // Inclusion: the L2 must also hold the line.
             MesiState s2 = l2.probe(line);
             pf_assert(s2 != MesiState::Invalid,
@@ -140,8 +153,16 @@ Hierarchy::access(CoreId core, Addr addr, bool write, Tick now,
         return {lat, AccessSource::L1};
     }
 
+    // A zero residency count proves no cache holds the line: record
+    // the L2 miss without scanning its set and skip the peer and L3
+    // probes below — access() on an absent line touches nothing else.
+    const bool cached_somewhere = _residency.holds(line);
+    if (!cached_somewhere)
+        l2.missFast();
+
     // ---- L2 ----
-    MesiState s2 = l2.access(line);
+    MesiState s2 =
+        cached_somewhere ? l2.access(line) : MesiState::Invalid;
     if (s2 != MesiState::Invalid) {
         Tick lat = l1_lat + l2_lat;
         if (write && s2 == MesiState::Shared) {
@@ -150,7 +171,7 @@ Hierarchy::access(CoreId core, Addr addr, bool write, Tick now,
             ++_upgrades;
             lat = done - now;
         }
-        if (write)
+        if (write && s2 != MesiState::Modified)
             l2.setState(line, MesiState::Modified);
         fillL1(core, line, write);
         return {lat, AccessSource::L2};
@@ -169,7 +190,7 @@ Hierarchy::access(CoreId core, Addr addr, bool write, Tick now,
     Tick bus_done = _bus.transact(start, false);
     bool peer_had = false;
     bool peer_was_m = false;
-    for (unsigned p = 0; p < _numCores; ++p) {
+    for (unsigned p = 0; cached_somewhere && p < _numCores; ++p) {
         if (p == core)
             continue;
         MesiState sp = _l2[p]->probe(line);
@@ -199,7 +220,14 @@ Hierarchy::access(CoreId core, Addr addr, bool write, Tick now,
         source = AccessSource::Peer;
     } else {
         ++_l3AccessBy[reqIdx(req)];
-        if (_l3->access(line) != MesiState::Invalid) {
+        MesiState s3;
+        if (cached_somewhere) {
+            s3 = _l3->access(line);
+        } else {
+            _l3->missFast();
+            s3 = MesiState::Invalid;
+        }
+        if (s3 != MesiState::Invalid) {
             done = _bus.transact(bus_done + l3_lat, true);
             source = AccessSource::L3;
         } else {
@@ -227,6 +255,10 @@ Hierarchy::snoopForMc(Addr addr, Tick now)
     // Address-phase probe on the bus; every cache checks its tags.
     Tick probe_done = _bus.probe(now);
 
+    // Zero residency count: no cache can hit, skip the tag probes.
+    if (!_residency.holds(line))
+        return {false, probe_done};
+
     bool hit = _l3->probe(line) != MesiState::Invalid;
     for (unsigned c = 0; c < _numCores && !hit; ++c)
         hit = _l2[c]->probe(line) != MesiState::Invalid;
@@ -245,6 +277,8 @@ bool
 Hierarchy::anyCacheHolds(Addr line_addr) const
 {
     Addr line = lineAlign(line_addr);
+    if (!_residency.holds(line))
+        return false;
     if (_l3->probe(line) != MesiState::Invalid)
         return true;
     for (unsigned c = 0; c < _numCores; ++c) {

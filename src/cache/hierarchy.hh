@@ -129,6 +129,13 @@ class Hierarchy : public SimObject
     Bus _bus;
     MemController &_mc;
 
+    /**
+     * Holder count per line across every cache of this hierarchy; a
+     * zero count short-circuits snoop and peer-probe tag scans (the
+     * dedup engines mostly touch lines no cache holds).
+     */
+    LineResidency _residency;
+
     std::uint64_t _l3AccessBy[numRequesters] = {};
     std::uint64_t _l3MissBy[numRequesters] = {};
 

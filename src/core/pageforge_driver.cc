@@ -458,7 +458,7 @@ PageForgeDriver::stableSearchEnded(const PfeInfo &info)
     bool prev_valid = page.eccKeyValid;
     std::uint32_t prev_key = page.lastEccKey;
     HashCheckOutcome outcome = checkPageHashes(
-        mem.data(current), page, _config.eccOffsets, _hashStats);
+        mem, current, page, _config.eccOffsets, _hashStats);
 
     // Cross-check the hardware-assembled key against the functional
     // one; they differ only when the page was written mid-scan (or a
@@ -475,6 +475,9 @@ PageForgeDriver::stableSearchEnded(const PfeInfo &info)
         // remain the safety net behind it.
         unchanged = prev_valid && prev_key == info.hash;
         page.lastEccKey = info.hash;
+        // The stored key no longer equals what a recomputation would
+        // produce: the hash-skip cache must not replay it.
+        page.invalidateHashCache();
     }
 
     if (outcome.firstScan || !unchanged) {
@@ -502,7 +505,8 @@ PageForgeDriver::handleUnstableMatch(ContentTree::Node *node)
         ++_mergeStats.pagesDropped;
         return Action::CandidateDone;
     }
-    if (!mem.framesEqual(cand_frame, other_frame)) {
+    if (!_hyper.pagesEqual(_hyper.vm(_candidate.vm).page(_candidate.gpn),
+                           _hyper.vm(other.vm).page(other.gpn))) {
         // Hardware said Duplicate; the final software compare says
         // otherwise — a racing write or a false key match.
         ++_mergeStats.pagesDropped;

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "sim/logging.hh"
+#include "sim/simd.hh"
 
 namespace pageforge
 {
@@ -121,9 +122,9 @@ PageForgeModule::process(Tick start, BatchResult &result)
             // backstop, not an allocator assert here.
             const std::uint8_t *b =
                 mem.rawData(entry.ppn) + line * lineSize;
-            int cmp = std::memcmp(a, b, lineSize);
-            if (cmp != 0) {
-                sign = cmp;
+            std::uint32_t diff = simd::firstDiff(a, b, 0, lineSize);
+            if (diff != lineSize) {
+                sign = a[diff] < b[diff] ? -1 : 1;
                 break;
             }
         }

@@ -51,6 +51,20 @@ struct EccOffsets
     {
         return s * linesPerSection + offset[s];
     }
+
+    /**
+     * The four section offsets packed into one word — a compact
+     * identity for "same sampling positions" checks (the hash-skip
+     * cache keys on it without depending on this header).
+     */
+    std::uint32_t
+    packed() const
+    {
+        std::uint32_t key = 0;
+        for (unsigned s = 0; s < eccHashSections; ++s)
+            key |= static_cast<std::uint32_t>(offset[s]) << (8 * s);
+        return key;
+    }
 };
 
 /**

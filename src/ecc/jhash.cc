@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "sim/logging.hh"
+#include "sim/simd.hh"
 
 namespace pageforge
 {
@@ -106,25 +107,18 @@ pageFingerprint64(const std::uint8_t *data, std::size_t len)
     // Four independent xorshift-multiply lanes (splitmix64 finalizer
     // constants), 32 bytes per iteration: a single lane's multiply
     // latency chain caps throughput near one word per five cycles,
-    // while four lanes pipeline. Word loads via memcpy keep the
-    // routine alignment-safe.
-    std::uint64_t h0 = 0x9e3779b97f4a7c15ULL ^ len;
-    std::uint64_t h1 = 0xbf58476d1ce4e5b9ULL;
-    std::uint64_t h2 = 0x94d049bb133111ebULL;
-    std::uint64_t h3 = 0x2545f4914f6cdd1dULL;
-    std::size_t i = 0;
-    for (; i + 32 <= len; i += 32) {
-        std::uint64_t w[4];
-        std::memcpy(w, data + i, 32);
-        h0 ^= w[0]; h0 *= 0xbf58476d1ce4e5b9ULL; h0 ^= h0 >> 31;
-        h1 ^= w[1]; h1 *= 0xbf58476d1ce4e5b9ULL; h1 ^= h1 >> 31;
-        h2 ^= w[2]; h2 *= 0xbf58476d1ce4e5b9ULL; h2 ^= h2 >> 31;
-        h3 ^= w[3]; h3 *= 0xbf58476d1ce4e5b9ULL; h3 ^= h3 >> 31;
-    }
-    std::uint64_t hash = h0;
-    hash = (hash ^ h1) * 0xbf58476d1ce4e5b9ULL;
-    hash = (hash ^ h2) * 0xbf58476d1ce4e5b9ULL;
-    hash = (hash ^ h3) * 0xbf58476d1ce4e5b9ULL;
+    // while four lanes pipeline. The block loop is dispatched through
+    // the SIMD layer; every variant produces bit-identical lane state.
+    std::uint64_t h[4] = {0x9e3779b97f4a7c15ULL ^ len,
+                          0xbf58476d1ce4e5b9ULL,
+                          0x94d049bb133111ebULL,
+                          0x2545f4914f6cdd1dULL};
+    std::size_t i = len / 32 * 32;
+    simd::fingerprintBlocks(data, len / 32, h);
+    std::uint64_t hash = h[0];
+    hash = (hash ^ h[1]) * 0xbf58476d1ce4e5b9ULL;
+    hash = (hash ^ h[2]) * 0xbf58476d1ce4e5b9ULL;
+    hash = (hash ^ h[3]) * 0xbf58476d1ce4e5b9ULL;
     for (; i + 8 <= len; i += 8) {
         std::uint64_t word;
         std::memcpy(&word, data + i, 8);

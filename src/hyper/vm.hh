@@ -68,6 +68,39 @@ struct PageState
     /** Whole-page fingerprint for ground-truth change detection. */
     std::uint64_t lastStrongHash = 0;
     bool strongHashValid = false;
+
+    // --- host-side acceleration state (no modelled semantics) -------
+    //
+    // These fields only let the simulator skip host work whose result
+    // is provably unchanged; every modelled statistic behaves as if
+    // they did not exist.
+
+    /**
+     * CoW fork relation: this page's private frame was copied from
+     * cowSrcFrame when the source held write generation cowSrcGen.
+     * While the source still holds that generation, every line of this
+     * page's frame whose dirty bit is clear is byte-identical to the
+     * same line of the source frame. Invalid once frame changes or the
+     * source is freed/rewritten (generation mismatch; allocFrame bumps
+     * the generation, so recycled sources can never validate).
+     */
+    FrameId cowSrcFrame = invalidFrame;
+    std::uint64_t cowSrcGen = 0;
+
+    /**
+     * Hash-skip cache: the scan-time hash keys above (lastJhash /
+     * lastEccKey / lastStrongHash) were computed from frame hashFrame
+     * at write generation hashGen with the ECC offsets packed into
+     * hashOffsetsKey. When all three still match, a re-scan recomputes
+     * the exact same keys, so the daemons reuse them and charge the
+     * identical modelled costs.
+     */
+    FrameId hashFrame = invalidFrame;
+    std::uint64_t hashGen = 0;
+    std::uint32_t hashOffsetsKey = 0;
+
+    /** Drop the hash-skip cache (keys changed by a non-scan path). */
+    void invalidateHashCache() { hashFrame = invalidFrame; }
 };
 
 /** One virtual machine's guest-physical address space. */

@@ -1,10 +1,12 @@
 #include "ksm/content_tree.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cstring>
 #include <vector>
 
 #include "sim/logging.hh"
+#include "sim/simd.hh"
 
 namespace pageforge
 {
@@ -13,22 +15,34 @@ PageCompare
 comparePagesFrom(const std::uint8_t *a, const std::uint8_t *b,
                  std::uint32_t known_equal)
 {
-    // Chunked memcmp (vectorized by the library) to locate the first
-    // differing chunk, then a byte scan inside it. Because the first
-    // difference can only lie at or after known_equal, starting there
-    // yields the same sign and divergence offset as a scan from 0.
-    constexpr std::uint32_t chunk = 256;
-    std::uint32_t pos = known_equal;
-    while (pos < pageSize) {
-        std::uint32_t n = std::min(chunk, pageSize - pos);
-        if (std::memcmp(a + pos, b + pos, n) == 0) {
-            pos += n;
-            continue;
-        }
-        for (std::uint32_t off = pos;; ++off) {
-            if (a[off] != b[off])
-                return {a[off] < b[off] ? -1 : 1, off + 1};
-        }
+    // Because the first difference can only lie at or after
+    // known_equal, starting there yields the same sign and divergence
+    // offset as a scan from 0.
+    std::uint32_t off = simd::firstDiff(a, b, known_equal, pageSize);
+    if (off == pageSize)
+        return {0, pageSize};
+    return {a[off] < b[off] ? -1 : 1, off + 1};
+}
+
+PageCompare
+comparePagesMasked(const std::uint8_t *a, const std::uint8_t *b,
+                   std::uint64_t dirty_mask)
+{
+    // Precondition: every line of `a` whose mask bit is clear is
+    // byte-identical to the corresponding line of `b`, so the first
+    // difference (if any) lies inside a dirtied line. Walking only
+    // the set bits with ctz yields the exact result a full scan from
+    // byte 0 would produce.
+    while (dirty_mask) {
+        std::uint32_t line =
+            static_cast<std::uint32_t>(std::countr_zero(dirty_mask));
+        dirty_mask &= dirty_mask - 1;
+        std::uint32_t base = line * lineSize;
+        std::uint32_t off =
+            simd::firstDiff(a + base, b + base, 0, lineSize);
+        if (off != lineSize)
+            return {a[base + off] < b[base + off] ? -1 : 1,
+                    base + off + 1};
     }
     return {0, pageSize};
 }
@@ -140,7 +154,7 @@ ContentTree::clear(const PruneHook &prune)
 
 ContentTree::SearchResult
 ContentTree::search(const std::uint8_t *probe, const CompareHook &hook,
-                    const PruneHook &prune)
+                    const PruneHook &prune, const MaskedProbe *masked)
 {
     SearchResult result;
 
@@ -173,7 +187,9 @@ restart:
 
         std::uint32_t skip =
             _immutableContents ? std::min(lcp_low, lcp_high) : 0;
-        PageCompare cmp = comparePagesFrom(probe, node_data, skip);
+        PageCompare cmp = masked && node_data == masked->srcData
+            ? comparePagesMasked(probe, node_data, masked->dirtyMask)
+            : comparePagesFrom(probe, node_data, skip);
         ++result.nodesVisited;
         result.bytesCompared += cmp.bytesExamined;
         if (hook)

@@ -78,6 +78,20 @@ PageCompare comparePagesFrom(const std::uint8_t *a,
                              const std::uint8_t *b,
                              std::uint32_t known_equal);
 
+/**
+ * Compare page @p a against @p b when every line of @p a whose bit in
+ * @p dirty_mask is clear is already known equal to the same line of
+ * @p b (the CoW fork relation: @p a was copied from @p b and
+ * @p dirty_mask records the lines written since). Only the dirtied
+ * lines are examined, walked in ctz order; the result is *semantic*,
+ * identical to comparePages(a, b).
+ *
+ * @pre for every clear bit L: a[L*64 .. L*64+63] == b[L*64 .. L*64+63]
+ */
+PageCompare comparePagesMasked(const std::uint8_t *a,
+                               const std::uint8_t *b,
+                               std::uint64_t dirty_mask);
+
 /** The red-black tree. */
 class ContentTree
 {
@@ -130,6 +144,22 @@ class ContentTree
     };
 
     /**
+     * Optional dirty-mask context for search(): when the probe page
+     * was CoW-forked from a frame that may itself sit in the tree,
+     * the caller passes that frame's current bytes and the probe's
+     * dirty-line mask. A node resolving to exactly @p srcData (pointer
+     * identity — arena frames have unique storage) is compared with
+     * comparePagesMasked() instead of a full scan; every other node
+     * compares as usual. Results, statistics and hook charges are
+     * identical either way.
+     */
+    struct MaskedProbe
+    {
+        const std::uint8_t *srcData = nullptr;
+        std::uint64_t dirtyMask = 0;
+    };
+
+    /**
      * Search for a page with contents equal to @p probe.
      * Stale nodes encountered are erased and the search restarts.
      *
@@ -144,7 +174,8 @@ class ContentTree
      */
     SearchResult search(const std::uint8_t *probe,
                         const CompareHook &hook = {},
-                        const PruneHook &prune = {});
+                        const PruneHook &prune = {},
+                        const MaskedProbe *masked = nullptr);
 
     /**
      * Attach a new node at the position a failed search returned.

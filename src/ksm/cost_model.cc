@@ -3,6 +3,7 @@
 #include "ecc/ecc_hash_key.hh"
 #include "ecc/jhash.hh"
 #include "hyper/vm.hh"
+#include "mem/phys_memory.hh"
 
 namespace pageforge
 {
@@ -48,6 +49,37 @@ checkPageHashes(const std::uint8_t *data, PageState &page,
     page.eccKeyValid = true;
     page.lastStrongHash = strong;
     page.strongHashValid = true;
+    return outcome;
+}
+
+HashCheckOutcome
+checkPageHashes(const PhysicalMemory &mem, FrameId frame,
+                PageState &page, const EccOffsets &offsets,
+                HashKeyStats &stats)
+{
+    if (page.hashFrame == frame && page.hashGen == mem.writeGen(frame) &&
+        page.hashOffsetsKey == offsets.packed() && page.jhashValid &&
+        page.eccKeyValid && page.strongHashValid) {
+        // Unchanged frame content + unchanged sampling offsets: every
+        // key recomputes to its stored value, so replay the exact
+        // outcome and counter updates of that recomputation.
+        HashCheckOutcome outcome;
+        outcome.jhashKey = page.lastJhash;
+        outcome.eccKey = page.lastEccKey;
+        outcome.firstScan = false;
+        outcome.trulyChanged = false;
+        ++stats.jhashMatches;
+        outcome.unchangedByJhash = true;
+        ++stats.eccMatches;
+        outcome.unchangedByEcc = true;
+        return outcome;
+    }
+
+    HashCheckOutcome outcome =
+        checkPageHashes(mem.data(frame), page, offsets, stats);
+    page.hashFrame = frame;
+    page.hashGen = mem.writeGen(frame);
+    page.hashOffsetsKey = offsets.packed();
     return outcome;
 }
 

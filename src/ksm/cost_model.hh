@@ -175,6 +175,7 @@ struct MergeStats
 
 struct PageState;
 struct EccOffsets;
+class PhysicalMemory;
 
 /** Outcome of the per-candidate hash check (Algorithm 1, line 11). */
 struct HashCheckOutcome
@@ -197,6 +198,21 @@ struct HashCheckOutcome
  */
 HashCheckOutcome checkPageHashes(const std::uint8_t *data,
                                  PageState &page,
+                                 const EccOffsets &offsets,
+                                 HashKeyStats &stats);
+
+/**
+ * Hash-cache-aware variant over the page's mapped frame. When the
+ * frame and its write generation still match the page's hash-skip
+ * cache (and the ECC offsets are unchanged), the page content is
+ * provably identical to the previous scan, so the stored keys are
+ * reused and the match counters advance exactly as a recomputation
+ * would. Otherwise falls through to the computing overload and
+ * refreshes the cache. Outcomes and statistics are bit-identical to
+ * always recomputing; only host hashing work is skipped.
+ */
+HashCheckOutcome checkPageHashes(const PhysicalMemory &mem,
+                                 FrameId frame, PageState &page,
                                  const EccOffsets &offsets,
                                  HashKeyStats &stats);
 

@@ -1,8 +1,10 @@
 #include "ksm/ksmd.hh"
 
+#include <bit>
 #include <utility>
 
 #include "sim/logging.hh"
+#include "sim/simd.hh"
 
 namespace pageforge
 {
@@ -232,6 +234,21 @@ Ksmd::scanOne(CoreId core, const PageKey &key, Tick now)
     _cycleStats.otherCycles += cost.candidateOverheadCycles;
     const std::uint8_t *data = mem.data(frame);
 
+    // When the candidate was CoW-forked off a frame that may still sit
+    // in a tree, compares against that exact frame only need to walk
+    // the dirtied lines (the mask proves the rest equal). Purely a
+    // host-side shortcut: search results and charged costs are
+    // identical.
+    ContentTree::MaskedProbe masked_storage;
+    const ContentTree::MaskedProbe *masked = nullptr;
+    if (_hyper.forkValid(page) &&
+        std::popcount(mem.dirtyMask(frame)) <=
+            static_cast<int>(simd::maskedCompareMaxLines)) {
+        masked_storage = {mem.data(page.cowSrcFrame),
+                          mem.dirtyMask(frame)};
+        masked = &masked_storage;
+    }
+
     // The compare hook drives the touched lines of both pages through
     // this core's caches and charges the compare loop. It advances the
     // local clock `now` of this scan step.
@@ -254,7 +271,7 @@ Ksmd::scanOne(CoreId core, const PageKey &key, Tick now)
         onStablePrune(handle);
     };
     ContentTree::SearchResult stable_res =
-        _stable.search(data, hook, stable_prune);
+        _stable.search(data, hook, stable_prune, masked);
     _cycleStats.compareCycles += now - phase_start;
 
     if (stable_res.match) {
@@ -275,7 +292,7 @@ Ksmd::scanOne(CoreId core, const PageKey &key, Tick now)
     _cycleStats.hashCycles += now - phase_start;
 
     HashCheckOutcome hashes =
-        checkPageHashes(data, page, _config.eccOffsets, _hashStats);
+        checkPageHashes(mem, frame, page, _config.eccOffsets, _hashStats);
     if (hashes.firstScan || !hashes.unchangedByJhash) {
         // Written since the last pass (or never scanned): drop it.
         ++_mergeStats.pagesDropped;
@@ -286,7 +303,7 @@ Ksmd::scanOne(CoreId core, const PageKey &key, Tick now)
     ++_mergeStats.unstableSearches;
     phase_start = now;
     ContentTree::SearchResult unstable_res =
-        _unstable.search(data, hook);
+        _unstable.search(data, hook, {}, masked);
     _cycleStats.compareCycles += now - phase_start;
 
     if (!unstable_res.match) {
@@ -311,7 +328,7 @@ Ksmd::scanOne(CoreId core, const PageKey &key, Tick now)
     now += cost.compareLineCycles * linesPerPage;
     _cycleStats.compareCycles += now - verify_start;
 
-    if (!mem.framesEqual(frame, other_frame)) {
+    if (!_hyper.pagesEqual(page, _hyper.vm(other.vm).page(other.gpn))) {
         // Raced with a write between compare and protect: give up on
         // this candidate for the pass.
         ++_mergeStats.pagesDropped;

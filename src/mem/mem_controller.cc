@@ -1,5 +1,6 @@
 #include "mem/mem_controller.hh"
 
+#include <algorithm>
 #include <cstring>
 #include <vector>
 
@@ -62,20 +63,36 @@ void
 MemController::resetTiming()
 {
     _pendingReads.clear();
+    _pendingPairs.clear();
     _dram.resetTiming();
 }
 
 void
 MemController::prunePending(Tick now)
 {
-    if (_pendingReads.size() < 4096)
+    // Erase every pending entry whose completion precedes `now` — the
+    // same erase set as a full-map sweep, so coalescing behaviour is
+    // unchanged. (Request times are not monotonic across walkers, so
+    // an entry expired for this caller may still coalesce for a later
+    // caller with an earlier local time: the erase set is observable
+    // and must match the reference sweep exactly.) Sweeping the flat
+    // pair array amortizes to O(1) per read: the floor admits a sweep
+    // only every ~floor inserts, and each sweep retires most of what
+    // accumulated since the last one.
+    if (_pendingReads.size() < prunePendingFloor)
         return;
-    for (auto it = _pendingReads.begin(); it != _pendingReads.end();) {
-        if (it->second < now)
-            it = _pendingReads.erase(it);
-        else
-            ++it;
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < _pendingPairs.size(); ++i) {
+        auto [done, addr] = _pendingPairs[i];
+        if (done < now) {
+            // Stale pairs — the line was re-requested and the map
+            // slot overwritten — fail the value check and are skipped.
+            _pendingReads.eraseIfValue(addr, done);
+        } else {
+            _pendingPairs[keep++] = _pendingPairs[i];
+        }
     }
+    _pendingPairs.resize(keep);
 }
 
 void
@@ -149,22 +166,23 @@ MemController::readLine(Addr line_addr, Tick now, Requester req,
         }
     }
 
-    auto it = _pendingReads.find(line_addr);
-    if (it != _pendingReads.end() && it->second >= now &&
-        it->second <= now + 2 * _dram.config().queueHorizon) {
+    const Tick *pending = _pendingReads.find(line_addr);
+    if (pending && *pending >= now &&
+        *pending <= now + 2 * _dram.config().queueHorizon) {
         // An earlier request for the same line is still in flight:
         // coalesce with it instead of issuing a second DRAM access.
         // Entries completing beyond the queue horizon belong to
         // another walker's local future and are not visible here
         // (see DramConfig::queueHorizon).
         ++_coalesced;
-        return {it->second, ecc, true};
+        return {*pending, ecc, true};
     }
 
     prunePending(now);
     Tick done = _dram.access(line_addr, now + _dram.config().frontendLat,
                              false, req);
-    _pendingReads[line_addr] = done;
+    _pendingReads.insertOrAssign(line_addr, done);
+    _pendingPairs.emplace_back(done, line_addr);
     return {done, ecc, false};
 }
 

@@ -14,10 +14,12 @@
 #define PF_MEM_MEM_CONTROLLER_HH
 
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "ecc/line_ecc.hh"
 #include "mem/dram_model.hh"
+#include "mem/pending_reads.hh"
 #include "mem/phys_memory.hh"
 #include "mem/request.hh"
 #include "sim/sim_object.hh"
@@ -124,7 +126,22 @@ class MemController : public SimObject
     DramModel _dram;
 
     /** Reads in flight, for coalescing: line address -> completion. */
-    std::unordered_map<Addr, Tick> _pendingReads;
+    PendingReadMap _pendingReads;
+
+    /**
+     * Unsorted mirror of _pendingReads inserts: lets prunePending()
+     * sweep exactly the entries whose completion precedes the sweep
+     * time with one linear pass over a flat array, instead of walking
+     * the whole map per read. Pairs go stale when a line is
+     * re-requested (the map slot is overwritten); a stale pair fails
+     * the live-value check at erase time and is skipped. The array is
+     * bounded by the prune floor plus the stale pairs accumulated
+     * since the last sweep.
+     */
+    std::vector<std::pair<Tick, Addr>> _pendingPairs;
+
+    /** Map size below which expired entries are left in place. */
+    static constexpr std::size_t prunePendingFloor = 4096;
 
     /** One injected fault: a flipped bit, transient or stuck-at. */
     struct InjectedFault

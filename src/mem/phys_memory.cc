@@ -4,11 +4,14 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "sim/simd.hh"
+
 namespace pageforge
 {
 
 PhysicalMemory::PhysicalMemory(std::size_t total_frames)
-    : _meta(total_frames), _stats("phys_mem")
+    : _meta(total_frames), _dirtyMask(total_frames),
+      _writeGen(total_frames), _stats("phys_mem")
 {
     pf_assert(total_frames > 0, "zero-sized physical memory");
 
@@ -79,6 +82,10 @@ PhysicalMemory::allocFrame(bool zero)
     meta.allocated = true;
     meta.writeProtected = false;
     meta.everUsed = true;
+    // New content of unknown relation to anything: saturate the dirty
+    // mask and invalidate every outstanding generation sample.
+    _dirtyMask[id] = ~std::uint64_t(0);
+    ++_writeGen[id];
 
     ++_allocs;
     ++_inUse;
@@ -186,20 +193,13 @@ PhysicalMemory::forEachAllocatedFrame(
 bool
 PhysicalMemory::framesEqual(FrameId a, FrameId b) const
 {
-    return std::memcmp(data(a), data(b), pageSize) == 0;
+    return simd::rangeEqual(data(a), data(b), pageSize);
 }
 
 bool
 PhysicalMemory::isZeroFrame(FrameId frame) const
 {
-    const std::uint8_t *bytes = data(frame);
-    for (std::uint32_t off = 0; off < pageSize; off += 8) {
-        std::uint64_t word;
-        std::memcpy(&word, bytes + off, 8);
-        if (word != 0)
-            return false;
-    }
-    return true;
+    return simd::allZero(data(frame), pageSize);
 }
 
 } // namespace pageforge

@@ -20,12 +20,6 @@ splitmix64(std::uint64_t &state)
     return z ^ (z >> 31);
 }
 
-std::uint64_t
-rotl(std::uint64_t x, int k)
-{
-    return (x << k) | (x >> (64 - k));
-}
-
 } // namespace
 
 Rng::Rng(std::uint64_t seed)
@@ -33,35 +27,6 @@ Rng::Rng(std::uint64_t seed)
     std::uint64_t sm = seed;
     for (auto &word : _s)
         word = splitmix64(sm);
-}
-
-std::uint64_t
-Rng::next()
-{
-    const std::uint64_t result = rotl(_s[1] * 5, 7) * 9;
-    const std::uint64_t t = _s[1] << 17;
-    _s[2] ^= _s[0];
-    _s[3] ^= _s[1];
-    _s[1] ^= _s[2];
-    _s[0] ^= _s[3];
-    _s[2] ^= t;
-    _s[3] = rotl(_s[3], 45);
-    return result;
-}
-
-std::uint64_t
-Rng::nextBounded(std::uint64_t bound)
-{
-    pf_assert(bound > 0, "nextBounded(0)");
-    // Lemire's multiply-shift; bias is negligible for simulation use.
-    return static_cast<std::uint64_t>(
-        (static_cast<unsigned __int128>(next()) * bound) >> 64);
-}
-
-double
-Rng::nextDouble()
-{
-    return static_cast<double>(next() >> 11) * 0x1.0p-53;
 }
 
 double

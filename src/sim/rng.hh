@@ -12,6 +12,8 @@
 
 #include <cstdint>
 
+#include "sim/logging.hh"
+
 namespace pageforge
 {
 
@@ -22,14 +24,43 @@ class Rng
     /** Seed via splitmix64 expansion of @p seed. */
     explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
 
-    /** Uniform 64-bit value. */
-    std::uint64_t next();
+    /**
+     * Uniform 64-bit value.
+     * Defined inline: the draw itself is a handful of ALU ops, and the
+     * workload generators call it hundreds of millions of times per
+     * campaign — an out-of-line call would cost more than the draw.
+     */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(_s[1] * 5, 7) * 9;
+        const std::uint64_t t = _s[1] << 17;
+        _s[2] ^= _s[0];
+        _s[3] ^= _s[1];
+        _s[1] ^= _s[2];
+        _s[0] ^= _s[3];
+        _s[2] ^= t;
+        _s[3] = rotl(_s[3], 45);
+        return result;
+    }
 
     /** Uniform integer in [0, bound) using rejection-free scaling. */
-    std::uint64_t nextBounded(std::uint64_t bound);
+    std::uint64_t
+    nextBounded(std::uint64_t bound)
+    {
+        pf_assert(bound > 0, "nextBounded(0)");
+        // Lemire's multiply-shift; bias is negligible for simulation
+        // use.
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
 
     /** Uniform double in [0, 1). */
-    double nextDouble();
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
 
     /** Bernoulli trial with probability @p p of returning true. */
     bool chance(double p) { return nextDouble() < p; }
@@ -53,6 +84,12 @@ class Rng
     Rng fork();
 
   private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
     std::uint64_t _s[4];
 };
 

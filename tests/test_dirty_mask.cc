@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Lifecycle tests for the per-frame dirty-line masks and the
+ * mask-accelerated page compares built on them.
+ *
+ * The masks are a host-side accelerator with an exactness contract:
+ * pageEqualsFrame()/pagesEqual() must always return exactly what a
+ * whole-page memcmp would, no matter how writes, CoW breaks, merges,
+ * reclaims, and poisoned frames interleave. The unit tests pin the
+ * mask transitions one by one; the property test hammers the contract
+ * with random operation sequences.
+ */
+
+#include <bit>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "hyper/hypervisor.hh"
+#include "sim/rng.hh"
+
+namespace pageforge
+{
+namespace
+{
+
+TEST(DirtyMaskUnitTest, NoteWriteSetsExactLineBits)
+{
+    PhysicalMemory mem(8);
+    FrameId f = mem.allocFrame(true);
+    mem.clearDirty(f);
+    EXPECT_EQ(mem.dirtyMask(f), 0u);
+
+    // One byte dirties exactly its line.
+    mem.noteWrite(f, 5 * lineSize + 7, 1);
+    EXPECT_EQ(mem.dirtyMask(f), std::uint64_t(1) << 5);
+
+    // A straddling write dirties every touched line.
+    mem.noteWrite(f, 10 * lineSize - 1, 2);
+    EXPECT_EQ(mem.dirtyMask(f),
+              (std::uint64_t(1) << 5) | (std::uint64_t(1) << 9) |
+                  (std::uint64_t(1) << 10));
+
+    // A full-page write saturates the mask.
+    mem.noteWrite(f, 0, pageSize);
+    EXPECT_EQ(mem.dirtyMask(f), ~std::uint64_t(0));
+
+    mem.clearDirty(f);
+    EXPECT_EQ(mem.dirtyMask(f), 0u);
+}
+
+TEST(DirtyMaskUnitTest, ZeroLengthWriteBumpsGenOnly)
+{
+    PhysicalMemory mem(8);
+    FrameId f = mem.allocFrame(true);
+    mem.clearDirty(f);
+    std::uint64_t gen = mem.writeGen(f);
+    mem.noteWrite(f, 100, 0);
+    EXPECT_EQ(mem.dirtyMask(f), 0u);
+    EXPECT_GT(mem.writeGen(f), gen);
+}
+
+TEST(DirtyMaskUnitTest, AllocSaturatesMaskAndBumpsGen)
+{
+    PhysicalMemory mem(8);
+    FrameId f = mem.allocFrame(true);
+    std::uint64_t gen = mem.writeGen(f);
+    // A fresh frame must not inherit a clean mask: its content is new.
+    EXPECT_EQ(mem.dirtyMask(f), ~std::uint64_t(0));
+
+    // Recycling bumps the generation so stale fork anchors can never
+    // validate against the reused frame id.
+    mem.clearDirty(f);
+    mem.decRef(f);
+    FrameId g = mem.allocFrame(false);
+    ASSERT_EQ(g, f); // LIFO free list hands the same id back
+    EXPECT_GT(mem.writeGen(g), gen);
+    EXPECT_EQ(mem.dirtyMask(g), ~std::uint64_t(0));
+}
+
+TEST(DirtyMaskUnitTest, CowBreakAnchorsTheCopy)
+{
+    EventQueue eq;
+    PhysicalMemory mem(64);
+    Hypervisor hyper("hv", eq, mem);
+    VmId v0 = hyper.createVm("v0", 4);
+    VmId v1 = hyper.createVm("v1", 4);
+
+    std::uint8_t buf[pageSize];
+    std::memset(buf, 0x11, pageSize);
+    hyper.writeToPage(v0, 0, 0, buf, pageSize);
+    hyper.writeToPage(v1, 0, 0, buf, pageSize);
+    FrameId shared = hyper.mergePair(PageKey{v0, 0}, PageKey{v1, 0});
+
+    // Breaking CoW with a one-byte write: the private copy's mask
+    // holds exactly the written line, and the fork anchor points at
+    // the shared source.
+    std::uint8_t byte = 0x22;
+    WriteOutcome out = hyper.writeToPage(v0, 0, 3 * lineSize, &byte, 1);
+    ASSERT_TRUE(out.cowBroken);
+    EXPECT_EQ(mem.dirtyMask(out.frame), std::uint64_t(1) << 3);
+    const PageState &page = hyper.vm(v0).page(0);
+    EXPECT_EQ(page.cowSrcFrame, shared);
+    EXPECT_TRUE(hyper.forkValid(page));
+
+    // Writing the (still shared) source invalidates the fork.
+    hyper.writeToPage(v1, 0, 0, &byte, 1);
+    EXPECT_FALSE(hyper.forkValid(hyper.vm(v0).page(0)));
+}
+
+TEST(DirtyMaskUnitTest, MaskedCompareAgreesWithMemcmpEitherWay)
+{
+    EventQueue eq;
+    PhysicalMemory mem(64);
+    Hypervisor hyper("hv", eq, mem);
+    VmId v0 = hyper.createVm("v0", 4);
+    VmId v1 = hyper.createVm("v1", 4);
+
+    std::uint8_t buf[pageSize];
+    std::memset(buf, 0x33, pageSize);
+    hyper.writeToPage(v0, 0, 0, buf, pageSize);
+    hyper.writeToPage(v1, 0, 0, buf, pageSize);
+    hyper.mergePair(PageKey{v0, 0}, PageKey{v1, 0});
+
+    // Fork both sides off the shared frame with identical writes: the
+    // sibling-fork masked compare must see them equal.
+    std::uint8_t byte = 0x44;
+    hyper.writeToPage(v0, 0, 0, &byte, 1);
+    hyper.writeToPage(v1, 0, 0, &byte, 1);
+    const PageState &pa = hyper.vm(v0).page(0);
+    const PageState &pb = hyper.vm(v1).page(0);
+    EXPECT_TRUE(hyper.pagesEqual(pa, pb));
+    EXPECT_TRUE(mem.framesEqual(pa.frame, pb.frame));
+
+    // Diverge one line: masked compare must catch it.
+    std::uint8_t other = 0x55;
+    hyper.writeToPage(v1, 0, 17 * lineSize, &other, 1);
+    EXPECT_FALSE(hyper.pagesEqual(hyper.vm(v0).page(0),
+                                  hyper.vm(v1).page(0)));
+}
+
+/**
+ * Property test: a random storm of writes, merges, CoW breaks,
+ * reclaims, and frame poisonings, after each of which the
+ * mask-accelerated compares must agree with the byte-exact oracle for
+ * every mapped page pair.
+ */
+TEST(DirtyMaskPropertyTest, MaskedComparesMatchByteOracleUnderChurn)
+{
+    EventQueue eq;
+    PhysicalMemory mem(512);
+    Hypervisor hyper("hv", eq, mem);
+    constexpr unsigned numVms = 3;
+    constexpr GuestPageNum pagesPerVm = 6;
+    std::vector<VmId> vms;
+    for (unsigned v = 0; v < numVms; ++v)
+        vms.push_back(
+            hyper.createVm("vm" + std::to_string(v), pagesPerVm));
+
+    Rng rng(2026);
+    // A small content alphabet keeps pages colliding, so merges and
+    // masked sibling compares actually happen.
+    auto fill_some = [&](VmId vm, GuestPageNum gpn) {
+        std::uint8_t pattern = static_cast<std::uint8_t>(
+            0x10 * (1 + rng.nextBounded(4)));
+        std::uint32_t offset = static_cast<std::uint32_t>(
+            rng.nextBounded(pageSize / lineSize)) * lineSize;
+        std::uint32_t len = static_cast<std::uint32_t>(
+            1 + rng.nextBounded(pageSize - offset));
+        std::vector<std::uint8_t> buf(len, pattern);
+        hyper.writeToPage(vm, gpn, offset, buf.data(), len);
+    };
+
+    for (int step = 0; step < 600; ++step) {
+        VmId vm = vms[rng.nextBounded(numVms)];
+        GuestPageNum gpn =
+            static_cast<GuestPageNum>(rng.nextBounded(pagesPerVm));
+        switch (rng.nextBounded(10)) {
+          case 0: { // reclaim (unmaps; later touch remaps fresh)
+            hyper.reclaimPage(vm, gpn);
+            break;
+          }
+          case 1: { // try to merge two equal mapped pages
+            VmId vm2 = vms[rng.nextBounded(numVms)];
+            GuestPageNum gpn2 =
+                static_cast<GuestPageNum>(rng.nextBounded(pagesPerVm));
+            FrameId fa = hyper.frameOf(vm, gpn);
+            FrameId fb = hyper.frameOf(vm2, gpn2);
+            if (fa != invalidFrame && fb != invalidFrame && fa != fb &&
+                !mem.isPoisoned(fa) && !mem.isPoisoned(fb) &&
+                mem.framesEqual(fa, fb)) {
+                if (mem.refCount(fb) > 1 || mem.isWriteProtected(fb)) {
+                    hyper.tryMergeIntoFrame(PageKey{vm, gpn}, fb);
+                } else if (mem.refCount(fa) == 1 &&
+                           !mem.isWriteProtected(fa)) {
+                    hyper.mergePair(PageKey{vm, gpn},
+                                    PageKey{vm2, gpn2});
+                }
+            }
+            break;
+          }
+          case 2: { // poison a mapped frame (drains via CoW writes)
+            FrameId f = hyper.frameOf(vm, gpn);
+            if (f != invalidFrame)
+                mem.poisonFrame(f);
+            break;
+          }
+          default: // mostly writes: CoW breaks, mask growth
+            fill_some(vm, gpn);
+            break;
+        }
+
+        // Oracle sweep: every mapped pair, both compare entry points.
+        for (VmId va : vms) {
+            for (GuestPageNum pa = 0; pa < pagesPerVm; ++pa) {
+                const PageState &sa = hyper.vm(va).page(pa);
+                if (!sa.mapped)
+                    continue;
+                for (VmId vb : vms) {
+                    for (GuestPageNum pb = 0; pb < pagesPerVm; ++pb) {
+                        const PageState &sb = hyper.vm(vb).page(pb);
+                        if (!sb.mapped)
+                            continue;
+                        bool oracle =
+                            mem.framesEqual(sa.frame, sb.frame);
+                        ASSERT_EQ(hyper.pagesEqual(sa, sb), oracle)
+                            << "step " << step;
+                        ASSERT_EQ(hyper.pageEqualsFrame(sa, sb.frame),
+                                  oracle)
+                            << "step " << step;
+                    }
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace pageforge

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Verify that every BENCH_*.json the docs cite exists and parses.
+
+Usage: check_bench_refs.py [DOC ...]   (default: CHANGES.md ROADMAP.md)
+
+CHANGES.md and ROADMAP.md refer to committed benchmark reports by file
+name; a rename or a forgotten `git add` leaves a dangling reference
+that nobody notices until someone tries to reproduce a number. This
+check scans the docs for BENCH_*.json tokens, resolves them relative
+to the repository root (the script's grandparent directory), and fails
+if any referenced report is missing or is not valid JSON.
+"""
+
+import json
+import pathlib
+import re
+import sys
+
+TOKEN = re.compile(r"\bBENCH_[A-Za-z0-9_]+\.json\b")
+
+
+def main(argv):
+    root = pathlib.Path(__file__).resolve().parent.parent
+    docs = [root / d for d in (argv[1:] or ["CHANGES.md", "ROADMAP.md"])]
+
+    refs = {}
+    for doc in docs:
+        try:
+            text = doc.read_text(encoding="utf-8")
+        except OSError as err:
+            print(f"check_bench_refs: cannot read {doc}: {err}",
+                  file=sys.stderr)
+            return 2
+        for token in TOKEN.findall(text):
+            refs.setdefault(token, []).append(doc.name)
+
+    if not refs:
+        print("check_bench_refs: no BENCH_*.json references found")
+        return 0
+
+    failures = 0
+    for token in sorted(refs):
+        path = root / token
+        cited = ", ".join(sorted(set(refs[token])))
+        if not path.is_file():
+            print(f"MISSING: {token} (cited in {cited})")
+            failures += 1
+            continue
+        try:
+            with open(path, encoding="utf-8") as fh:
+                json.load(fh)
+        except ValueError as err:
+            print(f"INVALID: {token} does not parse: {err}")
+            failures += 1
+            continue
+        print(f"ok: {token} (cited in {cited})")
+
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Compare a fresh simulation-speed report against the committed baseline.
+
+Usage: check_perf_regression.py CURRENT.json BASELINE.json [--tolerance=0.10]
+
+Fails (exit 1) when the fresh report's aggregate events/sec fall more
+than the tolerance below the baseline's. The committed baseline was
+measured on a dedicated box; CI runners are shared and slower in
+absolute terms, so the gate can be widened for CI with
+PF_PERF_TOLERANCE (a fraction, e.g. 0.5) without touching the script.
+
+Any cell failure in the fresh report is a hard failure regardless of
+speed: a cell that crashed produces no events to count.
+"""
+
+import json
+import os
+import sys
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, ValueError) as err:
+        print(f"check_perf_regression: cannot read {path}: {err}",
+              file=sys.stderr)
+        sys.exit(2)
+
+
+def main(argv):
+    tolerance = float(os.environ.get("PF_PERF_TOLERANCE", "0.10"))
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--tolerance="):
+            tolerance = float(arg.split("=", 1)[1])
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+
+    current = load(paths[0])
+    baseline = load(paths[1])
+
+    for name, report in (("current", current), ("baseline", baseline)):
+        if report.get("schema") != "pageforge-simspeed-v1":
+            print(f"check_perf_regression: {name} report has unexpected "
+                  f"schema {report.get('schema')!r}", file=sys.stderr)
+            sys.exit(2)
+
+    if current.get("failures", 0):
+        print(f"FAIL: {current['failures']} cell(s) failed in the "
+              "current run")
+        sys.exit(1)
+
+    cur = current["events_per_sec"]
+    base = baseline["events_per_sec"]
+    floor = base * (1.0 - tolerance)
+    ratio = cur / base if base else float("inf")
+    verdict = "OK" if cur >= floor else "FAIL"
+    print(f"{verdict}: {cur:,.0f} events/s vs baseline {base:,.0f} "
+          f"({ratio:.2%}, floor {floor:,.0f} at tolerance "
+          f"{tolerance:.0%})")
+
+    # Per-cell breakdown for the artifact log: regressions rarely hit
+    # every cell equally, and the slowest cell names the culprit.
+    base_cells = {(c["app"], c["mode"], c.get("seed")): c
+                  for c in baseline.get("cells", [])}
+    for cell in current.get("cells", []):
+        key = (cell["app"], cell["mode"], cell.get("seed"))
+        ref = base_cells.get(key)
+        if not ref or not ref.get("events_per_sec"):
+            continue
+        cell_ratio = cell["events_per_sec"] / ref["events_per_sec"]
+        print(f"  {cell['app']:>10s}/{cell['mode']:<9s} "
+              f"{cell['events_per_sec']:>12,.0f} ev/s  "
+              f"({cell_ratio:.2%} of baseline)")
+
+    sys.exit(0 if cur >= floor else 1)
+
+
+if __name__ == "__main__":
+    main(sys.argv)

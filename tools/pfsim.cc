@@ -27,6 +27,7 @@
 
 #include "fault/fault_injector.hh"
 #include "fault/merge_oracle.hh"
+#include "sim/simd.hh"
 #include "stats/table.hh"
 #include "system/campaign.hh"
 #include "system/system.hh"
@@ -47,6 +48,7 @@ struct Options
     unsigned warmupPasses = 6;
     std::uint64_t seed = 42;
     bool dumpStats = false;
+    bool forceScalar = false;
     KsmPlacement placement = KsmPlacement::Sticky;
 
     // ---- observability ----
@@ -106,6 +108,9 @@ usage(const char *prog)
         << "  --template-app=A    app profile for churned VMs "
            "(default: --app)\n"
         << "  --dump-stats        print the full component stats dump\n"
+        << "  --force-scalar      pin the scalar page-compare kernels\n"
+        << "                      (same effect as PF_FORCE_SCALAR=1);\n"
+        << "                      results are bit-identical either way\n"
         << "fault injection:\n"
         << "  --faults=SPEC       enable fault injection; SPEC is k=v\n"
         << "                      pairs: rate (bit flips/GB/s),\n"
@@ -214,6 +219,8 @@ parse(int argc, char **argv)
                 usage(argv[0]);
         } else if (arg == "--dump-stats") {
             opts.dumpStats = true;
+        } else if (arg == "--force-scalar") {
+            opts.forceScalar = true;
         } else if (arg == "--trace") {
             opts.trace = true;
         } else if (const char *v = value("--trace=")) {
@@ -371,6 +378,9 @@ int
 main(int argc, char **argv)
 {
     Options opts = parse(argc, argv);
+
+    if (opts.forceScalar)
+        simd::setLevel(simd::Level::Scalar);
 
     std::uint32_t component_mask = allComponentsMask;
     if (!opts.traceFilter.empty()) {
