@@ -21,7 +21,7 @@ Hierarchy::Hierarchy(std::string name, EventQueue &eq, unsigned num_cores,
                      const CacheConfig &l3_cfg, const BusConfig &bus_cfg,
                      MemController &mc)
     : SimObject(std::move(name), eq), _numCores(num_cores),
-      _bus(this->name() + ".bus", eq, bus_cfg), _mc(mc),
+      _bus(this->name() + ".bus", eq, bus_cfg), _mcs{&mc},
       _residency(mc.memory().totalFrames() * linesPerPage),
       _stats(this->name())
 {
@@ -88,7 +88,8 @@ Hierarchy::fillL3(Addr line_addr, bool dirty, Tick now)
     Victim victim = _l3->insert(
         line_addr, dirty ? MesiState::Modified : MesiState::Exclusive);
     if (victim.valid && victim.dirty) {
-        _mc.writeLine(victim.addr, now, Requester::Writeback);
+        mcFor(victim.addr).writeLine(victim.addr, now,
+                                     Requester::Writeback);
         ++_writebacksToMem;
     }
 }
@@ -232,7 +233,7 @@ Hierarchy::access(CoreId core, Addr addr, bool write, Tick now,
             source = AccessSource::L3;
         } else {
             ++_l3MissBy[reqIdx(req)];
-            McReadResult rr = _mc.readLine(line, bus_done, req);
+            McReadResult rr = mcFor(line).readLine(line, bus_done, req);
             done = rr.done;
             fillL3(line, false, now);
             source = AccessSource::Memory;

@@ -92,7 +92,30 @@ class Hierarchy : public SimObject
     Cache &l2(CoreId core) { return *_l2[core]; }
     Cache &l3() { return *_l3; }
     Bus &bus() { return _bus; }
-    MemController &memController() { return _mc; }
+    MemController &memController() { return *_mcs[0]; }
+
+    /**
+     * Register a further memory controller for a multi-MC machine.
+     * Address traffic below the L3 is then routed by the frame's home
+     * channel: frame % numMemControllers(), matching the ShardMap's
+     * channel interleave.
+     */
+    void addMemController(MemController &mc) { _mcs.push_back(&mc); }
+
+    unsigned
+    numMemControllers() const
+    {
+        return static_cast<unsigned>(_mcs.size());
+    }
+
+    /** Controller owning @p addr under the channel interleave. */
+    MemController &
+    mcFor(Addr addr)
+    {
+        return _mcs.size() == 1
+            ? *_mcs[0]
+            : *_mcs[addrToFrame(addr) % _mcs.size()];
+    }
 
     /** L3 demand accesses by requester class (Table 4). */
     std::uint64_t l3Accesses(Requester req) const;
@@ -127,7 +150,7 @@ class Hierarchy : public SimObject
     std::vector<std::unique_ptr<Mshr>> _l2Mshr;
     std::unique_ptr<Cache> _l3;
     Bus _bus;
-    MemController &_mc;
+    std::vector<MemController *> _mcs; //!< [0] is the ctor's controller
 
     /**
      * Holder count per line across every cache of this hierarchy; a

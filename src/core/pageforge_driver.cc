@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "fault/fault_injector.hh"
+#include "shard/cross_mc_router.hh"
+#include "shard/shard_map.hh"
 #include "sim/logging.hh"
 
 namespace pageforge
@@ -13,20 +15,24 @@ PageForgeDriver::PageForgeDriver(std::string name, EventQueue &eq,
                                  Hypervisor &hyper, PageForgeApi &api,
                                  std::vector<Core *> cores,
                                  const PageForgeDriverConfig &config)
-    : SimObject(std::move(name), eq), _hyper(hyper), _api(api),
+    : SimObject(std::move(name), eq), _hyper(hyper), _apis{&api},
       _cores(std::move(cores)), _config(config),
-      _stableAcc(hyper.memory()), _guestAcc(hyper),
-      _stable(_stableAcc, /*immutable_contents=*/true),
-      _unstable(_guestAcc)
+      _stableAcc(hyper.memory()), _guestAcc(hyper), _shardScans(1),
+      _shardMerges(1)
 {
     pf_assert(!_cores.empty(), "driver with no cores");
-    _api.module().setEccOffsets(config.eccOffsets);
+    _stables.push_back(std::make_unique<ContentTree>(
+        _stableAcc, /*immutable_contents=*/true));
+    _unstables.push_back(std::make_unique<ContentTree>(_guestAcc));
+    api.module().setEccOffsets(config.eccOffsets);
     _destroyToken = _hyper.addVmDestroyListener(
         [this](VmId vm_id) { onVmDestroyed(vm_id); });
     _pinToken = _hyper.addPinProvider([this] {
-        return static_cast<std::uint64_t>(_stable.size()) +
-            _pinnedFrames.size() +
-            (_candidateFrame != invalidFrame ? 1 : 0);
+        std::uint64_t pinned =
+            _pinnedFrames.size() + (_candidateFrame != invalidFrame ? 1 : 0);
+        for (const auto &stable : _stables)
+            pinned += stable->size();
+        return pinned;
     });
 }
 
@@ -34,7 +40,32 @@ PageForgeDriver::~PageForgeDriver()
 {
     _hyper.removeVmDestroyListener(_destroyToken);
     _hyper.removePinProvider(_pinToken);
-    _stable.clear([this](PageHandle handle) { onStablePrune(handle); });
+    for (auto &stable : _stables)
+        stable->clear(
+            [this](PageHandle handle) { onStablePrune(handle); });
+}
+
+void
+PageForgeDriver::addShardApi(PageForgeApi &api)
+{
+    pf_assert(!_running, "adding a shard to a running driver");
+    api.module().setEccOffsets(_config.eccOffsets);
+    _apis.push_back(&api);
+    _stables.push_back(std::make_unique<ContentTree>(
+        _stableAcc, /*immutable_contents=*/true));
+    _unstables.push_back(std::make_unique<ContentTree>(_guestAcc));
+    _shardScans.push_back(0);
+    _shardMerges.push_back(0);
+}
+
+void
+PageForgeDriver::setShardRouting(const ShardMap &map, CrossMcRouter &router)
+{
+    pf_assert(map.numShards() == numShards(),
+              "shard map covers %u shards, driver has %u",
+              map.numShards(), numShards());
+    _shardMap = &map;
+    _router = &router;
 }
 
 void
@@ -53,14 +84,19 @@ PageForgeDriver::purgeVm(VmId vm_id)
     _scanList = std::move(kept);
     _cursor = kept_before_cursor;
 
-    _unstable.eraseIf([vm_id](PageHandle handle) {
-        return isGuestHandle(handle) && handleGuest(handle).vm == vm_id;
-    });
-    _stable.eraseIf(
-        [this](PageHandle handle) {
-            return _stableAcc.resolve(handle) == nullptr;
-        },
-        [this](PageHandle handle) { onStablePrune(handle); });
+    for (auto &unstable : _unstables) {
+        unstable->eraseIf([vm_id](PageHandle handle) {
+            return isGuestHandle(handle) &&
+                   handleGuest(handle).vm == vm_id;
+        });
+    }
+    for (auto &stable : _stables) {
+        stable->eraseIf(
+            [this](PageHandle handle) {
+                return _stableAcc.resolve(handle) == nullptr;
+            },
+            [this](PageHandle handle) { onStablePrune(handle); });
+    }
 
     std::erase_if(_retryQueue, [vm_id](const MergeRetry &retry) {
         return retry.key.vm == vm_id;
@@ -93,7 +129,8 @@ PageForgeDriver::onStablePrune(PageHandle handle)
 ContentTree *
 PageForgeDriver::currentTree()
 {
-    return _phase == Phase::Stable ? &_stable : &_unstable;
+    return _phase == Phase::Stable ? &stableShardTree()
+                                   : &unstableShardTree();
 }
 
 PageAccessor &
@@ -111,7 +148,8 @@ PageForgeDriver::currentAccessor()
 void
 PageForgeDriver::startPass()
 {
-    _unstable.clear();
+    for (auto &unstable : _unstables)
+        unstable->clear();
     _scanList = _hyper.mergeablePages();
     _cursor = 0;
     ++_mergeStats.fullPasses;
@@ -212,7 +250,7 @@ PageForgeDriver::buildBatch(ContentTree::Node *subtree_root)
 {
     ContentTree &tree = *currentTree();
     PageAccessor &acc = currentAccessor();
-    unsigned capacity = _api.tableEntries();
+    unsigned capacity = currentApi().tableEntries();
 
 restart:
     pf_assert(subtree_root, "building a batch with no subtree");
@@ -309,9 +347,10 @@ PageForgeDriver::programBatch()
     unpinBatch();
     PhysicalMemory &mem = _hyper.memory();
 
+    PageForgeApi &api = currentApi();
     for (unsigned i = 0; i < _batch.entries.size(); ++i) {
         const auto &entry = _batch.entries[i];
-        _api.insertPpn(i, entry.ppn, entry.less, entry.more);
+        api.insertPpn(i, entry.ppn, entry.less, entry.more);
         mem.addRef(entry.ppn);
         _pinnedFrames.push_back(entry.ppn);
     }
@@ -319,11 +358,11 @@ PageForgeDriver::programBatch()
         probe().instant(
             "pfe-swap", curTick(),
             {"frame", static_cast<double>(_candidateFrame)});
-        _api.insertPfe(_candidateFrame, _batch.lastRefill,
-                       _batch.startPtr);
+        api.insertPfe(_candidateFrame, _batch.lastRefill,
+                      _batch.startPtr);
         _firstBatch = false;
     } else {
-        _api.updatePfe(_batch.lastRefill, _batch.startPtr);
+        api.updatePfe(_batch.lastRefill, _batch.startPtr);
     }
     _batchStart = curTick();
     ++_refills;
@@ -339,6 +378,26 @@ PageForgeDriver::setupCandidate()
     _phase = Phase::Stable;
     _firstBatch = true;
     _stableInsertValid = false;
+    _candidateShard = 0;
+    _handoffDelay = 0;
+    if (_shardMap && _shardMap->numShards() > 1) {
+        // The content key decides which shard's trees can hold this
+        // page; if that is not the MC homing the frame, the scanning
+        // MC hands the candidate across the interconnect.
+        _candidateShard = _shardMap->contentShardOf(
+            _hyper.memory().data(_candidateFrame));
+        unsigned home = _shardMap->homeOf(_candidateFrame);
+        if (home != _candidateShard && _router) {
+            Tick delivered =
+                _router->enqueue(home, _candidateShard, curTick());
+            _handoffDelay = delivered - curTick();
+            probe().instant(
+                "mc-handoff", curTick(),
+                {"src", static_cast<double>(home)},
+                {"dst", static_cast<double>(_candidateShard)});
+        }
+    }
+    _shardScans[_candidateFrame % _shardScans.size()] += 1;
     pinCandidate();
     return beginPhase();
 }
@@ -348,7 +407,7 @@ PageForgeDriver::beginPhase()
 {
     if (_phase == Phase::Stable) {
         ++_mergeStats.stableSearches;
-        ContentTree::Node *root = _stable.root();
+        ContentTree::Node *root = stableShardTree().root();
         if (!root) {
             // Empty stable tree: no match possible; the insertion
             // point for a later stable insert is the root. Run a
@@ -365,10 +424,11 @@ PageForgeDriver::beginPhase()
     }
 
     ++_mergeStats.unstableSearches;
-    ContentTree::Node *root = _unstable.root();
+    ContentTree::Node *root = unstableShardTree().root();
     if (!root) {
         // First unstable page this pass: becomes the tree root.
-        _unstable.insertChild(nullptr, false, guestHandle(_candidate));
+        unstableShardTree().insertChild(nullptr, false,
+                                        guestHandle(_candidate));
         chargeDriver(_config.treeUpdateCycles);
         return Action::CandidateDone;
     }
@@ -413,9 +473,10 @@ PageForgeDriver::handleStableMatch(ContentTree::Node *node)
     if (mergeRaced())
         return abortMergedRace();
 
-    FrameId target = handleFrame(_stable.handle(node));
+    FrameId target = handleFrame(stableShardTree().handle(node));
     if (_hyper.tryMergeIntoFrame(_candidate, target)) {
         ++_mergeStats.stableMerges;
+        _shardMerges[_candidateShard] += 1;
         chargeDriver(_config.mergeCycles);
         _falseMatchStreak = 0;
     } else {
@@ -496,7 +557,7 @@ PageForgeDriver::handleUnstableMatch(ContentTree::Node *node)
         return abortMergedRace();
 
     PhysicalMemory &mem = _hyper.memory();
-    PageKey other = handleGuest(_unstable.handle(node));
+    PageKey other = handleGuest(unstableShardTree().handle(node));
     FrameId other_frame = _hyper.frameOf(other.vm, other.gpn);
     FrameId cand_frame = _hyper.frameOf(_candidate.vm, _candidate.gpn);
 
@@ -518,18 +579,19 @@ PageForgeDriver::handleUnstableMatch(ContentTree::Node *node)
     chargeDriver(_config.mergeCycles + 2 * _config.cowProtectCycles +
                  2 * _config.treeUpdateCycles);
     ++_mergeStats.unstableMerges;
+    _shardMerges[_candidateShard] += 1;
     _falseMatchStreak = 0;
 
-    _unstable.erase(node);
+    unstableShardTree().erase(node);
 
     // Insert the merged page into the stable tree at the position the
     // hardware's stable search discovered for this very content.
     ContentTree::Node *stable_node = nullptr;
     if (_stableInsertValid) {
-        stable_node = _stable.insertChild(
+        stable_node = stableShardTree().insertChild(
             _stableInsertParent, _stableInsertLeft, frameHandle(merged));
     } else {
-        stable_node = _stable.insert(frameHandle(merged));
+        stable_node = stableShardTree().insert(frameHandle(merged));
     }
     if (stable_node)
         mem.addRef(merged); // the tree pins the frame
@@ -543,13 +605,13 @@ PageForgeDriver::unstableSearchEnded(const PfeInfo &info)
     if (isAbsentToken(info.ptr)) {
         unsigned entry = tokenEntry(info.ptr);
         pf_assert(entry < _batch.nodes.size(), "bad absent token");
-        _unstable.insertChild(_batch.nodes[entry],
-                              !tokenMoreSide(info.ptr),
-                              guestHandle(_candidate));
+        unstableShardTree().insertChild(_batch.nodes[entry],
+                                        !tokenMoreSide(info.ptr),
+                                        guestHandle(_candidate));
     } else {
         // Degenerate: the subtree vanished mid-phase. Fall back to a
         // software insert (rare; the compares are not charged).
-        _unstable.insert(guestHandle(_candidate));
+        unstableShardTree().insert(guestHandle(_candidate));
     }
     chargeDriver(_config.treeUpdateCycles);
     return Action::CandidateDone;
@@ -640,8 +702,11 @@ PageForgeDriver::rotateEccOffsets()
         rotated.offset[s] = static_cast<std::uint8_t>(
             (rotated.offset[s] + 1) % linesPerSection);
     _config.eccOffsets = rotated;
-    _api.updateEccOffset(rotated);
-    chargeDriver(PageForgeApi::callCycles);
+    // Every shard's module samples with the same offsets; re-key all.
+    for (PageForgeApi *api : _apis)
+        api->updateEccOffset(rotated);
+    chargeDriver(PageForgeApi::callCycles *
+                 static_cast<Tick>(_apis.size()));
     ++_offsetRotations;
     _falseMatchStreak = 0;
     probe().instant("ecc-offset-rotate", curTick());
@@ -709,6 +774,25 @@ PageForgeDriver::advance()
         }
         Action action = setupCandidate();
         if (action == Action::RunBatch) {
+            if (_handoffDelay > 0) {
+                // The candidate's content homes on a remote shard:
+                // programming waits for the inter-MC handoff. A VM
+                // death in the window flushes the candidate exactly
+                // like one landing mid-batch.
+                Tick when = curTick() + _handoffDelay;
+                _handoffDelay = 0;
+                eventq().schedule(when, [this] {
+                    if (_abortCandidate) {
+                        probe().instant("batch-flush", curTick());
+                        ++_batchesFlushed;
+                        ++_mergeStats.pagesDropped;
+                        advance();
+                        return;
+                    }
+                    dispatchProgramTask();
+                });
+                return;
+            }
             dispatchProgramTask();
             return;
         }
@@ -758,8 +842,8 @@ void
 PageForgeDriver::onCheckTaskDone()
 {
     ++_osChecks;
-    PfeInfo info = _api.getPfeInfo();
-    if (!info.scanned || _api.module().busy()) {
+    PfeInfo info = currentApi().getPfeInfo();
+    if (!info.scanned || currentApi().module().busy()) {
         scheduleCheck();
         return;
     }
@@ -794,9 +878,12 @@ PageForgeDriver::onCheckTaskDone()
 std::uint64_t
 PageForgeDriver::runOnePassNow()
 {
-    pf_assert(!_api.module().busy(), "synchronous pass while hw is busy");
-    bool was_sync = _api.synchronous();
-    _api.setSynchronous(true);
+    bool was_sync = _apis[0]->synchronous();
+    for (PageForgeApi *api : _apis) {
+        pf_assert(!api->module().busy(),
+                  "synchronous pass while hw is busy");
+        api->setSynchronous(true);
+    }
     _synchronous = true;
 
     startPass();
@@ -806,10 +893,13 @@ PageForgeDriver::runOnePassNow()
     while (pickNextCandidate()) {
         Action action = setupCandidate();
         while (action == Action::RunBatch) {
+            // A cross-MC handoff is counted by setupCandidate() but
+            // adds no latency here: synchronous passes fast-forward.
+            _handoffDelay = 0;
             programBatch();
-            _api.module().processNow();
+            currentApi().module().processNow();
             ++_osChecks;
-            action = onBatchComplete(_api.getPfeInfo());
+            action = onBatchComplete(currentApi().getPfeInfo());
         }
         unpinBatch();
         unpinCandidate();
@@ -817,7 +907,8 @@ PageForgeDriver::runOnePassNow()
     }
 
     _synchronous = false;
-    _api.setSynchronous(was_sync);
+    for (PageForgeApi *api : _apis)
+        api->setSynchronous(was_sync);
     return processed;
 }
 
@@ -825,6 +916,8 @@ void
 PageForgeDriver::resetStats()
 {
     _mergeStats.reset();
+    std::fill(_shardScans.begin(), _shardScans.end(), 0);
+    std::fill(_shardMerges.begin(), _shardMerges.end(), 0);
     _hashStats.reset();
     _refills.reset();
     _osChecks.reset();

@@ -20,6 +20,7 @@
 #ifndef PF_CORE_PAGEFORGE_DRIVER_HH
 #define PF_CORE_PAGEFORGE_DRIVER_HH
 
+#include <memory>
 #include <vector>
 
 #include "core/pageforge_api.hh"
@@ -33,6 +34,8 @@ namespace pageforge
 {
 
 class FaultInjector;
+class ShardMap;
+class CrossMcRouter;
 
 /** Tunables of the PageForge driver. */
 struct PageForgeDriverConfig
@@ -68,6 +71,23 @@ class PageForgeDriver : public SimObject
                     PageForgeApi &api, std::vector<Core *> cores,
                     const PageForgeDriverConfig &config);
     ~PageForgeDriver() override;
+
+    /**
+     * Grow the machine by one more memory controller's module: the
+     * new shard gets its own stable/unstable content trees owning a
+     * disjoint key-prefix range (see ShardMap). Call once per extra
+     * MC, before start(). The module's ECC offsets are aligned with
+     * the driver's.
+     */
+    void addShardApi(PageForgeApi &api);
+
+    /**
+     * Wire the homing map and the inter-MC handoff path. Candidates
+     * whose content key homes on a remote shard are handed to the
+     * owning MC through @p router, paying its latency before the
+     * first batch is programmed (event mode).
+     */
+    void setShardRouting(const ShardMap &map, CrossMcRouter &router);
 
     /** Begin periodic scanning (event mode). */
     void start();
@@ -138,8 +158,34 @@ class PageForgeDriver : public SimObject
     /** Aborted merges rescheduled with backoff. */
     std::uint64_t mergeRetries() const { return _mergeRetries.value(); }
 
-    ContentTree &stableTree() { return _stable; }
-    ContentTree &unstableTree() { return _unstable; }
+    ContentTree &stableTree() { return *_stables[0]; }
+    ContentTree &unstableTree() { return *_unstables[0]; }
+
+    /** Per-shard trees of a multi-MC driver. */
+    ContentTree &stableTree(unsigned shard) { return *_stables[shard]; }
+    ContentTree &unstableTree(unsigned shard)
+    {
+        return *_unstables[shard];
+    }
+
+    /** Content-tree shards (== memory controllers driven). */
+    unsigned
+    numShards() const
+    {
+        return static_cast<unsigned>(_apis.size());
+    }
+
+    /** Candidates scanned whose frame homes on MC @p shard. */
+    std::uint64_t shardScans(unsigned shard) const
+    {
+        return _shardScans[shard];
+    }
+
+    /** Merges committed in shard @p shard's content trees. */
+    std::uint64_t shardMerges(unsigned shard) const
+    {
+        return _shardMerges[shard];
+    }
 
     const PageForgeDriverConfig &config() const { return _config; }
 
@@ -168,14 +214,20 @@ class PageForgeDriver : public SimObject
     };
 
     Hypervisor &_hyper;
-    PageForgeApi &_api;
+    std::vector<PageForgeApi *> _apis; //!< one per shard, [0] = home MC
     std::vector<Core *> _cores;
     PageForgeDriverConfig _config;
 
     StableAccessor _stableAcc;
     GuestAccessor _guestAcc;
-    ContentTree _stable;
-    ContentTree _unstable;
+    std::vector<std::unique_ptr<ContentTree>> _stables;
+    std::vector<std::unique_ptr<ContentTree>> _unstables;
+
+    // Multi-MC routing (single-shard machines leave these null).
+    const ShardMap *_shardMap = nullptr;
+    CrossMcRouter *_router = nullptr;
+    std::vector<std::uint64_t> _shardScans;
+    std::vector<std::uint64_t> _shardMerges;
 
     std::vector<PageKey> _scanList;
     std::size_t _cursor = 0;
@@ -190,6 +242,8 @@ class PageForgeDriver : public SimObject
     FrameId _candidateFrame = invalidFrame;
     std::uint32_t _candidateVersion = 0; //!< writeVersion at pick time
     unsigned _candidateAttempt = 0;      //!< merge-retry attempt number
+    unsigned _candidateShard = 0;        //!< content shard of the candidate
+    Tick _handoffDelay = 0;              //!< pending cross-MC handoff
     bool _firstBatch = true;
     Tick _batchStart = 0; //!< program time of the in-flight batch (trace)
     Phase _phase = Phase::Stable;
@@ -287,6 +341,16 @@ class PageForgeDriver : public SimObject
     /** Resolve a tree node to its frame, pruning stale nodes. */
     ContentTree *currentTree();
     PageAccessor &currentAccessor();
+
+    /** API of the candidate's content shard. */
+    PageForgeApi &currentApi() { return *_apis[_candidateShard]; }
+
+    /** Shard trees of the current candidate. */
+    ContentTree &stableShardTree() { return *_stables[_candidateShard]; }
+    ContentTree &unstableShardTree()
+    {
+        return *_unstables[_candidateShard];
+    }
 
     // ---- event-mode plumbing ----
     void scheduleInterval(Tick when);

@@ -11,7 +11,7 @@ FaultInjector::FaultInjector(std::string name, EventQueue &eq,
                              MemController &mc, Hypervisor &hyper,
                              const FaultConfig &config,
                              std::uint64_t stream_seed)
-    : SimObject(std::move(name), eq), _mc(mc), _hyper(hyper),
+    : SimObject(std::move(name), eq), _mc(mc), _mcs{&mc}, _hyper(hyper),
       _config(config), _rng(stream_seed)
 {
     std::string bad = _config.problem();
@@ -97,6 +97,8 @@ FaultInjector::injectFlip()
     bool persistent = _rng.chance(_config.stuckAtFraction);
     bool double_bit = _rng.chance(_config.doubleBitFraction);
 
+    // The flip lands on the channel homing the victim frame.
+    MemController &mc = mcOf(frame);
     unsigned bits = 1;
     if (double_bit) {
         // Two distinct bits of one 64-bit word: detected by SECDED
@@ -106,13 +108,13 @@ FaultInjector::injectFlip()
         unsigned b2 = b1;
         while (b2 == b1)
             b2 = word * 64 + static_cast<unsigned>(_rng.nextBounded(64));
-        _mc.injectBitFlip(addr, b1, persistent);
-        _mc.injectBitFlip(addr, b2, persistent);
+        mc.injectBitFlip(addr, b1, persistent);
+        mc.injectBitFlip(addr, b2, persistent);
         bits = 2;
         ++_stats.doubleBitFlips;
     } else {
         unsigned bit = static_cast<unsigned>(_rng.nextBounded(lineSize * 8));
-        _mc.injectBitFlip(addr, bit, persistent);
+        mc.injectBitFlip(addr, bit, persistent);
         ++_stats.singleBitFlips;
     }
     ++_stats.flipEvents;

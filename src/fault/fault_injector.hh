@@ -16,6 +16,7 @@
 #define PF_FAULT_FAULT_INJECTOR_HH
 
 #include <functional>
+#include <vector>
 
 #include "ecc/ecc_hash_key.hh"
 #include "fault/fault_config.hh"
@@ -51,6 +52,15 @@ class FaultInjector : public SimObject
     FaultInjector(std::string name, EventQueue &eq, MemController &mc,
                   Hypervisor &hyper, const FaultConfig &config,
                   std::uint64_t stream_seed);
+
+    /**
+     * Register a further memory controller of a multi-MC machine.
+     * Flips are then injected through the controller homing the picked
+     * frame (frame % numMcs, the ShardMap interleave) — the fault
+     * lands on the owning channel's read path. The victim-selection
+     * RNG sequence is unchanged by the number of controllers.
+     */
+    void addMemController(MemController &mc) { _mcs.push_back(&mc); }
 
     /** Begin scheduling fault events (no-op for all-zero rates). */
     void start();
@@ -93,6 +103,7 @@ class FaultInjector : public SimObject
 
   private:
     MemController &_mc;
+    std::vector<MemController *> _mcs; //!< [0] is the ctor's controller
     Hypervisor &_hyper;
     FaultConfig _config;
     Rng _rng;
@@ -104,6 +115,13 @@ class FaultInjector : public SimObject
 
     /** Mean ticks between DRAM flip events at the configured rate. */
     double meanFlipIntervalTicks() const;
+
+    /** Controller homing @p frame under the channel interleave. */
+    MemController &
+    mcOf(FrameId frame)
+    {
+        return *_mcs[frame % _mcs.size()];
+    }
 
     void scheduleFlip();
     void injectFlip();

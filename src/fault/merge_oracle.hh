@@ -33,12 +33,18 @@ class MergeOracle
   public:
     /**
      * Record one commit-time check of two pages about to be merged.
+     * @param cross_mc the two frames home on different memory
+     *        controllers — a handoff commit landing on a remote shard,
+     *        which must satisfy the same byte-identity invariant
      * @return true when the pages are byte-identical
      */
     bool
-    check(const std::uint8_t *candidate, const std::uint8_t *target)
+    check(const std::uint8_t *candidate, const std::uint8_t *target,
+          bool cross_mc = false)
     {
         ++_checks;
+        if (cross_mc)
+            ++_crossMcChecks;
         if (std::memcmp(candidate, target, pageSize) == 0)
             return true;
         ++_violations;
@@ -48,11 +54,15 @@ class MergeOracle
     /** Merge commits inspected. */
     std::uint64_t checks() const { return _checks; }
 
+    /** Inspected commits whose frames homed on different MCs. */
+    std::uint64_t crossMcChecks() const { return _crossMcChecks; }
+
     /** Commits where the pages differed (must stay zero, always). */
     std::uint64_t violations() const { return _violations; }
 
   private:
     std::uint64_t _checks = 0;
+    std::uint64_t _crossMcChecks = 0;
     std::uint64_t _violations = 0;
 };
 

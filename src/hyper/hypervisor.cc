@@ -195,25 +195,32 @@ Hypervisor::auditFrames() const
 
     // Every allocated frame must carry at least its mapping count;
     // the surplus across all frames must equal the daemons' pins
-    // (stable-tree nodes, in-flight Scan Table batches).
+    // (stable-tree nodes, in-flight Scan Table batches). Walk the
+    // frames shard by shard — the per-MC homing, not a contiguous
+    // arena, is the authoritative layout — so the audit composes with
+    // any number of memory controllers. The surplus sum is
+    // order-insensitive, so a single-MC machine reports identically.
     std::uint64_t surplus = 0;
-    _mem.forEachAllocatedFrame(
-        [&](FrameId frame, std::uint32_t refs) {
-            ++report.framesAudited;
-            if (!report.ok)
-                return;
-            auto it = mappings.find(frame);
-            std::uint64_t mapped =
-                it == mappings.end() ? 0 : it->second;
-            if (refs < mapped) {
-                report.ok = false;
-                report.problem = "frame " + std::to_string(frame) +
-                    " refs " + std::to_string(refs) + " < mappings " +
-                    std::to_string(mapped);
-                return;
-            }
-            surplus += refs - mapped;
-        });
+    for (unsigned shard = 0; shard < _mem.numShards(); ++shard) {
+        _mem.forEachAllocatedFrameOnShard(
+            shard, [&](FrameId frame, std::uint32_t refs) {
+                ++report.framesAudited;
+                if (!report.ok)
+                    return;
+                auto it = mappings.find(frame);
+                std::uint64_t mapped =
+                    it == mappings.end() ? 0 : it->second;
+                if (refs < mapped) {
+                    report.ok = false;
+                    report.problem = "frame " + std::to_string(frame) +
+                        " (mc " + std::to_string(shard) + ") refs " +
+                        std::to_string(refs) + " < mappings " +
+                        std::to_string(mapped);
+                    return;
+                }
+                surplus += refs - mapped;
+            });
+    }
     if (!report.ok)
         return report;
 
@@ -454,8 +461,14 @@ Hypervisor::mergeIntoFrame(const PageKey &candidate, FrameId target)
     // The shadow oracle inspects the commit independently (and first,
     // so a violation is counted even though we then refuse to merge).
     bool equal = true;
-    if (_oracle)
-        equal = _oracle->check(_mem.data(page.frame), _mem.data(target));
+    if (_oracle) {
+        // Frames homing on different controllers mean this commit came
+        // through a cross-MC handoff; the oracle tags those checks.
+        bool cross_mc = _mem.numShards() > 1 &&
+            page.frame % _mem.numShards() != target % _mem.numShards();
+        equal = _oracle->check(_mem.data(page.frame), _mem.data(target),
+                               cross_mc);
+    }
 
     // Merging unequal pages would corrupt guest memory; the final
     // compare under write protection (Section 3.5) guarantees this.

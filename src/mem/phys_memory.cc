@@ -9,20 +9,30 @@
 namespace pageforge
 {
 
-PhysicalMemory::PhysicalMemory(std::size_t total_frames)
-    : _meta(total_frames), _dirtyMask(total_frames),
-      _writeGen(total_frames), _stats("phys_mem")
+PhysicalMemory::PhysicalMemory(std::size_t total_frames,
+                               unsigned num_shards)
+    : _numShards(num_shards), _meta(total_frames),
+      _dirtyMask(total_frames), _writeGen(total_frames),
+      _stats("phys_mem")
 {
     pf_assert(total_frames > 0, "zero-sized physical memory");
+    pf_assert(num_shards >= 1, "physical memory needs >= 1 shard");
+    pf_assert(num_shards <= total_frames,
+              "more memory-controller shards than frames");
 
-    // calloc, not new[]: the OS maps the arena as copy-on-write zero
-    // pages, so untouched frames cost no host RSS and arrive already
-    // zeroed (allocFrame skips the memset on first use).
-    _arena = static_cast<std::uint8_t *>(
-        std::calloc(total_frames, pageSize));
-    if (!_arena)
-        fatal("cannot allocate %zu-frame physical memory arena",
-              total_frames);
+    // calloc, not new[]: the OS maps each sub-arena as copy-on-write
+    // zero pages, so untouched frames cost no host RSS and arrive
+    // already zeroed (allocFrame skips the memset on first use).
+    _arenas.resize(num_shards);
+    for (unsigned s = 0; s < num_shards; ++s) {
+        std::size_t shard_frames =
+            (total_frames + num_shards - 1 - s) / num_shards;
+        _arenas[s] = static_cast<std::uint8_t *>(
+            std::calloc(shard_frames, pageSize));
+        if (!_arenas[s])
+            fatal("cannot allocate %zu-frame sub-arena for shard %u",
+                  shard_frames, s);
+    }
 
     _freeList.reserve(total_frames);
     // Allocate low frame numbers first, like a simple buddy allocator
@@ -44,7 +54,8 @@ PhysicalMemory::PhysicalMemory(std::size_t total_frames)
 
 PhysicalMemory::~PhysicalMemory()
 {
-    std::free(_arena);
+    for (std::uint8_t *arena : _arenas)
+        std::free(arena);
 }
 
 PhysicalMemory::FrameMeta &
@@ -76,8 +87,7 @@ PhysicalMemory::allocFrame(bool zero)
     // A never-used frame is still in its pristine calloc state; only
     // recycled frames may carry stale bytes that need clearing.
     if (zero && meta.everUsed)
-        std::memset(_arena + static_cast<std::size_t>(id) * pageSize, 0,
-                    pageSize);
+        std::memset(framePtr(id), 0, pageSize);
     meta.refs = 1;
     meta.allocated = true;
     meta.writeProtected = false;
@@ -157,7 +167,7 @@ PhysicalMemory::data(FrameId frame)
 {
     pf_assert(frameAt(frame).allocated, "data access to free frame %u",
               frame);
-    return _arena + static_cast<std::size_t>(frame) * pageSize;
+    return framePtr(frame);
 }
 
 const std::uint8_t *
@@ -165,7 +175,7 @@ PhysicalMemory::data(FrameId frame) const
 {
     pf_assert(frameAt(frame).allocated, "data access to free frame %u",
               frame);
-    return _arena + static_cast<std::size_t>(frame) * pageSize;
+    return framePtr(frame);
 }
 
 void
@@ -188,6 +198,30 @@ PhysicalMemory::forEachAllocatedFrame(
         if (_meta[i].allocated)
             fn(static_cast<FrameId>(i), _meta[i].refs);
     }
+}
+
+void
+PhysicalMemory::forEachAllocatedFrameOnShard(
+    unsigned shard,
+    const std::function<void(FrameId, std::uint32_t)> &fn) const
+{
+    pf_assert(shard < _numShards, "shard %u out of range", shard);
+    for (std::size_t i = shard; i < _meta.size(); i += _numShards) {
+        if (_meta[i].allocated)
+            fn(static_cast<FrameId>(i), _meta[i].refs);
+    }
+}
+
+std::size_t
+PhysicalMemory::framesInUseOnShard(unsigned shard) const
+{
+    pf_assert(shard < _numShards, "shard %u out of range", shard);
+    std::size_t count = 0;
+    for (std::size_t i = shard; i < _meta.size(); i += _numShards) {
+        if (_meta[i].allocated)
+            ++count;
+    }
+    return count;
 }
 
 bool

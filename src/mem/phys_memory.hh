@@ -10,12 +10,14 @@
  * Frames are reference-counted: a frame shared by several guest pages
  * after merging is freed only when the last mapping goes away.
  *
- * All frame data lives in one contiguous arena of
- * totalFrames() * pageSize bytes: data() is pure pointer arithmetic,
- * adjacent frames are adjacent in host memory (page-compare loops
- * stream instead of pointer-chasing per-frame allocations), and the
- * arena is obtained zeroed from the OS so first-touch frames need no
- * memset.
+ * Frame data lives in one contiguous sub-arena per memory-controller
+ * shard: with S shards, frame f resides at offset (f / S) * pageSize
+ * inside sub-arena f % S, the channel-interleaved homing the multi-MC
+ * machine uses. data() is pure pointer arithmetic either way, frames
+ * homed on the same controller are adjacent in host memory (per-shard
+ * scan loops stream), and each sub-arena is obtained zeroed from the
+ * OS so first-touch frames need no memset. With the default single
+ * shard the layout degenerates to the classic single arena.
  */
 
 #ifndef PF_MEM_PHYS_MEMORY_HH
@@ -38,8 +40,11 @@ class PhysicalMemory
   public:
     /**
      * @param total_frames capacity of the machine in 4 KB frames
+     * @param num_shards memory-controller shards backing the frames;
+     *        frame f is homed on shard f % num_shards
      */
-    explicit PhysicalMemory(std::size_t total_frames);
+    explicit PhysicalMemory(std::size_t total_frames,
+                            unsigned num_shards = 1);
     ~PhysicalMemory();
 
     PhysicalMemory(const PhysicalMemory &) = delete;
@@ -92,7 +97,7 @@ class PhysicalMemory
     rawData(FrameId frame) const
     {
         pf_assert(frame < _meta.size(), "frame %u out of range", frame);
-        return _arena + static_cast<std::size_t>(frame) * pageSize;
+        return framePtr(frame);
     }
 
     /**
@@ -200,6 +205,21 @@ class PhysicalMemory
     void forEachAllocatedFrame(
         const std::function<void(FrameId, std::uint32_t)> &fn) const;
 
+    /**
+     * Visit every allocated frame homed on shard @p shard (frames with
+     * frame % numShards() == shard), in ascending frame order. With
+     * one shard this is forEachAllocatedFrame().
+     */
+    void forEachAllocatedFrameOnShard(
+        unsigned shard,
+        const std::function<void(FrameId, std::uint32_t)> &fn) const;
+
+    /** Frames currently allocated on one shard. */
+    std::size_t framesInUseOnShard(unsigned shard) const;
+
+    /** Memory-controller shards backing the frames. */
+    unsigned numShards() const { return _numShards; }
+
     /** Frames currently allocated. */
     std::size_t framesInUse() const { return _inUse; }
 
@@ -221,7 +241,8 @@ class PhysicalMemory
         bool poisoned = false; //!< quarantined by an uncorrectable error
     };
 
-    std::uint8_t *_arena = nullptr; //!< totalFrames * pageSize bytes
+    unsigned _numShards = 1;
+    std::vector<std::uint8_t *> _arenas; //!< one sub-arena per shard
     std::vector<FrameMeta> _meta;
     std::vector<std::uint64_t> _dirtyMask; //!< per-frame dirty lines
     std::vector<std::uint64_t> _writeGen;  //!< per-frame content gen
@@ -237,6 +258,14 @@ class PhysicalMemory
 
     FrameMeta &frameAt(FrameId frame);
     const FrameMeta &frameAt(FrameId frame) const;
+
+    /** Backing bytes of a frame: sub-arena frame % S, slot frame / S. */
+    std::uint8_t *
+    framePtr(FrameId frame) const
+    {
+        return _arenas[frame % _numShards] +
+               static_cast<std::size_t>(frame / _numShards) * pageSize;
+    }
 };
 
 } // namespace pageforge

@@ -1,0 +1,55 @@
+#include "shard/cross_mc_router.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace pageforge
+{
+
+CrossMcRouter::CrossMcRouter(unsigned num_mcs, Tick hop_latency)
+    : _hopLatency(hop_latency), _numFree(num_mcs), _fromMc(num_mcs),
+      _toMc(num_mcs)
+{
+    pf_assert(num_mcs >= 1, "router needs at least one MC");
+}
+
+Tick
+CrossMcRouter::enqueue(unsigned src, unsigned dst, Tick now)
+{
+    pf_assert(src < _fromMc.size() && dst < _toMc.size(),
+              "handoff %u -> %u out of range", src, dst);
+    // Link latency, then wait for the destination's accept port.
+    Tick delivered = std::max(now + _hopLatency, _numFree[dst]);
+    _numFree[dst] = delivered + 1;
+    ++_fromMc[src];
+    ++_toMc[dst];
+    ++_total;
+    _inFlight.push_back(delivered);
+    return delivered;
+}
+
+std::uint64_t
+CrossMcRouter::handoffsFrom(unsigned src) const
+{
+    pf_assert(src < _fromMc.size(), "MC %u out of range", src);
+    return _fromMc[src];
+}
+
+std::uint64_t
+CrossMcRouter::handoffsTo(unsigned dst) const
+{
+    pf_assert(dst < _toMc.size(), "MC %u out of range", dst);
+    return _toMc[dst];
+}
+
+std::size_t
+CrossMcRouter::depth(Tick now) const
+{
+    _inFlight.erase(std::remove_if(_inFlight.begin(), _inFlight.end(),
+                                   [now](Tick t) { return t <= now; }),
+                    _inFlight.end());
+    return _inFlight.size();
+}
+
+} // namespace pageforge

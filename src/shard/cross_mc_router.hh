@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Simulated-latency inter-MC handoff queue.
+ *
+ * When a merge candidate's content key homes on a remote shard, the
+ * scanning MC hands the candidate to the owning MC over the on-chip
+ * interconnect. The router models that hop as a fixed link latency
+ * plus per-destination serialization: each destination MC accepts one
+ * handoff at a time, so back-to-back handoffs to the same shard queue
+ * behind each other. The remote compare traffic itself is issued
+ * through the owning MC by the caller; the router only accounts for
+ * the control-message transfer.
+ *
+ * Fully deterministic: no RNG, delivery times depend only on the
+ * enqueue sequence.
+ */
+
+#ifndef PF_SHARD_CROSS_MC_ROUTER_HH
+#define PF_SHARD_CROSS_MC_ROUTER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace pageforge
+{
+
+/** Deterministic latency-modelled handoff path between MCs. */
+class CrossMcRouter
+{
+  public:
+    /**
+     * @param num_mcs number of memory controllers
+     * @param hop_latency one-way control-message latency in ticks
+     *        (default 160 ticks = 80 ns at 2 GHz, an inter-socket-ish
+     *        hop; same order as a DRAM access)
+     */
+    explicit CrossMcRouter(unsigned num_mcs, Tick hop_latency = 160);
+
+    unsigned numMcs() const { return _numFree.size(); }
+    Tick hopLatency() const { return _hopLatency; }
+
+    /**
+     * Hand a candidate from MC @p src to MC @p dst at tick @p now.
+     * @return tick at which the destination MC has the candidate
+     */
+    Tick enqueue(unsigned src, unsigned dst, Tick now);
+
+    /** Handoffs issued by source MC @p src so far. */
+    std::uint64_t handoffsFrom(unsigned src) const;
+
+    /** Handoffs accepted by destination MC @p dst so far. */
+    std::uint64_t handoffsTo(unsigned dst) const;
+
+    /** Total handoffs across all MC pairs. */
+    std::uint64_t totalHandoffs() const { return _total; }
+
+    /** Handoffs still in flight (delivery tick after @p now). */
+    std::size_t depth(Tick now) const;
+
+  private:
+    Tick _hopLatency;
+    std::vector<Tick> _numFree;           //!< per-dst next-free tick
+    std::vector<std::uint64_t> _fromMc;   //!< per-src handoff count
+    std::vector<std::uint64_t> _toMc;     //!< per-dst handoff count
+    std::uint64_t _total = 0;
+    mutable std::vector<Tick> _inFlight;  //!< delivery ticks, pruned lazily
+};
+
+} // namespace pageforge
+
+#endif // PF_SHARD_CROSS_MC_ROUTER_HH

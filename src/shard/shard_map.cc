@@ -1,0 +1,28 @@
+#include "shard/shard_map.hh"
+
+#include "sim/logging.hh"
+
+namespace pageforge
+{
+
+ShardMap::ShardMap(unsigned num_shards) : _numShards(num_shards)
+{
+    pf_assert(num_shards >= 1, "ShardMap needs at least one shard");
+}
+
+std::pair<std::uint32_t, std::uint32_t>
+ShardMap::prefixRange(unsigned shard) const
+{
+    pf_assert(shard < _numShards, "shard %u out of range", shard);
+    // Inverse of contentShardOfPrefix: the smallest prefix p with
+    // (p * N) >> 16 == shard is ceil(shard * 65536 / N).
+    auto lo_for = [this](unsigned s) -> std::uint32_t {
+        return static_cast<std::uint32_t>(
+            (static_cast<std::uint64_t>(s) * 65536 + _numShards - 1) /
+            _numShards);
+    };
+    return {lo_for(shard), shard + 1 == _numShards ? 65536u
+                                                   : lo_for(shard + 1)};
+}
+
+} // namespace pageforge

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Physical-address and content-key homing for a multi-MC machine.
+ *
+ * The paper places one PageForge module in one memory controller and
+ * leaves scale-out open. With N controllers the machine interleaves
+ * physical frames across channels (frame % N, the classic
+ * channel-interleave), so each MC's module scans only locally-homed
+ * frames. Content trees are sharded separately, by the page's leading
+ * bytes: each shard owns a disjoint, contiguous key-prefix range of
+ * the lexicographic page order the trees already use, so any two
+ * byte-identical pages map to the same shard and every duplicate set
+ * is discovered inside exactly one tree.
+ */
+
+#ifndef PF_SHARD_SHARD_MAP_HH
+#define PF_SHARD_SHARD_MAP_HH
+
+#include <cstdint>
+#include <utility>
+
+#include "sim/types.hh"
+
+namespace pageforge
+{
+
+/** Static homing functions shared by all multi-MC components. */
+class ShardMap
+{
+  public:
+    /** @param num_shards number of memory controllers (>= 1) */
+    explicit ShardMap(unsigned num_shards);
+
+    unsigned numShards() const { return _numShards; }
+
+    /** MC that owns a physical frame (channel interleave). */
+    unsigned
+    homeOf(FrameId frame) const
+    {
+        return static_cast<unsigned>(frame % _numShards);
+    }
+
+    /** MC that owns a byte address, via its containing frame. */
+    unsigned
+    homeOfAddr(Addr addr) const
+    {
+        return homeOf(addrToFrame(addr));
+    }
+
+    /**
+     * Content shard of a page, from its first two bytes read as a
+     * big-endian 16-bit prefix. The trees order pages by lexicographic
+     * byte order, so a contiguous prefix range is a contiguous key
+     * range: shard i owns prefixes [i*65536/N, (i+1)*65536/N).
+     */
+    unsigned
+    contentShardOf(const std::uint8_t *page) const
+    {
+        if (_numShards == 1)
+            return 0;
+        std::uint32_t prefix =
+            (static_cast<std::uint32_t>(page[0]) << 8) | page[1];
+        return static_cast<unsigned>(
+            (prefix * static_cast<std::uint64_t>(_numShards)) >> 16);
+    }
+
+    /** Content shard owning a raw 16-bit big-endian prefix. */
+    unsigned
+    contentShardOfPrefix(std::uint32_t prefix) const
+    {
+        return static_cast<unsigned>(
+            (prefix * static_cast<std::uint64_t>(_numShards)) >> 16);
+    }
+
+    /**
+     * Half-open [lo, hi) range of 16-bit prefixes owned by a content
+     * shard. Ranges of distinct shards are disjoint and cover
+     * [0, 65536) exactly.
+     */
+    std::pair<std::uint32_t, std::uint32_t>
+    prefixRange(unsigned shard) const;
+
+  private:
+    unsigned _numShards;
+};
+
+} // namespace pageforge
+
+#endif // PF_SHARD_SHARD_MAP_HH

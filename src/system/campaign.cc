@@ -216,7 +216,24 @@ sameFaults(const FaultSummary &a, const FaultSummary &b)
         a.mergeRetries == b.mergeRetries &&
         a.hwHashRaces == b.hwHashRaces &&
         a.oracleChecks == b.oracleChecks &&
+        a.crossMcChecks == b.crossMcChecks &&
         a.oracleViolations == b.oracleViolations;
+}
+
+bool
+samePerMc(const std::vector<McSummary> &a,
+          const std::vector<McSummary> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i].scans != b[i].scans || a[i].merges != b[i].merges ||
+            a[i].handoffsIn != b[i].handoffsIn ||
+            a[i].handoffsOut != b[i].handoffsOut ||
+            a[i].tableOccupancy != b[i].tableOccupancy)
+            return false;
+    }
+    return true;
 }
 
 bool
@@ -361,8 +378,27 @@ jsonResult(std::ostream &os, const ExperimentResult &r)
            << ",\"merge_retries\":" << f.mergeRetries
            << ",\"hw_hash_races\":" << f.hwHashRaces
            << ",\"oracle_checks\":" << f.oracleChecks
+           << ",\"cross_mc_checks\":" << f.crossMcChecks
            << ",\"oracle_violations\":" << f.oracleViolations
            << "}";
+    }
+    // Only present on a multi-MC machine, so single-controller
+    // campaign JSON stays byte-identical to earlier versions.
+    if (r.numMcs > 1) {
+        os << ",\"num_mcs\":" << r.numMcs;
+        os << ",\"mcs\":[";
+        for (std::size_t m = 0; m < r.perMc.size(); ++m) {
+            const McSummary &mc = r.perMc[m];
+            if (m)
+                os << ",";
+            os << "{\"scans\":" << mc.scans
+               << ",\"merges\":" << mc.merges
+               << ",\"handoffs_in\":" << mc.handoffsIn
+               << ",\"handoffs_out\":" << mc.handoffsOut
+               << ",\"table_occupancy\":" << mc.tableOccupancy
+               << "}";
+        }
+        os << "]";
     }
     // Only present when the cell sampled metrics, so default-config
     // campaign JSON stays byte-identical to earlier versions.
@@ -399,7 +435,8 @@ identicalResults(const ExperimentResult &a, const ExperimentResult &b)
         a.pfPagesScanned == b.pfPagesScanned && a.merges == b.merges &&
         a.cowBreaks == b.cowBreaks && a.simEvents == b.simEvents &&
         a.pagesScanned == b.pagesScanned &&
-        sameFaults(a.faults, b.faults);
+        sameFaults(a.faults, b.faults) && a.numMcs == b.numMcs &&
+        samePerMc(a.perMc, b.perMc);
     // hostSeconds is host wall-clock, never part of result identity.
     // The metrics series is also excluded: it is observability output
     // whose presence depends on the sampling interval, and the

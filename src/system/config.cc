@@ -16,6 +16,12 @@ SystemConfig::validate() const
         throw ConfigError(
             "each VM needs its own core (" + std::to_string(numVms) +
             " VMs, " + std::to_string(numCores) + " cores)");
+    if (numMcs == 0)
+        throw ConfigError("numMcs must be at least 1");
+    if (numMcs > 64)
+        throw ConfigError("numMcs is capped at 64 channels");
+    if (memFrames != 0 && memFrames < numMcs)
+        throw ConfigError("memFrames must cover every memory controller");
     if (!std::isfinite(memScale) || memScale <= 0.0)
         throw ConfigError("memScale must be positive and finite");
     if (!(ksmStickiness >= 0.0 && ksmStickiness <= 1.0))

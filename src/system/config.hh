@@ -55,6 +55,17 @@ struct SystemConfig
     unsigned numCores = 10; //!< Table 2: 10 cores, one VM each
     unsigned numVms = 10;
 
+    /**
+     * Memory controllers (src/shard). Physical frames interleave
+     * across channels (frame % numMcs) and, in PageForge mode, each
+     * controller hosts its own module, Scan Table, and content-tree
+     * shard; candidates whose content key homes on a remote shard pay
+     * a CrossMcRouter handoff. 1 (the default, the paper's machine)
+     * builds the classic single-MC system, bit-identical to before
+     * this knob existed.
+     */
+    unsigned numMcs = 1;
+
     CacheConfig l1{"l1", 32 * 1024, 8, 2, 16};
     CacheConfig l2{"l2", 256 * 1024, 8, 6, 16};
     CacheConfig l3{"l3", 32 * 1024 * 1024, 20, 20, 24};

@@ -6,6 +6,7 @@
 
 #include "fault/fault_injector.hh"
 #include "fault/merge_oracle.hh"
+#include "shard/cross_mc_router.hh"
 #include "sim/logging.hh"
 
 namespace pageforge
@@ -170,20 +171,28 @@ runExperiment(const AppProfile &app, DedupMode mode,
 
     result.hashStats = system.hashStats();
 
-    const BandwidthTracker &bw =
-        system.memController().dram().bandwidth();
-    result.baselinePhaseBwGBps = bw.meanGBps(window_start, window_end);
-    switch (mode) {
-      case DedupMode::None:
-        result.dedupPhaseBwGBps = bw.peakGBps();
-        break;
-      case DedupMode::Ksm:
-        result.dedupPhaseBwGBps = bw.peakGBpsWhenActive(Requester::Ksm);
-        break;
-      case DedupMode::PageForge:
+    // Mean bandwidth sums across channels; the dedup-phase peak is
+    // the busiest single channel. At numMcs == 1 both reduce to the
+    // classic single-controller numbers, bit for bit.
+    for (unsigned m = 0; m < system.numMcs(); ++m) {
+        const BandwidthTracker &bw =
+            system.memController(m).dram().bandwidth();
+        result.baselinePhaseBwGBps +=
+            bw.meanGBps(window_start, window_end);
+        double peak = 0.0;
+        switch (mode) {
+          case DedupMode::None:
+            peak = bw.peakGBps();
+            break;
+          case DedupMode::Ksm:
+            peak = bw.peakGBpsWhenActive(Requester::Ksm);
+            break;
+          case DedupMode::PageForge:
+            peak = bw.peakGBpsWhenActive(Requester::PageForge);
+            break;
+        }
         result.dedupPhaseBwGBps =
-            bw.peakGBpsWhenActive(Requester::PageForge);
-        break;
+            std::max(result.dedupPhaseBwGBps, peak);
     }
 
     if (mode == DedupMode::PageForge) {
@@ -226,10 +235,12 @@ runExperiment(const AppProfile &app, DedupMode mode,
         sum.tableCorruptions = fs.tableCorruptions;
         sum.raceWrites = fs.raceWrites;
         sum.skippedNoTarget = fs.skippedNoTarget;
-        sum.correctedErrors =
-            system.memController().correctedErrors();
-        sum.uncorrectableErrors =
-            system.memController().uncorrectableErrors();
+        for (unsigned m = 0; m < system.numMcs(); ++m) {
+            sum.correctedErrors +=
+                system.memController(m).correctedErrors();
+            sum.uncorrectableErrors +=
+                system.memController(m).uncorrectableErrors();
+        }
         sum.poisonedFrames = system.memory().poisonedFrames();
         sum.quarantinedFrames = system.memory().quarantinedFrames();
         if (mode == DedupMode::PageForge) {
@@ -242,7 +253,27 @@ runExperiment(const AppProfile &app, DedupMode mode,
         }
         if (MergeOracle *oracle = system.mergeOracle()) {
             sum.oracleChecks = oracle->checks();
+            sum.crossMcChecks = oracle->crossMcChecks();
             sum.oracleViolations = oracle->violations();
+        }
+    }
+
+    result.numMcs = system.numMcs();
+    if (system.numMcs() > 1) {
+        CrossMcRouter *router = system.crossMcRouter();
+        for (unsigned m = 0; m < system.numMcs(); ++m) {
+            McSummary mc;
+            if (PageForgeDriver *driver = system.pfDriver()) {
+                mc.scans = driver->shardScans(m);
+                mc.merges = driver->shardMerges(m);
+            }
+            if (router) {
+                mc.handoffsIn = router->handoffsTo(m);
+                mc.handoffsOut = router->handoffsFrom(m);
+            }
+            if (PageForgeModule *module = system.pfModule(m))
+                mc.tableOccupancy = module->table().validOthers();
+            result.perMc.push_back(mc);
         }
     }
 

@@ -142,7 +142,22 @@ struct FaultSummary
 
     // Merge oracle (shadow memcmp at every merge commit).
     std::uint64_t oracleChecks = 0;
+    std::uint64_t crossMcChecks = 0; //!< checks of cross-MC commits
     std::uint64_t oracleViolations = 0;
+};
+
+/**
+ * Per-memory-controller activity of a multi-MC run (PageForge mode):
+ * how evenly the interleave spread the scan work, where the merges
+ * landed, and how much content-key traffic crossed channels.
+ */
+struct McSummary
+{
+    std::uint64_t scans = 0;       //!< candidates homed on this MC
+    std::uint64_t merges = 0;      //!< merges committed by this shard
+    std::uint64_t handoffsIn = 0;  //!< candidates received from peers
+    std::uint64_t handoffsOut = 0; //!< candidates forwarded to peers
+    std::uint64_t tableOccupancy = 0; //!< valid Scan Table entries at end
 };
 
 /** Everything a bench needs to print its table/figure rows. */
@@ -210,6 +225,11 @@ struct ExperimentResult
 
     // Fault runs: injected inputs and resilience outcomes.
     FaultSummary faults;
+
+    // Multi-MC runs: channel count and per-controller breakdown
+    // (empty at numMcs == 1, keeping classic results untouched).
+    unsigned numMcs = 1;
+    std::vector<McSummary> perMc;
 
     /**
      * Sampled metric trajectory (empty unless metricsInterval was

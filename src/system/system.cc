@@ -2,6 +2,8 @@
 
 #include "fault/fault_injector.hh"
 #include "fault/merge_oracle.hh"
+#include "shard/cross_mc_router.hh"
+#include "shard/shard_map.hh"
 #include "sim/logging.hh"
 #include "trace/trace_sink.hh"
 
@@ -27,12 +29,24 @@ System::System(const SystemConfig &config, const AppProfile &app)
         frames = peak_vms * _app.footprintPages * 2 + 8192;
     }
 
-    _mem = std::make_unique<PhysicalMemory>(frames);
-    _mc = std::make_unique<MemController>("mc0", _eq, *_mem,
-                                          _config.dram);
+    // One sub-arena and one memory controller per channel; frame f
+    // homes on channel f % numMcs (the ShardMap interleave). At
+    // numMcs == 1 every structure below degenerates to the classic
+    // single-controller machine, bit for bit.
+    _mem = std::make_unique<PhysicalMemory>(frames, _config.numMcs);
+    for (unsigned m = 0; m < _config.numMcs; ++m) {
+        _mcs.push_back(std::make_unique<MemController>(
+            "mc" + std::to_string(m), _eq, *_mem, _config.dram));
+    }
+    if (_config.numMcs > 1) {
+        _shardMap = std::make_unique<ShardMap>(_config.numMcs);
+        _router = std::make_unique<CrossMcRouter>(_config.numMcs);
+    }
     _hierarchy = std::make_unique<Hierarchy>(
         "chip", _eq, _config.numCores, _config.l1, _config.l2,
-        _config.l3, _config.bus, *_mc);
+        _config.l3, _config.bus, *_mcs[0]);
+    for (unsigned m = 1; m < _config.numMcs; ++m)
+        _hierarchy->addMemController(*_mcs[m]);
     for (unsigned c = 0; c < _config.numCores; ++c) {
         _cores.push_back(std::make_unique<Core>(
             "core" + std::to_string(c), _eq,
@@ -64,12 +78,23 @@ System::System(const SystemConfig &config, const AppProfile &app)
                                        *_ksmSched, _config.ksm);
         break;
       case DedupMode::PageForge:
-        _pfModule = std::make_unique<PageForgeModule>(
-            "mc0.pageforge", _eq, *_mc, *_hierarchy, _config.pfModule);
-        _pfApi = std::make_unique<PageForgeApi>(*_pfModule);
+        // One module + Scan Table per controller; the driver owns one
+        // content-tree shard per module and routes each candidate to
+        // the shard owning its content-key prefix.
+        for (unsigned m = 0; m < _config.numMcs; ++m) {
+            _pfModules.push_back(std::make_unique<PageForgeModule>(
+                "mc" + std::to_string(m) + ".pageforge", _eq,
+                *_mcs[m], *_hierarchy, _config.pfModule));
+            _pfApis.push_back(
+                std::make_unique<PageForgeApi>(*_pfModules[m]));
+        }
         _pfDriver = std::make_unique<PageForgeDriver>(
-            "pf_driver", _eq, *_hyper, *_pfApi, core_ptrs,
+            "pf_driver", _eq, *_hyper, *_pfApis[0], core_ptrs,
             _config.pfDriver);
+        for (unsigned m = 1; m < _config.numMcs; ++m)
+            _pfDriver->addShardApi(*_pfApis[m]);
+        if (_shardMap)
+            _pfDriver->setShardRouting(*_shardMap, *_router);
         break;
     }
 
@@ -80,17 +105,26 @@ System::System(const SystemConfig &config, const AppProfile &app)
         _oracle = std::make_unique<MergeOracle>();
         _hyper->setMergeOracle(_oracle.get());
         _faults = std::make_unique<FaultInjector>(
-            "fault_injector", _eq, *_mc, *_hyper, _config.faults,
+            "fault_injector", _eq, *_mcs[0], *_hyper, _config.faults,
             _config.seed ^ 0x6661756c74ULL ^ _config.faults.seed);
+        for (unsigned m = 1; m < _config.numMcs; ++m)
+            _faults->addMemController(*_mcs[m]);
         if (_pfDriver) {
             _pfDriver->setFaultInjector(_faults.get());
             // Minikey-targeted flips track update_ECC_offset rotations.
             _faults->setEccOffsetsProvider(
                 [this] { return _pfDriver->config().eccOffsets; });
         }
-        if (_pfModule) {
+        if (!_pfModules.empty()) {
             _faults->setScanTableCorruptor([this](Rng &rng) {
-                ScanTable &table = _pfModule->table();
+                // The extra module-picking draw only exists on a
+                // multi-MC machine, so the single-MC fault stream is
+                // unchanged from the classic configuration.
+                PageForgeModule &module = _pfModules.size() == 1
+                    ? *_pfModules[0]
+                    : *_pfModules[static_cast<std::size_t>(
+                          rng.nextBounded(_pfModules.size()))];
+                ScanTable &table = module.table();
                 unsigned index = static_cast<unsigned>(
                     rng.nextBounded(table.numOtherPages()));
                 FrameId victim = static_cast<FrameId>(
@@ -123,13 +157,14 @@ System::setupObservability()
     // detached for now: the sink (if any) attaches in startLoad(), so
     // synchronous warm-up passes never pollute the trace and a run
     // without a sink costs one null check per fire site.
-    _mc->attachProbe(_probes, TraceComponent::DramBw);
+    for (auto &mc : _mcs)
+        mc->attachProbe(_probes, TraceComponent::DramBw);
     _hierarchy->attachProbe(_probes, TraceComponent::Cache);
     _hyper->attachProbe(_probes, TraceComponent::Ksm);
     if (_ksmd)
         _ksmd->attachProbe(_probes, TraceComponent::Ksm);
-    if (_pfModule)
-        _pfModule->attachProbe(_probes, TraceComponent::ScanTable);
+    for (auto &module : _pfModules)
+        module->attachProbe(_probes, TraceComponent::ScanTable);
     if (_pfDriver)
         _pfDriver->attachProbe(_probes, TraceComponent::ScanTable);
     if (_lifecycle)
@@ -179,9 +214,10 @@ System::setupObservability()
         [this, prev_bytes = std::uint64_t{0},
          prev_tick = Tick{0}]() mutable {
             std::uint64_t bytes = 0;
-            for (unsigned r = 0; r < numRequesters; ++r)
-                bytes += _mc->dram().bandwidth().totalBytes(
-                    static_cast<Requester>(r));
+            for (auto &mc : _mcs)
+                for (unsigned r = 0; r < numRequesters; ++r)
+                    bytes += mc->dram().bandwidth().totalBytes(
+                        static_cast<Requester>(r));
             Tick now = _eq.curTick();
             double gbps = 0.0;
             if (bytes >= prev_bytes && now > prev_tick) {
@@ -201,11 +237,37 @@ System::setupObservability()
     _metrics->add("l3-miss-rate", TraceComponent::Cache,
                   [this] { return _hierarchy->l3MissRate(); });
 
-    if (_pfModule) {
+    if (!_pfModules.empty()) {
         _metrics->add("scan-table-occupancy",
                       TraceComponent::ScanTable, [this] {
-            return static_cast<double>(
-                _pfModule->table().validOthers());
+            std::uint64_t valid = 0;
+            for (auto &module : _pfModules)
+                valid += module->table().validOthers();
+            return static_cast<double>(valid);
+        });
+    }
+
+    // Per-MC series, each on its own named Perfetto track so a
+    // multi-channel run shows one lane per controller. Gated on
+    // numMcs > 1: the classic machine's trace is unchanged.
+    if (_config.numMcs > 1 && _pfDriver) {
+        for (unsigned m = 0; m < _config.numMcs; ++m) {
+            std::string track = "mc" + std::to_string(m);
+            _metrics->add(track + "-merged-pages",
+                          TraceComponent::ScanTable,
+                          [this, m] {
+                return static_cast<double>(_pfDriver->shardMerges(m));
+            }, track);
+            _metrics->add(track + "-scans", TraceComponent::ScanTable,
+                          [this, m] {
+                return static_cast<double>(_pfDriver->shardScans(m));
+            }, track);
+        }
+    }
+    if (_router) {
+        _metrics->add("handoff-queue-depth", TraceComponent::ScanTable,
+                      [this] {
+            return static_cast<double>(_router->depth(_eq.curTick()));
         });
     }
     if (_lifecycle) {
@@ -220,10 +282,16 @@ System::setupObservability()
         });
         _metrics->add("uncorrectable-errors", TraceComponent::Fault,
                       [this] {
-            return static_cast<double>(_mc->uncorrectableErrors());
+            std::uint64_t n = 0;
+            for (auto &mc : _mcs)
+                n += mc->uncorrectableErrors();
+            return static_cast<double>(n);
         });
         _metrics->add("corrected-errors", TraceComponent::Fault, [this] {
-            return static_cast<double>(_mc->correctedErrors());
+            std::uint64_t n = 0;
+            for (auto &mc : _mcs)
+                n += mc->correctedErrors();
+            return static_cast<double>(n);
         });
     }
 }
@@ -305,8 +373,10 @@ System::finishWarmup()
     // the event queue's; clear the timing debris they left in the
     // memory system (bank/bus availability, pending-read coalescing,
     // MSHR entries) so the measured phase starts clean.
-    _mc->resetTiming();
-    _mc->dram().bandwidth().reset(_eq.curTick());
+    for (auto &mc : _mcs) {
+        mc->resetTiming();
+        mc->dram().bandwidth().reset(_eq.curTick());
+    }
     _hierarchy->resetTiming();
 }
 
@@ -368,15 +438,16 @@ System::resetMeasurement()
 {
     _latency->reset();
     _hierarchy->resetStats();
-    _mc->dram().bandwidth().reset(_eq.curTick());
+    for (auto &mc : _mcs)
+        mc->dram().bandwidth().reset(_eq.curTick());
     for (auto &core : _cores)
         core->resetStats();
     if (_ksmd)
         _ksmd->resetStats();
     if (_pfDriver)
         _pfDriver->resetStats();
-    if (_pfModule)
-        _pfModule->resetStats();
+    for (auto &module : _pfModules)
+        module->resetStats();
     if (_lifecycle)
         _lifecycle->resetStats();
 }

@@ -27,6 +27,8 @@ namespace pageforge
 
 class FaultInjector;
 class MergeOracle;
+class ShardMap;
+class CrossMcRouter;
 
 /** The whole simulated machine. */
 class System : public VmHost
@@ -65,7 +67,12 @@ class System : public VmHost
     // ---- component access ----
     EventQueue &eventq() { return _eq; }
     PhysicalMemory &memory() { return *_mem; }
-    MemController &memController() { return *_mc; }
+    MemController &memController() { return *_mcs[0]; }
+    MemController &memController(unsigned mc) { return *_mcs[mc]; }
+    unsigned numMcs() const
+    {
+        return static_cast<unsigned>(_mcs.size());
+    }
     Hierarchy &hierarchy() { return *_hierarchy; }
     Hypervisor &hypervisor() { return *_hyper; }
     Core &core(CoreId id) { return *_cores[id]; }
@@ -95,7 +102,18 @@ class System : public VmHost
 
     /** Null unless mode == PageForge. */
     PageForgeDriver *pfDriver() { return _pfDriver.get(); }
-    PageForgeModule *pfModule() { return _pfModule.get(); }
+    PageForgeModule *pfModule()
+    {
+        return _pfModules.empty() ? nullptr : _pfModules[0].get();
+    }
+    PageForgeModule *pfModule(unsigned mc)
+    {
+        return mc < _pfModules.size() ? _pfModules[mc].get() : nullptr;
+    }
+
+    /** Null unless numMcs > 1 (a single-MC machine has no sharding). */
+    ShardMap *shardMap() { return _shardMap.get(); }
+    CrossMcRouter *crossMcRouter() { return _router.get(); }
 
     /** Null unless fault injection is configured. */
     FaultInjector *faultInjector() { return _faults.get(); }
@@ -117,7 +135,9 @@ class System : public VmHost
     Rng _rng;
 
     std::unique_ptr<PhysicalMemory> _mem;
-    std::unique_ptr<MemController> _mc;
+    std::vector<std::unique_ptr<MemController>> _mcs;
+    std::unique_ptr<ShardMap> _shardMap;
+    std::unique_ptr<CrossMcRouter> _router;
     std::unique_ptr<Hierarchy> _hierarchy;
     std::vector<std::unique_ptr<Core>> _cores;
     std::unique_ptr<Hypervisor> _hyper;
@@ -127,8 +147,8 @@ class System : public VmHost
     std::unique_ptr<LifecycleManager> _lifecycle;
     std::unique_ptr<KsmScheduler> _ksmSched;
     std::unique_ptr<Ksmd> _ksmd;
-    std::unique_ptr<PageForgeModule> _pfModule;
-    std::unique_ptr<PageForgeApi> _pfApi;
+    std::vector<std::unique_ptr<PageForgeModule>> _pfModules;
+    std::vector<std::unique_ptr<PageForgeApi>> _pfApis;
     std::unique_ptr<PageForgeDriver> _pfDriver;
 
     std::unique_ptr<MergeOracle> _oracle;

@@ -58,9 +58,19 @@ void
 MetricsSampler::add(std::string metric_name, TraceComponent comp,
                     std::function<double()> getter)
 {
+    add(std::move(metric_name), comp, std::move(getter), std::string());
+}
+
+void
+MetricsSampler::add(std::string metric_name, TraceComponent comp,
+                    std::function<double()> getter,
+                    std::string track_name)
+{
     _names.push_back(std::move(metric_name));
     _comps.push_back(comp);
     _getters.push_back(std::move(getter));
+    _trackNames.push_back(std::move(track_name));
+    _trackIds.push_back(0);
 }
 
 void
@@ -82,9 +92,25 @@ MetricsSampler::sampleNow()
     for (std::size_t i = 0; i < _getters.size(); ++i) {
         double value = _getters[i]();
         row.push_back(value);
-        if (_backend)
+        if (!_backend)
+            continue;
+        if (_trackNames[i].empty()) {
             _backend->emitCounter(_comps[i], _names[i].c_str(), now,
                                   value);
+            continue;
+        }
+        if (_trackIds[i] == 0) {
+            // Metrics sharing a track name share one track (one lane
+            // per MC, not one per series).
+            for (std::size_t j = 0; j < i && _trackIds[i] == 0; ++j)
+                if (_trackNames[j] == _trackNames[i])
+                    _trackIds[i] = _trackIds[j];
+            if (_trackIds[i] == 0)
+                _trackIds[i] = _backend->registerTrack(
+                    _trackNames[i].c_str(), _comps[i]);
+        }
+        _backend->emitCounterTrack(_trackIds[i], _comps[i],
+                                   _names[i].c_str(), now, value);
     }
     _series.ticks.push_back(now);
     _series.rows.push_back(std::move(row));

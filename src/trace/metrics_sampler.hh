@@ -58,8 +58,25 @@ class MetricsSampler : public SimObject
     void add(std::string metric_name, TraceComponent comp,
              std::function<double()> getter);
 
+    /**
+     * Register a metric column mirrored onto a named dynamic counter
+     * track (e.g. one track per memory controller) instead of the
+     * component's own track. The track is registered lazily on the
+     * first sample with a backend attached; backends without dynamic
+     * tracks fall back to the component track.
+     */
+    void add(std::string metric_name, TraceComponent comp,
+             std::function<double()> getter, std::string track_name);
+
     /** Mirror samples onto counter tracks of this backend. */
-    void setBackend(TraceBackend *backend) { _backend = backend; }
+    void
+    setBackend(TraceBackend *backend)
+    {
+        _backend = backend;
+        // Track ids belong to the previous backend; re-register lazily.
+        for (unsigned &track : _trackIds)
+            track = 0;
+    }
 
     /**
      * Take a first sample now and reschedule every interval. The
@@ -85,6 +102,8 @@ class MetricsSampler : public SimObject
     std::vector<std::string> _names;
     std::vector<TraceComponent> _comps;
     std::vector<std::function<double()>> _getters;
+    std::vector<std::string> _trackNames; //!< "" = component track
+    std::vector<unsigned> _trackIds;      //!< 0 = not yet registered
     MetricsSeries _series;
     TraceBackend *_backend = nullptr;
     // Incremented by start()/stop(); in-flight events from a previous

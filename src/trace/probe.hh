@@ -58,6 +58,33 @@ class TraceBackend
     /** A counter-track sample. */
     virtual void emitCounter(TraceComponent comp, const char *series,
                              Tick at, double value) = 0;
+
+    /**
+     * Register a named dynamic counter track (one Perfetto track per
+     * memory controller of a multi-MC machine, say). Returns a nonzero
+     * track id, or 0 when the backend has no dynamic-track support —
+     * the defaults keep single-track test stubs source-compatible.
+     */
+    virtual unsigned
+    registerTrack(const char *track_name, TraceComponent comp)
+    {
+        (void)track_name;
+        (void)comp;
+        return 0;
+    }
+
+    /**
+     * A counter sample on a registered dynamic track. Track id 0 (or
+     * a backend without track support) falls back to the component's
+     * own counter track.
+     */
+    virtual void
+    emitCounterTrack(unsigned track, TraceComponent comp,
+                     const char *series, Tick at, double value)
+    {
+        (void)track;
+        emitCounter(comp, series, at, value);
+    }
 };
 
 /**

@@ -67,13 +67,19 @@ TraceSink::writeHeader()
 void
 TraceSink::beginEvent(const char *phase, TraceComponent comp, Tick at)
 {
+    beginEventTid(phase, static_cast<unsigned>(comp) + 1, at);
+}
+
+void
+TraceSink::beginEventTid(const char *phase, unsigned tid, Tick at)
+{
     if (!_first_event)
         _os << ",";
     _first_event = false;
     char ts[32];
     std::snprintf(ts, sizeof(ts), "%.4f", ticksToUs(at));
-    _os << "\n{\"ph\":\"" << phase << "\",\"pid\":1,\"tid\":"
-        << (static_cast<unsigned>(comp) + 1) << ",\"ts\":" << ts;
+    _os << "\n{\"ph\":\"" << phase << "\",\"pid\":1,\"tid\":" << tid
+        << ",\"ts\":" << ts;
 }
 
 void
@@ -136,6 +142,42 @@ TraceSink::emitCounter(TraceComponent comp, const char *series,
     if (!wants(comp))
         return;
     beginEvent("C", comp, at);
+    _os << ",\"name\":\"" << series << "\",\"args\":{\"value\":";
+    appendNumber(_os, value);
+    _os << "}";
+    endEvent(comp);
+}
+
+unsigned
+TraceSink::registerTrack(const char *track_name, TraceComponent comp)
+{
+    if (!wants(comp))
+        return 0;
+    _trackComps.push_back(comp);
+    unsigned track = static_cast<unsigned>(_trackComps.size());
+    // Name the track right away; a mid-stream thread_name metadata
+    // record is valid in the trace-event format (tools apply the last
+    // one seen for a tid).
+    if (!_first_event)
+        _os << ",";
+    _first_event = false;
+    _os << "\n{\"ph\":\"M\",\"pid\":1,\"tid\":" << trackTid(track)
+        << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+        << track_name << "\"}}";
+    return track;
+}
+
+void
+TraceSink::emitCounterTrack(unsigned track, TraceComponent comp,
+                            const char *series, Tick at, double value)
+{
+    if (track == 0 || track > _trackComps.size()) {
+        emitCounter(comp, series, at, value);
+        return;
+    }
+    if (!wants(comp))
+        return;
+    beginEventTid("C", trackTid(track), at);
     _os << ",\"name\":\"" << series << "\",\"args\":{\"value\":";
     appendNumber(_os, value);
     _os << "}";

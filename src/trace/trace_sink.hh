@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <ostream>
+#include <vector>
 
 #include "trace/component.hh"
 #include "trace/probe.hh"
@@ -56,6 +57,11 @@ class TraceSink : public TraceBackend
                      unsigned num_args) override;
     void emitCounter(TraceComponent comp, const char *series, Tick at,
                      double value) override;
+    unsigned registerTrack(const char *track_name,
+                           TraceComponent comp) override;
+    void emitCounterTrack(unsigned track, TraceComponent comp,
+                          const char *series, Tick at,
+                          double value) override;
 
     /** Close the JSON document; further events are dropped. */
     void finish();
@@ -66,11 +72,24 @@ class TraceSink : public TraceBackend
     /** Total events recorded (metadata excluded). */
     std::uint64_t totalEvents() const { return _total_events; }
 
+    /** Dynamic tracks registered (on top of the component tracks). */
+    unsigned numTracks() const
+    {
+        return static_cast<unsigned>(_trackComps.size());
+    }
+
   private:
     void writeHeader();
     void beginEvent(const char *phase, TraceComponent comp, Tick at);
+    void beginEventTid(const char *phase, unsigned tid, Tick at);
     void writeArgs(const TraceArg *args, unsigned num_args);
     void endEvent(TraceComponent comp);
+
+    /** Perfetto tid of dynamic track @p track (1-based track ids). */
+    unsigned trackTid(unsigned track) const
+    {
+        return numTraceComponents + track;
+    }
 
     std::ostream &_os;
     std::uint32_t _mask;
@@ -78,6 +97,9 @@ class TraceSink : public TraceBackend
     bool _first_event = true;
     std::uint64_t _count[numTraceComponents] = {};
     std::uint64_t _total_events = 0;
+    // Owning component of each dynamic track, indexed by track id - 1.
+    // Events on a track count toward (and filter with) that component.
+    std::vector<TraceComponent> _trackComps;
 };
 
 } // namespace pageforge

@@ -27,6 +27,7 @@
 
 #include "fault/fault_injector.hh"
 #include "fault/merge_oracle.hh"
+#include "shard/cross_mc_router.hh"
 #include "sim/simd.hh"
 #include "stats/table.hh"
 #include "system/campaign.hh"
@@ -47,6 +48,8 @@ struct Options
     double settleMs = 30.0;
     unsigned warmupPasses = 6;
     std::uint64_t seed = 42;
+    unsigned numMcs = 1;
+    unsigned vms = 0;  //!< 0 = Table 2 default fleet (10 VMs)
     bool dumpStats = false;
     bool forceScalar = false;
     KsmPlacement placement = KsmPlacement::Sticky;
@@ -102,6 +105,12 @@ usage(const char *prog)
         << "  --settle-ms=N       settling time (default 30)\n"
         << "  --warmup-passes=N   dedup fast-forward passes (default 6)\n"
         << "  --seed=S            experiment seed (default 42)\n"
+        << "  --num-mcs=N         memory controllers / channels "
+           "(default 1);\n"
+        << "                      frames interleave frame %% N, one\n"
+        << "                      PageForge module per controller\n"
+        << "  --vms=N             fleet size: N VMs on N cores\n"
+        << "                      (default: the paper's 10)\n"
         << "  --placement=P       ksmd placement: sticky|rr|random|pinned\n"
         << "  --churn=POLICY      VM churn: none|poisson|burst|rotate\n"
         << "  --churn-rate=X      arrivals and departures per second\n"
@@ -181,6 +190,14 @@ parse(int argc, char **argv)
             opts.warmupPasses = static_cast<unsigned>(std::atoi(v));
         } else if (const char *v = value("--seed=")) {
             opts.seed = std::strtoull(v, nullptr, 10);
+        } else if (const char *v = value("--num-mcs=")) {
+            opts.numMcs = static_cast<unsigned>(std::atoi(v));
+            if (opts.numMcs == 0)
+                usage(argv[0]);
+        } else if (const char *v = value("--vms=")) {
+            opts.vms = static_cast<unsigned>(std::atoi(v));
+            if (opts.vms == 0)
+                usage(argv[0]);
         } else if (const char *v = value("--placement=")) {
             std::string p = v;
             if (p == "sticky")
@@ -300,6 +317,11 @@ runCampaignMode(const Options &opts)
         std::cerr << "pfsim: --trace is ignored in campaign mode "
                      "(per-cell metrics still recorded)\n";
     spec.sysTemplate.ksmPlacement = opts.placement;
+    spec.sysTemplate.numMcs = opts.numMcs;
+    if (opts.vms) {
+        spec.sysTemplate.numCores = opts.vms;
+        spec.sysTemplate.numVms = opts.vms;
+    }
     spec.progress = [](const CellOutcome &outcome, std::size_t done,
                        std::size_t total) {
         std::fprintf(stderr, "[%zu/%zu] %s / %s (seed %llu): %s\n",
@@ -413,6 +435,11 @@ main(int argc, char **argv)
     config.mode = opts.mode;
     config.memScale = opts.scale;
     config.seed = opts.seed;
+    config.numMcs = opts.numMcs;
+    if (opts.vms) {
+        config.numCores = opts.vms;
+        config.numVms = opts.vms;
+    }
     config.ksmPlacement = opts.placement;
     config.churn = opts.churn;
     config.faults = opts.faults;
@@ -486,10 +513,12 @@ main(int argc, char **argv)
                   std::to_string(system.hypervisor().cowBreaks())});
     table.addRow({"L3 miss rate",
                   TablePrinter::pct(system.hierarchy().l3MissRate())});
+    double mean_gbps = 0.0;
+    for (unsigned m = 0; m < system.numMcs(); ++m)
+        mean_gbps += system.memController(m).dram().bandwidth().meanGBps(
+            start, system.eventq().curTick());
     table.addRow(
-        {"mean DRAM bandwidth (GB/s)",
-         TablePrinter::fmt(system.memController().dram().bandwidth().meanGBps(
-             start, system.eventq().curTick()))});
+        {"mean DRAM bandwidth (GB/s)", TablePrinter::fmt(mean_gbps)});
 
     if (opts.mode == DedupMode::Ksm) {
         Tick busy = 0;
@@ -508,6 +537,30 @@ main(int argc, char **argv)
                           0)});
         table.addRow({"PF OS checks",
                       std::to_string(system.pfDriver()->osChecks())});
+    }
+    if (system.numMcs() > 1) {
+        CrossMcRouter *router = system.crossMcRouter();
+        for (unsigned m = 0; m < system.numMcs(); ++m) {
+            std::string label = "mc" + std::to_string(m);
+            std::string row;
+            if (PageForgeDriver *driver = system.pfDriver()) {
+                row += "scans=" +
+                    std::to_string(driver->shardScans(m)) +
+                    " merges=" + std::to_string(driver->shardMerges(m));
+            }
+            if (router) {
+                if (!row.empty())
+                    row += " ";
+                row += "handoffs_in=" +
+                    std::to_string(router->handoffsTo(m)) +
+                    " handoffs_out=" +
+                    std::to_string(router->handoffsFrom(m));
+            }
+            table.addRow({label, row});
+        }
+        if (router)
+            table.addRow({"cross-MC handoffs",
+                          std::to_string(router->totalHandoffs())});
     }
     if (LifecycleManager *lc = system.lifecycle()) {
         const LifecycleStats &ls = lc->stats();
@@ -528,6 +581,13 @@ main(int argc, char **argv)
                       std::to_string(ls.recoveryTimeouts)});
     }
     std::uint64_t oracle_violations = 0;
+    std::uint64_t ecc_corrected = 0;
+    std::uint64_t ecc_uncorrectable = 0;
+    for (unsigned m = 0; m < system.numMcs(); ++m) {
+        ecc_corrected += system.memController(m).correctedErrors();
+        ecc_uncorrectable +=
+            system.memController(m).uncorrectableErrors();
+    }
     if (FaultInjector *inj = system.faultInjector()) {
         const FaultInjectStats &fs = inj->stats();
         table.addRow({"fault: bit-flip events",
@@ -544,11 +604,9 @@ main(int argc, char **argv)
         table.addRow({"fault: merge-race writes",
                       std::to_string(fs.raceWrites)});
         table.addRow({"ECC corrected errors",
-                      std::to_string(
-                          system.memController().correctedErrors())});
+                      std::to_string(ecc_corrected)});
         table.addRow({"ECC uncorrectable errors",
-                      std::to_string(
-                          system.memController().uncorrectableErrors())});
+                      std::to_string(ecc_uncorrectable)});
         table.addRow({"poisoned frames",
                       std::to_string(system.memory().poisonedFrames())});
         table.addRow({"quarantined frames",
@@ -581,12 +639,12 @@ main(int argc, char **argv)
         // One greppable line for CI smoke checks.
         const FaultInjectStats &fs = inj->stats();
         const MergeOracle *oracle = system.mergeOracle();
+        // New fields must stay BEFORE oracle_violations: CI greps for
+        // "oracle_violations=0$" at end of line.
         std::cout << "pfsim: fault summary:"
                   << " flips=" << fs.flipEvents
-                  << " corrected="
-                  << system.memController().correctedErrors()
-                  << " uncorrectable="
-                  << system.memController().uncorrectableErrors()
+                  << " corrected=" << ecc_corrected
+                  << " uncorrectable=" << ecc_uncorrectable
                   << " poisoned=" << system.memory().poisonedFrames()
                   << " quarantined="
                   << system.memory().quarantinedFrames()
@@ -597,21 +655,25 @@ main(int argc, char **argv)
                           : 0)
                   << " oracle_checks="
                   << (oracle ? oracle->checks() : 0)
+                  << " cross_mc_checks="
+                  << (oracle ? oracle->crossMcChecks() : 0)
                   << " oracle_violations=" << oracle_violations << "\n";
     }
 
     if (opts.dumpStats) {
         std::cout << "\n---- component statistics ----\n";
         system.memory().stats().dump(std::cout);
-        system.memController().stats().dump(std::cout);
+        for (unsigned m = 0; m < system.numMcs(); ++m)
+            system.memController(m).stats().dump(std::cout);
         system.hierarchy().stats().dump(std::cout);
         system.hierarchy().l3().stats().dump(std::cout);
         system.hierarchy().bus().stats().dump(std::cout);
         system.hypervisor().stats().dump(std::cout);
         for (unsigned c = 0; c < system.numCores(); ++c)
             system.core(c).stats().dump(std::cout);
-        if (system.pfModule())
-            system.pfModule()->stats().dump(std::cout);
+        for (unsigned m = 0; m < system.numMcs(); ++m)
+            if (system.pfModule(m))
+                system.pfModule(m)->stats().dump(std::cout);
     }
 
     if (sink) {
