@@ -7,7 +7,13 @@
  *   --scale=X      memory-image scale factor (default 0.25)
  *   --queries=N    target queries per measurement window
  *   --seed=S       experiment seed
- *   --jobs=N       parallel campaign workers (default: all cores)
+ *   --jobs=N       parallel campaign workers (default: all cores;
+ *                  exception: bench_simspeed defaults to 1, because it
+ *                  measures wall-clock and parallel workers make the
+ *                  per-cell timings incomparable)
+ *   --num-mcs=N    memory controllers per simulated machine (default 1)
+ *   --lanes=N      threads for the per-MC event lanes (default 1;
+ *                  needs --num-mcs > 1, results identical at any N)
  *
  * Harnesses that sweep the (app x mode) matrix obtain their rows from
  * the parallel campaign runner (system/campaign.hh), so wall-clock
@@ -44,6 +50,8 @@ struct BenchOptions
     std::uint64_t seed = 42;
     bool quick = false;
     unsigned jobs = 0; //!< campaign workers; 0 = hardware concurrency
+    unsigned numMcs = 1; //!< controllers per simulated machine
+    unsigned lanes = 1;  //!< event-lane threads (needs numMcs > 1)
 
     ExperimentConfig
     experimentConfig() const
@@ -86,10 +94,25 @@ parseBenchOptions(int argc, char **argv)
         } else if (arg.rfind("--jobs=", 0) == 0) {
             opts.jobs = static_cast<unsigned>(
                 std::atoi(arg.c_str() + 7));
+        } else if (arg.rfind("--num-mcs=", 0) == 0) {
+            opts.numMcs = static_cast<unsigned>(
+                std::atoi(arg.c_str() + 10));
+            if (opts.numMcs == 0) {
+                std::fprintf(stderr, "--num-mcs needs N >= 1\n");
+                std::exit(1);
+            }
+        } else if (arg.rfind("--lanes=", 0) == 0) {
+            opts.lanes = static_cast<unsigned>(
+                std::atoi(arg.c_str() + 8));
+            if (opts.lanes == 0) {
+                std::fprintf(stderr, "--lanes needs N >= 1\n");
+                std::exit(1);
+            }
         } else if (arg == "--help" || arg == "-h") {
             std::fprintf(stderr,
                          "usage: %s [--quick] [--scale=X] "
-                         "[--queries=N] [--seed=S] [--jobs=N]\n",
+                         "[--queries=N] [--seed=S] [--jobs=N] "
+                         "[--num-mcs=N] [--lanes=N]\n",
                          argv[0]);
             std::exit(0);
         } else {
@@ -127,6 +150,8 @@ runBenchCampaign(const BenchOptions &opts, std::vector<DedupMode> modes)
     spec.modes = std::move(modes);
     spec.experiment = opts.experimentConfig();
     spec.jobs = opts.jobs;
+    spec.sysTemplate.numMcs = opts.numMcs;
+    spec.sysTemplate.lanes = opts.lanes;
     spec.progress = [](const CellOutcome &outcome, std::size_t done,
                        std::size_t total) {
         progress("[" + std::to_string(done) + "/" +

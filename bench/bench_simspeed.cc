@@ -10,9 +10,15 @@
  * mirror the matrix used to record the pre-optimization baseline, so
  * `--baseline-seconds=X` yields an apples-to-apples speedup figure.
  *
- * Run serially (`--jobs=1`, the default) on an otherwise idle host
+ * Run serially (`--jobs=1`, the default here — unlike the other
+ * harnesses, which default to all cores) on an otherwise idle host
  * when comparing builds; parallel workers share caches and memory
  * bandwidth and the per-cell timings stop being comparable.
+ *
+ * `--num-mcs=N --lanes=N` benchmark the multi-controller machine with
+ * its parallel event lanes: N > 1 lanes speed up the wall clock while
+ * the simulated results stay identical, so events-per-second is the
+ * figure of merit and the report records both knobs (schema v2).
  */
 
 #include <cstdio>
@@ -35,6 +41,8 @@ struct SpeedOptions
     std::uint64_t targetQueries = 400;
     std::uint64_t seed = 42;
     unsigned jobs = 1;
+    unsigned numMcs = 1;
+    unsigned lanes = 1;
     double baselineSeconds = 0.0;
     std::string outPath = "BENCH_simspeed.json";
     bool quick = false;
@@ -61,6 +69,20 @@ parseSpeedOptions(int argc, char **argv)
         } else if (arg.rfind("--jobs=", 0) == 0) {
             opts.jobs =
                 static_cast<unsigned>(std::atoi(arg.c_str() + 7));
+        } else if (arg.rfind("--num-mcs=", 0) == 0) {
+            opts.numMcs =
+                static_cast<unsigned>(std::atoi(arg.c_str() + 10));
+            if (opts.numMcs == 0) {
+                std::fprintf(stderr, "--num-mcs needs N >= 1\n");
+                std::exit(1);
+            }
+        } else if (arg.rfind("--lanes=", 0) == 0) {
+            opts.lanes =
+                static_cast<unsigned>(std::atoi(arg.c_str() + 8));
+            if (opts.lanes == 0) {
+                std::fprintf(stderr, "--lanes needs N >= 1\n");
+                std::exit(1);
+            }
         } else if (arg.rfind("--baseline-seconds=", 0) == 0) {
             opts.baselineSeconds = std::atof(arg.c_str() + 19);
         } else if (arg.rfind("--out=", 0) == 0) {
@@ -68,7 +90,9 @@ parseSpeedOptions(int argc, char **argv)
         } else if (arg == "--help" || arg == "-h") {
             std::fprintf(stderr,
                          "usage: %s [--quick] [--scale=X] "
-                         "[--queries=N] [--seed=S] [--jobs=N] "
+                         "[--queries=N] [--seed=S] [--jobs=N (default "
+                         "1: serial, for comparable timings)] "
+                         "[--num-mcs=N] [--lanes=N] "
                          "[--baseline-seconds=X] [--out=FILE]\n",
                          argv[0]);
             std::exit(0);
@@ -92,6 +116,8 @@ main(int argc, char **argv)
     spec.experiment.targetQueries = opts.targetQueries;
     spec.experiment.seed = opts.seed;
     spec.jobs = opts.jobs;
+    spec.sysTemplate.numMcs = opts.numMcs;
+    spec.sysTemplate.lanes = opts.lanes;
     spec.progress = [](const CellOutcome &outcome, std::size_t done,
                        std::size_t total) {
         progress("[" + std::to_string(done) + "/" +

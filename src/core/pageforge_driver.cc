@@ -24,12 +24,16 @@ PageForgeDriver::PageForgeDriver(std::string name, EventQueue &eq,
     _stables.push_back(std::make_unique<ContentTree>(
         _stableAcc, /*immutable_contents=*/true));
     _unstables.push_back(std::make_unique<ContentTree>(_guestAcc));
+    _pipelines.push_back(std::make_unique<Pipeline>());
+    _pipelines.back()->shard = 0;
     api.module().setEccOffsets(config.eccOffsets);
     _destroyToken = _hyper.addVmDestroyListener(
         [this](VmId vm_id) { onVmDestroyed(vm_id); });
     _pinToken = _hyper.addPinProvider([this] {
-        std::uint64_t pinned =
-            _pinnedFrames.size() + (_candidateFrame != invalidFrame ? 1 : 0);
+        std::uint64_t pinned = 0;
+        for (const auto &p : _pipelines)
+            pinned += p->pinnedFrames.size() +
+                      (p->candidateFrame != invalidFrame ? 1 : 0);
         for (const auto &stable : _stables)
             pinned += stable->size();
         return pinned;
@@ -54,6 +58,8 @@ PageForgeDriver::addShardApi(PageForgeApi &api)
     _stables.push_back(std::make_unique<ContentTree>(
         _stableAcc, /*immutable_contents=*/true));
     _unstables.push_back(std::make_unique<ContentTree>(_guestAcc));
+    _pipelines.push_back(std::make_unique<Pipeline>());
+    _pipelines.back()->shard = numShards() - 1;
     _shardScans.push_back(0);
     _shardMerges.push_back(0);
 }
@@ -68,21 +74,40 @@ PageForgeDriver::setShardRouting(const ShardMap &map, CrossMcRouter &router)
     _router = &router;
 }
 
+bool
+PageForgeDriver::anyCandidateInFlight() const
+{
+    for (const auto &p : _pipelines)
+        if (p->candidateFrame != invalidFrame)
+            return true;
+    return false;
+}
+
 void
 PageForgeDriver::purgeVm(VmId vm_id)
 {
-    std::size_t kept_before_cursor = 0;
-    std::vector<PageKey> kept;
-    kept.reserve(_scanList.size());
-    for (std::size_t i = 0; i < _scanList.size(); ++i) {
-        if (_scanList[i].vm == vm_id)
-            continue;
-        if (i < _cursor)
-            ++kept_before_cursor;
-        kept.push_back(_scanList[i]);
+    for (auto &pipeline : _pipelines) {
+        Pipeline &p = *pipeline;
+        std::size_t kept_before_cursor = 0;
+        std::vector<PageKey> kept;
+        kept.reserve(p.scanList.size());
+        for (std::size_t i = 0; i < p.scanList.size(); ++i) {
+            if (p.scanList[i].vm == vm_id)
+                continue;
+            if (i < p.cursor)
+                ++kept_before_cursor;
+            kept.push_back(p.scanList[i]);
+        }
+        p.scanList = std::move(kept);
+        p.cursor = kept_before_cursor;
+
+        std::erase_if(p.inbox, [vm_id](const PageKey &key) {
+            return key.vm == vm_id;
+        });
+        std::erase_if(p.retryQueue, [vm_id](const MergeRetry &retry) {
+            return retry.key.vm == vm_id;
+        });
     }
-    _scanList = std::move(kept);
-    _cursor = kept_before_cursor;
 
     for (auto &unstable : _unstables) {
         unstable->eraseIf([vm_id](PageHandle handle) {
@@ -97,23 +122,21 @@ PageForgeDriver::purgeVm(VmId vm_id)
             },
             [this](PageHandle handle) { onStablePrune(handle); });
     }
-
-    std::erase_if(_retryQueue, [vm_id](const MergeRetry &retry) {
-        return retry.key.vm == vm_id;
-    });
 }
 
 void
 PageForgeDriver::onVmDestroyed(VmId vm_id)
 {
-    if (_candidateFrame != invalidFrame) {
-        // A candidate is in flight: the programmed batch and the
-        // saved stable insertion point hold raw tree-node pointers,
-        // so the trees cannot be purged yet. Abandon the candidate
-        // and purge once the hardware reports the batch done (the
-        // batch's frames stay pinned until then, so the Scan Table
-        // never reads freed memory).
-        _abortCandidate = true;
+    if (anyCandidateInFlight()) {
+        // A candidate is in flight: programmed batches and saved
+        // stable insertion points hold raw tree-node pointers, so the
+        // trees cannot be purged yet. Abandon every in-flight
+        // candidate and purge once the last pipeline reaches its safe
+        // point (the batches' frames stay pinned until then, so the
+        // Scan Tables never read freed memory).
+        for (auto &p : _pipelines)
+            if (p->candidateFrame != invalidFrame)
+                p->abortCandidate = true;
         _pendingPurges.push_back(vm_id);
         return;
     }
@@ -127,16 +150,16 @@ PageForgeDriver::onStablePrune(PageHandle handle)
 }
 
 ContentTree *
-PageForgeDriver::currentTree()
+PageForgeDriver::currentTree(Pipeline &p)
 {
-    return _phase == Phase::Stable ? &stableShardTree()
-                                   : &unstableShardTree();
+    return p.phase == Phase::Stable ? &stableShardTree(p)
+                                    : &unstableShardTree(p);
 }
 
 PageAccessor &
-PageForgeDriver::currentAccessor()
+PageForgeDriver::currentAccessor(Pipeline &p)
 {
-    if (_phase == Phase::Stable)
+    if (p.phase == Phase::Stable)
         return _stableAcc;
     return _guestAcc;
 }
@@ -146,28 +169,48 @@ PageForgeDriver::currentAccessor()
 // ---------------------------------------------------------------------
 
 void
-PageForgeDriver::startPass()
+PageForgeDriver::startPass(Pipeline &p)
 {
-    for (auto &unstable : _unstables)
-        unstable->clear();
-    _scanList = _hyper.mergeablePages();
-    _cursor = 0;
+    if (_synchronous || _pipelines.size() == 1) {
+        // Classic single-pipeline pass (and the synchronous warm-up
+        // pass on any machine): walk the whole machine in hypervisor
+        // order.
+        for (auto &unstable : _unstables)
+            unstable->clear();
+        p.scanList = _hyper.mergeablePages();
+    } else {
+        // Each pipeline scans the pages homed on its controller; its
+        // unstable tree lives and dies with its own pass.
+        _unstables[p.shard]->clear();
+        p.scanList.clear();
+        for (const PageKey &key : _hyper.mergeablePages()) {
+            FrameId frame = _hyper.frameOf(key.vm, key.gpn);
+            if (frame == invalidFrame)
+                continue;
+            unsigned home = _shardMap ? _shardMap->homeOf(frame)
+                                      : frame % numShards();
+            if (home == p.shard)
+                p.scanList.push_back(key);
+        }
+    }
+    p.cursor = 0;
     ++_mergeStats.fullPasses;
     probe().instant("pass-start", curTick(),
-                    {"pages", static_cast<double>(_scanList.size())});
+                    {"pages", static_cast<double>(p.scanList.size())});
 }
 
 bool
-PageForgeDriver::pickNextCandidate()
+PageForgeDriver::pickNextCandidate(Pipeline &p, bool &from_inbox)
 {
     PhysicalMemory &mem = _hyper.memory();
+    from_inbox = false;
 
     // Aborted merges whose backoff elapsed rescan first. They do not
     // consume the interval's page budget: retries are extra work the
     // fault forced, not progress through the scan list.
-    while (!_retryQueue.empty()) {
-        MergeRetry retry = _retryQueue.back();
-        _retryQueue.pop_back();
+    while (!p.retryQueue.empty()) {
+        MergeRetry retry = p.retryQueue.back();
+        p.retryQueue.pop_back();
         if (retry.key.vm >= _hyper.numVms() ||
             !_hyper.vmAlive(retry.key.vm))
             continue;
@@ -179,22 +222,52 @@ PageForgeDriver::pickNextCandidate()
             mem.isPoisoned(page.frame) || mem.refCount(page.frame) > 1)
             continue;
         ++_mergeStats.pagesScanned;
-        _candidate = retry.key;
-        _candidateFrame = page.frame;
-        _candidateVersion = page.writeVersion;
-        _candidateAttempt = retry.attempt;
+        p.candidate = retry.key;
+        p.candidateFrame = page.frame;
+        p.candidateVersion = page.writeVersion;
+        p.candidateAttempt = retry.attempt;
         return true;
     }
 
-    while (_remaining > 0) {
-        if (_cursor >= _scanList.size())
-            startPass();
-        if (_scanList.empty())
+    // Candidates handed over from other pipelines next; their home
+    // pipeline already spent scan budget on them. The arrival
+    // revalidates everything — the page may have changed, remapped, or
+    // died while crossing the interconnect.
+    while (!p.inbox.empty()) {
+        PageKey key = p.inbox.front();
+        p.inbox.pop_front();
+        if (key.vm >= _hyper.numVms() || !_hyper.vmAlive(key.vm))
+            continue;
+        const VirtualMachine &machine = _hyper.vm(key.vm);
+        if (key.gpn >= machine.numPages())
+            continue;
+        const PageState &page = machine.page(key.gpn);
+        if (!page.mapped || !page.mergeable ||
+            mem.isPoisoned(page.frame) || mem.refCount(page.frame) > 1)
+            continue;
+        p.candidate = key;
+        p.candidateFrame = page.frame;
+        p.candidateVersion = page.writeVersion;
+        p.candidateAttempt = 0;
+        from_inbox = true;
+        return true;
+    }
+
+    while (p.remaining > 0) {
+        if (p.cursor >= p.scanList.size())
+            startPass(p);
+        if (p.scanList.empty())
             return false;
 
-        PageKey key = _scanList[_cursor++];
-        --_remaining;
+        PageKey key = p.scanList[p.cursor++];
+        --p.remaining;
         ++_mergeStats.pagesScanned;
+
+        // The VM may have died while its purge waits on another
+        // pipeline's in-flight candidate (never happens with a single
+        // pipeline: purges run before the pick there).
+        if (key.vm >= _hyper.numVms() || !_hyper.vmAlive(key.vm))
+            continue;
 
         const VirtualMachine &machine = _hyper.vm(key.vm);
         const PageState &page = machine.page(key.gpn);
@@ -205,10 +278,10 @@ PageForgeDriver::pickNextCandidate()
         if (mem.refCount(page.frame) > 1)
             continue; // already merged, lives in the stable tree
 
-        _candidate = key;
-        _candidateFrame = page.frame;
-        _candidateVersion = page.writeVersion;
-        _candidateAttempt = 0;
+        p.candidate = key;
+        p.candidateFrame = page.frame;
+        p.candidateVersion = page.writeVersion;
+        p.candidateAttempt = 0;
         return true;
     }
     return false;
@@ -219,26 +292,26 @@ PageForgeDriver::pickNextCandidate()
 // ---------------------------------------------------------------------
 
 void
-PageForgeDriver::pinCandidate()
+PageForgeDriver::pinCandidate(Pipeline &p)
 {
-    _hyper.memory().addRef(_candidateFrame);
+    _hyper.memory().addRef(p.candidateFrame);
 }
 
 void
-PageForgeDriver::unpinCandidate()
+PageForgeDriver::unpinCandidate(Pipeline &p)
 {
-    if (_candidateFrame != invalidFrame) {
-        _hyper.memory().decRef(_candidateFrame);
-        _candidateFrame = invalidFrame;
+    if (p.candidateFrame != invalidFrame) {
+        _hyper.memory().decRef(p.candidateFrame);
+        p.candidateFrame = invalidFrame;
     }
 }
 
 void
-PageForgeDriver::unpinBatch()
+PageForgeDriver::unpinBatch(Pipeline &p)
 {
-    for (FrameId frame : _pinnedFrames)
+    for (FrameId frame : p.pinnedFrames)
         _hyper.memory().decRef(frame);
-    _pinnedFrames.clear();
+    p.pinnedFrames.clear();
 }
 
 // ---------------------------------------------------------------------
@@ -246,11 +319,11 @@ PageForgeDriver::unpinBatch()
 // ---------------------------------------------------------------------
 
 void
-PageForgeDriver::buildBatch(ContentTree::Node *subtree_root)
+PageForgeDriver::buildBatch(Pipeline &p, ContentTree::Node *subtree_root)
 {
-    ContentTree &tree = *currentTree();
-    PageAccessor &acc = currentAccessor();
-    unsigned capacity = currentApi().tableEntries();
+    ContentTree &tree = *currentTree(p);
+    PageAccessor &acc = currentAccessor(p);
+    unsigned capacity = currentApi(p).tableEntries();
 
 restart:
     pf_assert(subtree_root, "building a batch with no subtree");
@@ -259,13 +332,13 @@ restart:
     if (!acc.resolve(tree.handle(subtree_root))) {
         PageHandle stale = tree.handle(subtree_root);
         tree.erase(subtree_root);
-        if (_phase == Phase::Stable)
+        if (p.phase == Phase::Stable)
             onStablePrune(stale);
         subtree_root = tree.root();
         if (!subtree_root) {
             // Tree emptied: program a batch with no entries; the
             // search trivially ends without a match.
-            buildForcedHashBatch();
+            buildForcedHashBatch(p);
             return;
         }
         goto restart;
@@ -283,7 +356,7 @@ restart:
             if (!acc.resolve(tree.handle(child))) {
                 PageHandle stale = tree.handle(child);
                 tree.erase(child);
-                if (_phase == Phase::Stable)
+                if (p.phase == Phase::Stable)
                     onStablePrune(stale);
                 goto restart;
             }
@@ -291,9 +364,9 @@ restart:
         }
     }
 
-    _batch = PendingBatch{};
-    _batch.nodes = nodes;
-    _batch.startPtr = 0;
+    p.batch = PendingBatch{};
+    p.batch.nodes = nodes;
+    p.batch.startPtr = 0;
     bool has_continuation = false;
 
     for (unsigned i = 0; i < nodes.size(); ++i) {
@@ -325,46 +398,46 @@ restart:
 
         ScanIndex less = encode(tree.left(nodes[i]), false);
         ScanIndex more = encode(tree.right(nodes[i]), true);
-        _batch.entries.push_back(PendingBatch::Entry{ppn, less, more});
+        p.batch.entries.push_back(PendingBatch::Entry{ppn, less, more});
     }
 
     // When the whole remaining subtree fits, no further refill can
     // follow: set Last Refill so the hash key completes (Section 3.3.1).
-    _batch.lastRefill = !has_continuation;
+    p.batch.lastRefill = !has_continuation;
 }
 
 void
-PageForgeDriver::buildForcedHashBatch()
+PageForgeDriver::buildForcedHashBatch(Pipeline &p)
 {
-    _batch = PendingBatch{};
-    _batch.lastRefill = true;
-    _batch.startPtr = scanIndexNone;
+    p.batch = PendingBatch{};
+    p.batch.lastRefill = true;
+    p.batch.startPtr = scanIndexNone;
 }
 
 void
-PageForgeDriver::programBatch()
+PageForgeDriver::programBatch(Pipeline &p)
 {
-    unpinBatch();
+    unpinBatch(p);
     PhysicalMemory &mem = _hyper.memory();
 
-    PageForgeApi &api = currentApi();
-    for (unsigned i = 0; i < _batch.entries.size(); ++i) {
-        const auto &entry = _batch.entries[i];
+    PageForgeApi &api = currentApi(p);
+    for (unsigned i = 0; i < p.batch.entries.size(); ++i) {
+        const auto &entry = p.batch.entries[i];
         api.insertPpn(i, entry.ppn, entry.less, entry.more);
         mem.addRef(entry.ppn);
-        _pinnedFrames.push_back(entry.ppn);
+        p.pinnedFrames.push_back(entry.ppn);
     }
-    if (_firstBatch) {
+    if (p.firstBatch) {
         probe().instant(
             "pfe-swap", curTick(),
-            {"frame", static_cast<double>(_candidateFrame)});
-        api.insertPfe(_candidateFrame, _batch.lastRefill,
-                      _batch.startPtr);
-        _firstBatch = false;
+            {"frame", static_cast<double>(p.candidateFrame)});
+        api.insertPfe(p.candidateFrame, p.batch.lastRefill,
+                      p.batch.startPtr);
+        p.firstBatch = false;
     } else {
-        api.updatePfe(_batch.lastRefill, _batch.startPtr);
+        api.updatePfe(p.batch.lastRefill, p.batch.startPtr);
     }
-    _batchStart = curTick();
+    p.batchStart = curTick();
     ++_refills;
 }
 
@@ -373,149 +446,183 @@ PageForgeDriver::programBatch()
 // ---------------------------------------------------------------------
 
 PageForgeDriver::Action
-PageForgeDriver::setupCandidate()
+PageForgeDriver::setupCandidate(Pipeline &p, bool from_inbox)
 {
-    _phase = Phase::Stable;
-    _firstBatch = true;
-    _stableInsertValid = false;
-    _candidateShard = 0;
-    _handoffDelay = 0;
+    p.phase = Phase::Stable;
+    p.firstBatch = true;
+    p.stableInsertValid = false;
+    p.candidateShard = 0;
     if (_shardMap && _shardMap->numShards() > 1) {
         // The content key decides which shard's trees can hold this
         // page; if that is not the MC homing the frame, the scanning
         // MC hands the candidate across the interconnect.
-        _candidateShard = _shardMap->contentShardOf(
-            _hyper.memory().data(_candidateFrame));
-        unsigned home = _shardMap->homeOf(_candidateFrame);
-        if (home != _candidateShard && _router) {
+        unsigned content = _shardMap->contentShardOf(
+            _hyper.memory().data(p.candidateFrame));
+        if (_synchronous) {
+            // Synchronous passes fast-forward: serve the candidate on
+            // the content shard directly, counting the handoff with
+            // zero latency.
+            unsigned home = _shardMap->homeOf(p.candidateFrame);
+            p.candidateShard = content;
+            if (home != content && _router) {
+                _router->enqueue(home, content, curTick());
+                probe().instant(
+                    "mc-handoff", curTick(),
+                    {"src", static_cast<double>(home)},
+                    {"dst", static_cast<double>(content)});
+            }
+        } else if (content != p.shard) {
+            // Content homed elsewhere. A pipeline may only drive its
+            // own module (the frame's nominal home can drift after the
+            // scan list was built — remaps and merges move frames —
+            // but the comparison is always against this pipeline).
+            if (from_inbox) {
+                // Rewritten in transit: the content re-homed to yet
+                // another shard. Drop it; a later pass rescans it.
+                ++_mergeStats.pagesDropped;
+                p.candidateFrame = invalidFrame;
+                return Action::CandidateDone;
+            }
+            // Hand the candidate to the owning shard's pipeline. It
+            // leaves this pipeline entirely — unpinned, because the
+            // arrival revalidates the page from scratch.
+            pf_assert(_router, "multi-shard driver without a router");
             Tick delivered =
-                _router->enqueue(home, _candidateShard, curTick());
-            _handoffDelay = delivered - curTick();
-            probe().instant(
-                "mc-handoff", curTick(),
-                {"src", static_cast<double>(home)},
-                {"dst", static_cast<double>(_candidateShard)});
+                _router->enqueue(p.shard, content, curTick());
+            probe().instant("mc-handoff", curTick(),
+                            {"src", static_cast<double>(p.shard)},
+                            {"dst", static_cast<double>(content)});
+            PageKey key = p.candidate;
+            eventq().schedule(delivered, [this, content, key] {
+                deliverHandoff(content, key);
+            });
+            _shardScans[p.candidateFrame % _shardScans.size()] += 1;
+            p.candidateFrame = invalidFrame;
+            return Action::CandidateDone;
+        } else {
+            p.candidateShard = p.shard; // content homes right here
         }
     }
-    _shardScans[_candidateFrame % _shardScans.size()] += 1;
-    pinCandidate();
-    return beginPhase();
+    if (!from_inbox) // handed-off candidates were counted at home
+        _shardScans[p.candidateFrame % _shardScans.size()] += 1;
+    pinCandidate(p);
+    return beginPhase(p);
 }
 
 PageForgeDriver::Action
-PageForgeDriver::beginPhase()
+PageForgeDriver::beginPhase(Pipeline &p)
 {
-    if (_phase == Phase::Stable) {
+    if (p.phase == Phase::Stable) {
         ++_mergeStats.stableSearches;
-        ContentTree::Node *root = stableShardTree().root();
+        ContentTree::Node *root = stableShardTree(p).root();
         if (!root) {
             // Empty stable tree: no match possible; the insertion
             // point for a later stable insert is the root. Run a
             // hash-completion-only batch so the ECC key still comes
             // from the hardware.
-            _stableInsertParent = nullptr;
-            _stableInsertLeft = false;
-            _stableInsertValid = true;
-            buildForcedHashBatch();
+            p.stableInsertParent = nullptr;
+            p.stableInsertLeft = false;
+            p.stableInsertValid = true;
+            buildForcedHashBatch(p);
             return Action::RunBatch;
         }
-        buildBatch(root);
+        buildBatch(p, root);
         return Action::RunBatch;
     }
 
     ++_mergeStats.unstableSearches;
-    ContentTree::Node *root = unstableShardTree().root();
+    ContentTree::Node *root = unstableShardTree(p).root();
     if (!root) {
         // First unstable page this pass: becomes the tree root.
-        unstableShardTree().insertChild(nullptr, false,
-                                        guestHandle(_candidate));
-        chargeDriver(_config.treeUpdateCycles);
+        unstableShardTree(p).insertChild(nullptr, false,
+                                         guestHandle(p.candidate));
+        chargeDriver(p, _config.treeUpdateCycles);
         return Action::CandidateDone;
     }
-    buildBatch(root);
+    buildBatch(p, root);
     return Action::RunBatch;
 }
 
 PageForgeDriver::Action
-PageForgeDriver::onBatchComplete(const PfeInfo &info)
+PageForgeDriver::onBatchComplete(Pipeline &p, const PfeInfo &info)
 {
     pf_assert(info.scanned, "batch completion without Scanned set");
-    ContentTree &tree = *currentTree();
+    ContentTree &tree = *currentTree(p);
 
     if (info.duplicate) {
-        pf_assert(info.ptr < _batch.nodes.size(),
+        pf_assert(info.ptr < p.batch.nodes.size(),
                   "Duplicate with Ptr outside the batch");
-        ContentTree::Node *node = _batch.nodes[info.ptr];
-        return _phase == Phase::Stable ? handleStableMatch(node)
-                                       : handleUnstableMatch(node);
+        ContentTree::Node *node = p.batch.nodes[info.ptr];
+        return p.phase == Phase::Stable ? handleStableMatch(p, node)
+                                        : handleUnstableMatch(p, node);
     }
 
     if (isContinueToken(info.ptr)) {
         // Descend into a subtree that did not fit in the batch.
         unsigned entry = tokenEntry(info.ptr);
-        pf_assert(entry < _batch.nodes.size(), "bad continuation token");
-        ContentTree::Node *node = _batch.nodes[entry];
+        pf_assert(entry < p.batch.nodes.size(), "bad continuation token");
+        ContentTree::Node *node = p.batch.nodes[entry];
         ContentTree::Node *child = tokenMoreSide(info.ptr)
             ? tree.right(node)
             : tree.left(node);
         pf_assert(child, "continuation into absent child");
-        buildBatch(child);
+        buildBatch(p, child);
         return Action::RunBatch;
     }
 
-    return _phase == Phase::Stable ? stableSearchEnded(info)
-                                   : unstableSearchEnded(info);
+    return p.phase == Phase::Stable ? stableSearchEnded(p, info)
+                                    : unstableSearchEnded(p, info);
 }
 
 PageForgeDriver::Action
-PageForgeDriver::handleStableMatch(ContentTree::Node *node)
+PageForgeDriver::handleStableMatch(Pipeline &p, ContentTree::Node *node)
 {
-    if (mergeRaced())
-        return abortMergedRace();
+    if (mergeRaced(p))
+        return abortMergedRace(p);
 
-    FrameId target = handleFrame(stableShardTree().handle(node));
-    if (_hyper.tryMergeIntoFrame(_candidate, target)) {
+    FrameId target = handleFrame(stableShardTree(p).handle(node));
+    if (_hyper.tryMergeIntoFrame(p.candidate, target)) {
         ++_mergeStats.stableMerges;
-        _shardMerges[_candidateShard] += 1;
-        chargeDriver(_config.mergeCycles);
-        _falseMatchStreak = 0;
+        _shardMerges[p.candidateShard] += 1;
+        chargeDriver(p, _config.mergeCycles);
+        p.falseMatchStreak = 0;
     } else {
         // The candidate changed under the scan, or a corrupted key /
         // table entry steered the hardware to a false match: either
         // way the full compare refused it; drop it for this pass.
         ++_mergeStats.pagesDropped;
-        noteFalseKeyMatch();
+        noteFalseKeyMatch(p);
     }
     return Action::CandidateDone;
 }
 
 PageForgeDriver::Action
-PageForgeDriver::stableSearchEnded(const PfeInfo &info)
+PageForgeDriver::stableSearchEnded(Pipeline &p, const PfeInfo &info)
 {
     if (isAbsentToken(info.ptr)) {
         unsigned entry = tokenEntry(info.ptr);
-        pf_assert(entry < _batch.nodes.size(), "bad absent token");
-        _stableInsertParent = _batch.nodes[entry];
-        _stableInsertLeft = !tokenMoreSide(info.ptr);
-        _stableInsertValid = true;
+        pf_assert(entry < p.batch.nodes.size(), "bad absent token");
+        p.stableInsertParent = p.batch.nodes[entry];
+        p.stableInsertLeft = !tokenMoreSide(info.ptr);
+        p.stableInsertValid = true;
     }
 
     if (!info.hashReady) {
         // Section 3.3.1: the OS forces hash completion by reloading
         // with Last Refill set.
-        buildForcedHashBatch();
+        buildForcedHashBatch(p);
         return Action::RunBatch;
     }
 
     // Hash check against the previous pass (the PageForge analogue of
     // Algorithm 1 lines 11-12), using the ECC key.
     PhysicalMemory &mem = _hyper.memory();
-    FrameId current = _hyper.frameOf(_candidate.vm, _candidate.gpn);
+    FrameId current = _hyper.frameOf(p.candidate.vm, p.candidate.gpn);
     if (current == invalidFrame) {
         ++_mergeStats.pagesDropped;
         return Action::CandidateDone;
     }
-    PageState &page = _hyper.vm(_candidate.vm).page(_candidate.gpn);
+    PageState &page = _hyper.vm(p.candidate.vm).page(p.candidate.gpn);
     bool prev_valid = page.eccKeyValid;
     std::uint32_t prev_key = page.lastEccKey;
     HashCheckOutcome outcome = checkPageHashes(
@@ -546,52 +653,54 @@ PageForgeDriver::stableSearchEnded(const PfeInfo &info)
         return Action::CandidateDone;
     }
 
-    _phase = Phase::Unstable;
-    return beginPhase();
+    p.phase = Phase::Unstable;
+    return beginPhase(p);
 }
 
 PageForgeDriver::Action
-PageForgeDriver::handleUnstableMatch(ContentTree::Node *node)
+PageForgeDriver::handleUnstableMatch(Pipeline &p, ContentTree::Node *node)
 {
-    if (mergeRaced())
-        return abortMergedRace();
+    if (mergeRaced(p))
+        return abortMergedRace(p);
 
     PhysicalMemory &mem = _hyper.memory();
-    PageKey other = handleGuest(unstableShardTree().handle(node));
+    PageKey other = handleGuest(unstableShardTree(p).handle(node));
     FrameId other_frame = _hyper.frameOf(other.vm, other.gpn);
-    FrameId cand_frame = _hyper.frameOf(_candidate.vm, _candidate.gpn);
+    FrameId cand_frame = _hyper.frameOf(p.candidate.vm, p.candidate.gpn);
 
     if (other_frame == invalidFrame || cand_frame == invalidFrame ||
         other_frame == cand_frame) {
         ++_mergeStats.pagesDropped;
         return Action::CandidateDone;
     }
-    if (!_hyper.pagesEqual(_hyper.vm(_candidate.vm).page(_candidate.gpn),
-                           _hyper.vm(other.vm).page(other.gpn))) {
+    if (!_hyper.pagesEqual(
+            _hyper.vm(p.candidate.vm).page(p.candidate.gpn),
+            _hyper.vm(other.vm).page(other.gpn))) {
         // Hardware said Duplicate; the final software compare says
         // otherwise — a racing write or a false key match.
         ++_mergeStats.pagesDropped;
-        noteFalseKeyMatch();
+        noteFalseKeyMatch(p);
         return Action::CandidateDone;
     }
 
-    FrameId merged = _hyper.mergePair(_candidate, other);
-    chargeDriver(_config.mergeCycles + 2 * _config.cowProtectCycles +
+    FrameId merged = _hyper.mergePair(p.candidate, other);
+    chargeDriver(p, _config.mergeCycles + 2 * _config.cowProtectCycles +
                  2 * _config.treeUpdateCycles);
     ++_mergeStats.unstableMerges;
-    _shardMerges[_candidateShard] += 1;
-    _falseMatchStreak = 0;
+    _shardMerges[p.candidateShard] += 1;
+    p.falseMatchStreak = 0;
 
-    unstableShardTree().erase(node);
+    unstableShardTree(p).erase(node);
 
     // Insert the merged page into the stable tree at the position the
     // hardware's stable search discovered for this very content.
     ContentTree::Node *stable_node = nullptr;
-    if (_stableInsertValid) {
-        stable_node = stableShardTree().insertChild(
-            _stableInsertParent, _stableInsertLeft, frameHandle(merged));
+    if (p.stableInsertValid) {
+        stable_node = stableShardTree(p).insertChild(
+            p.stableInsertParent, p.stableInsertLeft,
+            frameHandle(merged));
     } else {
-        stable_node = stableShardTree().insert(frameHandle(merged));
+        stable_node = stableShardTree(p).insert(frameHandle(merged));
     }
     if (stable_node)
         mem.addRef(merged); // the tree pins the frame
@@ -600,20 +709,20 @@ PageForgeDriver::handleUnstableMatch(ContentTree::Node *node)
 }
 
 PageForgeDriver::Action
-PageForgeDriver::unstableSearchEnded(const PfeInfo &info)
+PageForgeDriver::unstableSearchEnded(Pipeline &p, const PfeInfo &info)
 {
     if (isAbsentToken(info.ptr)) {
         unsigned entry = tokenEntry(info.ptr);
-        pf_assert(entry < _batch.nodes.size(), "bad absent token");
-        unstableShardTree().insertChild(_batch.nodes[entry],
-                                        !tokenMoreSide(info.ptr),
-                                        guestHandle(_candidate));
+        pf_assert(entry < p.batch.nodes.size(), "bad absent token");
+        unstableShardTree(p).insertChild(p.batch.nodes[entry],
+                                         !tokenMoreSide(info.ptr),
+                                         guestHandle(p.candidate));
     } else {
         // Degenerate: the subtree vanished mid-phase. Fall back to a
         // software insert (rare; the compares are not charged).
-        unstableShardTree().insert(guestHandle(_candidate));
+        unstableShardTree(p).insert(guestHandle(p.candidate));
     }
-    chargeDriver(_config.treeUpdateCycles);
+    chargeDriver(p, _config.treeUpdateCycles);
     return Action::CandidateDone;
 }
 
@@ -622,36 +731,38 @@ PageForgeDriver::unstableSearchEnded(const PfeInfo &info)
 // ---------------------------------------------------------------------
 
 bool
-PageForgeDriver::mergeRaced()
+PageForgeDriver::mergeRaced(Pipeline &p)
 {
     if (!_faults)
         return false;
 
     // Give the injector its window: a guest write landing between the
     // hardware match and the merge commit.
-    _faults->maybeInjectMergeRace(_candidate);
+    _faults->maybeInjectMergeRace(p.candidate);
 
     // Write-versioning commit check: the version snapshotted when the
     // candidate was picked must still be current. Any write since —
     // injected or genuine — diverged the content (or CoW'd the page
     // onto another frame), so this merge must not commit.
-    if (_candidate.vm >= _hyper.numVms() || !_hyper.vmAlive(_candidate.vm))
+    if (p.candidate.vm >= _hyper.numVms() ||
+        !_hyper.vmAlive(p.candidate.vm))
         return true;
-    const VirtualMachine &machine = _hyper.vm(_candidate.vm);
-    if (_candidate.gpn >= machine.numPages())
+    const VirtualMachine &machine = _hyper.vm(p.candidate.vm);
+    if (p.candidate.gpn >= machine.numPages())
         return true;
-    const PageState &page = machine.page(_candidate.gpn);
-    return !page.mapped || page.writeVersion != _candidateVersion;
+    const PageState &page = machine.page(p.candidate.gpn);
+    return !page.mapped || page.writeVersion != p.candidateVersion;
 }
 
 PageForgeDriver::Action
-PageForgeDriver::abortMergedRace()
+PageForgeDriver::abortMergedRace(Pipeline &p)
 {
     ++_mergeAborts;
-    probe().instant("merge-abort", curTick(),
-                    {"attempt", static_cast<double>(_candidateAttempt)});
+    probe().instant(
+        "merge-abort", curTick(),
+        {"attempt", static_cast<double>(p.candidateAttempt)});
 
-    unsigned attempt = _candidateAttempt + 1;
+    unsigned attempt = p.candidateAttempt + 1;
     if (_synchronous || attempt > _config.mergeRetryMax) {
         // Out of retries (or synchronous mode, where backoff events
         // cannot fire): give the candidate up for this pass.
@@ -663,30 +774,38 @@ PageForgeDriver::abortMergedRace()
     Tick backoff = _config.mergeRetryBackoff << (attempt - 1);
     backoff = std::min(backoff, _config.mergeRetryBackoffCap);
     ++_mergeRetries;
-    PageKey key = _candidate;
-    eventq().schedule(curTick() + backoff, [this, key, attempt] {
-        _retryQueue.push_back(MergeRetry{key, attempt});
-    });
+    PageKey key = p.candidate;
+    Pipeline *pipeline = &p;
+    eventq().schedule(curTick() + backoff,
+                      [this, pipeline, key, attempt] {
+                          pipeline->retryQueue.push_back(
+                              MergeRetry{key, attempt});
+                      });
     return Action::CandidateDone;
 }
 
 void
-PageForgeDriver::noteFalseKeyMatch()
+PageForgeDriver::noteFalseKeyMatch(Pipeline &p)
 {
     ++_falseKeyMatches;
     if (!_faults)
         return;
 
-    if (_candidate == _falseMatchKey) {
-        ++_falseMatchStreak;
+    if (p.candidate == p.falseMatchKey) {
+        ++p.falseMatchStreak;
     } else {
-        _falseMatchKey = _candidate;
-        _falseMatchStreak = 1;
+        p.falseMatchKey = p.candidate;
+        p.falseMatchStreak = 1;
     }
-    probe().instant("false-key-match", curTick(),
-                    {"streak", static_cast<double>(_falseMatchStreak)});
-    if (_falseMatchStreak >= _config.falseMatchRotateThreshold)
+    probe().instant(
+        "false-key-match", curTick(),
+        {"streak", static_cast<double>(p.falseMatchStreak)});
+    if (p.falseMatchStreak >= _config.falseMatchRotateThreshold) {
         rotateEccOffsets();
+        chargeDriver(p, PageForgeApi::callCycles *
+                     static_cast<Tick>(_apis.size()));
+        p.falseMatchStreak = 0;
+    }
 }
 
 void
@@ -705,10 +824,7 @@ PageForgeDriver::rotateEccOffsets()
     // Every shard's module samples with the same offsets; re-key all.
     for (PageForgeApi *api : _apis)
         api->updateEccOffset(rotated);
-    chargeDriver(PageForgeApi::callCycles *
-                 static_cast<Tick>(_apis.size()));
     ++_offsetRotations;
-    _falseMatchStreak = 0;
     probe().instant("ecc-offset-rotate", curTick());
     pf_warn(ScanTable,
             "%u consecutive false key matches: rotating ECC offsets",
@@ -724,23 +840,39 @@ PageForgeDriver::start()
 {
     pf_assert(!_running, "driver started twice");
     _running = true;
-    startPass();
-    scheduleInterval(curTick() + _config.sleepInterval);
+    for (auto &p : _pipelines) {
+        p->intervalPending = false;
+        startPass(*p);
+        scheduleInterval(*p, curTick() + _config.sleepInterval);
+    }
 }
 
 void
-PageForgeDriver::scheduleInterval(Tick when)
+PageForgeDriver::scheduleInterval(Pipeline &p, Tick when)
 {
-    eventq().schedule(when, [this] { startInterval(); });
+    p.intervalPending = true;
+    Pipeline *pipeline = &p;
+    eventq().schedule(when,
+                      [this, pipeline] { startInterval(*pipeline); });
 }
 
 void
-PageForgeDriver::startInterval()
+PageForgeDriver::armInterval(Pipeline &p)
 {
+    if (_running && !p.intervalPending)
+        scheduleInterval(p, curTick() + _config.sleepInterval);
+}
+
+void
+PageForgeDriver::startInterval(Pipeline &p)
+{
+    p.intervalPending = false;
     if (!_running)
         return;
-    _remaining = _config.pagesToScan;
-    advance();
+    p.remaining = _config.pagesToScan;
+    if (p.candidateFrame != invalidFrame)
+        return; // an inbox kick put a candidate in flight; let it finish
+    advance(p);
 }
 
 Core &
@@ -752,53 +884,53 @@ PageForgeDriver::nextCheckCore()
 }
 
 void
-PageForgeDriver::advance()
+PageForgeDriver::deliverHandoff(unsigned shard, PageKey key)
 {
-    unpinBatch();
-    unpinCandidate();
+    pf_assert(shard < _pipelines.size(),
+              "handoff to unknown shard %u", shard);
+    Pipeline &p = *_pipelines[shard];
+    p.inbox.push_back(key);
+    // Kick the pipeline when idle; a busy one drains its inbox at the
+    // next advance.
+    if (_running && p.candidateFrame == invalidFrame)
+        advance(p);
+}
 
-    // Safe point: no batch is programmed and no saved node pointers
-    // are live, so deferred VM purges can run now.
-    _abortCandidate = false;
+void
+PageForgeDriver::advance(Pipeline &p)
+{
+    unpinBatch(p);
+    unpinCandidate(p);
+
+    // Safe point for this pipeline: no batch is programmed and no
+    // saved node pointers are live. Deferred VM purges run once every
+    // pipeline is at its safe point; until then this pipeline idles so
+    // it cannot pick up state awaiting the purge.
+    p.abortCandidate = false;
     if (!_pendingPurges.empty()) {
+        if (anyCandidateInFlight()) {
+            armInterval(p);
+            return;
+        }
         for (VmId vm_id : _pendingPurges)
             purgeVm(vm_id);
         _pendingPurges.clear();
     }
 
     for (;;) {
-        if (!pickNextCandidate()) {
-            if (_running)
-                scheduleInterval(curTick() + _config.sleepInterval);
+        bool from_inbox = false;
+        if (!pickNextCandidate(p, from_inbox)) {
+            armInterval(p);
             return;
         }
-        Action action = setupCandidate();
+        Action action = setupCandidate(p, from_inbox);
         if (action == Action::RunBatch) {
-            if (_handoffDelay > 0) {
-                // The candidate's content homes on a remote shard:
-                // programming waits for the inter-MC handoff. A VM
-                // death in the window flushes the candidate exactly
-                // like one landing mid-batch.
-                Tick when = curTick() + _handoffDelay;
-                _handoffDelay = 0;
-                eventq().schedule(when, [this] {
-                    if (_abortCandidate) {
-                        probe().instant("batch-flush", curTick());
-                        ++_batchesFlushed;
-                        ++_mergeStats.pagesDropped;
-                        advance();
-                        return;
-                    }
-                    dispatchProgramTask();
-                });
-                return;
-            }
-            dispatchProgramTask();
+            dispatchProgramTask(p);
             return;
         }
         // CandidateDone straight from setup.
-        unpinBatch();
-        unpinCandidate();
+        unpinBatch(p);
+        unpinCandidate(p);
     }
 }
 
@@ -816,59 +948,69 @@ PageForgeDriver::chargeCore(Tick cycles)
 }
 
 void
-PageForgeDriver::dispatchProgramTask()
+PageForgeDriver::dispatchProgramTask(Pipeline &p)
 {
-    Tick cost = _pendingDriverCycles + _config.batchBuildCycles +
-        (_batch.entries.size() + 1) * PageForgeApi::callCycles;
-    _pendingDriverCycles = 0;
+    Tick cost = p.pendingDriverCycles + _config.batchBuildCycles +
+        (p.batch.entries.size() + 1) * PageForgeApi::callCycles;
+    p.pendingDriverCycles = 0;
     chargeCore(cost);
 
-    programBatch();
-    scheduleCheck();
+    programBatch(p);
+    scheduleCheck(p);
 }
 
 void
-PageForgeDriver::scheduleCheck()
+PageForgeDriver::scheduleCheck(Pipeline &p)
 {
-    eventq().schedule(curTick() + _config.osCheckInterval, [this] {
-        Tick cost = _pendingDriverCycles + _config.checkOverheadCycles;
-        _pendingDriverCycles = 0;
-        chargeCore(cost);
-        onCheckTaskDone();
-    });
+    Pipeline *pipeline = &p;
+    eventq().schedule(curTick() + _config.osCheckInterval,
+                      [this, pipeline] {
+                          Tick cost = pipeline->pendingDriverCycles +
+                              _config.checkOverheadCycles;
+                          pipeline->pendingDriverCycles = 0;
+                          chargeCore(cost);
+                          onCheckTaskDone(*pipeline);
+                      });
 }
 
 void
-PageForgeDriver::onCheckTaskDone()
+PageForgeDriver::flushCandidate(Pipeline &p)
+{
+    // A VM died while this batch was in the hardware: the batch's
+    // node pointers may reference entries of the dead VM, so the
+    // whole candidate is flushed instead of interpreted.
+    probe().instant("batch-flush", curTick());
+    ++_batchesFlushed;
+    ++_mergeStats.pagesDropped;
+    advance(p);
+}
+
+void
+PageForgeDriver::onCheckTaskDone(Pipeline &p)
 {
     ++_osChecks;
-    PfeInfo info = currentApi().getPfeInfo();
-    if (!info.scanned || currentApi().module().busy()) {
-        scheduleCheck();
+    PfeInfo info = currentApi(p).getPfeInfo();
+    if (!info.scanned || currentApi(p).module().busy()) {
+        scheduleCheck(p);
         return;
     }
 
-    probe().span("batch", _batchStart, curTick(),
-                 {"entries", static_cast<double>(_batch.entries.size())},
-                 {"duplicate", info.duplicate ? 1.0 : 0.0});
+    probe().span(
+        "batch", p.batchStart, curTick(),
+        {"entries", static_cast<double>(p.batch.entries.size())},
+        {"duplicate", info.duplicate ? 1.0 : 0.0});
 
-    if (_abortCandidate) {
-        // A VM died while this batch was in the hardware: the batch's
-        // node pointers may reference entries of the dead VM, so the
-        // whole candidate is flushed instead of interpreted.
-        probe().instant("batch-flush", curTick());
-        ++_batchesFlushed;
-        ++_mergeStats.pagesDropped;
-        advance();
+    if (p.abortCandidate) {
+        flushCandidate(p);
         return;
     }
 
-    Action action = onBatchComplete(info);
+    Action action = onBatchComplete(p, info);
     if (action == Action::RunBatch) {
-        dispatchProgramTask();
+        dispatchProgramTask(p);
         return;
     }
-    advance();
+    advance(p);
 }
 
 // ---------------------------------------------------------------------
@@ -878,6 +1020,7 @@ PageForgeDriver::onCheckTaskDone()
 std::uint64_t
 PageForgeDriver::runOnePassNow()
 {
+    Pipeline &p = *_pipelines[0];
     bool was_sync = _apis[0]->synchronous();
     for (PageForgeApi *api : _apis) {
         pf_assert(!api->module().busy(),
@@ -886,23 +1029,21 @@ PageForgeDriver::runOnePassNow()
     }
     _synchronous = true;
 
-    startPass();
-    _remaining = static_cast<unsigned>(_scanList.size());
+    startPass(p);
+    p.remaining = static_cast<unsigned>(p.scanList.size());
 
     std::uint64_t processed = 0;
-    while (pickNextCandidate()) {
-        Action action = setupCandidate();
+    bool from_inbox = false;
+    while (pickNextCandidate(p, from_inbox)) {
+        Action action = setupCandidate(p, from_inbox);
         while (action == Action::RunBatch) {
-            // A cross-MC handoff is counted by setupCandidate() but
-            // adds no latency here: synchronous passes fast-forward.
-            _handoffDelay = 0;
-            programBatch();
-            currentApi().module().processNow();
+            programBatch(p);
+            currentApi(p).module().processNow();
             ++_osChecks;
-            action = onBatchComplete(currentApi().getPfeInfo());
+            action = onBatchComplete(p, currentApi(p).getPfeInfo());
         }
-        unpinBatch();
-        unpinCandidate();
+        unpinBatch(p);
+        unpinCandidate(p);
         ++processed;
     }
 

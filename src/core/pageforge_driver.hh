@@ -12,6 +12,17 @@
  * subtree to load next; the ECC hash key generated in the background
  * replaces the jhash check.
  *
+ * On a multi-MC machine the driver runs one *pipeline* per shard: each
+ * pipeline scans the pages homed on its controller (with its own page
+ * budget per interval — N controllers scan N× faster), drives its own
+ * module, and owns its shard's trees. A candidate whose content key
+ * homes on a remote shard is handed to that shard's pipeline through
+ * the CrossMcRouter and processed there, so every Scan Table has
+ * exactly one driver. All pipeline logic runs on lane 0 (the driver is
+ * OS software); only the hardware table walks execute on the per-MC
+ * event lanes (see sim/lane_scheduler.hh). A single-MC machine builds
+ * one pipeline and behaves bit-identically to the pre-lane driver.
+ *
  * CPU cost is limited to the API calls and tree bookkeeping, charged
  * to a rotating core — the "modest hypervisor involvement" of the
  * paper. No page data ever flows through a core or its caches.
@@ -20,6 +31,7 @@
 #ifndef PF_CORE_PAGEFORGE_DRIVER_HH
 #define PF_CORE_PAGEFORGE_DRIVER_HH
 
+#include <deque>
 #include <memory>
 #include <vector>
 
@@ -41,7 +53,7 @@ class CrossMcRouter;
 struct PageForgeDriverConfig
 {
     Tick sleepInterval = msToTicks(5); //!< same pacing as KSM (Table 2)
-    unsigned pagesToScan = 400;
+    unsigned pagesToScan = 400;        //!< per pipeline per interval
     Tick osCheckInterval = 12000;      //!< Table 5: OS checking period
 
     EccOffsets eccOffsets = EccOffsets::defaults();
@@ -74,25 +86,25 @@ class PageForgeDriver : public SimObject
 
     /**
      * Grow the machine by one more memory controller's module: the
-     * new shard gets its own stable/unstable content trees owning a
-     * disjoint key-prefix range (see ShardMap). Call once per extra
-     * MC, before start(). The module's ECC offsets are aligned with
-     * the driver's.
+     * new shard gets its own scan pipeline and its own stable/unstable
+     * content trees owning a disjoint key-prefix range (see ShardMap).
+     * Call once per extra MC, before start(). The module's ECC offsets
+     * are aligned with the driver's.
      */
     void addShardApi(PageForgeApi &api);
 
     /**
      * Wire the homing map and the inter-MC handoff path. Candidates
      * whose content key homes on a remote shard are handed to the
-     * owning MC through @p router, paying its latency before the
-     * first batch is programmed (event mode).
+     * owning shard's pipeline through @p router, paying its latency
+     * before the first batch is programmed (event mode).
      */
     void setShardRouting(const ShardMap &map, CrossMcRouter &router);
 
     /** Begin periodic scanning (event mode). */
     void start();
 
-    /** Stop after the current candidate completes. */
+    /** Stop after the current candidates complete. */
     void stop() { _running = false; }
 
     bool running() const { return _running; }
@@ -100,7 +112,10 @@ class PageForgeDriver : public SimObject
     /**
      * Run one full scan pass synchronously at the current tick,
      * without pacing or core occupancy (hardware traffic is still
-     * charged). For warm-up fast-forward and tests.
+     * charged). The pass walks the global scan list in hypervisor
+     * order regardless of the pipeline partition, so warm-up results
+     * are independent of the MC count. For warm-up fast-forward and
+     * tests.
      * @return number of candidates processed
      */
     std::uint64_t runOnePassNow();
@@ -213,6 +228,65 @@ class PageForgeDriver : public SimObject
         ScanIndex startPtr = scanIndexNone;
     };
 
+    /** An aborted merge waiting out its backoff before a re-scan. */
+    struct MergeRetry
+    {
+        PageKey key;
+        unsigned attempt;
+    };
+
+    /**
+     * One shard's scan pipeline: the per-candidate state machine plus
+     * its slice of the scan list. A single-MC driver has exactly one;
+     * a multi-MC driver runs one per shard, interleaved on lane 0 so
+     * their tree and hypervisor mutations stay serialized and
+     * deterministic while their hardware walks overlap on the shard
+     * lanes.
+     */
+    struct Pipeline
+    {
+        unsigned shard = 0; //!< home shard this pipeline scans
+
+        std::vector<PageKey> scanList;
+        std::size_t cursor = 0;
+        unsigned remaining = 0; //!< interval page budget left
+
+        // Candidates handed over from other pipelines (their content
+        // key homes here). Processed ahead of the scan list, outside
+        // the page budget — the scanning shard already spent it.
+        std::deque<PageKey> inbox;
+
+        // Current candidate.
+        PageKey candidate{};
+        FrameId candidateFrame = invalidFrame;
+        std::uint32_t candidateVersion = 0; //!< writeVersion at pick
+        unsigned candidateAttempt = 0;      //!< merge-retry attempt
+        unsigned candidateShard = 0;        //!< shard whose api/trees serve it
+        bool firstBatch = true;
+        Tick batchStart = 0; //!< program time of in-flight batch (trace)
+        Phase phase = Phase::Stable;
+
+        // Saved stable-tree insertion point for the candidate.
+        ContentTree::Node *stableInsertParent = nullptr;
+        bool stableInsertLeft = false;
+        bool stableInsertValid = false;
+
+        PendingBatch batch;
+        std::vector<FrameId> pinnedFrames;
+        Tick pendingDriverCycles = 0;
+
+        // A VM died while this pipeline's batch was in the hardware;
+        // flush the candidate instead of interpreting the result.
+        bool abortCandidate = false;
+
+        bool intervalPending = false; //!< wake-up event armed
+
+        std::vector<MergeRetry> retryQueue; //!< backoffs elapsed, ready
+
+        PageKey falseMatchKey{}; //!< page of the current false-match run
+        unsigned falseMatchStreak = 0;
+    };
+
     Hypervisor &_hyper;
     std::vector<PageForgeApi *> _apis; //!< one per shard, [0] = home MC
     std::vector<Core *> _cores;
@@ -222,6 +296,7 @@ class PageForgeDriver : public SimObject
     GuestAccessor _guestAcc;
     std::vector<std::unique_ptr<ContentTree>> _stables;
     std::vector<std::unique_ptr<ContentTree>> _unstables;
+    std::vector<std::unique_ptr<Pipeline>> _pipelines;
 
     // Multi-MC routing (single-shard machines leave these null).
     const ShardMap *_shardMap = nullptr;
@@ -229,40 +304,15 @@ class PageForgeDriver : public SimObject
     std::vector<std::uint64_t> _shardScans;
     std::vector<std::uint64_t> _shardMerges;
 
-    std::vector<PageKey> _scanList;
-    std::size_t _cursor = 0;
     bool _running = false;
     bool _synchronous = false;
 
-    // Per-interval budget.
-    unsigned _remaining = 0;
-
-    // Current candidate.
-    PageKey _candidate{};
-    FrameId _candidateFrame = invalidFrame;
-    std::uint32_t _candidateVersion = 0; //!< writeVersion at pick time
-    unsigned _candidateAttempt = 0;      //!< merge-retry attempt number
-    unsigned _candidateShard = 0;        //!< content shard of the candidate
-    Tick _handoffDelay = 0;              //!< pending cross-MC handoff
-    bool _firstBatch = true;
-    Tick _batchStart = 0; //!< program time of the in-flight batch (trace)
-    Phase _phase = Phase::Stable;
-
-    // Saved stable-tree insertion point for the candidate.
-    ContentTree::Node *_stableInsertParent = nullptr;
-    bool _stableInsertLeft = false;
-    bool _stableInsertValid = false;
-
-    PendingBatch _batch;
-    std::vector<FrameId> _pinnedFrames;
-    Tick _pendingDriverCycles = 0;
     unsigned _checkCore = 0;
 
-    // VM-destroy handling: while a candidate is in flight, the batch
-    // and the saved stable insertion point hold raw tree-node
-    // pointers, so tree purges are deferred until the candidate is
-    // abandoned in advance().
-    bool _abortCandidate = false;
+    // VM-destroy handling: while any candidate is in flight, batches
+    // and saved stable insertion points hold raw tree-node pointers,
+    // so tree purges are deferred until every pipeline has abandoned
+    // its candidate (see advance()).
     std::vector<VmId> _pendingPurges;
     int _destroyToken = -1;
     int _pinToken = -1;
@@ -277,33 +327,24 @@ class PageForgeDriver : public SimObject
     // Fault-resilience state (inert while _faults is null).
     FaultInjector *_faults = nullptr;
 
-    /** An aborted merge waiting out its backoff before a re-scan. */
-    struct MergeRetry
-    {
-        PageKey key;
-        unsigned attempt;
-    };
-    std::vector<MergeRetry> _retryQueue; //!< backoffs elapsed, ready
-
-    PageKey _falseMatchKey{};      //!< page of the current false-match run
-    unsigned _falseMatchStreak = 0;
     Counter _falseKeyMatches;
     Counter _offsetRotations;
     Counter _mergeAborts;
     Counter _mergeRetries;
 
     // ---- pass / candidate selection ----
-    void startPass();
-    bool pickNextCandidate();
+    void startPass(Pipeline &p);
+    bool pickNextCandidate(Pipeline &p, bool &from_inbox);
+    bool anyCandidateInFlight() const;
 
     // ---- pure state-machine steps ----
-    Action setupCandidate();
-    Action beginPhase();
-    Action onBatchComplete(const PfeInfo &info);
-    Action stableSearchEnded(const PfeInfo &info);
-    Action handleStableMatch(ContentTree::Node *node);
-    Action handleUnstableMatch(ContentTree::Node *node);
-    Action unstableSearchEnded(const PfeInfo &info);
+    Action setupCandidate(Pipeline &p, bool from_inbox);
+    Action beginPhase(Pipeline &p);
+    Action onBatchComplete(Pipeline &p, const PfeInfo &info);
+    Action stableSearchEnded(Pipeline &p, const PfeInfo &info);
+    Action handleStableMatch(Pipeline &p, ContentTree::Node *node);
+    Action handleUnstableMatch(Pipeline &p, ContentTree::Node *node);
+    Action unstableSearchEnded(Pipeline &p, const PfeInfo &info);
 
     // ---- fault degradation paths (no-ops while _faults is null) ----
 
@@ -312,55 +353,70 @@ class PageForgeDriver : public SimObject
      * (including injected races). @return true when the merge must
      * abort — the abort and any retry are already recorded.
      */
-    bool mergeRaced();
+    bool mergeRaced(Pipeline &p);
 
     /** Abort the in-flight merge; schedule a capped-backoff retry. */
-    Action abortMergedRace();
+    Action abortMergedRace(Pipeline &p);
 
     /** Record a full-compare refutation of a hardware match. */
-    void noteFalseKeyMatch();
+    void noteFalseKeyMatch(Pipeline &p);
 
     /** Issue update_ECC_offset with rotated per-section offsets. */
     void rotateEccOffsets();
 
-    /** Build a BFS batch under @p subtree_root into _batch. */
-    void buildBatch(ContentTree::Node *subtree_root);
+    /** Build a BFS batch under @p subtree_root into p.batch. */
+    void buildBatch(Pipeline &p, ContentTree::Node *subtree_root);
 
     /** Build the zero-entry batch that forces hash completion. */
-    void buildForcedHashBatch();
+    void buildForcedHashBatch(Pipeline &p);
 
-    /** Program _batch through the API (and pin the frames). */
-    void programBatch();
+    /** Program p.batch through the API (and pin the frames). */
+    void programBatch(Pipeline &p);
 
     /** Release the batch pins. */
-    void unpinBatch();
+    void unpinBatch(Pipeline &p);
 
-    void pinCandidate();
-    void unpinCandidate();
+    void pinCandidate(Pipeline &p);
+    void unpinCandidate(Pipeline &p);
 
     /** Resolve a tree node to its frame, pruning stale nodes. */
-    ContentTree *currentTree();
-    PageAccessor &currentAccessor();
+    ContentTree *currentTree(Pipeline &p);
+    PageAccessor &currentAccessor(Pipeline &p);
 
-    /** API of the candidate's content shard. */
-    PageForgeApi &currentApi() { return *_apis[_candidateShard]; }
-
-    /** Shard trees of the current candidate. */
-    ContentTree &stableShardTree() { return *_stables[_candidateShard]; }
-    ContentTree &unstableShardTree()
+    /** API of the shard serving the candidate. */
+    PageForgeApi &currentApi(Pipeline &p)
     {
-        return *_unstables[_candidateShard];
+        return *_apis[p.candidateShard];
+    }
+
+    /** Shard trees serving the current candidate. */
+    ContentTree &stableShardTree(Pipeline &p)
+    {
+        return *_stables[p.candidateShard];
+    }
+    ContentTree &unstableShardTree(Pipeline &p)
+    {
+        return *_unstables[p.candidateShard];
     }
 
     // ---- event-mode plumbing ----
-    void scheduleInterval(Tick when);
-    void startInterval();
-    void advance();
-    void dispatchProgramTask();
-    void scheduleCheck();
-    void onCheckTaskDone();
+    void scheduleInterval(Pipeline &p, Tick when);
+    void armInterval(Pipeline &p);
+    void startInterval(Pipeline &p);
+    void advance(Pipeline &p);
+    void dispatchProgramTask(Pipeline &p);
+    void scheduleCheck(Pipeline &p);
+    void onCheckTaskDone(Pipeline &p);
+    void flushCandidate(Pipeline &p);
+
+    /** Arrival of a handed-off candidate at its content shard. */
+    void deliverHandoff(unsigned shard, PageKey key);
+
     Core &nextCheckCore();
-    void chargeDriver(Tick cycles) { _pendingDriverCycles += cycles; }
+    void chargeDriver(Pipeline &p, Tick cycles)
+    {
+        p.pendingDriverCycles += cycles;
+    }
 
     /** Bill accumulated driver cycles to a core (interrupt context). */
     void chargeCore(Tick cycles);
@@ -370,7 +426,7 @@ class PageForgeDriver : public SimObject
     /** VM-destroy listener: purge or schedule purge of stale state. */
     void onVmDestroyed(VmId vm_id);
 
-    /** Drop a dead VM's entries from both trees and the scan list. */
+    /** Drop a dead VM's entries from the trees and all scan state. */
     void purgeVm(VmId vm_id);
 };
 

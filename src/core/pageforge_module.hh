@@ -78,6 +78,17 @@ class PageForgeModule : public SimObject
     /** Reconfigure the sampled offsets (update_ECC_offset). */
     void setEccOffsets(const EccOffsets &offsets);
 
+    /**
+     * Lane mode for multi-MC machines: stream every line through this
+     * module's own controller and skip the on-chip snoop. The module
+     * then touches nothing outside its MC while walking the table, so
+     * the walk can run on the shard's event lane while the cores run
+     * elsewhere (see sim/lane_scheduler.hh). Trades snoop hits for
+     * DRAM reads — the near-memory design point of Section 3.5.
+     */
+    void setLocalChannelMode(bool on) { _localChannel = on; }
+    bool localChannelMode() const { return _localChannel; }
+
     /** Distribution of batch processing times (Table 5 row 1). */
     const Sampler &tableProcessCycles() const { return _processCycles; }
 
@@ -97,6 +108,7 @@ class PageForgeModule : public SimObject
     ScanTable _table;
     EccHashAccumulator _hashAcc;
     bool _busy = false;
+    bool _localChannel = false;
 
     Sampler _processCycles;
     Counter _comparisons;

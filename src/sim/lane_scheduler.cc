@@ -1,0 +1,235 @@
+#include "sim/lane_scheduler.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace pageforge
+{
+
+namespace
+{
+
+// Lane whose events this thread is dispatching. Worker threads set it
+// around each phase-2 lane run; everything else (construction,
+// warm-up, phase 1, the serial executor between lane runs) reads 0 or
+// whatever the serial executor last set — the serial executor sets it
+// too, so the per-lane trace buffers fill identically under both
+// executors.
+thread_local unsigned t_currentLane = 0;
+
+} // namespace
+
+unsigned
+LaneScheduler::currentLaneId()
+{
+    return t_currentLane;
+}
+
+LaneScheduler::LaneScheduler(EventQueue &lane0, unsigned shard_lanes,
+                             Tick quantum, unsigned threads)
+    : _lane0(lane0), _quantum(quantum)
+{
+    pf_assert(shard_lanes > 0, "lane scheduler needs at least one shard lane");
+    pf_assert(quantum > 0, "lane quantum must be positive");
+    _shardLanes.reserve(shard_lanes);
+    for (unsigned i = 0; i < shard_lanes; ++i)
+        _shardLanes.push_back(std::make_unique<EventQueue>());
+    _mailboxes.resize(shard_lanes);
+
+    _threads = std::min(threads, shard_lanes);
+    if (_threads <= 1) {
+        _threads = 0; // serial executor
+        return;
+    }
+    _workers.reserve(_threads);
+    for (unsigned i = 0; i < _threads; ++i)
+        _workers.emplace_back([this] { workerLoop(); });
+}
+
+LaneScheduler::~LaneScheduler()
+{
+    {
+        std::lock_guard<std::mutex> lock(_poolMutex);
+        _shutdown.store(true, std::memory_order_release);
+    }
+    _poolStart.notify_all();
+    for (std::thread &worker : _workers)
+        worker.join();
+}
+
+EventQueue &
+LaneScheduler::lane(unsigned id)
+{
+    if (id == 0)
+        return _lane0;
+    pf_assert(id <= _shardLanes.size(), "lane id %u out of range", id);
+    return *_shardLanes[id - 1];
+}
+
+void
+LaneScheduler::post(unsigned dst_lane, Tick when, EventQueue::Callback cb)
+{
+    pf_assert(dst_lane >= 1 && dst_lane <= _shardLanes.size(),
+              "cross-lane post to invalid lane %u", dst_lane);
+    _mailboxes[dst_lane - 1].push_back(
+        Mail{when, _nextMailSeq++, std::move(cb)});
+}
+
+void
+LaneScheduler::drainMailboxes()
+{
+    // Ascending destination lane, then posting sequence: a total order
+    // over this quantum's mail, so the destination queues' tie-breaking
+    // sequence numbers come out the same on every run and executor.
+    for (std::size_t dst = 0; dst < _mailboxes.size(); ++dst) {
+        std::vector<Mail> &box = _mailboxes[dst];
+        EventQueue &queue = *_shardLanes[dst];
+        for (Mail &mail : box) {
+            if (mail.when < queue.curTick())
+                panic("cross-lane event in the past: lane=%zu when=%llu "
+                      "lane-cur=%llu",
+                      dst + 1,
+                      static_cast<unsigned long long>(mail.when),
+                      static_cast<unsigned long long>(queue.curTick()));
+            queue.schedule(mail.when, std::move(mail.cb));
+            ++_delivered;
+        }
+        box.clear();
+    }
+}
+
+void
+LaneScheduler::runShardLane(unsigned lane_id, Tick limit)
+{
+    unsigned prev = t_currentLane;
+    t_currentLane = lane_id;
+    _shardLanes[lane_id - 1]->runUntil(limit);
+    t_currentLane = prev;
+}
+
+void
+LaneScheduler::runPhase2(Tick limit)
+{
+    // With nothing pending on any shard lane this quantum, skip the
+    // pool handshake (KSM/baseline cells at numMcs > 1 hit this every
+    // quantum) — empty runUntil calls only advance the lane clocks.
+    bool any_work = false;
+    for (const auto &queue : _shardLanes)
+        any_work |= !queue->empty() && queue->nextEventTick() <= limit;
+
+    if (_threads == 0 || !any_work) {
+        for (unsigned id = 1; id <= _shardLanes.size(); ++id)
+            runShardLane(id, limit);
+        return;
+    }
+
+    const unsigned lanes = static_cast<unsigned>(_shardLanes.size());
+    _phaseLimit = limit;
+    _lanesDone.store(0, std::memory_order_relaxed);
+    // Release store: a batch-N straggler may claim a batch-N+1 lane
+    // straight off this counter without ever touching the generation,
+    // and its acquire RMW must then see _phaseLimit/_lanesDone above.
+    _nextLane.store(1, std::memory_order_release);
+    // Publish the batch. Workers in their spin window acquire the new
+    // generation lock-free; the mutex section only orders the bump
+    // against a worker that already gave up and went to sleep.
+    {
+        std::lock_guard<std::mutex> lock(_poolMutex);
+        _generation.fetch_add(1, std::memory_order_release);
+    }
+    _poolStart.notify_all();
+
+    // The scheduling thread claims lanes too: with one walk pending
+    // per lane (the common quantum) it does real work instead of
+    // sleeping through a condvar round trip.
+    for (;;) {
+        unsigned lane_id = _nextLane.fetch_add(1,
+                                               std::memory_order_acquire);
+        if (lane_id > lanes)
+            break;
+        runShardLane(lane_id, limit);
+        _lanesDone.fetch_add(1, std::memory_order_acq_rel);
+    }
+    // Straggler wait: phase-2 work is microseconds, so spin first and
+    // only yield once it looks like a genuinely long walk.
+    for (unsigned spins = 0;
+         _lanesDone.load(std::memory_order_acquire) != lanes; ++spins) {
+        if (spins > 10000)
+            std::this_thread::yield();
+    }
+}
+
+void
+LaneScheduler::workerLoop()
+{
+    const unsigned lanes = static_cast<unsigned>(_shardLanes.size());
+    std::uint64_t seen_generation = 0;
+    for (;;) {
+        // Spin for the next quantum first — quanta arrive every few
+        // microseconds under load — then sleep; the condvar catches
+        // idle stretches (and shutdown) without burning a core.
+        bool fresh = false;
+        for (unsigned spins = 0; spins < 500; ++spins) {
+            if (_shutdown.load(std::memory_order_acquire))
+                return;
+            if (_generation.load(std::memory_order_acquire) !=
+                seen_generation) {
+                fresh = true;
+                break;
+            }
+        }
+        if (!fresh) {
+            std::unique_lock<std::mutex> lock(_poolMutex);
+            _poolStart.wait(lock, [&] {
+                return _shutdown.load(std::memory_order_acquire) ||
+                    _generation.load(std::memory_order_acquire) !=
+                    seen_generation;
+            });
+            if (_shutdown.load(std::memory_order_acquire))
+                return;
+        }
+        seen_generation = _generation.load(std::memory_order_acquire);
+        for (;;) {
+            unsigned lane_id = _nextLane.fetch_add(
+                1, std::memory_order_acquire);
+            if (lane_id > lanes)
+                break;
+            runShardLane(lane_id, _phaseLimit);
+            _lanesDone.fetch_add(1, std::memory_order_acq_rel);
+        }
+    }
+}
+
+std::uint64_t
+LaneScheduler::runUntil(Tick limit)
+{
+    std::uint64_t before = eventsDispatched();
+    Tick now = _lane0.curTick();
+    while (now < limit) {
+        Tick boundary = std::min(limit, now + _quantum);
+        // Phase 1: lane 0 alone. All shared-state mutation happens
+        // here, so phase 2 reads a frozen machine image.
+        _lane0.runUntil(boundary);
+        // Barrier part 1: hand phase-1 mail to the shard lanes before
+        // they run, in deterministic order.
+        drainMailboxes();
+        // Phase 2: shard lanes in parallel (or in lane order, serially).
+        runPhase2(boundary);
+        if (_quantumHook)
+            _quantumHook();
+        now = boundary;
+    }
+    return eventsDispatched() - before;
+}
+
+std::uint64_t
+LaneScheduler::eventsDispatched() const
+{
+    std::uint64_t total = _lane0.eventsDispatched();
+    for (const auto &queue : _shardLanes)
+        total += queue->eventsDispatched();
+    return total;
+}
+
+} // namespace pageforge

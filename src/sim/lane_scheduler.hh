@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Conservative parallel event lanes (multi-MC machines).
+ *
+ * A multi-controller machine splits its single event queue into one
+ * *lane* per MC shard plus lane 0 for everything else (cores, the
+ * hypervisor, the lifecycle manager, the PageForge driver). Lanes
+ * advance through a shared sequence of fixed-size time quanta; inside
+ * one quantum the schedule is a two-phase superstep:
+ *
+ *   phase 1  lane 0 runs alone to the quantum boundary. Every
+ *            mutation of shared machine state (frame contents,
+ *            refcounts, content trees, merge commits) happens here.
+ *   drain    cross-lane messages posted during phase 1 are moved
+ *            from their mailboxes onto the destination lanes in
+ *            deterministic (lane, sequence) order.
+ *   phase 2  the shard lanes run to the same boundary, each touching
+ *            only state its MC owns (its module, Scan Table, and
+ *            controller timing) plus read-only frame bytes that
+ *            phase 1 has already frozen for this quantum.
+ *
+ * Phase ordering is the lookahead contract: lane 0 → shard sends are
+ * delivered *within* the posting quantum (a shard lane has not run
+ * yet, so any tick ≥ the quantum start is in its future), while
+ * shard → lane 0 information only flows through state that lane 0
+ * polls in the *next* quantum, bounding it by one quantum — which is
+ * why the quantum defaults to the PageForge driver's polling period
+ * and why the CrossMcRouter's 160-tick hop never needs to cross lanes
+ * directly.
+ *
+ * The same superstep runs on one thread (`threads <= 1`, the serial
+ * executor) or on a pool with one worker per shard lane. Both
+ * executors dispatch the identical event sequence, so a threaded run
+ * is bit-identical to the serial run by construction; the threaded
+ * one merely overlaps the phase-2 wall-clock across lanes.
+ */
+
+#ifndef PF_SIM_LANE_SCHEDULER_HH
+#define PF_SIM_LANE_SCHEDULER_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace pageforge
+{
+
+/** Runs one event queue per lane under a conservative quantum barrier. */
+class LaneScheduler
+{
+  public:
+    /**
+     * @param lane0       the machine's primary queue (not owned)
+     * @param shard_lanes number of extra lanes, one per MC shard
+     * @param quantum     barrier period in ticks
+     * @param threads     phase-2 worker threads; <= 1 selects the
+     *                    serial executor (identical schedule, one
+     *                    thread). Clamped to @p shard_lanes.
+     */
+    LaneScheduler(EventQueue &lane0, unsigned shard_lanes, Tick quantum,
+                  unsigned threads);
+    ~LaneScheduler();
+
+    LaneScheduler(const LaneScheduler &) = delete;
+    LaneScheduler &operator=(const LaneScheduler &) = delete;
+
+    /** Lanes including lane 0. */
+    unsigned numLanes() const
+    {
+        return 1 + static_cast<unsigned>(_shardLanes.size());
+    }
+
+    /** Queue of lane @p id (0 = the primary queue). */
+    EventQueue &lane(unsigned id);
+
+    Tick quantum() const { return _quantum; }
+
+    /** Phase-2 worker threads actually used (0 = serial executor). */
+    unsigned threads() const { return _threads; }
+
+    /**
+     * Post a callback to another lane's queue. Must be called from
+     * lane 0 during phase 1 (the driver side); the per-destination
+     * mailboxes are single-producer and drained at the quantum
+     * boundary in (lane, sequence) order, so delivery is
+     * deterministic regardless of executor. @p when must not precede
+     * the destination lane's clock — a cross-lane event in the past
+     * panics at drain time, mirroring EventQueue::schedule.
+     */
+    void post(unsigned dst_lane, Tick when, EventQueue::Callback cb);
+
+    /**
+     * Invoked on the scheduling thread after every quantum (and once
+     * more when runUntil returns). The trace layer uses this to merge
+     * per-lane buffers in timestamp order.
+     */
+    void setQuantumHook(std::function<void()> hook)
+    {
+        _quantumHook = std::move(hook);
+    }
+
+    /**
+     * Advance every lane to @p limit through quantum supersteps.
+     * @return events dispatched across all lanes by this call
+     */
+    std::uint64_t runUntil(Tick limit);
+
+    /** Lane 0's clock (the machine's notion of "now" between runs). */
+    Tick curTick() const { return _lane0.curTick(); }
+
+    /** Events dispatched across all lanes over their lifetime. */
+    std::uint64_t eventsDispatched() const;
+
+    /** Cross-lane messages delivered so far. */
+    std::uint64_t messagesDelivered() const { return _delivered; }
+
+    /**
+     * Lane whose events the calling thread is currently dispatching
+     * (0 outside phase 2 — construction, warm-up, and all of lane 0).
+     * The per-lane trace buffers key on this.
+     */
+    static unsigned currentLaneId();
+
+  private:
+    struct Mail
+    {
+        Tick when;
+        std::uint64_t seq;
+        EventQueue::Callback cb;
+    };
+
+    void drainMailboxes();
+    void runShardLane(unsigned lane_id, Tick limit);
+    void runPhase2(Tick limit);
+    void workerLoop();
+
+    EventQueue &_lane0;
+    std::vector<std::unique_ptr<EventQueue>> _shardLanes;
+    Tick _quantum;
+    unsigned _threads;
+
+    // One mailbox per destination shard lane; appended only by lane 0
+    // (phase 1), drained only at the barrier. seq is global so the
+    // (lane, seq) drain order is a total order over one quantum's mail.
+    std::vector<std::vector<Mail>> _mailboxes;
+    std::uint64_t _nextMailSeq = 0;
+    std::uint64_t _delivered = 0;
+
+    std::function<void()> _quantumHook;
+
+    // Phase-2 pool. A quantum is short (default: one driver polling
+    // period), so the handshake must cost less than the work: lanes
+    // are claimed lock-free off _nextLane, the scheduling thread
+    // claims lanes alongside the workers, and workers spin briefly on
+    // the generation counter before falling back to a condvar sleep
+    // (the mutex exists only for that sleep). The generation bump is
+    // a release store after _phaseLimit/_nextLane/_lanesDone are set,
+    // so a worker that acquires it sees the whole batch; _lanesDone's
+    // final increment is the release the scheduler acquires before
+    // touching any phase-2 result.
+    std::vector<std::thread> _workers;
+    std::mutex _poolMutex;
+    std::condition_variable _poolStart;
+    std::atomic<std::uint64_t> _generation{0};
+    std::atomic<unsigned> _nextLane{0};
+    std::atomic<unsigned> _lanesDone{0};
+    Tick _phaseLimit = 0;
+    std::atomic<bool> _shutdown{false};
+};
+
+} // namespace pageforge
+
+#endif // PF_SIM_LANE_SCHEDULER_HH

@@ -116,6 +116,8 @@ runCampaign(const CampaignSpec &spec)
     jobs = static_cast<unsigned>(std::min<std::size_t>(
         jobs, std::max<std::size_t>(matrix.size(), 1)));
     report.jobs = jobs;
+    report.numMcs = spec.sysTemplate.numMcs;
+    report.lanes = spec.sysTemplate.lanes;
 
     auto start = std::chrono::steady_clock::now();
 
@@ -497,8 +499,13 @@ writePerfReport(const CampaignReport &report, std::ostream &os,
         peak_rss = std::max(peak_rss, outcome.peakRssKb);
     }
 
-    os << "{\"schema\":\"pageforge-simspeed-v1\"";
+    // v2 added lanes/num_mcs so a gate can compare serial and parallel
+    // entries of the same matrix separately (v1 had neither, implying
+    // the classic 1-MC serial machine).
+    os << "{\"schema\":\"pageforge-simspeed-v2\"";
     os << ",\"jobs\":" << report.jobs;
+    os << ",\"num_mcs\":" << report.numMcs;
+    os << ",\"lanes\":" << report.lanes;
     os << ",\"wall_seconds\":";
     jsonDouble(os, report.wallSeconds);
     if (baseline_seconds > 0.0) {

@@ -280,7 +280,7 @@ runExperiment(const AppProfile &app, DedupMode mode,
     if (system.metrics())
         result.metrics = system.metrics()->series();
 
-    result.simEvents = system.eventq().eventsDispatched();
+    result.simEvents = system.eventsDispatched();
     switch (mode) {
       case DedupMode::Ksm:
         result.pagesScanned = system.ksmd()->mergeStats().pagesScanned;

@@ -1,5 +1,8 @@
 #include "system/system.hh"
 
+#include <algorithm>
+#include <thread>
+
 #include "fault/fault_injector.hh"
 #include "fault/merge_oracle.hh"
 #include "shard/cross_mc_router.hh"
@@ -81,12 +84,50 @@ System::System(const SystemConfig &config, const AppProfile &app)
         // One module + Scan Table per controller; the driver owns one
         // content-tree shard per module and routes each candidate to
         // the shard owning its content-key prefix.
+        //
+        // With several controllers the machine also gets parallel
+        // event lanes: lane 0 (the primary queue) runs cores, the
+        // hypervisor, and the whole driver; lane m+1 runs module m's
+        // table walks. The driver's insert/update_PFE self-trigger is
+        // re-routed to the module's lane, and each module reads lines
+        // through its own channel only (local-channel mode), so phase 2
+        // of a quantum touches no shared state. Fault injection mutates
+        // memory from MC read paths, so it pins execution to one
+        // thread — the schedule is the same either way.
+        if (_config.numMcs > 1) {
+            Tick quantum = _config.laneQuantum
+                ? _config.laneQuantum
+                : _config.pfDriver.osCheckInterval;
+            // Threads beyond the host's cores are pure scheduling
+            // overhead (the quantum is microseconds of host work), so
+            // clamp; the schedule — and therefore every result — is
+            // the same at any clamp.
+            unsigned hw = std::max(
+                1u, std::thread::hardware_concurrency());
+            unsigned threads = _config.faults.enabled()
+                ? 1
+                : std::min(_config.lanes, hw);
+            _laneSched = std::make_unique<LaneScheduler>(
+                _eq, _config.numMcs, quantum, threads);
+        }
         for (unsigned m = 0; m < _config.numMcs; ++m) {
+            EventQueue &mod_eq =
+                _laneSched ? _laneSched->lane(m + 1) : _eq;
             _pfModules.push_back(std::make_unique<PageForgeModule>(
-                "mc" + std::to_string(m) + ".pageforge", _eq,
+                "mc" + std::to_string(m) + ".pageforge", mod_eq,
                 *_mcs[m], *_hierarchy, _config.pfModule));
             _pfApis.push_back(
                 std::make_unique<PageForgeApi>(*_pfModules[m]));
+            if (_laneSched) {
+                PageForgeModule *mod = _pfModules[m].get();
+                LaneScheduler *sched = _laneSched.get();
+                unsigned lane = m + 1;
+                mod->setLocalChannelMode(true);
+                _pfApis[m]->setTriggerPoster([this, mod, sched, lane] {
+                    sched->post(lane, _eq.curTick(),
+                                [mod] { mod->trigger(); });
+                });
+            }
         }
         _pfDriver = std::make_unique<PageForgeDriver>(
             "pf_driver", _eq, *_hyper, *_pfApis[0], core_ptrs,
@@ -390,11 +431,25 @@ System::startLoad()
     for (auto &app : _apps)
         app->start();
 
-    if (_config.traceSink)
-        _probes.attach(*_config.traceSink);
-    if (_metrics) {
-        _metrics->setBackend(_config.traceSink);
-        _metrics->start();
+    if (_laneSched && _config.traceSink) {
+        // Shard-lane probes fire from worker threads, so route every
+        // record through per-lane buffers that flush — in timestamp
+        // order — at each quantum boundary, on the primary thread.
+        _laneMux = std::make_unique<LaneTraceMux>(
+            *_config.traceSink, _laneSched->numLanes());
+        _probes.attach(*_laneMux);
+        _laneSched->setQuantumHook([this] { _laneMux->flush(); });
+        if (_metrics) {
+            _metrics->setBackend(_laneMux.get());
+            _metrics->start();
+        }
+    } else {
+        if (_config.traceSink)
+            _probes.attach(*_config.traceSink);
+        if (_metrics) {
+            _metrics->setBackend(_config.traceSink);
+            _metrics->start();
+        }
     }
 
     if (_ksmd)
@@ -430,7 +485,10 @@ System::scheduleAudit()
 void
 System::run(Tick duration)
 {
-    _eq.runUntil(_eq.curTick() + duration);
+    if (_laneSched)
+        _laneSched->runUntil(_eq.curTick() + duration);
+    else
+        _eq.runUntil(_eq.curTick() + duration);
 }
 
 void

@@ -17,7 +17,9 @@
 #include <vector>
 
 #include "lifecycle/vm_lifecycle.hh"
+#include "sim/lane_scheduler.hh"
 #include "system/config.hh"
+#include "trace/lane_buffer.hh"
 #include "trace/metrics_sampler.hh"
 #include "workload/content_gen.hh"
 #include "workload/query_gen.hh"
@@ -58,8 +60,15 @@ class System : public VmHost
     /** Start query generation, churn, and the dedup daemon. */
     void startLoad();
 
-    /** Advance simulated time. */
+    /** Advance simulated time (through the lane scheduler if present). */
     void run(Tick duration);
+
+    /** Events dispatched across every lane (== eventq() at 1 MC). */
+    std::uint64_t eventsDispatched() const
+    {
+        return _laneSched ? _laneSched->eventsDispatched()
+                          : _eq.eventsDispatched();
+    }
 
     /** Reset all measurement statistics (start of the window). */
     void resetMeasurement();
@@ -115,6 +124,12 @@ class System : public VmHost
     ShardMap *shardMap() { return _shardMap.get(); }
     CrossMcRouter *crossMcRouter() { return _router.get(); }
 
+    /**
+     * Null unless the machine runs parallel event lanes (PageForge
+     * mode with numMcs > 1; see sim/lane_scheduler.hh).
+     */
+    LaneScheduler *laneScheduler() { return _laneSched.get(); }
+
     /** Null unless fault injection is configured. */
     FaultInjector *faultInjector() { return _faults.get(); }
 
@@ -133,6 +148,8 @@ class System : public VmHost
 
     EventQueue _eq;
     Rng _rng;
+    std::unique_ptr<LaneScheduler> _laneSched;
+    std::unique_ptr<LaneTraceMux> _laneMux;
 
     std::unique_ptr<PhysicalMemory> _mem;
     std::vector<std::unique_ptr<MemController>> _mcs;

@@ -1,0 +1,148 @@
+#include "trace/lane_buffer.hh"
+
+#include <algorithm>
+
+#include "sim/lane_scheduler.hh"
+#include "sim/logging.hh"
+
+namespace pageforge
+{
+
+LaneTraceMux::LaneTraceMux(TraceBackend &downstream, unsigned num_lanes)
+    : _downstream(downstream)
+{
+    pf_assert(num_lanes > 0, "lane trace mux needs at least one lane");
+    _buffers.resize(num_lanes);
+}
+
+LaneTraceMux::~LaneTraceMux()
+{
+    flush();
+}
+
+std::vector<LaneTraceMux::Record> &
+LaneTraceMux::currentBuffer()
+{
+    unsigned lane = LaneScheduler::currentLaneId();
+    pf_assert(lane < _buffers.size(),
+              "probe fired on unknown lane %u", lane);
+    return _buffers[lane];
+}
+
+bool
+LaneTraceMux::wants(TraceComponent comp) const
+{
+    return _downstream.wants(comp);
+}
+
+void
+LaneTraceMux::emitSpan(TraceComponent comp, const char *event_name,
+                       Tick start, Tick end, const TraceArg *args,
+                       unsigned num_args)
+{
+    Record rec{Kind::Span, comp, 0, event_name, start, end, 0.0, {}, 0};
+    rec.numArgs = std::min(num_args, 2u);
+    for (unsigned i = 0; i < rec.numArgs; ++i)
+        rec.args[i] = args[i];
+    currentBuffer().push_back(rec);
+}
+
+void
+LaneTraceMux::emitInstant(TraceComponent comp, const char *event_name,
+                          Tick at, const TraceArg *args,
+                          unsigned num_args)
+{
+    Record rec{Kind::Instant, comp, 0, event_name, at, at, 0.0, {}, 0};
+    rec.numArgs = std::min(num_args, 2u);
+    for (unsigned i = 0; i < rec.numArgs; ++i)
+        rec.args[i] = args[i];
+    currentBuffer().push_back(rec);
+}
+
+void
+LaneTraceMux::emitCounter(TraceComponent comp, const char *series,
+                          Tick at, double value)
+{
+    currentBuffer().push_back(
+        Record{Kind::Counter, comp, 0, series, at, at, value, {}, 0});
+}
+
+unsigned
+LaneTraceMux::registerTrack(const char *track_name, TraceComponent comp)
+{
+    // Tracks are registered at observability setup, before any lane
+    // runs — forward straight through.
+    return _downstream.registerTrack(track_name, comp);
+}
+
+void
+LaneTraceMux::emitCounterTrack(unsigned track, TraceComponent comp,
+                               const char *series, Tick at,
+                               double value)
+{
+    currentBuffer().push_back(
+        Record{Kind::CounterTrack, comp, track, series, at, at, value,
+               {}, 0});
+}
+
+void
+LaneTraceMux::flush()
+{
+    struct Key
+    {
+        Tick at;
+        unsigned lane;
+        std::size_t idx;
+    };
+    std::vector<Key> order;
+    order.reserve(buffered());
+    for (unsigned lane = 0; lane < _buffers.size(); ++lane)
+        for (std::size_t i = 0; i < _buffers[lane].size(); ++i)
+            order.push_back(Key{_buffers[lane][i].start, lane, i});
+
+    std::sort(order.begin(), order.end(),
+              [](const Key &a, const Key &b) {
+                  if (a.at != b.at)
+                      return a.at < b.at;
+                  if (a.lane != b.lane)
+                      return a.lane < b.lane;
+                  return a.idx < b.idx;
+              });
+
+    for (const Key &key : order) {
+        const Record &rec = _buffers[key.lane][key.idx];
+        switch (rec.kind) {
+          case Kind::Span:
+            _downstream.emitSpan(rec.comp, rec.name, rec.start, rec.end,
+                                 rec.numArgs ? rec.args : nullptr,
+                                 rec.numArgs);
+            break;
+          case Kind::Instant:
+            _downstream.emitInstant(rec.comp, rec.name, rec.start,
+                                    rec.numArgs ? rec.args : nullptr,
+                                    rec.numArgs);
+            break;
+          case Kind::Counter:
+            _downstream.emitCounter(rec.comp, rec.name, rec.start,
+                                    rec.value);
+            break;
+          case Kind::CounterTrack:
+            _downstream.emitCounterTrack(rec.track, rec.comp, rec.name,
+                                         rec.start, rec.value);
+            break;
+        }
+    }
+    for (auto &buffer : _buffers)
+        buffer.clear();
+}
+
+std::size_t
+LaneTraceMux::buffered() const
+{
+    std::size_t total = 0;
+    for (const auto &buffer : _buffers)
+        total += buffer.size();
+    return total;
+}
+
+} // namespace pageforge

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Per-lane trace buffering for parallel event lanes.
+ *
+ * A TraceSink streams JSON as events fire and is single-threaded by
+ * contract; a multi-lane machine fires probes from phase-2 worker
+ * threads. LaneTraceMux sits between the probes and the real backend:
+ * each lane appends its events to a private buffer (no locks — a lane
+ * is driven by exactly one thread per quantum), and at every quantum
+ * barrier the scheduler's hook flushes the buffers into the downstream
+ * backend merged in (timestamp, lane, intra-lane order). Quanta advance
+ * monotonically, so the downstream sink sees a globally
+ * timestamp-ordered stream — and because the serial executor fills the
+ * same buffers in the same order, the merged trace is identical
+ * whatever the thread count.
+ */
+
+#ifndef PF_TRACE_LANE_BUFFER_HH
+#define PF_TRACE_LANE_BUFFER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/probe.hh"
+
+namespace pageforge
+{
+
+/** Buffers probe events per lane; flushes merged by timestamp. */
+class LaneTraceMux : public TraceBackend
+{
+  public:
+    /**
+     * @param downstream the real backend (kept by reference)
+     * @param num_lanes  lanes including lane 0
+     */
+    LaneTraceMux(TraceBackend &downstream, unsigned num_lanes);
+    ~LaneTraceMux() override;
+
+    LaneTraceMux(const LaneTraceMux &) = delete;
+    LaneTraceMux &operator=(const LaneTraceMux &) = delete;
+
+    // TraceBackend interface: record into the calling lane's buffer.
+    // Event-name and series strings must be literals (probes pass
+    // literals); only the pointers are stored.
+    bool wants(TraceComponent comp) const override;
+    void emitSpan(TraceComponent comp, const char *event_name,
+                  Tick start, Tick end, const TraceArg *args,
+                  unsigned num_args) override;
+    void emitInstant(TraceComponent comp, const char *event_name,
+                     Tick at, const TraceArg *args,
+                     unsigned num_args) override;
+    void emitCounter(TraceComponent comp, const char *series, Tick at,
+                     double value) override;
+    unsigned registerTrack(const char *track_name,
+                           TraceComponent comp) override;
+    void emitCounterTrack(unsigned track, TraceComponent comp,
+                          const char *series, Tick at,
+                          double value) override;
+
+    /**
+     * Replay all buffered events into the downstream backend, merged
+     * by (timestamp, lane, append order), and clear the buffers. Call
+     * from the scheduling thread only (the quantum hook does).
+     */
+    void flush();
+
+    /** Events currently buffered across all lanes. */
+    std::size_t buffered() const;
+
+  private:
+    enum class Kind : std::uint8_t { Span, Instant, Counter, CounterTrack };
+
+    struct Record
+    {
+        Kind kind;
+        TraceComponent comp;
+        unsigned track;
+        const char *name;
+        Tick start;
+        Tick end;
+        double value;
+        TraceArg args[2];
+        unsigned numArgs;
+    };
+
+    std::vector<Record> &currentBuffer();
+
+    TraceBackend &_downstream;
+    std::vector<std::vector<Record>> _buffers; // one per lane
+};
+
+} // namespace pageforge
+
+#endif // PF_TRACE_LANE_BUFFER_HH

@@ -317,8 +317,10 @@ TEST(CampaignPerfReportTest, PerfReportHasRatesAndSpeedup)
     writePerfReport(report, os, /*baseline_seconds=*/4.0);
     std::string json = os.str();
 
-    EXPECT_NE(json.find("\"schema\":\"pageforge-simspeed-v1\""),
+    EXPECT_NE(json.find("\"schema\":\"pageforge-simspeed-v2\""),
               std::string::npos);
+    EXPECT_NE(json.find("\"num_mcs\":1"), std::string::npos);
+    EXPECT_NE(json.find("\"lanes\":1"), std::string::npos);
     EXPECT_NE(json.find("\"baseline_wall_seconds\":4"),
               std::string::npos);
     EXPECT_NE(json.find("\"speedup\":2"), std::string::npos);

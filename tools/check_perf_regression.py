@@ -3,11 +3,20 @@
 
 Usage: check_perf_regression.py CURRENT.json BASELINE.json [--tolerance=0.10]
 
-Fails (exit 1) when the fresh report's aggregate events/sec fall more
-than the tolerance below the baseline's. The committed baseline was
-measured on a dedicated box; CI runners are shared and slower in
-absolute terms, so the gate can be widened for CI with
-PF_PERF_TOLERANCE (a fraction, e.g. 0.5) without touching the script.
+Either file holds one report object or a list of them. Reports are
+matched by machine configuration — the (num_mcs, lanes) pair, so the
+serial classic machine gates against the serial baseline and the
+multi-controller lane runtime against the parallel baseline. Schema
+v2 records both fields; legacy v1 reports (which predate the knobs)
+are accepted and read as the (1, 1) machine.
+
+A matched pair fails (exit 1) when the fresh report's aggregate
+events/sec fall more than the tolerance below the baseline's. The
+committed baseline was measured on a dedicated box; CI runners are
+shared and slower in absolute terms, so the gate can be widened for CI
+with PF_PERF_TOLERANCE (a fraction, e.g. 0.5) without touching the
+script. A current report whose configuration has no baseline entry is
+an error (exit 2): commit a baseline before gating on it.
 
 Any cell failure in the fresh report is a hard failure regardless of
 speed: a cell that crashed produces no events to count.
@@ -17,50 +26,47 @@ import json
 import os
 import sys
 
+SCHEMAS = ("pageforge-simspeed-v1", "pageforge-simspeed-v2")
 
-def load(path):
+
+def load_reports(path):
     try:
         with open(path, encoding="utf-8") as fh:
-            return json.load(fh)
+            data = json.load(fh)
     except (OSError, ValueError) as err:
         print(f"check_perf_regression: cannot read {path}: {err}",
               file=sys.stderr)
         sys.exit(2)
-
-
-def main(argv):
-    tolerance = float(os.environ.get("PF_PERF_TOLERANCE", "0.10"))
-    paths = []
-    for arg in argv[1:]:
-        if arg.startswith("--tolerance="):
-            tolerance = float(arg.split("=", 1)[1])
-        else:
-            paths.append(arg)
-    if len(paths) != 2:
-        print(__doc__, file=sys.stderr)
-        sys.exit(2)
-
-    current = load(paths[0])
-    baseline = load(paths[1])
-
-    for name, report in (("current", current), ("baseline", baseline)):
-        if report.get("schema") != "pageforge-simspeed-v1":
-            print(f"check_perf_regression: {name} report has unexpected "
+    reports = data if isinstance(data, list) else [data]
+    for report in reports:
+        if report.get("schema") not in SCHEMAS:
+            print(f"check_perf_regression: {path} has unexpected "
                   f"schema {report.get('schema')!r}", file=sys.stderr)
             sys.exit(2)
+    return reports
+
+
+def config_key(report):
+    return (report.get("num_mcs", 1), report.get("lanes", 1))
+
+
+def check_pair(current, baseline, tolerance):
+    num_mcs, lanes = config_key(current)
+    label = f"[num_mcs={num_mcs} lanes={lanes}]"
 
     if current.get("failures", 0):
-        print(f"FAIL: {current['failures']} cell(s) failed in the "
-              "current run")
-        sys.exit(1)
+        print(f"FAIL {label}: {current['failures']} cell(s) failed in "
+              "the current run")
+        return False
 
     cur = current["events_per_sec"]
     base = baseline["events_per_sec"]
     floor = base * (1.0 - tolerance)
     ratio = cur / base if base else float("inf")
-    verdict = "OK" if cur >= floor else "FAIL"
-    print(f"{verdict}: {cur:,.0f} events/s vs baseline {base:,.0f} "
-          f"({ratio:.2%}, floor {floor:,.0f} at tolerance "
+    ok = cur >= floor
+    verdict = "OK" if ok else "FAIL"
+    print(f"{verdict} {label}: {cur:,.0f} events/s vs baseline "
+          f"{base:,.0f} ({ratio:.2%}, floor {floor:,.0f} at tolerance "
           f"{tolerance:.0%})")
 
     # Per-cell breakdown for the artifact log: regressions rarely hit
@@ -76,8 +82,36 @@ def main(argv):
         print(f"  {cell['app']:>10s}/{cell['mode']:<9s} "
               f"{cell['events_per_sec']:>12,.0f} ev/s  "
               f"({cell_ratio:.2%} of baseline)")
+    return ok
 
-    sys.exit(0 if cur >= floor else 1)
+
+def main(argv):
+    tolerance = float(os.environ.get("PF_PERF_TOLERANCE", "0.10"))
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--tolerance="):
+            tolerance = float(arg.split("=", 1)[1])
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+
+    currents = load_reports(paths[0])
+    baselines = {config_key(r): r for r in load_reports(paths[1])}
+
+    ok = True
+    for current in currents:
+        baseline = baselines.get(config_key(current))
+        if baseline is None:
+            num_mcs, lanes = config_key(current)
+            print(f"check_perf_regression: no baseline entry for "
+                  f"num_mcs={num_mcs} lanes={lanes} in {paths[1]}",
+                  file=sys.stderr)
+            sys.exit(2)
+        ok &= check_pair(current, baseline, tolerance)
+
+    sys.exit(0 if ok else 1)
 
 
 if __name__ == "__main__":

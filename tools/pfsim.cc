@@ -17,6 +17,7 @@
  *         [--apps=silo,moses] [--modes=baseline,ksm] [--queries=1500]
  */
 
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -49,6 +50,7 @@ struct Options
     unsigned warmupPasses = 6;
     std::uint64_t seed = 42;
     unsigned numMcs = 1;
+    unsigned lanes = 1; //!< phase-2 lane threads (needs --num-mcs > 1)
     unsigned vms = 0;  //!< 0 = Table 2 default fleet (10 VMs)
     bool dumpStats = false;
     bool forceScalar = false;
@@ -109,6 +111,10 @@ usage(const char *prog)
            "(default 1);\n"
         << "                      frames interleave frame %% N, one\n"
         << "                      PageForge module per controller\n"
+        << "  --lanes=N           threads for the per-MC event lanes\n"
+        << "                      (default 1 = serial; PF_LANES env\n"
+        << "                      also sets it). Needs --num-mcs > 1;\n"
+        << "                      results are identical at any N\n"
         << "  --vms=N             fleet size: N VMs on N cores\n"
         << "                      (default: the paper's 10)\n"
         << "  --placement=P       ksmd placement: sticky|rr|random|pinned\n"
@@ -159,6 +165,14 @@ Options
 parse(int argc, char **argv)
 {
     Options opts;
+    // PF_LANES mirrors --lanes (like PF_FORCE_SCALAR for --force-scalar)
+    // so CI matrices can vary the thread count without editing argv; an
+    // explicit --lanes= wins.
+    if (const char *env = std::getenv("PF_LANES")) {
+        unsigned lanes = static_cast<unsigned>(std::atoi(env));
+        if (lanes > 0)
+            opts.lanes = lanes;
+    }
     bool fault_seed_set = false;
     std::uint64_t fault_seed = 0;
     for (int i = 1; i < argc; ++i) {
@@ -193,6 +207,10 @@ parse(int argc, char **argv)
         } else if (const char *v = value("--num-mcs=")) {
             opts.numMcs = static_cast<unsigned>(std::atoi(v));
             if (opts.numMcs == 0)
+                usage(argv[0]);
+        } else if (const char *v = value("--lanes=")) {
+            opts.lanes = static_cast<unsigned>(std::atoi(v));
+            if (opts.lanes == 0)
                 usage(argv[0]);
         } else if (const char *v = value("--vms=")) {
             opts.vms = static_cast<unsigned>(std::atoi(v));
@@ -318,6 +336,7 @@ runCampaignMode(const Options &opts)
                      "(per-cell metrics still recorded)\n";
     spec.sysTemplate.ksmPlacement = opts.placement;
     spec.sysTemplate.numMcs = opts.numMcs;
+    spec.sysTemplate.lanes = opts.lanes;
     if (opts.vms) {
         spec.sysTemplate.numCores = opts.vms;
         spec.sysTemplate.numVms = opts.vms;
@@ -436,6 +455,7 @@ main(int argc, char **argv)
     config.memScale = opts.scale;
     config.seed = opts.seed;
     config.numMcs = opts.numMcs;
+    config.lanes = opts.lanes;
     if (opts.vms) {
         config.numCores = opts.vms;
         config.numVms = opts.vms;
