@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "prof/profiler.hh"
 #include "sim/logging.hh"
 #include "sim/simd.hh"
 
@@ -99,6 +100,7 @@ PageForgeModule::fetchLine(FrameId frame, std::uint32_t line_idx,
 Tick
 PageForgeModule::process(Tick start, BatchResult &result)
 {
+    prof::ScopedTimer timer(prof::Site::ScanTableWalk);
     const PfeEntry &pfe = _table.pfe();
     pf_assert(pfe.valid, "processing with no candidate loaded");
 

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <vector>
 
+#include "prof/profiler.hh"
 #include "sim/logging.hh"
 #include "sim/simd.hh"
 
@@ -15,6 +16,7 @@ PageCompare
 comparePagesFrom(const std::uint8_t *a, const std::uint8_t *b,
                  std::uint32_t known_equal)
 {
+    prof::ScopedTimer timer(prof::Site::SimdCompare);
     // Because the first difference can only lie at or after
     // known_equal, starting there yields the same sign and divergence
     // offset as a scan from 0.
@@ -28,6 +30,7 @@ PageCompare
 comparePagesMasked(const std::uint8_t *a, const std::uint8_t *b,
                    std::uint64_t dirty_mask)
 {
+    prof::ScopedTimer timer(prof::Site::SimdCompare);
     // Precondition: every line of `a` whose mask bit is clear is
     // byte-identical to the corresponding line of `b`, so the first
     // difference (if any) lies inside a dirtied line. Walking only
@@ -156,6 +159,9 @@ ContentTree::SearchResult
 ContentTree::search(const std::uint8_t *probe, const CompareHook &hook,
                     const PruneHook &prune, const MaskedProbe *masked)
 {
+    // Inclusive of the nested SimdCompare samples: the site measures
+    // the whole walk, compares and all.
+    prof::ScopedTimer timer(prof::Site::ContentTreeSearch);
     SearchResult result;
 
 restart:

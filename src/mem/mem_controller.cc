@@ -4,6 +4,7 @@
 #include <cstring>
 #include <vector>
 
+#include "prof/profiler.hh"
 #include "sim/logging.hh"
 
 namespace pageforge
@@ -117,8 +118,10 @@ MemController::readLine(Addr line_addr, Tick now, Requester req,
     // needs the pristine code.
     ++_eccDecodes;
     LineEccCode ecc{};
-    if (want_ecc)
+    if (want_ecc) {
+        prof::ScopedTimer timer(prof::Site::EccCompute);
         ecc = LineEcc::encode(lineBytes(line_addr));
+    }
 
     // Apply injected DRAM faults: the stored ECC corresponds to the
     // original data; decode sees the corrupted bits and corrects or
@@ -212,6 +215,7 @@ MemController::encodeLine(Addr line_addr, bool compute)
     ++_eccEncodes;
     if (!compute)
         return LineEccCode{};
+    prof::ScopedTimer timer(prof::Site::EccCompute);
     return LineEcc::encode(lineBytes(line_addr));
 }
 

@@ -12,6 +12,13 @@ CrossMcRouter::CrossMcRouter(unsigned num_mcs, Tick hop_latency)
       _toMc(num_mcs)
 {
     pf_assert(num_mcs >= 1, "router needs at least one MC");
+    // A handoff takes at least one hop; queueing behind the accept
+    // port stretches the tail, so track up to 16 hops before the
+    // overflow bucket.
+    _latency.reserve(num_mcs);
+    for (unsigned i = 0; i < num_mcs; ++i)
+        _latency.emplace_back(
+            0.0, static_cast<double>(hop_latency) * 16.0, 64);
 }
 
 Tick
@@ -26,7 +33,29 @@ CrossMcRouter::enqueue(unsigned src, unsigned dst, Tick now)
     ++_toMc[dst];
     ++_total;
     _inFlight.push_back(delivered);
+    _latency[dst].sample(static_cast<double>(delivered - now));
+
+    if (_probe.active()) {
+        // Zero-width spans anchor the flow arrow: "s" binds to the
+        // slice open at its tick, "f" (bp=e) to the enclosing slice at
+        // the delivery tick. The id is the 1-based handoff sequence.
+        _probe.span("handoff-out", now, now,
+                    {"src", static_cast<double>(src)},
+                    {"dst", static_cast<double>(dst)});
+        _probe.flowBegin("handoff", now, _total);
+        _probe.span("handoff-in", delivered, delivered,
+                    {"src", static_cast<double>(src)},
+                    {"dst", static_cast<double>(dst)});
+        _probe.flowEnd("handoff", delivered, _total);
+    }
     return delivered;
+}
+
+const Histogram &
+CrossMcRouter::latencyTo(unsigned dst) const
+{
+    pf_assert(dst < _latency.size(), "MC %u out of range", dst);
+    return _latency[dst];
 }
 
 std::uint64_t

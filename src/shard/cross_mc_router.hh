@@ -22,6 +22,8 @@
 #include <vector>
 
 #include "sim/types.hh"
+#include "stats/histogram.hh"
+#include "trace/probe.hh"
 
 namespace pageforge
 {
@@ -59,6 +61,22 @@ class CrossMcRouter
     /** Handoffs still in flight (delivery tick after @p now). */
     std::size_t depth(Tick now) const;
 
+    /**
+     * Delivered-minus-enqueued latency of handoffs accepted by
+     * destination MC @p dst, in ticks. Deterministic (simulated time),
+     * so campaign identity checks may compare it across executors.
+     */
+    const Histogram &latencyTo(unsigned dst) const;
+
+    /**
+     * Trace hook (not a SimObject, so wired up explicitly by the
+     * system's observability setup). When active, every handoff emits
+     * a flow arrow — id = handoff sequence number — from a zero-width
+     * "handoff-out" span at the enqueue tick to a "handoff-in" span
+     * at the delivery tick.
+     */
+    Probe &probe() { return _probe; }
+
   private:
     Tick _hopLatency;
     std::vector<Tick> _numFree;           //!< per-dst next-free tick
@@ -66,6 +84,8 @@ class CrossMcRouter
     std::vector<std::uint64_t> _toMc;     //!< per-dst handoff count
     std::uint64_t _total = 0;
     mutable std::vector<Tick> _inFlight;  //!< delivery ticks, pruned lazily
+    std::vector<Histogram> _latency; //!< per-dst delivery latency
+    Probe _probe;
 };
 
 } // namespace pageforge

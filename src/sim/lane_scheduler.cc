@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "prof/profiler.hh"
 #include "sim/logging.hh"
 
 namespace pageforge
@@ -18,7 +19,26 @@ namespace
 // executors.
 thread_local unsigned t_currentLane = 0;
 
+std::uint64_t
+satSub(std::uint64_t a, std::uint64_t b)
+{
+    return a > b ? a - b : 0;
+}
+
 } // namespace
+
+double
+ExecTelemetry::phase2Efficiency() const
+{
+    if (lanes.size() <= 1 || phase2Ns == 0)
+        return 0.0;
+    std::uint64_t busy = 0;
+    for (std::size_t i = 1; i < lanes.size(); ++i)
+        busy += lanes[i].busyNs;
+    return static_cast<double>(busy) /
+           (static_cast<double>(phase2Ns) *
+            static_cast<double>(lanes.size() - 1));
+}
 
 unsigned
 LaneScheduler::currentLaneId()
@@ -37,14 +57,19 @@ LaneScheduler::LaneScheduler(EventQueue &lane0, unsigned shard_lanes,
         _shardLanes.push_back(std::make_unique<EventQueue>());
     _mailboxes.resize(shard_lanes);
 
+    _laneSpans.resize(shard_lanes);
+    _telemetry.lanes.resize(1 + shard_lanes);
+
     _threads = std::min(threads, shard_lanes);
     if (_threads <= 1) {
         _threads = 0; // serial executor
+        _telemetry.workerBusyNs.resize(1);
         return;
     }
+    _telemetry.workerBusyNs.resize(1 + _threads);
     _workers.reserve(_threads);
     for (unsigned i = 0; i < _threads; ++i)
-        _workers.emplace_back([this] { workerLoop(); });
+        _workers.emplace_back([this, i] { workerLoop(i + 1); });
 }
 
 LaneScheduler::~LaneScheduler()
@@ -104,7 +129,14 @@ LaneScheduler::runShardLane(unsigned lane_id, Tick limit)
 {
     unsigned prev = t_currentLane;
     t_currentLane = lane_id;
-    _shardLanes[lane_id - 1]->runUntil(limit);
+    if (prof::enabled()) {
+        HostSpan &span = _laneSpans[lane_id - 1];
+        span.startNs = prof::nowNs();
+        _shardLanes[lane_id - 1]->runUntil(limit);
+        span.endNs = prof::nowNs();
+    } else {
+        _shardLanes[lane_id - 1]->runUntil(limit);
+    }
     t_currentLane = prev;
 }
 
@@ -118,9 +150,20 @@ LaneScheduler::runPhase2(Tick limit)
     for (const auto &queue : _shardLanes)
         any_work |= !queue->empty() && queue->nextEventTick() <= limit;
 
+    const bool profiling = prof::enabled();
+    _schedSelfNs = 0;
+
     if (_threads == 0 || !any_work) {
-        for (unsigned id = 1; id <= _shardLanes.size(); ++id)
+        for (unsigned id = 1; id <= _shardLanes.size(); ++id) {
             runShardLane(id, limit);
+            if (profiling) {
+                const HostSpan &span = _laneSpans[id - 1];
+                const std::uint64_t ran =
+                    satSub(span.endNs, span.startNs);
+                _schedSelfNs += ran;
+                _telemetry.workerBusyNs[0] += ran;
+            }
+        }
         return;
     }
 
@@ -149,6 +192,12 @@ LaneScheduler::runPhase2(Tick limit)
         if (lane_id > lanes)
             break;
         runShardLane(lane_id, limit);
+        if (profiling) {
+            const HostSpan &span = _laneSpans[lane_id - 1];
+            const std::uint64_t ran = satSub(span.endNs, span.startNs);
+            _schedSelfNs += ran;
+            _telemetry.workerBusyNs[0] += ran;
+        }
         _lanesDone.fetch_add(1, std::memory_order_acq_rel);
     }
     // Straggler wait: phase-2 work is microseconds, so spin first and
@@ -161,7 +210,7 @@ LaneScheduler::runPhase2(Tick limit)
 }
 
 void
-LaneScheduler::workerLoop()
+LaneScheduler::workerLoop(unsigned slot)
 {
     const unsigned lanes = static_cast<unsigned>(_shardLanes.size());
     std::uint64_t seen_generation = 0;
@@ -196,6 +245,14 @@ LaneScheduler::workerLoop()
             if (lane_id > lanes)
                 break;
             runShardLane(lane_id, _phaseLimit);
+            // _telemetry.workerBusyNs[slot] is this worker's alone;
+            // the write is ordered before the scheduler's post-barrier
+            // reads by the _lanesDone release below.
+            if (prof::enabled()) {
+                const HostSpan &span = _laneSpans[lane_id - 1];
+                _telemetry.workerBusyNs[slot] +=
+                    satSub(span.endNs, span.startNs);
+            }
             _lanesDone.fetch_add(1, std::memory_order_acq_rel);
         }
     }
@@ -208,19 +265,78 @@ LaneScheduler::runUntil(Tick limit)
     Tick now = _lane0.curTick();
     while (now < limit) {
         Tick boundary = std::min(limit, now + _quantum);
+        const bool profiling = prof::enabled();
+        std::uint64_t t0 = 0, t1 = 0, t2 = 0, t3 = 0;
+        if (profiling) {
+            if (_epochNs == 0)
+                _epochNs = prof::nowNs();
+            t0 = prof::nowNs();
+        }
         // Phase 1: lane 0 alone. All shared-state mutation happens
         // here, so phase 2 reads a frozen machine image.
         _lane0.runUntil(boundary);
+        if (profiling) {
+            t1 = prof::nowNs();
+            std::size_t depth = 0;
+            for (const auto &box : _mailboxes)
+                depth = std::max(depth, box.size());
+            _telemetry.mailboxHwm =
+                std::max<std::uint64_t>(_telemetry.mailboxHwm, depth);
+        }
         // Barrier part 1: hand phase-1 mail to the shard lanes before
         // they run, in deterministic order.
         drainMailboxes();
+        if (profiling)
+            t2 = prof::nowNs();
         // Phase 2: shard lanes in parallel (or in lane order, serially).
         runPhase2(boundary);
+        if (profiling) {
+            t3 = prof::nowNs();
+            recordQuantum(t0, t1, t2, t3);
+        }
         if (_quantumHook)
             _quantumHook();
         now = boundary;
     }
     return eventsDispatched() - before;
+}
+
+void
+LaneScheduler::recordQuantum(std::uint64_t t0, std::uint64_t t1,
+                             std::uint64_t t2, std::uint64_t t3)
+{
+    ++_telemetry.quanta;
+    _telemetry.phase1Ns += satSub(t1, t0);
+    _telemetry.drainNs += satSub(t2, t1);
+    _telemetry.phase2Ns += satSub(t3, t2);
+
+    // Lane 0's accounting: busy through phase 1 plus whatever phase-2
+    // lanes the scheduling thread ran itself, idle through the drain,
+    // stalled for the rest of the barrier. Each lane's three series
+    // sum exactly to this quantum's wall time (t3 - t0).
+    LaneExecStats &lane0 = _telemetry.lanes[0];
+    const std::uint64_t self = std::min(_schedSelfNs, satSub(t3, t2));
+    lane0.busyNs += satSub(t1, t0) + self;
+    lane0.idleNs += satSub(t2, t1);
+    lane0.stallNs += satSub(t3, t2) - self;
+
+    for (std::size_t i = 0; i < _laneSpans.size(); ++i) {
+        // Clamp into the quantum: a span written under a profiling
+        // flag that flipped mid-quantum may hold stale endpoints.
+        const std::uint64_t start =
+            std::clamp(_laneSpans[i].startNs, t0, t3);
+        const std::uint64_t end =
+            std::clamp(_laneSpans[i].endNs, start, t3);
+        LaneExecStats &lane = _telemetry.lanes[i + 1];
+        lane.stallNs += start - t0;
+        lane.busyNs += end - start;
+        lane.idleNs += t3 - end;
+        if (_hostSpanHook && end > start)
+            _hostSpanHook(static_cast<unsigned>(i + 1),
+                          start - _epochNs, end - _epochNs);
+    }
+    if (_hostSpanHook && t1 > t0)
+        _hostSpanHook(0, t0 - _epochNs, t1 - _epochNs);
 }
 
 std::uint64_t

@@ -53,6 +53,40 @@
 namespace pageforge
 {
 
+/** Host-time accounting for one lane, in nanoseconds. */
+struct LaneExecStats
+{
+    std::uint64_t busyNs = 0;  //!< dispatching events
+    std::uint64_t idleNs = 0;  //!< done with the quantum, waiting
+    std::uint64_t stallNs = 0; //!< waiting on phase 1 / the barrier
+};
+
+/**
+ * Host wall-clock telemetry for the superstep executor, collected
+ * only while prof::enabled() (the accounting is free otherwise). Per
+ * lane and per quantum, busy + idle + stall sums to the quantum's
+ * wall time, so the three series partition the run exactly.
+ */
+struct ExecTelemetry
+{
+    std::uint64_t quanta = 0;
+    std::uint64_t phase1Ns = 0; //!< lane 0 running alone
+    std::uint64_t drainNs = 0;  //!< mailbox drain at the barrier
+    std::uint64_t phase2Ns = 0; //!< shard lanes (parallel region)
+    std::uint64_t mailboxHwm = 0; //!< deepest single mailbox at a drain
+    /** Index 0 = lane 0, then one entry per shard lane. */
+    std::vector<LaneExecStats> lanes;
+    /** Slot 0 = the scheduling thread, then one slot per worker. */
+    std::vector<std::uint64_t> workerBusyNs;
+
+    /**
+     * Sum of shard-lane busy time over the perfect-overlap bound
+     * (phase-2 wall time x shard lanes): 1.0 means every lane worked
+     * the whole parallel region, 1/N means effectively serial.
+     */
+    double phase2Efficiency() const;
+};
+
 /** Runs one event queue per lane under a conservative quantum barrier. */
 class LaneScheduler
 {
@@ -108,6 +142,24 @@ class LaneScheduler
     }
 
     /**
+     * Host-time span per lane per quantum, invoked on the scheduling
+     * thread after the phase-2 barrier (so reads of worker-written
+     * spans are ordered). Timestamps are nanoseconds since the first
+     * profiled quantum; the trace layer maps them onto the pid-2 lane
+     * tracks. Only fires while prof::enabled().
+     */
+    using HostSpanHook = std::function<void(
+        unsigned lane, std::uint64_t start_ns, std::uint64_t end_ns)>;
+
+    void setHostSpanHook(HostSpanHook hook)
+    {
+        _hostSpanHook = std::move(hook);
+    }
+
+    /** Accumulated host-time telemetry (empty unless profiling ran). */
+    const ExecTelemetry &telemetry() const { return _telemetry; }
+
+    /**
      * Advance every lane to @p limit through quantum supersteps.
      * @return events dispatched across all lanes by this call
      */
@@ -140,7 +192,9 @@ class LaneScheduler
     void drainMailboxes();
     void runShardLane(unsigned lane_id, Tick limit);
     void runPhase2(Tick limit);
-    void workerLoop();
+    void workerLoop(unsigned slot);
+    void recordQuantum(std::uint64_t t0, std::uint64_t t1,
+                       std::uint64_t t2, std::uint64_t t3);
 
     EventQueue &_lane0;
     std::vector<std::unique_ptr<EventQueue>> _shardLanes;
@@ -174,6 +228,21 @@ class LaneScheduler
     std::atomic<unsigned> _lanesDone{0};
     Tick _phaseLimit = 0;
     std::atomic<bool> _shutdown{false};
+
+    // Host-time telemetry. _laneSpans is single-writer per quantum
+    // (whichever thread claimed the lane) and read by the scheduling
+    // thread only after the barrier, so the existing _lanesDone
+    // acquire/release chain orders it without extra synchronization.
+    struct HostSpan
+    {
+        std::uint64_t startNs = 0;
+        std::uint64_t endNs = 0;
+    };
+    std::vector<HostSpan> _laneSpans;
+    std::uint64_t _schedSelfNs = 0;
+    std::uint64_t _epochNs = 0;
+    ExecTelemetry _telemetry;
+    HostSpanHook _hostSpanHook;
 };
 
 } // namespace pageforge

@@ -9,6 +9,7 @@
 #include <ostream>
 #include <thread>
 
+#include "prof/profiler.hh"
 #include "sim/host.hh"
 #include "sim/logging.hh"
 #include "workload/app_profile.hh"
@@ -232,7 +233,18 @@ samePerMc(const std::vector<McSummary> &a,
         if (a[i].scans != b[i].scans || a[i].merges != b[i].merges ||
             a[i].handoffsIn != b[i].handoffsIn ||
             a[i].handoffsOut != b[i].handoffsOut ||
-            a[i].tableOccupancy != b[i].tableOccupancy)
+            a[i].tableOccupancy != b[i].tableOccupancy ||
+            a[i].handoffLatCount != b[i].handoffLatCount ||
+            !sameBits(a[i].handoffLatMeanTicks,
+                      b[i].handoffLatMeanTicks) ||
+            !sameBits(a[i].handoffLatMinTicks,
+                      b[i].handoffLatMinTicks) ||
+            !sameBits(a[i].handoffLatMaxTicks,
+                      b[i].handoffLatMaxTicks) ||
+            !sameBits(a[i].handoffLatP50Ticks,
+                      b[i].handoffLatP50Ticks) ||
+            !sameBits(a[i].handoffLatP95Ticks,
+                      b[i].handoffLatP95Ticks))
             return false;
     }
     return true;
@@ -397,10 +409,55 @@ jsonResult(std::ostream &os, const ExperimentResult &r)
                << ",\"merges\":" << mc.merges
                << ",\"handoffs_in\":" << mc.handoffsIn
                << ",\"handoffs_out\":" << mc.handoffsOut
-               << ",\"table_occupancy\":" << mc.tableOccupancy
-               << "}";
+               << ",\"table_occupancy\":" << mc.tableOccupancy;
+            // The latency distribution is simulated (deterministic)
+            // data, but it only reaches the JSON on profiling runs so
+            // profiling-off campaign output stays byte-identical to
+            // earlier builds.
+            if (prof::enabled()) {
+                os << ",\"handoff_latency\":{\"count\":"
+                   << mc.handoffLatCount;
+                os << ",\"mean_ticks\":";
+                jsonDouble(os, mc.handoffLatMeanTicks);
+                os << ",\"min_ticks\":";
+                jsonDouble(os, mc.handoffLatMinTicks);
+                os << ",\"max_ticks\":";
+                jsonDouble(os, mc.handoffLatMaxTicks);
+                os << ",\"p50_ticks\":";
+                jsonDouble(os, mc.handoffLatP50Ticks);
+                os << ",\"p95_ticks\":";
+                jsonDouble(os, mc.handoffLatP95Ticks);
+                os << "}";
+            }
+            os << "}";
         }
         os << "]";
+    }
+    // Lane-executor host telemetry; only present on profiling runs
+    // (host wall-clock, excluded from identicalResults like
+    // hostSeconds).
+    if (r.exec.enabled) {
+        const ExecSummary &e = r.exec;
+        os << ",\"exec\":{\"quanta\":" << e.quanta
+           << ",\"phase1_ns\":" << e.phase1Ns
+           << ",\"drain_ns\":" << e.drainNs
+           << ",\"phase2_ns\":" << e.phase2Ns
+           << ",\"mailbox_hwm\":" << e.mailboxHwm;
+        os << ",\"phase2_efficiency\":";
+        jsonDouble(os, e.phase2Efficiency);
+        os << ",\"lanes\":[";
+        for (std::size_t l = 0; l < e.lanes.size(); ++l) {
+            const LaneExecStats &lane = e.lanes[l];
+            if (l)
+                os << ",";
+            os << "{\"busy_ns\":" << lane.busyNs
+               << ",\"idle_ns\":" << lane.idleNs
+               << ",\"stall_ns\":" << lane.stallNs << "}";
+        }
+        os << "],\"worker_busy_ns\":[";
+        for (std::size_t w = 0; w < e.workerBusyNs.size(); ++w)
+            os << (w ? "," : "") << e.workerBusyNs[w];
+        os << "]}";
     }
     // Only present when the cell sampled metrics, so default-config
     // campaign JSON stays byte-identical to earlier versions.
@@ -481,7 +538,14 @@ writeCampaignJson(const CampaignReport &report, std::ostream &os)
         }
         os << "}";
     }
-    os << "]}\n";
+    os << "]";
+    // Host-time self-profile of the whole campaign process; only on
+    // profiling runs so default output stays byte-identical.
+    if (prof::enabled()) {
+        os << ",\"profile\":";
+        prof::writeJson(os);
+    }
+    os << "}\n";
 }
 
 void

@@ -6,6 +6,7 @@
 
 #include "fault/fault_injector.hh"
 #include "fault/merge_oracle.hh"
+#include "prof/profiler.hh"
 #include "shard/cross_mc_router.hh"
 #include "sim/logging.hh"
 
@@ -270,6 +271,15 @@ runExperiment(const AppProfile &app, DedupMode mode,
             if (router) {
                 mc.handoffsIn = router->handoffsTo(m);
                 mc.handoffsOut = router->handoffsFrom(m);
+                const Histogram &lat = router->latencyTo(m);
+                mc.handoffLatCount = lat.count();
+                if (lat.count()) {
+                    mc.handoffLatMeanTicks = lat.mean();
+                    mc.handoffLatMinTicks = lat.minSample();
+                    mc.handoffLatMaxTicks = lat.maxSample();
+                    mc.handoffLatP50Ticks = lat.quantile(0.50);
+                    mc.handoffLatP95Ticks = lat.quantile(0.95);
+                }
             }
             if (PageForgeModule *module = system.pfModule(m))
                 mc.tableOccupancy = module->table().validOthers();
@@ -277,6 +287,25 @@ runExperiment(const AppProfile &app, DedupMode mode,
         }
     }
 
+    if (const LaneScheduler *sched = system.laneScheduler()) {
+        const ExecTelemetry &tel = sched->telemetry();
+        if (prof::enabled() && tel.quanta > 0) {
+            result.exec.enabled = true;
+            result.exec.quanta = tel.quanta;
+            result.exec.phase1Ns = tel.phase1Ns;
+            result.exec.drainNs = tel.drainNs;
+            result.exec.phase2Ns = tel.phase2Ns;
+            result.exec.mailboxHwm = tel.mailboxHwm;
+            result.exec.phase2Efficiency = tel.phase2Efficiency();
+            result.exec.lanes = tel.lanes;
+            result.exec.workerBusyNs = tel.workerBusyNs;
+        }
+    }
+
+    // Capture the final partial metrics epoch before reading the
+    // series: without this, a run shorter than the sampling interval
+    // (or any window tail) records nothing past the last whole epoch.
+    system.finishObservability();
     if (system.metrics())
         result.metrics = system.metrics()->series();
 

@@ -158,6 +158,34 @@ struct McSummary
     std::uint64_t handoffsIn = 0;  //!< candidates received from peers
     std::uint64_t handoffsOut = 0; //!< candidates forwarded to peers
     std::uint64_t tableOccupancy = 0; //!< valid Scan Table entries at end
+
+    // Handoff-latency distribution (enqueue to delivery, simulated
+    // ticks) of candidates accepted by this MC. Deterministic, so the
+    // identity checks compare it like every other simulated quantity.
+    std::uint64_t handoffLatCount = 0;
+    double handoffLatMeanTicks = 0.0;
+    double handoffLatMinTicks = 0.0;
+    double handoffLatMaxTicks = 0.0;
+    double handoffLatP50Ticks = 0.0;
+    double handoffLatP95Ticks = 0.0;
+};
+
+/**
+ * Host-time telemetry of the lane-scheduler executor, captured only
+ * when profiling was enabled for the run. Host wall-clock, like
+ * hostSeconds: excluded from identicalResults().
+ */
+struct ExecSummary
+{
+    bool enabled = false;
+    std::uint64_t quanta = 0;
+    std::uint64_t phase1Ns = 0;
+    std::uint64_t drainNs = 0;
+    std::uint64_t phase2Ns = 0;
+    std::uint64_t mailboxHwm = 0;
+    double phase2Efficiency = 0.0;
+    std::vector<LaneExecStats> lanes;         //!< index 0 = lane 0
+    std::vector<std::uint64_t> workerBusyNs;  //!< slot 0 = scheduler
 };
 
 /** Everything a bench needs to print its table/figure rows. */
@@ -230,6 +258,9 @@ struct ExperimentResult
     // (empty at numMcs == 1, keeping classic results untouched).
     unsigned numMcs = 1;
     std::vector<McSummary> perMc;
+
+    // Lane-executor host telemetry (profiling runs only).
+    ExecSummary exec;
 
     /**
      * Sampled metric trajectory (empty unless metricsInterval was

@@ -5,6 +5,7 @@
 
 #include "fault/fault_injector.hh"
 #include "fault/merge_oracle.hh"
+#include "prof/profiler.hh"
 #include "shard/cross_mc_router.hh"
 #include "shard/shard_map.hh"
 #include "sim/logging.hh"
@@ -208,6 +209,10 @@ System::setupObservability()
         module->attachProbe(_probes, TraceComponent::ScanTable);
     if (_pfDriver)
         _pfDriver->attachProbe(_probes, TraceComponent::ScanTable);
+    // The router is not a SimObject; enroll its probe directly so
+    // cross-MC handoffs draw flow arrows on the Scan Table track.
+    if (_router)
+        _probes.enroll(_router->probe(), TraceComponent::ScanTable);
     if (_lifecycle)
         _lifecycle->attachProbe(_probes, TraceComponent::Lifecycle);
     if (_faults)
@@ -439,6 +444,20 @@ System::startLoad()
             *_config.traceSink, _laneSched->numLanes());
         _probes.attach(*_laneMux);
         _laneSched->setQuantumHook([this] { _laneMux->flush(); });
+        if (prof::enabled()) {
+            // Mirror the executor's host-time lane spans into the
+            // trace as a second pid: lane 0's span is the serial
+            // phase 1, shard lanes are their phase-2 slices.
+            TraceSink *sink = _config.traceSink;
+            sink->registerHostLanes(_laneSched->numLanes());
+            _laneSched->setHostSpanHook(
+                [sink](unsigned lane, std::uint64_t start_ns,
+                       std::uint64_t end_ns) {
+                    sink->emitHostLaneSpan(lane, start_ns, end_ns,
+                                           lane == 0 ? "phase1"
+                                                     : "phase2");
+                });
+        }
         if (_metrics) {
             _metrics->setBackend(_laneMux.get());
             _metrics->start();
@@ -462,6 +481,18 @@ System::startLoad()
         _faults->start();
     if (_config.auditInterval > 0)
         scheduleAudit();
+}
+
+void
+System::finishObservability()
+{
+    if (_metrics)
+        _metrics->finish();
+    // The final sample lands in this thread's lane buffer when the
+    // mux is the backend; flush so it reaches the sink. Safe here:
+    // run() returns with every worker parked at the barrier.
+    if (_laneMux)
+        _laneMux->flush();
 }
 
 void

@@ -101,6 +101,15 @@ class System : public VmHost
     /** Null unless metrics sampling is configured (see SystemConfig). */
     MetricsSampler *metrics() { return _metrics.get(); }
 
+    /**
+     * End-of-run observability wrap-up: capture the sampler's final
+     * partial epoch (see MetricsSampler::finish) and drain any records
+     * still sitting in per-lane trace buffers. Idempotent; call after
+     * the last run() and before reading the series or finishing a
+     * sink.
+     */
+    void finishObservability();
+
     // ---- VmHost (called by the lifecycle manager) ----
     TailBenchApp *attachApp(const VmLayout &layout,
                             const AppProfile &profile) override;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "prof/profiler.hh"
 #include "sim/lane_scheduler.hh"
 #include "sim/logging.hh"
 
@@ -86,8 +87,27 @@ LaneTraceMux::emitCounterTrack(unsigned track, TraceComponent comp,
 }
 
 void
+LaneTraceMux::emitFlowBegin(TraceComponent comp, const char *flow_name,
+                            Tick at, std::uint64_t flow_id)
+{
+    Record rec{Kind::FlowBegin, comp, 0, flow_name, at, at, 0.0, {}, 0};
+    rec.flowId = flow_id;
+    currentBuffer().push_back(rec);
+}
+
+void
+LaneTraceMux::emitFlowEnd(TraceComponent comp, const char *flow_name,
+                          Tick at, std::uint64_t flow_id)
+{
+    Record rec{Kind::FlowEnd, comp, 0, flow_name, at, at, 0.0, {}, 0};
+    rec.flowId = flow_id;
+    currentBuffer().push_back(rec);
+}
+
+void
 LaneTraceMux::flush()
 {
+    prof::ScopedTimer timer(prof::Site::TraceFlush);
     struct Key
     {
         Tick at;
@@ -129,6 +149,14 @@ LaneTraceMux::flush()
           case Kind::CounterTrack:
             _downstream.emitCounterTrack(rec.track, rec.comp, rec.name,
                                          rec.start, rec.value);
+            break;
+          case Kind::FlowBegin:
+            _downstream.emitFlowBegin(rec.comp, rec.name, rec.start,
+                                      rec.flowId);
+            break;
+          case Kind::FlowEnd:
+            _downstream.emitFlowEnd(rec.comp, rec.name, rec.start,
+                                    rec.flowId);
             break;
         }
     }

@@ -57,6 +57,10 @@ class LaneTraceMux : public TraceBackend
     void emitCounterTrack(unsigned track, TraceComponent comp,
                           const char *series, Tick at,
                           double value) override;
+    void emitFlowBegin(TraceComponent comp, const char *flow_name,
+                       Tick at, std::uint64_t flow_id) override;
+    void emitFlowEnd(TraceComponent comp, const char *flow_name,
+                     Tick at, std::uint64_t flow_id) override;
 
     /**
      * Replay all buffered events into the downstream backend, merged
@@ -69,7 +73,14 @@ class LaneTraceMux : public TraceBackend
     std::size_t buffered() const;
 
   private:
-    enum class Kind : std::uint8_t { Span, Instant, Counter, CounterTrack };
+    enum class Kind : std::uint8_t {
+        Span,
+        Instant,
+        Counter,
+        CounterTrack,
+        FlowBegin,
+        FlowEnd,
+    };
 
     struct Record
     {
@@ -82,6 +93,7 @@ class LaneTraceMux : public TraceBackend
         double value;
         TraceArg args[2];
         unsigned numArgs;
+        std::uint64_t flowId = 0;
     };
 
     std::vector<Record> &currentBuffer();

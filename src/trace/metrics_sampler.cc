@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "prof/profiler.hh"
 #include "sim/logging.hh"
 
 namespace pageforge
@@ -84,8 +85,19 @@ MetricsSampler::start()
 }
 
 void
+MetricsSampler::finish()
+{
+    if (_epoch == 0)
+        return; // never started; keep the series empty
+    if (_series.ticks.empty() || _series.ticks.back() != curTick())
+        sampleNow();
+    stop();
+}
+
+void
 MetricsSampler::sampleNow()
 {
+    prof::ScopedTimer timer(prof::Site::MetricsSample);
     Tick now = curTick();
     std::vector<double> row;
     row.reserve(_getters.size());

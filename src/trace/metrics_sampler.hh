@@ -88,6 +88,14 @@ class MetricsSampler : public SimObject
     /** Stop sampling; the pending event becomes a no-op. */
     void stop() { ++_epoch; }
 
+    /**
+     * Stop sampling after capturing the final partial epoch: unless a
+     * sample already landed at the current tick, take one more, so a
+     * run shorter than the interval still records an end-of-run point
+     * and a long run's tail is not silently dropped.
+     */
+    void finish();
+
     Tick interval() const { return _interval; }
     std::size_t numMetrics() const { return _names.size(); }
     const MetricsSeries &series() const { return _series; }

@@ -85,6 +85,34 @@ class TraceBackend
         (void)track;
         emitCounter(comp, series, at, value);
     }
+
+    /**
+     * Start of a flow: a Perfetto arrow from the slice enclosing this
+     * tick to the slice enclosing the matching emitFlowEnd. flow_id
+     * pairs the two ends (the cross-MC router uses the handoff
+     * sequence number). Defaulted to no-ops so recording stubs and
+     * older backends stay source-compatible.
+     */
+    virtual void
+    emitFlowBegin(TraceComponent comp, const char *flow_name, Tick at,
+                  std::uint64_t flow_id)
+    {
+        (void)comp;
+        (void)flow_name;
+        (void)at;
+        (void)flow_id;
+    }
+
+    /** End of a flow started by emitFlowBegin with the same flow_id. */
+    virtual void
+    emitFlowEnd(TraceComponent comp, const char *flow_name, Tick at,
+                std::uint64_t flow_id)
+    {
+        (void)comp;
+        (void)flow_name;
+        (void)at;
+        (void)flow_id;
+    }
 };
 
 /**
@@ -151,6 +179,20 @@ class Probe
     {
         if (_backend)
             _backend->emitCounter(_comp, series, at, value);
+    }
+
+    void
+    flowBegin(const char *flow_name, Tick at, std::uint64_t flow_id)
+    {
+        if (_backend)
+            _backend->emitFlowBegin(_comp, flow_name, at, flow_id);
+    }
+
+    void
+    flowEnd(const char *flow_name, Tick at, std::uint64_t flow_id)
+    {
+        if (_backend)
+            _backend->emitFlowEnd(_comp, flow_name, at, flow_id);
     }
 
   private:

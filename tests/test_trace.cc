@@ -226,6 +226,95 @@ TEST(MetricsSampler, IntervalLongerThanRunYieldsOneSample)
     EXPECT_EQ(sampler.series().ticks.size(), 1u);
 }
 
+TEST(TraceSink, FlowEventsWriteArrowPhases)
+{
+    std::ostringstream os;
+    TraceSink sink(os);
+    sink.emitFlowBegin(TraceComponent::ScanTable, "handoff", 1000, 7);
+    sink.emitFlowEnd(TraceComponent::ScanTable, "handoff", 2000, 7);
+    sink.finish();
+
+    std::string json = os.str();
+    EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+    EXPECT_NE(json.find("\"cat\":\"flow\""), std::string::npos);
+    EXPECT_NE(json.find("\"id\":7"), std::string::npos);
+    // The arrow head binds to the enclosing slice, not the next one.
+    EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos);
+    EXPECT_EQ(sink.flowEvents(), 2u);
+}
+
+TEST(TraceSink, FlowEventsRespectComponentFilter)
+{
+    std::ostringstream os;
+    TraceSink sink(os, componentBit(TraceComponent::Ksm));
+    sink.emitFlowBegin(TraceComponent::ScanTable, "handoff", 100, 1);
+    sink.emitFlowEnd(TraceComponent::ScanTable, "handoff", 200, 1);
+    sink.finish();
+    EXPECT_EQ(sink.flowEvents(), 0u);
+    EXPECT_EQ(os.str().find("\"cat\":\"flow\""), std::string::npos);
+}
+
+TEST(TraceSink, HostLaneTracksLiveOnPidTwo)
+{
+    std::ostringstream os;
+    TraceSink sink(os);
+    sink.registerHostLanes(3);
+    sink.emitHostLaneSpan(0, 1000, 2500, "phase1");
+    sink.emitHostLaneSpan(2, 2000, 9000, "phase2");
+    // A lane beyond the registered count is a bug upstream; the sink
+    // drops it rather than inventing a track.
+    sink.emitHostLaneSpan(7, 0, 1, "bogus");
+    sink.finish();
+
+    std::string json = os.str();
+    EXPECT_NE(json.find("\"host-exec\""), std::string::npos);
+    EXPECT_NE(json.find("\"lane0\""), std::string::npos);
+    EXPECT_NE(json.find("\"lane2\""), std::string::npos);
+    EXPECT_NE(json.find("\"pid\":2"), std::string::npos);
+    EXPECT_EQ(json.find("\"bogus\""), std::string::npos);
+    EXPECT_EQ(sink.hostSpans(), 2u);
+}
+
+TEST(MetricsSampler, FinishCapturesFinalPartialEpoch)
+{
+    EventQueue eq;
+    MetricsSampler sampler("metrics", eq, 100);
+    double x = 1.0;
+    sampler.add("x", TraceComponent::Sim, [&x] { return x; });
+    sampler.start();
+    eq.runUntil(350); // advances curTick to 350, mid-epoch
+    x = 9.0;
+    sampler.finish();
+    eq.runAll(); // drain the dead epoch's event; must not sample
+
+    const MetricsSeries &series = sampler.series();
+    ASSERT_EQ(series.ticks.size(), 5u); // 0..300 plus the tail sample
+    EXPECT_EQ(series.ticks.back(), 350u);
+    EXPECT_DOUBLE_EQ(series.rows.back()[0], 9.0);
+}
+
+TEST(MetricsSampler, FinishAtExactSampleTickAddsNoDuplicate)
+{
+    EventQueue eq;
+    MetricsSampler sampler("metrics", eq, 100);
+    sampler.add("x", TraceComponent::Sim, [] { return 1.0; });
+    sampler.start();
+    eq.runUntil(300); // the tick-300 periodic sample already landed
+    sampler.finish();
+    ASSERT_EQ(sampler.series().ticks.size(), 4u);
+    EXPECT_EQ(sampler.series().ticks.back(), 300u);
+}
+
+TEST(MetricsSampler, FinishWithoutStartKeepsSeriesEmpty)
+{
+    EventQueue eq;
+    MetricsSampler sampler("metrics", eq, 100);
+    sampler.add("x", TraceComponent::Sim, [] { return 1.0; });
+    sampler.finish();
+    EXPECT_TRUE(sampler.series().empty());
+}
+
 TEST(MetricsSampler, StartClearsPreviousSeries)
 {
     EventQueue eq;

@@ -28,6 +28,7 @@
 
 #include "fault/fault_injector.hh"
 #include "fault/merge_oracle.hh"
+#include "prof/profiler.hh"
 #include "shard/cross_mc_router.hh"
 #include "sim/simd.hh"
 #include "stats/table.hh"
@@ -59,6 +60,8 @@ struct Options
     // ---- observability ----
     bool trace = false;
     std::string tracePath = "trace.json";
+    bool profile = false;
+    std::string profilePath;            //!< empty = stdout
     std::string traceFilter;            //!< empty = every component
     std::uint64_t metricsInterval = 0;  //!< ticks; 0 = off/default
     std::string metricsCsvPath;
@@ -142,6 +145,12 @@ usage(const char *prog)
         << "  --trace-filter=C,C  components to trace and log: sim,\n"
         << "                      scan-table, ksm, dram-bw, cache,\n"
         << "                      lifecycle, fault\n"
+        << "  --profile[=FILE]    enable the host-time self-profiler:\n"
+        << "                      per-component wall-clock histograms\n"
+        << "                      (table to stdout or FILE), executor\n"
+        << "                      lane telemetry, host-time lane tracks\n"
+        << "                      in the trace, and a \"profile\" key\n"
+        << "                      in campaign JSON\n"
         << "  --metrics-interval=T  sample metrics every T ticks (also\n"
         << "                      applies per cell in campaign mode)\n"
         << "  --metrics-csv=FILE  write the sampled series as CSV\n"
@@ -261,6 +270,11 @@ parse(int argc, char **argv)
         } else if (const char *v = value("--trace=")) {
             opts.trace = true;
             opts.tracePath = v;
+        } else if (arg == "--profile") {
+            opts.profile = true;
+        } else if (const char *v = value("--profile=")) {
+            opts.profile = true;
+            opts.profilePath = v;
         } else if (const char *v = value("--trace-filter=")) {
             opts.traceFilter = v;
         } else if (const char *v = value("--metrics-interval=")) {
@@ -308,6 +322,28 @@ parse(int argc, char **argv)
     if (fault_seed_set)
         opts.faults.seed = fault_seed;
     return opts;
+}
+
+/** Print (or write) the self-profiler's host-time table. */
+int
+writeProfileOutput(const Options &opts)
+{
+    if (!opts.profile)
+        return 0;
+    if (opts.profilePath.empty()) {
+        std::cout << "\n---- host-time profile ----\n";
+        prof::writeTable(std::cout);
+        return 0;
+    }
+    std::ofstream os(opts.profilePath);
+    if (!os) {
+        std::cerr << "cannot open " << opts.profilePath
+                  << " for writing\n";
+        return 1;
+    }
+    prof::writeTable(os);
+    std::cerr << "wrote " << opts.profilePath << "\n";
+    return 0;
 }
 
 /** Run the evaluation matrix in parallel and print a summary table. */
@@ -410,6 +446,9 @@ runCampaignMode(const Options &opts)
         std::cerr << "wrote " << opts.perfReportPath << "\n";
     }
 
+    if (int rc = writeProfileOutput(opts))
+        return rc;
+
     return report.failures() ? 1 : 0;
 }
 
@@ -422,6 +461,10 @@ main(int argc, char **argv)
 
     if (opts.forceScalar)
         simd::setLevel(simd::Level::Scalar);
+    // Arm the profiler before any system exists so construction-time
+    // wiring (host-lane tracks, executor telemetry) sees it enabled.
+    if (opts.profile)
+        prof::setEnabled(true);
 
     std::uint32_t component_mask = allComponentsMask;
     if (!opts.traceFilter.empty()) {
@@ -506,6 +549,9 @@ main(int argc, char **argv)
     Tick window = msToTicks(opts.windowMs);
     Tick start = system.eventq().curTick();
     system.run(window);
+    // Final partial metrics epoch + lane-buffer drain, before the
+    // sink finishes or the series is read.
+    system.finishObservability();
 
     // ---- report ----
     DupAnalysis after = system.hypervisor().analyzeDuplication();
@@ -680,6 +726,32 @@ main(int argc, char **argv)
                   << " oracle_violations=" << oracle_violations << "\n";
     }
 
+    if (LaneScheduler *sched = system.laneScheduler()) {
+        const ExecTelemetry &tel = sched->telemetry();
+        // Greppable executor-telemetry lines for CI smoke checks;
+        // quanta == 0 means the profiler was off (nothing recorded).
+        if (prof::enabled() && tel.quanta > 0) {
+            std::cout << "pfsim: exec telemetry: quanta=" << tel.quanta
+                      << " phase1_ns=" << tel.phase1Ns
+                      << " drain_ns=" << tel.drainNs
+                      << " phase2_ns=" << tel.phase2Ns
+                      << " mailbox_hwm=" << tel.mailboxHwm
+                      << " phase2_efficiency="
+                      << TablePrinter::fmt(tel.phase2Efficiency(), 3)
+                      << "\n";
+            for (std::size_t l = 0; l < tel.lanes.size(); ++l) {
+                const LaneExecStats &lane = tel.lanes[l];
+                std::cout << "pfsim: lane" << l
+                          << ": busy_ns=" << lane.busyNs
+                          << " idle_ns=" << lane.idleNs
+                          << " stall_ns=" << lane.stallNs
+                          << " total_ns="
+                          << lane.busyNs + lane.idleNs + lane.stallNs
+                          << "\n";
+            }
+        }
+    }
+
     if (opts.dumpStats) {
         std::cout << "\n---- component statistics ----\n";
         system.memory().stats().dump(std::cout);
@@ -711,6 +783,8 @@ main(int argc, char **argv)
         system.metrics()->series().writeCsv(csv);
         std::cerr << "wrote " << opts.metricsCsvPath << "\n";
     }
+    if (int rc = writeProfileOutput(opts))
+        return rc;
     if (oracle_violations) {
         std::cerr << "pfsim: MERGE ORACLE VIOLATION: "
                   << oracle_violations
