@@ -187,7 +187,10 @@ PageForgeDriver::startPass(Pipeline &p)
             FrameId frame = _hyper.frameOf(key.vm, key.gpn);
             if (frame == invalidFrame)
                 continue;
-            unsigned home = _shardMap ? _shardMap->homeOf(frame)
+            // scanOwnerOf, not homeOf: a quarantined shard's frames
+            // are scanned by its takeover pipeline until re-admission
+            // (identity while no shard is quarantined).
+            unsigned home = _shardMap ? _shardMap->scanOwnerOf(frame)
                                       : frame % numShards();
             if (home == p.shard)
                 p.scanList.push_back(key);
@@ -455,9 +458,11 @@ PageForgeDriver::setupCandidate(Pipeline &p, bool from_inbox)
     if (_shardMap && _shardMap->numShards() > 1) {
         // The content key decides which shard's trees can hold this
         // page; if that is not the MC homing the frame, the scanning
-        // MC hands the candidate across the interconnect.
-        unsigned content = _shardMap->contentShardOf(
-            _hyper.memory().data(p.candidateFrame));
+        // MC hands the candidate across the interconnect. The owner
+        // overlay redirects a quarantined shard's range to its
+        // takeover (identity in fault-free runs).
+        unsigned content = _shardMap->ownerOf(_shardMap->contentShardOf(
+            _hyper.memory().data(p.candidateFrame)));
         if (_synchronous) {
             // Synchronous passes fast-forward: serve the candidate on
             // the content shard directly, counting the handoff with
@@ -487,15 +492,10 @@ PageForgeDriver::setupCandidate(Pipeline &p, bool from_inbox)
             // leaves this pipeline entirely — unpinned, because the
             // arrival revalidates the page from scratch.
             pf_assert(_router, "multi-shard driver without a router");
-            Tick delivered =
-                _router->enqueue(p.shard, content, curTick());
             probe().instant("mc-handoff", curTick(),
                             {"src", static_cast<double>(p.shard)},
                             {"dst", static_cast<double>(content)});
-            PageKey key = p.candidate;
-            eventq().schedule(delivered, [this, content, key] {
-                deliverHandoff(content, key);
-            });
+            sendHandoff(p.shard, content, p.candidate, 0);
             _shardScans[p.candidateFrame % _shardScans.size()] += 1;
             p.candidateFrame = invalidFrame;
             return Action::CandidateDone;
@@ -859,7 +859,7 @@ PageForgeDriver::scheduleInterval(Pipeline &p, Tick when)
 void
 PageForgeDriver::armInterval(Pipeline &p)
 {
-    if (_running && !p.intervalPending)
+    if (_running && !p.intervalPending && !p.quiesced)
         scheduleInterval(p, curTick() + _config.sleepInterval);
 }
 
@@ -867,7 +867,7 @@ void
 PageForgeDriver::startInterval(Pipeline &p)
 {
     p.intervalPending = false;
-    if (!_running)
+    if (!_running || p.quiesced)
         return;
     p.remaining = _config.pagesToScan;
     if (p.candidateFrame != invalidFrame)
@@ -884,16 +884,127 @@ PageForgeDriver::nextCheckCore()
 }
 
 void
+PageForgeDriver::sendHandoff(unsigned src, unsigned dst, PageKey key,
+                             unsigned attempt)
+{
+    HandoffDelivery d = _router->route(src, dst, curTick());
+    if (d.lost) {
+        if (attempt >= _router->retryPolicy().maxRetries) {
+            // Dead letter: the sender already released the candidate
+            // (unpinned, frame invalidated), so nothing is stranded —
+            // the page simply waits for a later scan pass.
+            _router->recordDeadLetter();
+            probe().instant("handoff-dead-letter", curTick(),
+                            {"dst", static_cast<double>(dst)});
+            pf_warn(Fault,
+                    "handoff %u -> %u dead-lettered after %u attempts",
+                    src, dst, attempt + 1);
+            return;
+        }
+        _router->recordRetry();
+        probe().instant("handoff-retry", curTick(),
+                        {"attempt", static_cast<double>(attempt + 1)});
+        Tick backoff = _router->retryBackoff(attempt);
+        eventq().schedule(curTick() + backoff,
+                          [this, src, dst, key, attempt] {
+                              // The destination may have failed over
+                              // during the backoff; re-resolve.
+                              unsigned cur = _shardMap
+                                  ? _shardMap->ownerOf(dst)
+                                  : dst;
+                              sendHandoff(src, cur, key, attempt + 1);
+                          });
+        return;
+    }
+    if (d.corrupted) {
+        // Garble the guest page number deterministically from the
+        // router's salt. Arrival-side revalidation (range, mapping,
+        // mergeability, content re-homing) absorbs whatever this
+        // produces; at worst a different valid page gets scanned.
+        key.gpn ^= static_cast<std::uint32_t>(1 + d.corruptSalt % 255);
+    }
+    eventq().schedule(d.delivered, [this, dst, key] {
+        deliverHandoff(dst, key);
+    });
+}
+
+void
 PageForgeDriver::deliverHandoff(unsigned shard, PageKey key)
 {
     pf_assert(shard < _pipelines.size(),
               "handoff to unknown shard %u", shard);
+    // The owning shard may have been quarantined while the message
+    // crossed the interconnect: forward to its current owner.
+    if (_shardMap)
+        shard = _shardMap->ownerOf(shard);
     Pipeline &p = *_pipelines[shard];
     p.inbox.push_back(key);
     // Kick the pipeline when idle; a busy one drains its inbox at the
     // next advance.
-    if (_running && p.candidateFrame == invalidFrame)
+    if (_running && !p.quiesced && p.candidateFrame == invalidFrame)
         advance(p);
+}
+
+// ---------------------------------------------------------------------
+// MC fault-domain recovery (driven by the module watchdog)
+// ---------------------------------------------------------------------
+
+void
+PageForgeDriver::quiesceShard(unsigned shard)
+{
+    pf_assert(shard < _pipelines.size(), "quiesce of unknown shard %u",
+              shard);
+    Pipeline &p = *_pipelines[shard];
+    p.quiesced = true;
+
+    // Forward queued work to the takeover pipeline: everything in
+    // this inbox and merge-retry backlog belongs to the quarantined
+    // content range, which the takeover now owns. Arrival-side
+    // revalidation absorbs anything that went stale meanwhile.
+    if (_shardMap && _shardMap->numShards() > 1) {
+        unsigned owner = _shardMap->ownerOf(shard);
+        if (owner != shard) {
+            Pipeline &t = *_pipelines[owner];
+            for (const PageKey &key : p.inbox)
+                t.inbox.push_back(key);
+            p.inbox.clear();
+            for (const MergeRetry &retry : p.retryQueue)
+                t.retryQueue.push_back(retry);
+            p.retryQueue.clear();
+            if (_running && !t.quiesced &&
+                t.candidateFrame == invalidFrame)
+                advance(t);
+        }
+    }
+}
+
+void
+PageForgeDriver::onModuleRestarted(unsigned shard)
+{
+    pf_assert(shard < _pipelines.size(),
+              "restart of unknown shard %u", shard);
+    Pipeline &p = *_pipelines[shard];
+    // With a batch in flight, the pending check poll is still
+    // rescheduling itself against the (formerly wedged) module; tell
+    // it to flush through the abort-flush guard instead of
+    // interpreting whatever the reset left in the Scan Table.
+    if (p.candidateFrame != invalidFrame)
+        p.moduleReset = true;
+}
+
+void
+PageForgeDriver::resumeShard(unsigned shard)
+{
+    pf_assert(shard < _pipelines.size(), "resume of unknown shard %u",
+              shard);
+    Pipeline &p = *_pipelines[shard];
+    pf_assert(p.quiesced, "resuming a shard that was never quiesced");
+    p.quiesced = false;
+    // Budget arrives at the next interval boundary; the re-admitted
+    // pipeline rebuilds its scan list then (startPass sees the
+    // restored owner map).
+    if (_running)
+        armInterval(p);
 }
 
 void
@@ -916,6 +1027,9 @@ PageForgeDriver::advance(Pipeline &p)
             purgeVm(vm_id);
         _pendingPurges.clear();
     }
+
+    if (p.quiesced)
+        return; // parked by failover; resumeShard() restarts it
 
     for (;;) {
         bool from_inbox = false;
@@ -989,6 +1103,14 @@ void
 PageForgeDriver::onCheckTaskDone(Pipeline &p)
 {
     ++_osChecks;
+    if (p.moduleReset) {
+        // The watchdog force-reset the module under this batch: the
+        // result is gone and the table holds whatever the reset left
+        // behind. Flush through the abort-flush guard.
+        p.moduleReset = false;
+        flushCandidate(p);
+        return;
+    }
     PfeInfo info = currentApi(p).getPfeInfo();
     if (!info.scanned || currentApi(p).module().busy()) {
         scheduleCheck(p);

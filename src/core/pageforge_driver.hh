@@ -173,6 +173,35 @@ class PageForgeDriver : public SimObject
     /** Aborted merges rescheduled with backoff. */
     std::uint64_t mergeRetries() const { return _mergeRetries.value(); }
 
+    // ---- MC fault-domain recovery (watchdog entry points) ----
+
+    /**
+     * Park shard @p shard's pipeline (module wedged, shard
+     * quarantined): it stops scanning and picking candidates, and its
+     * queued work — inbox and merge-retry backlog — is forwarded to
+     * the shard's current owner per the ShardMap overlay. Call after
+     * ShardMap::quarantine() so the owner is already reassigned.
+     */
+    void quiesceShard(unsigned shard);
+
+    /**
+     * The watchdog force-reset shard @p shard's module. If a batch
+     * was in flight its result is gone; the pending check poll
+     * flushes the candidate through the same abort-flush guard a
+     * VM death uses, instead of interpreting stale table state.
+     */
+    void onModuleRestarted(unsigned shard);
+
+    /** Re-admit a recovered shard: resume scanning next interval. */
+    void resumeShard(unsigned shard);
+
+    /** Is this shard's pipeline currently parked by failover? */
+    bool
+    shardQuiesced(unsigned shard) const
+    {
+        return _pipelines[shard]->quiesced;
+    }
+
     ContentTree &stableTree() { return *_stables[0]; }
     ContentTree &unstableTree() { return *_unstables[0]; }
 
@@ -278,6 +307,13 @@ class PageForgeDriver : public SimObject
         // A VM died while this pipeline's batch was in the hardware;
         // flush the candidate instead of interpreting the result.
         bool abortCandidate = false;
+
+        // Failover: the shard is quarantined and this pipeline parked.
+        bool quiesced = false;
+
+        // The watchdog force-reset the module under an in-flight
+        // batch; the next check poll must flush, not interpret.
+        bool moduleReset = false;
 
         bool intervalPending = false; //!< wake-up event armed
 
@@ -408,6 +444,17 @@ class PageForgeDriver : public SimObject
     void scheduleCheck(Pipeline &p);
     void onCheckTaskDone(Pipeline &p);
     void flushCandidate(Pipeline &p);
+
+    /**
+     * Send (or resend) a handoff through the possibly-faulty router.
+     * A lost message retries with the router's capped exponential
+     * backoff, re-resolving the destination's owner each attempt (the
+     * shard may fail over during the backoff); retries exhausted means
+     * a counted dead letter — the candidate is simply rescanned on a
+     * later pass, never stranded.
+     */
+    void sendHandoff(unsigned src, unsigned dst, PageKey key,
+                     unsigned attempt);
 
     /** Arrival of a handed-off candidate at its content shard. */
     void deliverHandoff(unsigned shard, PageKey key);

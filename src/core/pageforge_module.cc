@@ -198,14 +198,29 @@ PageForgeModule::trigger()
     pf_assert(!_busy, "trigger while busy");
     _busy = true;
 
+    if (_wedged) {
+        // Wedged FSM: the trigger raises Busy and then hangs before
+        // issuing a single request. No traffic, no completion event —
+        // the module stays busy until a watchdog force-resets it.
+        return;
+    }
+
     BatchResult result;
     Tick start = curTick();
     Tick done = process(start, result);
     probe().span("table-process", start, done,
                  {"duplicate", result.duplicate ? 1.0 : 0.0});
-    eventq().schedule(done, [this, result] {
+    std::uint64_t epoch = _resetEpoch;
+    eventq().schedule(done, [this, result, epoch] {
+        // A wedge that lands mid-batch swallows the completion: the
+        // walk's traffic happened, but the result is never applied
+        // and Busy never clears (cleared later by forceReset(), which
+        // also bumps the epoch so this event can never fire late).
+        if (_wedged || epoch != _resetEpoch)
+            return;
         applyResult(result);
         _busy = false;
+        ++_completions;
     });
 }
 
@@ -216,6 +231,7 @@ PageForgeModule::processNow()
     BatchResult result;
     Tick done = process(curTick(), result);
     applyResult(result);
+    ++_completions;
     return done - curTick();
 }
 

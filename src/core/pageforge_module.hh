@@ -89,8 +89,46 @@ class PageForgeModule : public SimObject
     void setLocalChannelMode(bool on) { _localChannel = on; }
     bool localChannelMode() const { return _localChannel; }
 
+    /**
+     * Fault hook: wedge the module. A wedged module stops making Scan
+     * Table progress — a pending batch's completion never applies, a
+     * later trigger() raises Busy and then does nothing — until a
+     * watchdog force-resets it. Only the event-driven path wedges;
+     * processNow() (warm-up, which runs before injection starts)
+     * ignores the flag.
+     */
+    void wedge() { _wedged = true; }
+    bool wedged() const { return _wedged; }
+
+    /**
+     * Watchdog restart: discard the hung batch (its result, if any
+     * was in flight, is lost) and return the FSM to idle. The Scan
+     * Table keeps whatever stale state the batch left; the driver
+     * flushes and reloads it before the next candidate.
+     */
+    void
+    forceReset()
+    {
+        _wedged = false;
+        _busy = false;
+        // Invalidate any still-scheduled completion of the discarded
+        // batch: it must not apply a stale result after the restart.
+        ++_resetEpoch;
+    }
+
     /** Distribution of batch processing times (Table 5 row 1). */
     const Sampler &tableProcessCycles() const { return _processCycles; }
+
+    std::uint64_t batchesProcessed() const { return _batches.value(); }
+
+    /**
+     * Batches whose results actually applied (the watchdog's progress
+     * heartbeat). Unlike the work counters — which advance when the
+     * walk is computed at trigger time — this only moves when a
+     * completion lands, so "busy with no completed batch for several
+     * heartbeats" is exactly a wedge, not a long walk in progress.
+     */
+    std::uint64_t batchesCompleted() const { return _completions; }
 
     std::uint64_t comparisons() const { return _comparisons.value(); }
     std::uint64_t linesFetched() const { return _linesFetched.value(); }
@@ -109,6 +147,9 @@ class PageForgeModule : public SimObject
     EccHashAccumulator _hashAcc;
     bool _busy = false;
     bool _localChannel = false;
+    bool _wedged = false;
+    std::uint64_t _resetEpoch = 0;
+    std::uint64_t _completions = 0; //!< applied batch results
 
     Sampler _processCycles;
     Counter _comparisons;

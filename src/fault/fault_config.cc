@@ -32,6 +32,22 @@ FaultConfig::problem() const
         return "scan-table corruption rate must be non-negative";
     if (!validFraction(mergeRaceProb))
         return "merge-race probability must be in [0, 1]";
+    if (mcWedgeRate < 0.0)
+        return "module wedge rate must be non-negative";
+    if (!validFraction(handoffLossProb))
+        return "handoff loss probability must be in [0, 1]";
+    if (!validFraction(handoffCorruptProb))
+        return "handoff corruption probability must be in [0, 1]";
+    if (!validFraction(handoffSpikeProb))
+        return "handoff spike probability must be in [0, 1]";
+    if (handoffSpikeMult < 1.0)
+        return "handoff spike multiplier must be >= 1";
+    if (brownoutRate < 0.0)
+        return "brownout rate must be non-negative";
+    if (brownoutMs <= 0.0)
+        return "brownout duration must be positive";
+    if (brownoutMult < 1.0)
+        return "brownout latency multiplier must be >= 1";
     return "";
 }
 
@@ -74,6 +90,22 @@ FaultConfig::parse(const std::string &spec)
             cfg.scanTableRate = num;
         else if (key == "race")
             cfg.mergeRaceProb = num;
+        else if (key == "mcwedge")
+            cfg.mcWedgeRate = num;
+        else if (key == "handoff_loss")
+            cfg.handoffLossProb = num;
+        else if (key == "handoff_corrupt")
+            cfg.handoffCorruptProb = num;
+        else if (key == "handoff_spike")
+            cfg.handoffSpikeProb = num;
+        else if (key == "spike_mult")
+            cfg.handoffSpikeMult = num;
+        else if (key == "brownout")
+            cfg.brownoutRate = num;
+        else if (key == "brownout_ms")
+            cfg.brownoutMs = num;
+        else if (key == "brownout_mult")
+            cfg.brownoutMult = num;
         else if (key == "seed")
             cfg.seed = static_cast<std::uint64_t>(num);
         else

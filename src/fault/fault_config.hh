@@ -62,6 +62,42 @@ struct FaultConfig
      */
     double mergeRaceProb = 0.0;
 
+    /**
+     * PageForge module wedge events per simulated second: a module
+     * stops making Scan Table progress (its in-flight batch never
+     * completes) until the watchdog force-resets it. The fleet-level
+     * fault class behind shard failover (DESIGN.md §15).
+     */
+    double mcWedgeRate = 0.0;
+
+    /** Probability a cross-MC handoff message is lost in the link. */
+    double handoffLossProb = 0.0;
+
+    /**
+     * Probability a delivered handoff arrives with a garbled page key;
+     * arrival-side revalidation must absorb it.
+     */
+    double handoffCorruptProb = 0.0;
+
+    /** Probability a handoff's hop latency spikes by spikeMult. */
+    double handoffSpikeProb = 0.0;
+
+    /** Latency multiplier applied to a spiked handoff hop. */
+    double handoffSpikeMult = 16.0;
+
+    /**
+     * Per-channel brownout events per simulated second: one memory
+     * controller's access latency scales by brownoutMult for
+     * brownoutMs milliseconds (health: Healthy -> Degraded -> back).
+     */
+    double brownoutRate = 0.0;
+
+    /** Brownout duration in simulated milliseconds. */
+    double brownoutMs = 0.5;
+
+    /** DRAM latency multiplier while a channel is browned out. */
+    double brownoutMult = 4.0;
+
     /** Extra entropy folded into the injector's dedicated RNG stream. */
     std::uint64_t seed = 0;
 
@@ -70,7 +106,23 @@ struct FaultConfig
     enabled() const
     {
         return flipsPerGBSec > 0.0 || scanTableRate > 0.0 ||
-               mergeRaceProb > 0.0;
+               mergeRaceProb > 0.0 || mcFaultsEnabled();
+    }
+
+    /** Any MC-scale fault class armed (wedge/handoff/brownout)? */
+    bool
+    mcFaultsEnabled() const
+    {
+        return mcWedgeRate > 0.0 || handoffFaultsEnabled() ||
+               brownoutRate > 0.0;
+    }
+
+    /** Any cross-MC handoff fault armed? */
+    bool
+    handoffFaultsEnabled() const
+    {
+        return handoffLossProb > 0.0 || handoffCorruptProb > 0.0 ||
+               handoffSpikeProb > 0.0;
     }
 
     /** First nonsensical value found, or an empty string. */
@@ -79,9 +131,10 @@ struct FaultConfig
     /**
      * Parse a spec like
      * "rate=2e4,double=0.3,stuck=0.2,minikey=0.3,scantable=50,race=0.05"
-     * (keys: rate, double, stuck, minikey, scantable, race, seed; any
-     * subset, any order). Throws std::invalid_argument naming the bad
-     * token.
+     * (keys: rate, double, stuck, minikey, scantable, race, mcwedge,
+     * handoff_loss, handoff_corrupt, handoff_spike, spike_mult,
+     * brownout, brownout_ms, brownout_mult, seed; any subset, any
+     * order). Throws std::invalid_argument naming the bad token.
      */
     static FaultConfig parse(const std::string &spec);
 };

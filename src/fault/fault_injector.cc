@@ -37,6 +37,10 @@ FaultInjector::start()
         scheduleFlip();
     if (_config.scanTableRate > 0.0)
         scheduleTableCorruption();
+    if (_config.mcWedgeRate > 0.0)
+        scheduleWedge();
+    if (_config.brownoutRate > 0.0)
+        scheduleBrownout();
 }
 
 void
@@ -155,6 +159,76 @@ FaultInjector::corruptTableEntry()
     ++_stats.tableCorruptions;
     probe().instant("table-corrupt", curTick());
     pf_inform(Fault, "corrupted a scan table entry");
+}
+
+void
+FaultInjector::scheduleWedge()
+{
+    double mean_ticks =
+        static_cast<double>(ticksPerSec) / _config.mcWedgeRate;
+    double wait = _rng.nextExponential(mean_ticks);
+    Tick when = curTick() + std::max<Tick>(1, static_cast<Tick>(wait));
+    eventq().schedule(when, [this] {
+        if (!_running)
+            return;
+        injectWedge();
+        scheduleWedge();
+    });
+}
+
+void
+FaultInjector::injectWedge()
+{
+    if (!_wedgeModule)
+        return;
+    if (!_wedgeModule(_rng)) {
+        ++_stats.skippedNoTarget;
+        return;
+    }
+    ++_stats.mcWedges;
+    probe().instant("module-wedge", curTick());
+    pf_inform(Fault, "wedged a PageForge module FSM");
+}
+
+void
+FaultInjector::scheduleBrownout()
+{
+    double mean_ticks =
+        static_cast<double>(ticksPerSec) / _config.brownoutRate;
+    double wait = _rng.nextExponential(mean_ticks);
+    Tick when = curTick() + std::max<Tick>(1, static_cast<Tick>(wait));
+    eventq().schedule(when, [this] {
+        if (!_running)
+            return;
+        beginBrownout();
+        scheduleBrownout();
+    });
+}
+
+void
+FaultInjector::beginBrownout()
+{
+    if (!_beginBrownout)
+        return;
+    int channel = _beginBrownout(_rng);
+    if (channel < 0) {
+        ++_stats.skippedNoTarget;
+        return;
+    }
+    ++_stats.brownouts;
+    Tick duration = std::max<Tick>(1, msToTicks(_config.brownoutMs));
+    probe().span("brownout", curTick(), curTick() + duration,
+                 {"channel", static_cast<double>(channel)});
+    pf_inform(Fault, "channel %d brownout for %.3f ms (latency x%.1f)",
+              channel, _config.brownoutMs, _config.brownoutMult);
+    unsigned victim = static_cast<unsigned>(channel);
+    eventq().schedule(curTick() + duration, [this, victim] {
+        // The restore runs even after stop(): leaving a controller
+        // permanently slowed past the campaign end would corrupt any
+        // drain work still in flight.
+        if (_endBrownout)
+            _endBrownout(victim);
+    });
 }
 
 bool

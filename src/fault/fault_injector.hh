@@ -39,6 +39,8 @@ struct FaultInjectStats
     std::uint64_t tableCorruptions = 0; //!< Scan Table PPNs garbled
     std::uint64_t raceWrites = 0;       //!< injected mid-merge writes
     std::uint64_t skippedNoTarget = 0;  //!< no allocated frame found
+    std::uint64_t mcWedges = 0;         //!< PageForge modules wedged
+    std::uint64_t brownouts = 0;        //!< channel brownout windows
 };
 
 /** The fault injector. */
@@ -90,6 +92,35 @@ class FaultInjector : public SimObject
     }
 
     /**
+     * Hook that wedges one PageForge module's FSM, returning true
+     * when it hung something (false when every module is already
+     * wedged or held down). Wired by the System in PageForge mode;
+     * draws from the RNG it is handed for determinism. The fault
+     * class `mcwedge` schedules these as a Poisson stream.
+     */
+    void
+    setModuleWedger(std::function<bool(Rng &)> fn)
+    {
+        _wedgeModule = std::move(fn);
+    }
+
+    /**
+     * Hooks bracketing a channel brownout window (fault class
+     * `brownout`). The start hook picks a victim channel, applies the
+     * latency multiplier and the Healthy -> Degraded transition, and
+     * returns the channel index (or a negative value when no channel
+     * is eligible). The end hook restores the channel after
+     * FaultConfig::brownoutMs of simulated time.
+     */
+    void
+    setBrownoutHooks(std::function<int(Rng &)> begin,
+                     std::function<void(unsigned)> end)
+    {
+        _beginBrownout = std::move(begin);
+        _endBrownout = std::move(end);
+    }
+
+    /**
      * Called by the PageForge driver between a batch match and the
      * merge commit: with probability FaultConfig::mergeRaceProb a
      * real guest write lands on the candidate page right now —
@@ -111,6 +142,9 @@ class FaultInjector : public SimObject
 
     std::function<EccOffsets()> _offsetsOf;
     std::function<bool(Rng &)> _corruptTable;
+    std::function<bool(Rng &)> _wedgeModule;
+    std::function<int(Rng &)> _beginBrownout;
+    std::function<void(unsigned)> _endBrownout;
     FaultInjectStats _stats;
 
     /** Mean ticks between DRAM flip events at the configured rate. */
@@ -127,6 +161,10 @@ class FaultInjector : public SimObject
     void injectFlip();
     void scheduleTableCorruption();
     void corruptTableEntry();
+    void scheduleWedge();
+    void injectWedge();
+    void scheduleBrownout();
+    void beginBrownout();
 };
 
 } // namespace pageforge

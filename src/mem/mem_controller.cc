@@ -184,6 +184,12 @@ MemController::readLine(Addr line_addr, Tick now, Requester req,
     prunePending(now);
     Tick done = _dram.access(line_addr, now + _dram.config().frontendLat,
                              false, req);
+    if (_latencyScale != 1.0 && done > now) {
+        // Brownout: stretch the service time (queue wait + burst) by
+        // the configured multiplier. Fault-free runs never enter here.
+        done = now + static_cast<Tick>(
+                         static_cast<double>(done - now) * _latencyScale);
+    }
     _pendingReads.insertOrAssign(line_addr, done);
     _pendingPairs.emplace_back(done, line_addr);
     return {done, ecc, false};
@@ -205,8 +211,12 @@ MemController::writeLine(Addr line_addr, Tick now, Requester req)
         if (fault->second.empty())
             _injectedFaults.erase(fault);
     }
-    return _dram.access(line_addr, now + _dram.config().frontendLat,
-                        true, req);
+    Tick done = _dram.access(line_addr, now + _dram.config().frontendLat,
+                             true, req);
+    if (_latencyScale != 1.0 && done > now)
+        done = now + static_cast<Tick>(
+                         static_cast<double>(done - now) * _latencyScale);
+    return done;
 }
 
 LineEccCode

@@ -115,6 +115,23 @@ class MemController : public SimObject
      */
     void resetTiming();
 
+    /**
+     * Fault injection: scale the service latency of every subsequent
+     * read and write by @p scale (a channel brownout — voltage droop
+     * or thermal throttle stretching the DRAM timing). 1.0 restores
+     * nominal service; the scaling is applied to the request's queue +
+     * burst time on top of `now`, so coalescing and ordering are
+     * unaffected. No-op at nominal scale: fault-free runs take the
+     * unscaled path untouched.
+     */
+    void setLatencyScale(double scale)
+    {
+        pf_assert(scale >= 1.0, "latency scale %.2f below nominal", scale);
+        _latencyScale = scale;
+    }
+
+    double latencyScale() const { return _latencyScale; }
+
     std::uint64_t eccEncodes() const { return _eccEncodes.value(); }
     std::uint64_t eccDecodes() const { return _eccDecodes.value(); }
     std::uint64_t coalescedReads() const { return _coalesced.value(); }
@@ -152,6 +169,9 @@ class MemController : public SimObject
 
     /** Injected faults applied when DRAM next returns the line. */
     std::unordered_map<Addr, std::vector<InjectedFault>> _injectedFaults;
+
+    /** Brownout service-latency multiplier (1.0 = nominal). */
+    double _latencyScale = 1.0;
 
     Counter _eccEncodes;
     Counter _eccDecodes;

@@ -24,15 +24,63 @@ CrossMcRouter::CrossMcRouter(unsigned num_mcs, Tick hop_latency)
 Tick
 CrossMcRouter::enqueue(unsigned src, unsigned dst, Tick now)
 {
+    HandoffDelivery d = route(src, dst, now);
+    pf_assert(!d.lost, "enqueue() callers expect a reliable link; "
+                       "armed campaigns must use route()");
+    return d.delivered;
+}
+
+HandoffDelivery
+CrossMcRouter::route(unsigned src, unsigned dst, Tick now)
+{
     pf_assert(src < _fromMc.size() && dst < _toMc.size(),
               "handoff %u -> %u out of range", src, dst);
-    // Link latency, then wait for the destination's accept port.
-    Tick delivered = std::max(now + _hopLatency, _numFree[dst]);
-    _numFree[dst] = delivered + 1;
     ++_fromMc[src];
+
+    HandoffDelivery result;
+    Tick hop = _hopLatency;
+    if (_faults.armed()) {
+        // Fixed draw order (loss, corrupt, spike) keeps the stream
+        // position — and so every downstream fault — deterministic.
+        if (_faults.rng->chance(_faults.lossProb)) {
+            // Lost in the link: never reaches the destination's
+            // accept port, so no reservation and no latency sample.
+            ++_lost;
+            ++_total;
+            result.lost = true;
+            if (_probe.active())
+                _probe.span("handoff-lost", now, now,
+                            {"src", static_cast<double>(src)},
+                            {"dst", static_cast<double>(dst)});
+            return result;
+        }
+        if (_faults.rng->chance(_faults.corruptProb)) {
+            ++_corrupted;
+            result.corrupted = true;
+            result.corruptSalt = _faults.rng->next();
+        }
+        if (_faults.rng->chance(_faults.spikeProb)) {
+            ++_spiked;
+            hop = static_cast<Tick>(static_cast<double>(hop) *
+                                    _faults.spikeMult);
+        }
+    }
+
+    // Link latency, then wait for the destination's accept port.
+    Tick delivered = std::max(now + hop, _numFree[dst]);
+    _numFree[dst] = delivered + 1;
     ++_toMc[dst];
     ++_total;
+    result.delivered = delivered;
     _inFlight.push_back(delivered);
+    // Amortized eager prune: a campaign that never samples depth()
+    // must not grow the vector unboundedly. Pruning only once the
+    // vector doubles past the last prune keeps the sweep O(1)
+    // amortized per handoff; a prune removes everything already
+    // delivered, so steady-state size tracks true in-flight depth.
+    if (_inFlight.size() >= 64 &&
+        _inFlight.size() >= 2 * _lastPruned)
+        prune(now);
     _latency[dst].sample(static_cast<double>(delivered - now));
 
     if (_probe.active()) {
@@ -48,7 +96,7 @@ CrossMcRouter::enqueue(unsigned src, unsigned dst, Tick now)
                     {"dst", static_cast<double>(dst)});
         _probe.flowEnd("handoff", delivered, _total);
     }
-    return delivered;
+    return result;
 }
 
 const Histogram &
@@ -72,12 +120,19 @@ CrossMcRouter::handoffsTo(unsigned dst) const
     return _toMc[dst];
 }
 
-std::size_t
-CrossMcRouter::depth(Tick now) const
+void
+CrossMcRouter::prune(Tick now) const
 {
     _inFlight.erase(std::remove_if(_inFlight.begin(), _inFlight.end(),
                                    [now](Tick t) { return t <= now; }),
                     _inFlight.end());
+    _lastPruned = _inFlight.size();
+}
+
+std::size_t
+CrossMcRouter::depth(Tick now) const
+{
+    prune(now);
     return _inFlight.size();
 }
 

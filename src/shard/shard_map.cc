@@ -1,5 +1,7 @@
 #include "shard/shard_map.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace pageforge
@@ -23,6 +25,59 @@ ShardMap::prefixRange(unsigned shard) const
     };
     return {lo_for(shard), shard + 1 == _numShards ? 65536u
                                                    : lo_for(shard + 1)};
+}
+
+bool
+ShardMap::anyQuarantined() const
+{
+    for (bool q : _quarantined)
+        if (q)
+            return true;
+    return false;
+}
+
+void
+ShardMap::rebuildOwners()
+{
+    // owner[s] = s while healthy, else the next healthy shard after s
+    // in ring order. Rebuilding from the quarantined set (rather than
+    // patching incrementally) keeps chained failovers — the takeover
+    // itself wedging later — correct by construction.
+    _owner.resize(_numShards);
+    for (unsigned s = 0; s < _numShards; ++s) {
+        unsigned o = s;
+        for (unsigned step = 0; step < _numShards && _quarantined[o];
+             ++step)
+            o = (o + 1) % _numShards;
+        _owner[s] = o;
+    }
+}
+
+unsigned
+ShardMap::quarantine(unsigned shard)
+{
+    pf_assert(shard < _numShards, "shard %u out of range", shard);
+    pf_assert(!quarantined(shard), "shard %u already quarantined",
+              shard);
+    if (_quarantined.empty())
+        _quarantined.assign(_numShards, false);
+    _quarantined[shard] = true;
+    pf_assert(std::count(_quarantined.begin(), _quarantined.end(),
+                         false) > 0,
+              "cannot quarantine the last healthy shard");
+    rebuildOwners();
+    auto [lo, hi] = prefixRange(shard);
+    _rehomedPrefixes += hi - lo;
+    return _owner[shard];
+}
+
+void
+ShardMap::readmit(unsigned shard)
+{
+    pf_assert(shard < _numShards, "shard %u out of range", shard);
+    pf_assert(quarantined(shard), "shard %u is not quarantined", shard);
+    _quarantined[shard] = false;
+    rebuildOwners();
 }
 
 } // namespace pageforge

@@ -18,13 +18,24 @@
 
 #include <cstdint>
 #include <utility>
+#include <vector>
 
 #include "sim/types.hh"
 
 namespace pageforge
 {
 
-/** Static homing functions shared by all multi-MC components. */
+/**
+ * Homing functions shared by all multi-MC components.
+ *
+ * The static maps (homeOf / contentShardOf) never change: physical
+ * channel interleave and content-prefix ranges are properties of the
+ * machine. Failover adds a dynamic *ownership* overlay on top: when a
+ * shard is quarantined, its scan and content duties are re-homed to
+ * the next healthy shard in ring order until re-admission. Fault-free
+ * runs never call quarantine(), the overlay stays identity, and every
+ * lookup resolves exactly as before the overlay existed.
+ */
 class ShardMap
 {
   public:
@@ -80,8 +91,69 @@ class ShardMap
     std::pair<std::uint32_t, std::uint32_t>
     prefixRange(unsigned shard) const;
 
+    /**
+     * Shard currently serving @p shard's duties: itself while healthy,
+     * the takeover shard while quarantined. Every lookup that routes
+     * *work* (scan-pass partitioning, candidate serving) goes through
+     * this; lookups that model *hardware* (which channel a frame's
+     * DRAM lives on) use the static maps directly.
+     */
+    unsigned
+    ownerOf(unsigned shard) const
+    {
+        return _owner.empty() ? shard : _owner[shard];
+    }
+
+    /** Pipeline that scans a frame: owner of its physical home. */
+    unsigned
+    scanOwnerOf(FrameId frame) const
+    {
+        return ownerOf(homeOf(frame));
+    }
+
+    /** Pipeline that serves a page's content: owner of its shard. */
+    unsigned
+    contentOwnerOf(const std::uint8_t *page) const
+    {
+        return ownerOf(contentShardOf(page));
+    }
+
+    /** Is this shard currently quarantined (duties re-homed)? */
+    bool
+    quarantined(unsigned shard) const
+    {
+        return !_quarantined.empty() && _quarantined[shard];
+    }
+
+    /** Any shard currently quarantined? */
+    bool anyQuarantined() const;
+
+    /**
+     * Re-home @p shard's duties to the next non-quarantined shard in
+     * ring order and return that takeover shard. At least one other
+     * shard must be healthy. Counts the shard's prefix range into the
+     * cumulative rehomedPrefixes() total.
+     */
+    unsigned quarantine(unsigned shard);
+
+    /** Restore a recovered shard's ownership of its own ranges. */
+    void readmit(unsigned shard);
+
+    /**
+     * Cumulative count of 16-bit content prefixes re-homed by
+     * quarantine() over the run (not decremented on re-admission):
+     * the headline "how much of the key space failed over" figure.
+     */
+    std::uint64_t rehomedPrefixes() const { return _rehomedPrefixes; }
+
   private:
+    /** Recompute the overlay from the quarantined set. */
+    void rebuildOwners();
+
     unsigned _numShards;
+    std::vector<unsigned> _owner;    //!< empty = identity (no failover yet)
+    std::vector<bool> _quarantined;  //!< empty = all healthy
+    std::uint64_t _rehomedPrefixes = 0;
 };
 
 } // namespace pageforge

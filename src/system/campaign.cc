@@ -220,7 +220,20 @@ sameFaults(const FaultSummary &a, const FaultSummary &b)
         a.hwHashRaces == b.hwHashRaces &&
         a.oracleChecks == b.oracleChecks &&
         a.crossMcChecks == b.crossMcChecks &&
-        a.oracleViolations == b.oracleViolations;
+        a.oracleViolations == b.oracleViolations &&
+        a.mcWedgesInjected == b.mcWedgesInjected &&
+        a.brownouts == b.brownouts &&
+        a.handoffsLost == b.handoffsLost &&
+        a.handoffsCorrupted == b.handoffsCorrupted &&
+        a.handoffsSpiked == b.handoffsSpiked &&
+        a.handoffRetries == b.handoffRetries &&
+        a.handoffDeadLetters == b.handoffDeadLetters &&
+        a.wedgesDetected == b.wedgesDetected &&
+        a.moduleRestarts == b.moduleRestarts &&
+        a.failovers == b.failovers &&
+        a.readmissions == b.readmissions &&
+        a.rehomedPrefixes == b.rehomedPrefixes &&
+        a.healthTransitions == b.healthTransitions;
 }
 
 bool
@@ -244,7 +257,12 @@ samePerMc(const std::vector<McSummary> &a,
             !sameBits(a[i].handoffLatP50Ticks,
                       b[i].handoffLatP50Ticks) ||
             !sameBits(a[i].handoffLatP95Ticks,
-                      b[i].handoffLatP95Ticks))
+                      b[i].handoffLatP95Ticks) ||
+            a[i].health != b[i].health ||
+            a[i].healthTransitions != b[i].healthTransitions ||
+            a[i].wedges != b[i].wedges ||
+            a[i].quarantines != b[i].quarantines ||
+            a[i].readmissions != b[i].readmissions)
             return false;
     }
     return true;
@@ -394,6 +412,19 @@ jsonResult(std::ostream &os, const ExperimentResult &r)
            << ",\"oracle_checks\":" << f.oracleChecks
            << ",\"cross_mc_checks\":" << f.crossMcChecks
            << ",\"oracle_violations\":" << f.oracleViolations
+           << ",\"mc_wedges_injected\":" << f.mcWedgesInjected
+           << ",\"brownouts\":" << f.brownouts
+           << ",\"handoffs_lost\":" << f.handoffsLost
+           << ",\"handoffs_corrupted\":" << f.handoffsCorrupted
+           << ",\"handoffs_spiked\":" << f.handoffsSpiked
+           << ",\"handoff_retries\":" << f.handoffRetries
+           << ",\"handoff_dead_letters\":" << f.handoffDeadLetters
+           << ",\"wedges_detected\":" << f.wedgesDetected
+           << ",\"module_restarts\":" << f.moduleRestarts
+           << ",\"failovers\":" << f.failovers
+           << ",\"readmissions\":" << f.readmissions
+           << ",\"rehomed_prefixes\":" << f.rehomedPrefixes
+           << ",\"health_transitions\":" << f.healthTransitions
            << "}";
     }
     // Only present on a multi-MC machine, so single-controller
@@ -410,6 +441,18 @@ jsonResult(std::ostream &os, const ExperimentResult &r)
                << ",\"handoffs_in\":" << mc.handoffsIn
                << ",\"handoffs_out\":" << mc.handoffsOut
                << ",\"table_occupancy\":" << mc.tableOccupancy;
+            // Health machinery exists only under an MC-scale fault
+            // campaign, so fault-free (and classic-fault) multi-MC
+            // JSON stays byte-identical to earlier builds.
+            if (!mc.health.empty()) {
+                os << ",\"health\":";
+                jsonString(os, mc.health);
+                os << ",\"health_transitions\":"
+                   << mc.healthTransitions
+                   << ",\"wedges\":" << mc.wedges
+                   << ",\"quarantines\":" << mc.quarantines
+                   << ",\"readmissions\":" << mc.readmissions;
+            }
             // The latency distribution is simulated (deterministic)
             // data, but it only reaches the JSON on profiling runs so
             // profiling-off campaign output stays byte-identical to

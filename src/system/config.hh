@@ -11,6 +11,7 @@
 
 #include "cache/bus.hh"
 #include "cache/cache.hh"
+#include "core/module_watchdog.hh"
 #include "core/pageforge_driver.hh"
 #include "core/pageforge_module.hh"
 #include "cpu/scheduler.hh"
@@ -124,6 +125,14 @@ struct SystemConfig
      * and schedule nothing — fault-free runs stay bit-identical.
      */
     FaultConfig faults{};
+
+    /**
+     * Module watchdog pacing: wedge-detection heartbeat and the
+     * recovery/re-admission delays (src/core/module_watchdog.hh).
+     * Only consulted when a fault campaign enables the `mcwedge`
+     * class in PageForge mode; fault-free runs build no watchdog.
+     */
+    WatchdogConfig watchdog{};
 
     /**
      * Period of the opt-in frame-invariant audit in ticks; 0 (the

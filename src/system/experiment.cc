@@ -8,6 +8,7 @@
 #include "fault/merge_oracle.hh"
 #include "prof/profiler.hh"
 #include "shard/cross_mc_router.hh"
+#include "shard/shard_map.hh"
 #include "sim/logging.hh"
 
 namespace pageforge
@@ -257,6 +258,25 @@ runExperiment(const AppProfile &app, DedupMode mode,
             sum.crossMcChecks = oracle->crossMcChecks();
             sum.oracleViolations = oracle->violations();
         }
+        sum.mcWedgesInjected = fs.mcWedges;
+        sum.brownouts = fs.brownouts;
+        if (CrossMcRouter *router = system.crossMcRouter()) {
+            sum.handoffsLost = router->handoffsLost();
+            sum.handoffsCorrupted = router->handoffsCorrupted();
+            sum.handoffsSpiked = router->handoffsSpiked();
+            sum.handoffRetries = router->handoffRetries();
+            sum.handoffDeadLetters = router->handoffDeadLetters();
+        }
+        if (ModuleWatchdog *dog = system.watchdog()) {
+            sum.wedgesDetected = dog->wedgesDetected();
+            sum.moduleRestarts = dog->moduleRestarts();
+            sum.failovers = dog->failovers();
+            sum.readmissions = dog->readmissions();
+        }
+        if (ShardMap *shards = system.shardMap())
+            sum.rehomedPrefixes = shards->rehomedPrefixes();
+        if (McHealthMonitor *health = system.healthMonitor())
+            sum.healthTransitions = health->totalTransitions();
     }
 
     result.numMcs = system.numMcs();
@@ -283,6 +303,15 @@ runExperiment(const AppProfile &app, DedupMode mode,
             }
             if (PageForgeModule *module = system.pfModule(m))
                 mc.tableOccupancy = module->table().validOthers();
+            if (McHealthMonitor *health = system.healthMonitor()) {
+                mc.health = mcHealthName(health->state(m));
+                mc.healthTransitions = health->transitionsOf(m);
+                mc.quarantines =
+                    health->entries(m, McHealth::Quarantined);
+                mc.readmissions = health->entries(m, McHealth::Healthy);
+            }
+            if (ModuleWatchdog *dog = system.watchdog())
+                mc.wedges = dog->wedgesOn(m);
             result.perMc.push_back(mc);
         }
     }

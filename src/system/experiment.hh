@@ -144,6 +144,24 @@ struct FaultSummary
     std::uint64_t oracleChecks = 0;
     std::uint64_t crossMcChecks = 0; //!< checks of cross-MC commits
     std::uint64_t oracleViolations = 0;
+
+    // MC-scale injected inputs (module wedges, channel brownouts,
+    // handoff link faults).
+    std::uint64_t mcWedgesInjected = 0;
+    std::uint64_t brownouts = 0;
+    std::uint64_t handoffsLost = 0;
+    std::uint64_t handoffsCorrupted = 0;
+    std::uint64_t handoffsSpiked = 0;
+
+    // MC-scale recovery outcomes (watchdog + failover machinery).
+    std::uint64_t handoffRetries = 0;
+    std::uint64_t handoffDeadLetters = 0;
+    std::uint64_t wedgesDetected = 0;
+    std::uint64_t moduleRestarts = 0;
+    std::uint64_t failovers = 0;
+    std::uint64_t readmissions = 0;
+    std::uint64_t rehomedPrefixes = 0;   //!< prefix values re-homed
+    std::uint64_t healthTransitions = 0; //!< fleet-wide health edges
 };
 
 /**
@@ -168,6 +186,14 @@ struct McSummary
     double handoffLatMaxTicks = 0.0;
     double handoffLatP50Ticks = 0.0;
     double handoffLatP95Ticks = 0.0;
+
+    // Fault-domain outcome of this MC (fault campaigns only; an empty
+    // health string means no health machinery was built).
+    std::string health;                  //!< final state name
+    std::uint64_t healthTransitions = 0; //!< edges this MC took
+    std::uint64_t wedges = 0;            //!< wedges detected here
+    std::uint64_t quarantines = 0;       //!< times quarantined
+    std::uint64_t readmissions = 0;      //!< times re-admitted
 };
 
 /**

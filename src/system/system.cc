@@ -108,6 +108,15 @@ System::System(const SystemConfig &config, const AppProfile &app)
             unsigned threads = _config.faults.enabled()
                 ? 1
                 : std::min(_config.lanes, hw);
+            if (_config.faults.enabled() &&
+                std::min(_config.lanes, hw) > 1) {
+                pf_inform(Sim,
+                          "faults enabled: running %u requested lanes "
+                          "on one thread (the injector mutates memory "
+                          "from MC read paths); the lane schedule and "
+                          "all results are identical",
+                          _config.lanes);
+            }
             _laneSched = std::make_unique<LaneScheduler>(
                 _eq, _config.numMcs, quantum, threads);
         }
@@ -174,6 +183,77 @@ System::System(const SystemConfig &config, const AppProfile &app)
                 return table.corruptOtherPpn(index, victim);
             });
         }
+
+        // MC-scale fault domains: the health state machine exists for
+        // any MC-scale class; the watchdog only when modules can wedge.
+        if (_config.faults.mcFaultsEnabled()) {
+            _health = std::make_unique<McHealthMonitor>(
+                "mc_health", _eq, _config.numMcs);
+        }
+        if (!_pfModules.empty() && _config.faults.mcWedgeRate > 0.0) {
+            _watchdog = std::make_unique<ModuleWatchdog>(
+                "watchdog", _eq, _config.watchdog);
+            for (auto &module : _pfModules)
+                _watchdog->watchModule(*module);
+            _watchdog->setDriver(*_pfDriver);
+            if (_shardMap)
+                _watchdog->setShardMap(*_shardMap);
+            _watchdog->onQuarantine([this](unsigned mc) {
+                _health->transition(mc, McHealth::Quarantined,
+                                    "module wedge detected");
+            });
+            _watchdog->onRecovering([this](unsigned mc) {
+                _health->transition(mc, McHealth::Recovering,
+                                    "module restarted");
+            });
+            _watchdog->onHealthy([this](unsigned mc) {
+                _health->transition(mc, McHealth::Healthy,
+                                    "re-admitted");
+            });
+            _faults->setModuleWedger([this](Rng &rng) {
+                // Single-module machines skip the picking draw, like
+                // the table corruptor, so adding controllers never
+                // perturbs an existing fault stream's other classes.
+                std::size_t pick = _pfModules.size() == 1
+                    ? 0
+                    : static_cast<std::size_t>(
+                          rng.nextBounded(_pfModules.size()));
+                unsigned mc = static_cast<unsigned>(pick);
+                if (_pfModules[pick]->wedged() || _watchdog->shardDown(mc))
+                    return false;
+                _pfModules[pick]->wedge();
+                return true;
+            });
+        }
+        if (_config.faults.brownoutRate > 0.0) {
+            // A brownout only lands on a Healthy channel: Degraded
+            // channels are already browned out, and Quarantined /
+            // Recovering ones are being handled by the watchdog.
+            _faults->setBrownoutHooks(
+                [this](Rng &rng) -> int {
+                    std::size_t pick = _mcs.size() == 1
+                        ? 0
+                        : static_cast<std::size_t>(
+                              rng.nextBounded(_mcs.size()));
+                    unsigned mc = static_cast<unsigned>(pick);
+                    if (_health->state(mc) != McHealth::Healthy)
+                        return -1;
+                    _mcs[mc]->setLatencyScale(
+                        _config.faults.brownoutMult);
+                    _health->transition(mc, McHealth::Degraded,
+                                        "channel brownout");
+                    return static_cast<int>(mc);
+                },
+                [this](unsigned mc) {
+                    _mcs[mc]->setLatencyScale(1.0);
+                    // The channel may have been quarantined by a wedge
+                    // mid-brownout; the watchdog then owns its path
+                    // back to Healthy.
+                    if (_health->state(mc) == McHealth::Degraded)
+                        _health->transition(mc, McHealth::Healthy,
+                                            "brownout ended");
+                });
+        }
     }
 
     if (_config.churn.kind != ChurnKind::None) {
@@ -217,6 +297,10 @@ System::setupObservability()
         _lifecycle->attachProbe(_probes, TraceComponent::Lifecycle);
     if (_faults)
         _faults->attachProbe(_probes, TraceComponent::Fault);
+    if (_watchdog)
+        _watchdog->attachProbe(_probes, TraceComponent::Fault);
+    if (_health)
+        _health->attachProbe(_probes, TraceComponent::Fault);
 
     Tick interval = _config.metricsInterval;
     if (interval == 0 && _config.traceSink)
@@ -339,6 +423,19 @@ System::setupObservability()
                 n += mc->correctedErrors();
             return static_cast<double>(n);
         });
+        if (_health) {
+            // Drives the recovery-curve columns of the fault bench:
+            // nonzero exactly while some MC is degraded, quarantined,
+            // or recovering.
+            _metrics->add("unhealthy-mcs", TraceComponent::Fault,
+                          [this] {
+                std::uint64_t n = 0;
+                for (unsigned m = 0; m < _health->numMcs(); ++m)
+                    if (_health->state(m) != McHealth::Healthy)
+                        ++n;
+                return static_cast<double>(n);
+            });
+        }
     }
 }
 
@@ -471,6 +568,21 @@ System::startLoad()
         }
     }
 
+    // Arm the handoff link faults only now: synchronous warm-up passes
+    // go through the reliable enqueue() path and must stay loss-free
+    // (and draw-free) for determinism against the fault-free warmup.
+    if (_router && _config.faults.handoffFaultsEnabled()) {
+        _handoffRng = std::make_unique<Rng>(
+            _config.seed ^ 0x68616e646f6666ULL ^ _config.faults.seed);
+        HandoffFaultModel model;
+        model.lossProb = _config.faults.handoffLossProb;
+        model.corruptProb = _config.faults.handoffCorruptProb;
+        model.spikeProb = _config.faults.handoffSpikeProb;
+        model.spikeMult = _config.faults.handoffSpikeMult;
+        model.rng = _handoffRng.get();
+        _router->armFaults(model);
+    }
+
     if (_ksmd)
         _ksmd->start();
     if (_pfDriver)
@@ -479,6 +591,8 @@ System::startLoad()
         _lifecycle->start();
     if (_faults)
         _faults->start();
+    if (_watchdog)
+        _watchdog->start();
     if (_config.auditInterval > 0)
         scheduleAudit();
 }

@@ -19,6 +19,7 @@
 #include "lifecycle/vm_lifecycle.hh"
 #include "sim/lane_scheduler.hh"
 #include "system/config.hh"
+#include "system/mc_health.hh"
 #include "trace/lane_buffer.hh"
 #include "trace/metrics_sampler.hh"
 #include "workload/content_gen.hh"
@@ -145,6 +146,15 @@ class System : public VmHost
     /** Null unless fault injection is configured. */
     MergeOracle *mergeOracle() { return _oracle.get(); }
 
+    /**
+     * Null unless a fault campaign enables the `mcwedge` class in
+     * PageForge mode (see ModuleWatchdog).
+     */
+    ModuleWatchdog *watchdog() { return _watchdog.get(); }
+
+    /** Null unless a fault campaign enables an MC-scale fault class. */
+    McHealthMonitor *healthMonitor() { return _health.get(); }
+
     /** Merge statistics of whichever daemon is active (or empty). */
     const MergeStats &mergeStats() const;
     const HashKeyStats &hashStats() const;
@@ -179,6 +189,9 @@ class System : public VmHost
 
     std::unique_ptr<MergeOracle> _oracle;
     std::unique_ptr<FaultInjector> _faults;
+    std::unique_ptr<ModuleWatchdog> _watchdog;
+    std::unique_ptr<McHealthMonitor> _health;
+    std::unique_ptr<Rng> _handoffRng; //!< link-fault stream (armed runs)
 
     ProbeRegistry _probes;
     std::unique_ptr<MetricsSampler> _metrics;

@@ -54,11 +54,76 @@ TEST(FaultConfigTest, DefaultIsDisabledAndValid)
     EXPECT_TRUE(cfg.problem().empty());
 }
 
+TEST(FaultConfigTest, ParseMcFaultSpec)
+{
+    FaultConfig cfg = FaultConfig::parse(
+        "mcwedge=40,handoff_loss=0.05,handoff_corrupt=0.02,"
+        "handoff_spike=0.1,spike_mult=8,brownout=25,brownout_ms=0.4,"
+        "brownout_mult=6,seed=11");
+    EXPECT_DOUBLE_EQ(cfg.mcWedgeRate, 40.0);
+    EXPECT_DOUBLE_EQ(cfg.handoffLossProb, 0.05);
+    EXPECT_DOUBLE_EQ(cfg.handoffCorruptProb, 0.02);
+    EXPECT_DOUBLE_EQ(cfg.handoffSpikeProb, 0.1);
+    EXPECT_DOUBLE_EQ(cfg.handoffSpikeMult, 8.0);
+    EXPECT_DOUBLE_EQ(cfg.brownoutRate, 25.0);
+    EXPECT_DOUBLE_EQ(cfg.brownoutMs, 0.4);
+    EXPECT_DOUBLE_EQ(cfg.brownoutMult, 6.0);
+    EXPECT_EQ(cfg.seed, 11u);
+    EXPECT_TRUE(cfg.mcFaultsEnabled());
+    EXPECT_TRUE(cfg.handoffFaultsEnabled());
+    EXPECT_TRUE(cfg.enabled());
+    EXPECT_TRUE(cfg.problem().empty());
+
+    // Line-level faults alone arm neither MC-scale helper.
+    FaultConfig flips = FaultConfig::parse("rate=1e4");
+    EXPECT_FALSE(flips.mcFaultsEnabled());
+    EXPECT_FALSE(flips.handoffFaultsEnabled());
+    EXPECT_TRUE(flips.enabled());
+}
+
 TEST(FaultConfigTest, ParseRejectsBadTokens)
 {
     EXPECT_THROW(FaultConfig::parse("bogus=1"), std::invalid_argument);
     EXPECT_THROW(FaultConfig::parse("rate"), std::invalid_argument);
     EXPECT_THROW(FaultConfig::parse("rate=abc"), std::invalid_argument);
+}
+
+TEST(FaultConfigTest, ParseRejectsBadMcTokens)
+{
+    // Malformed tokens: key without value, non-numeric or empty value,
+    // near-miss key.
+    EXPECT_THROW(FaultConfig::parse("mcwedge"), std::invalid_argument);
+    EXPECT_THROW(FaultConfig::parse("mcwedge=abc"),
+                 std::invalid_argument);
+    EXPECT_THROW(FaultConfig::parse("handoff_loss="),
+                 std::invalid_argument);
+    EXPECT_THROW(FaultConfig::parse("handoff_losss=0.1"),
+                 std::invalid_argument);
+    EXPECT_THROW(FaultConfig::parse("brownout_ms=0.5ms"),
+                 std::invalid_argument);
+
+    // Well-formed but out of range: parse() runs problem() and throws.
+    EXPECT_THROW(FaultConfig::parse("mcwedge=-1"),
+                 std::invalid_argument);
+    EXPECT_THROW(FaultConfig::parse("handoff_loss=1.5"),
+                 std::invalid_argument);
+    EXPECT_THROW(FaultConfig::parse("handoff_corrupt=-0.2"),
+                 std::invalid_argument);
+    EXPECT_THROW(FaultConfig::parse("handoff_spike=2"),
+                 std::invalid_argument);
+    EXPECT_THROW(FaultConfig::parse("spike_mult=0.5"),
+                 std::invalid_argument);
+    EXPECT_THROW(FaultConfig::parse("brownout=-3"),
+                 std::invalid_argument);
+    EXPECT_THROW(FaultConfig::parse("brownout_ms=0"),
+                 std::invalid_argument);
+    EXPECT_THROW(FaultConfig::parse("brownout_mult=0.9"),
+                 std::invalid_argument);
+
+    // Empty tokens (leading/trailing/doubled commas) are tolerated.
+    FaultConfig cfg = FaultConfig::parse(",mcwedge=10,,brownout=5,");
+    EXPECT_DOUBLE_EQ(cfg.mcWedgeRate, 10.0);
+    EXPECT_DOUBLE_EQ(cfg.brownoutRate, 5.0);
 }
 
 TEST(FaultConfigTest, ProblemCatchesNonsense)
@@ -71,6 +136,25 @@ TEST(FaultConfigTest, ProblemCatchesNonsense)
     EXPECT_FALSE(cfg.problem().empty());
     cfg = FaultConfig{};
     cfg.mergeRaceProb = -0.1;
+    EXPECT_FALSE(cfg.problem().empty());
+}
+
+TEST(FaultConfigTest, ProblemCatchesMcNonsense)
+{
+    FaultConfig cfg;
+    cfg.mcWedgeRate = -0.5;
+    EXPECT_FALSE(cfg.problem().empty());
+    cfg = FaultConfig{};
+    cfg.handoffLossProb = 2.0;
+    EXPECT_FALSE(cfg.problem().empty());
+    cfg = FaultConfig{};
+    cfg.handoffSpikeMult = 0.0;
+    EXPECT_FALSE(cfg.problem().empty());
+    cfg = FaultConfig{};
+    cfg.brownoutMs = -1.0;
+    EXPECT_FALSE(cfg.problem().empty());
+    cfg = FaultConfig{};
+    cfg.brownoutMult = 0.0;
     EXPECT_FALSE(cfg.problem().empty());
 }
 
@@ -362,6 +446,132 @@ TEST(FaultExperimentTest, FaultSummaryDisabledOnCleanRuns)
     EXPECT_FALSE(r.faults.enabled);
     EXPECT_EQ(r.faults.flipEvents, 0u);
     EXPECT_GT(r.queries, 0u);
+}
+
+// ---------------------------------------------------------------
+// MC fault domains: wedge detection, failover, re-admission
+// ---------------------------------------------------------------
+
+SystemConfig
+mcFleetSystem(unsigned num_mcs)
+{
+    SystemConfig sys = tinySystem();
+    sys.numMcs = num_mcs;
+    // Fast watchdog so detect -> quarantine -> restart -> re-admit
+    // cycles many times inside the tiny measurement window.
+    sys.watchdog.heartbeatInterval = usToTicks(50);
+    sys.watchdog.wedgeThreshold = 2;
+    sys.watchdog.recoveryDelay = usToTicks(100);
+    sys.watchdog.readmitDelay = usToTicks(100);
+    return sys;
+}
+
+TEST(FaultExperimentTest, WedgeDrivesFailoverAndReadmission)
+{
+    ExperimentConfig cfg = tinyFaultConfig();
+    cfg.faults =
+        FaultConfig::parse("mcwedge=400,handoff_loss=0.1,seed=21");
+
+    ExperimentResult r = runExperiment(tinyApp(), DedupMode::PageForge,
+                                       cfg, mcFleetSystem(4));
+
+    // Wedges landed and were detected; every detection restarted the
+    // module and failed its ranges over to a survivor.
+    EXPECT_TRUE(r.faults.enabled);
+    EXPECT_GT(r.faults.mcWedgesInjected, 0u);
+    EXPECT_GT(r.faults.wedgesDetected, 0u);
+    EXPECT_LE(r.faults.wedgesDetected, r.faults.mcWedgesInjected);
+    EXPECT_EQ(r.faults.moduleRestarts, r.faults.wedgesDetected);
+    EXPECT_EQ(r.faults.failovers, r.faults.wedgesDetected);
+    EXPECT_GT(r.faults.readmissions, 0u);
+    EXPECT_LE(r.faults.readmissions, r.faults.failovers);
+    EXPECT_GT(r.faults.rehomedPrefixes, 0u);
+
+    // Lost handoffs were retried by the sender-side recovery loop.
+    EXPECT_GT(r.faults.handoffsLost, 0u);
+    EXPECT_GT(r.faults.handoffRetries, 0u);
+
+    // The failover machinery never merged wrong pages.
+    EXPECT_GT(r.faults.oracleChecks, 0u);
+    EXPECT_EQ(r.faults.oracleViolations, 0u);
+
+    // Per-MC health is populated and reconciles with the watchdog.
+    ASSERT_EQ(r.perMc.size(), 4u);
+    std::uint64_t wedges = 0;
+    std::uint64_t quarantines = 0;
+    std::uint64_t transitions = 0;
+    for (const McSummary &mc : r.perMc) {
+        EXPECT_FALSE(mc.health.empty());
+        wedges += mc.wedges;
+        quarantines += mc.quarantines;
+        transitions += mc.healthTransitions;
+    }
+    EXPECT_EQ(wedges, r.faults.wedgesDetected);
+    EXPECT_EQ(quarantines, r.faults.wedgesDetected);
+    EXPECT_EQ(transitions, r.faults.healthTransitions);
+    EXPECT_GT(r.faults.healthTransitions, 0u);
+}
+
+TEST(FaultExperimentTest, McFaultRunsAreDeterministic)
+{
+    ExperimentConfig cfg = tinyFaultConfig();
+    cfg.faults = FaultConfig::parse(
+        "mcwedge=400,handoff_loss=0.08,handoff_corrupt=0.05,"
+        "handoff_spike=0.2,brownout=200,brownout_ms=0.2,seed=13");
+
+    ExperimentResult a = runExperiment(tinyApp(), DedupMode::PageForge,
+                                       cfg, mcFleetSystem(4));
+    ExperimentResult b = runExperiment(tinyApp(), DedupMode::PageForge,
+                                       cfg, mcFleetSystem(4));
+
+    EXPECT_TRUE(identicalResults(a, b));
+    EXPECT_GT(a.faults.wedgesDetected + a.faults.handoffsLost +
+                  a.faults.brownouts,
+              0u);
+    EXPECT_EQ(a.faults.oracleViolations, 0u);
+}
+
+TEST(FaultExperimentTest, SingleMcWedgeRestartsWithoutFailover)
+{
+    ExperimentConfig cfg = tinyFaultConfig();
+    cfg.faults = FaultConfig::parse("mcwedge=400,seed=17");
+
+    ExperimentResult r = runExperiment(tinyApp(), DedupMode::PageForge,
+                                       cfg, mcFleetSystem(1));
+
+    // No survivor to fail over to: the pipeline pauses through the
+    // restart instead, and no prefix range moves.
+    EXPECT_GT(r.faults.wedgesDetected, 0u);
+    EXPECT_EQ(r.faults.moduleRestarts, r.faults.wedgesDetected);
+    EXPECT_EQ(r.faults.failovers, 0u);
+    EXPECT_EQ(r.faults.rehomedPrefixes, 0u);
+    EXPECT_GT(r.faults.readmissions, 0u);
+    EXPECT_EQ(r.faults.oracleViolations, 0u);
+    EXPECT_TRUE(r.perMc.empty()); // classic machine: no breakdown
+}
+
+TEST(FaultExperimentTest, BrownoutDegradesAndRecovers)
+{
+    ExperimentConfig cfg = tinyFaultConfig();
+    cfg.faults = FaultConfig::parse(
+        "brownout=400,brownout_ms=0.2,brownout_mult=6,seed=19");
+
+    ExperimentResult r = runExperiment(tinyApp(), DedupMode::PageForge,
+                                       cfg, mcFleetSystem(2));
+
+    EXPECT_GT(r.faults.brownouts, 0u);
+    EXPECT_EQ(r.faults.mcWedgesInjected, 0u);
+    // Every brownout is a Healthy -> Degraded edge; most restore to
+    // Healthy before the run ends (one straddling the end may not).
+    EXPECT_GE(r.faults.healthTransitions, r.faults.brownouts);
+    EXPECT_LE(r.faults.healthTransitions, 2 * r.faults.brownouts);
+    EXPECT_EQ(r.faults.oracleViolations, 0u);
+    ASSERT_EQ(r.perMc.size(), 2u);
+    for (const McSummary &mc : r.perMc) {
+        EXPECT_TRUE(mc.health == "healthy" || mc.health == "degraded");
+        EXPECT_EQ(mc.wedges, 0u);
+        EXPECT_EQ(mc.quarantines, 0u);
+    }
 }
 
 // ---------------------------------------------------------------

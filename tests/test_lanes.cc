@@ -23,6 +23,7 @@
 #include "prof/profiler.hh"
 #include "sim/event_queue.hh"
 #include "sim/lane_scheduler.hh"
+#include "sim/logging.hh"
 #include "system/campaign.hh"
 #include "system/experiment.hh"
 #include "system/system.hh"
@@ -463,9 +464,30 @@ TEST(LaneSystem, FaultInjectionForcesSerialExecution)
     SystemConfig sys = lanedSystem(4);
     sys.mode = DedupMode::PageForge;
     sys.faults.flipsPerGBSec = 50.0;
+
+    LogLevel before = logLevel();
+    setLogLevel(LogLevel::Inform);
+    ::testing::internal::CaptureStderr();
     System system(sys, appByName("masstree"));
+    std::string err = ::testing::internal::GetCapturedStderr();
     ASSERT_NE(system.laneScheduler(), nullptr);
     EXPECT_EQ(system.laneScheduler()->threads(), 0u);
+
+    // The silent downgrade is not silent: when the knob actually asked
+    // for parallelism, the machine says why it is running serial.
+    if (std::max(1u, std::thread::hardware_concurrency()) > 1) {
+        EXPECT_NE(err.find("faults enabled"), std::string::npos);
+        EXPECT_NE(err.find("one thread"), std::string::npos);
+    }
+
+    // A fault-free machine has nothing to announce.
+    ::testing::internal::CaptureStderr();
+    SystemConfig clean = lanedSystem(4);
+    clean.mode = DedupMode::PageForge;
+    System quiet(clean, appByName("masstree"));
+    std::string clean_err = ::testing::internal::GetCapturedStderr();
+    setLogLevel(before);
+    EXPECT_EQ(clean_err.find("one thread"), std::string::npos);
 }
 
 TEST(LaneSystem, CampaignCellsIdenticalAcrossLaneCounts)

@@ -55,6 +55,75 @@ TEST_F(PageForgeModuleTest, FindsDuplicateInSingleEntry)
     EXPECT_EQ(module.duplicatesFound(), 1u);
 }
 
+TEST_F(PageForgeModuleTest, WedgedModuleHangsUntilForceReset)
+{
+    FrameId cand = frameWithSeed(1);
+    FrameId twin = frameWithSeed(1);
+    api.insertPpn(0, twin, scanIndexNone, scanIndexNone);
+    api.insertPfe(cand, true, 0);
+
+    // Wedged before the trigger: Busy raises, then nothing happens.
+    module.wedge();
+    EXPECT_TRUE(module.wedged());
+    module.trigger();
+    EXPECT_TRUE(module.busy());
+    eq.runAll();
+    EXPECT_TRUE(module.busy()); // no completion ever landed
+    EXPECT_EQ(module.batchesCompleted(), 0u);
+    EXPECT_FALSE(api.getPfeInfo().scanned);
+
+    // The watchdog restart returns the FSM to idle...
+    module.forceReset();
+    EXPECT_FALSE(module.wedged());
+    EXPECT_FALSE(module.busy());
+    EXPECT_EQ(module.batchesCompleted(), 0u);
+
+    // ...and the next batch runs to completion normally.
+    module.trigger();
+    eq.runAll();
+    EXPECT_FALSE(module.busy());
+    EXPECT_EQ(module.batchesCompleted(), 1u);
+    EXPECT_TRUE(api.getPfeInfo().scanned);
+    EXPECT_TRUE(api.getPfeInfo().duplicate);
+}
+
+TEST_F(PageForgeModuleTest, MidFlightWedgeSwallowsTheCompletion)
+{
+    FrameId cand = frameWithSeed(1);
+    FrameId twin = frameWithSeed(1);
+    api.insertPpn(0, twin, scanIndexNone, scanIndexNone);
+    api.insertPfe(cand, true, 0);
+
+    // The wedge lands while the batch is still in flight: the walk's
+    // traffic happened, but the result must never apply.
+    module.trigger();
+    EXPECT_TRUE(module.busy());
+    eq.schedule(1, [this] { module.wedge(); });
+    eq.runAll();
+    EXPECT_TRUE(module.busy());
+    EXPECT_EQ(module.batchesCompleted(), 0u);
+    EXPECT_FALSE(api.getPfeInfo().scanned);
+}
+
+TEST_F(PageForgeModuleTest, StaleCompletionNeverAppliesAfterReset)
+{
+    FrameId cand = frameWithSeed(1);
+    FrameId twin = frameWithSeed(1);
+    api.insertPpn(0, twin, scanIndexNone, scanIndexNone);
+    api.insertPfe(cand, true, 0);
+
+    module.trigger();
+    module.forceReset(); // restart with the completion still queued
+    module.trigger();    // the replacement batch
+    eq.runAll();
+    // Only the post-reset batch completed: the discarded batch's
+    // event was invalidated by the reset-epoch bump, so the result
+    // neither applied twice nor double-counted progress.
+    EXPECT_EQ(module.batchesCompleted(), 1u);
+    EXPECT_FALSE(module.busy());
+    EXPECT_TRUE(api.getPfeInfo().scanned);
+}
+
 TEST_F(PageForgeModuleTest, ReportsNoMatchWithEndToken)
 {
     FrameId cand = frameWithSeed(1);

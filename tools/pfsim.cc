@@ -30,6 +30,7 @@
 #include "fault/merge_oracle.hh"
 #include "prof/profiler.hh"
 #include "shard/cross_mc_router.hh"
+#include "shard/shard_map.hh"
 #include "sim/simd.hh"
 #include "stats/table.hh"
 #include "system/campaign.hh"
@@ -134,8 +135,12 @@ usage(const char *prog)
         << "                      pairs: rate (bit flips/GB/s),\n"
         << "                      double, stuck, minikey (fractions),\n"
         << "                      scantable, race (probabilities),\n"
-        << "                      seed. e.g.\n"
+        << "                      mcwedge, brownout (events/s),\n"
+        << "                      brownout_ms, brownout_mult,\n"
+        << "                      handoff_loss, handoff_corrupt,\n"
+        << "                      handoff_spike, spike_mult, seed. e.g.\n"
         << "                      --faults=rate=50,double=0.2,race=0.01\n"
+        << "                      --faults=mcwedge=40,handoff_loss=0.05\n"
         << "  --fault-seed=N      fault RNG stream seed (default 0)\n"
         << "  --audit-interval=N  audit every frame mapping every N ms\n"
         << "                      and fail fast on inconsistency\n"
@@ -691,6 +696,49 @@ main(int argc, char **argv)
                               std::to_string(
                                   system.pfDriver()->mergeRetries())});
         }
+        if (fs.mcWedges || fs.brownouts) {
+            table.addRow({"fault: module wedges",
+                          std::to_string(fs.mcWedges)});
+            table.addRow({"fault: channel brownouts",
+                          std::to_string(fs.brownouts)});
+        }
+        if (CrossMcRouter *router = system.crossMcRouter()) {
+            if (router->handoffsLost() || router->handoffsCorrupted() ||
+                router->handoffsSpiked()) {
+                table.addRow({"handoffs lost / corrupted / spiked",
+                              std::to_string(router->handoffsLost()) +
+                                  " / " +
+                                  std::to_string(
+                                      router->handoffsCorrupted()) +
+                                  " / " +
+                                  std::to_string(
+                                      router->handoffsSpiked())});
+                table.addRow({"handoff retries / dead letters",
+                              std::to_string(router->handoffRetries()) +
+                                  " / " +
+                                  std::to_string(
+                                      router->handoffDeadLetters())});
+            }
+        }
+        if (ModuleWatchdog *dog = system.watchdog()) {
+            table.addRow({"wedges detected / restarts",
+                          std::to_string(dog->wedgesDetected()) + " / " +
+                              std::to_string(dog->moduleRestarts())});
+            table.addRow({"failovers / readmissions",
+                          std::to_string(dog->failovers()) + " / " +
+                              std::to_string(dog->readmissions())});
+        }
+        if (McHealthMonitor *health = system.healthMonitor()) {
+            for (unsigned m = 0; m < health->numMcs(); ++m) {
+                table.addRow({"mc" + std::to_string(m) + " health",
+                              std::string(mcHealthName(
+                                  health->state(m))) +
+                                  " (" +
+                                  std::to_string(
+                                      health->transitionsOf(m)) +
+                                  " transitions)"});
+            }
+        }
         if (MergeOracle *oracle = system.mergeOracle()) {
             oracle_violations = oracle->violations();
             table.addRow({"merge oracle checks",
@@ -707,6 +755,9 @@ main(int argc, char **argv)
         const MergeOracle *oracle = system.mergeOracle();
         // New fields must stay BEFORE oracle_violations: CI greps for
         // "oracle_violations=0$" at end of line.
+        const CrossMcRouter *router = system.crossMcRouter();
+        const ModuleWatchdog *dog = system.watchdog();
+        const ShardMap *shards = system.shardMap();
         std::cout << "pfsim: fault summary:"
                   << " flips=" << fs.flipEvents
                   << " corrected=" << ecc_corrected
@@ -719,6 +770,23 @@ main(int argc, char **argv)
                   << (opts.mode == DedupMode::PageForge
                           ? system.pfDriver()->mergeAborts()
                           : 0)
+                  << " mc_wedges=" << fs.mcWedges
+                  << " brownouts=" << fs.brownouts
+                  << " handoffs_lost="
+                  << (router ? router->handoffsLost() : 0)
+                  << " handoff_retries="
+                  << (router ? router->handoffRetries() : 0)
+                  << " handoff_dead_letters="
+                  << (router ? router->handoffDeadLetters() : 0)
+                  << " wedges_detected="
+                  << (dog ? dog->wedgesDetected() : 0)
+                  << " module_restarts="
+                  << (dog ? dog->moduleRestarts() : 0)
+                  << " failovers=" << (dog ? dog->failovers() : 0)
+                  << " readmissions="
+                  << (dog ? dog->readmissions() : 0)
+                  << " rehomed_prefixes="
+                  << (shards ? shards->rehomedPrefixes() : 0)
                   << " oracle_checks="
                   << (oracle ? oracle->checks() : 0)
                   << " cross_mc_checks="
